@@ -1,0 +1,84 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Every table and figure of the paper's evaluation has one bench module
+here (see DESIGN.md §4 for the index).  Each module:
+
+* runs the experiment via a ``benchmark`` fixture wrapper (so
+  ``pytest benchmarks/ --benchmark-only`` executes and times it),
+* writes the regenerated table to ``benchmarks/results/<name>.txt``,
+* asserts the *shape* properties the paper reports (who wins, rough
+  factors, crossovers) — not absolute numbers.
+
+Set ``REPRO_BENCH_PROFILE=full`` for closer-to-paper scale (slower);
+the default ``quick`` profile keeps the whole suite in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import WorkloadScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's PEBS sampling-period sweep.
+PERIODS = (10, 100, 1_000, 10_000, 100_000)
+
+#: Table 2's period columns.
+TABLE2_PERIODS = (100, 1_000, 10_000)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Experiment sizing."""
+
+    name: str
+    workload_scale: WorkloadScale
+    bug_scale: WorkloadScale
+    detection_runs: int
+    recovery_runs: int
+
+
+QUICK = BenchProfile(
+    name="quick",
+    workload_scale=WorkloadScale(iterations=300, data_words=128),
+    bug_scale=WorkloadScale(iterations=40),
+    detection_runs=10,
+    recovery_runs=3,
+)
+
+FULL = BenchProfile(
+    name="full",
+    workload_scale=WorkloadScale(iterations=900, data_words=256),
+    bug_scale=WorkloadScale(iterations=60),
+    detection_runs=100,
+    recovery_runs=8,
+)
+
+
+def active_profile() -> BenchProfile:
+    return FULL if os.environ.get("REPRO_BENCH_PROFILE") == "full" else QUICK
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(results_dir: Path, name: str, lines) -> str:
+    """Write one regenerated table/figure and echo it to stdout."""
+    text = "\n".join(lines) + "\n"
+    (results_dir / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+    return text

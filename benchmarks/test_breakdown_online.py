@@ -1,0 +1,56 @@
+"""§7.2 (text) — Online overhead breakdown: PEBS vs PT vs sync tracing.
+
+The paper: "the PT overhead is very small contributing only 3% slowdown
+at most ... the synchronization tracing overhead also has a very small
+impact (<1%) ... the PEBS overhead dominates the overall ProRace
+performance ranging from 97% to 99%."
+"""
+
+from repro.analysis import estimate_overhead
+from repro.analysis.metrics import arithmetic_mean
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import PARSEC_WORKLOADS
+
+from conftest import write_table
+
+PERIODS = (10, 100)
+
+
+def measure(profile):
+    shares = {}
+    for name, workload in PARSEC_WORKLOADS.items():
+        program = workload.instantiate(profile.workload_scale)
+        for period in PERIODS:
+            bundle = trace_run(program, period=period,
+                               driver=PRORACE_DRIVER, seed=1)
+            shares[(name, period)] = estimate_overhead(bundle).breakdown()
+    return shares
+
+
+def test_breakdown_online(benchmark, profile, results_dir):
+    shares = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                                iterations=1)
+
+    lines = [f"{'App':14s}{'period':>8s}{'pebs%':>8s}{'pt%':>8s}"
+             f"{'sync%':>8s}", "-" * 46]
+    for (name, period), breakdown in sorted(shares.items()):
+        lines.append(
+            f"{name:14s}{period:8d}"
+            f"{100 * breakdown['pebs']:8.1f}"
+            f"{100 * breakdown['pt']:8.1f}"
+            f"{100 * breakdown['sync']:8.1f}"
+        )
+    pebs_mean = arithmetic_mean(
+        [b["pebs"] for b in shares.values()]
+    )
+    lines.append("-" * 46)
+    lines.append(f"mean PEBS share: {100 * pebs_mean:.1f}%  "
+                 "(paper: 97-99%)")
+    write_table(results_dir, "breakdown_online", lines)
+
+    # Shape: PEBS dominates tracing cost at small periods.
+    assert pebs_mean > 0.9
+    for breakdown in shares.values():
+        assert breakdown["pt"] < 0.2
+        assert breakdown["sync"] < 0.2

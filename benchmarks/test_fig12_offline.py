@@ -1,0 +1,73 @@
+"""Figure 12 — Offline analysis overhead and its breakdown.
+
+The paper reports, for traces at period 10K: ~54.5 s of offline analysis
+per second of apache execution (35.3 s for mysql; pfscan worst), split
+33.7% PT decoding, 64.7% trace reconstruction, 1.6% race detection.
+
+Here the offline phases are *measured wall-clock* (the analysis really
+runs); execution seconds come from the simulated 1 GHz clock.  Shapes:
+reconstruction dominates, detection is a sliver, and the analysis costs
+orders of magnitude more than the traced execution.
+"""
+
+from repro.analysis import OfflinePipeline, SIMULATED_CLOCK_HZ
+from repro.tracing import trace_run
+from repro.workloads import RACE_BUGS
+
+from conftest import write_table
+
+FIG12_APPS = {
+    "apache": "apache-25520",
+    "mysql": "mysql-644",
+    "cherokee": "cherokee-0.9.2",
+    "pbzip2": "pbzip2-0.9.4",
+    "pfscan": "pfscan",
+    "aget": "aget-bug2",
+}
+
+PERIOD = 200
+
+
+def measure(profile):
+    rows = {}
+    for app, bug_name in FIG12_APPS.items():
+        bug = RACE_BUGS[bug_name]
+        program = bug.build(profile.bug_scale)
+        bundle = trace_run(program, period=PERIOD, seed=1)
+        result = OfflinePipeline(program).analyze(bundle)
+        execution_seconds = bundle.run.tsc / SIMULATED_CLOCK_HZ
+        rows[app] = (
+            result.timings.total_seconds / execution_seconds,
+            result.timings.breakdown(),
+        )
+    return rows
+
+
+def test_fig12_offline(benchmark, profile, results_dir):
+    rows = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                              iterations=1)
+
+    header = (f"{'App':12s}{'analysis s / exec s':>22s}"
+              f"{'decode%':>10s}{'reconstr%':>11s}{'detect%':>9s}")
+    lines = [f"(period {PERIOD})", header, "-" * len(header)]
+    for app, (ratio, breakdown) in rows.items():
+        lines.append(
+            f"{app:12s}{ratio:22.0f}"
+            f"{100 * breakdown['pt_decoding']:10.1f}"
+            f"{100 * breakdown['trace_reconstruction']:11.1f}"
+            f"{100 * breakdown['race_detection']:9.1f}"
+        )
+    lines.append("")
+    lines.append("paper: apache 54.5 s/s, mysql 35.3 s/s, pfscan worst; "
+                 "breakdown 33.7% decode / 64.7% reconstruction / "
+                 "1.6% detection")
+    write_table(results_dir, "fig12_offline", lines)
+
+    # Shapes.
+    for app, (ratio, breakdown) in rows.items():
+        # Offline analysis costs much more than the traced execution.
+        assert ratio > 1.0, app
+        # Reconstruction dominates; detection is a sliver.
+        assert breakdown["trace_reconstruction"] > \
+            breakdown["race_detection"], app
+        assert breakdown["race_detection"] < 0.25, app

@@ -1,0 +1,65 @@
+"""Figure 6 — ProRace runtime overhead for PARSEC, periods 10..100K.
+
+Paper geomeans (normalized overhead): 6.52x, 1.85x, 13%, 7%, 4% for
+periods 10, 100, 1K, 10K, 100K.  The shape to reproduce: overhead falls
+monotonically with the period, is a multiple-x slowdown at periods
+10–100, and lands in the single-digit-percent range at 10K–100K.
+"""
+
+from repro.analysis import estimate_overhead, geometric_mean
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import PARSEC_WORKLOADS
+
+from conftest import PERIODS, write_table
+
+PAPER_GEOMEAN = {10: 6.52, 100: 1.85, 1_000: 0.13, 10_000: 0.07,
+                 100_000: 0.04}
+
+
+def measure(profile):
+    per_app = {}
+    for name, workload in PARSEC_WORKLOADS.items():
+        program = workload.instantiate(profile.workload_scale)
+        per_app[name] = {}
+        for period in PERIODS:
+            bundle = trace_run(program, period=period,
+                               driver=PRORACE_DRIVER, seed=1)
+            per_app[name][period] = estimate_overhead(bundle).overhead
+    return per_app
+
+
+def test_fig6_overhead_parsec(benchmark, profile, results_dir):
+    per_app = benchmark.pedantic(
+        lambda: measure(profile), rounds=1, iterations=1
+    )
+
+    geomeans = {
+        period: geometric_mean(
+            [1 + per_app[name][period] for name in per_app]
+        ) - 1
+        for period in PERIODS
+    }
+
+    header = f"{'App':14s}" + "".join(f"{p:>10d}" for p in PERIODS)
+    lines = [header, "-" * len(header)]
+    for name, row in sorted(per_app.items()):
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[p]:10.3f}" for p in PERIODS)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':14s}" + "".join(f"{geomeans[p]:10.3f}" for p in PERIODS)
+    )
+    lines.append(
+        f"{'paper geomean':14s}"
+        + "".join(f"{PAPER_GEOMEAN[p]:10.3f}" for p in PERIODS)
+    )
+    write_table(results_dir, "fig6_overhead_parsec", lines)
+
+    # Shape assertions.
+    assert geomeans[10] > geomeans[100] > geomeans[1_000] >= \
+        geomeans[10_000] >= geomeans[100_000]
+    assert geomeans[10] > 2.0           # multiple-x at period 10
+    assert geomeans[100_000] < 0.10     # few percent at period 100K
+    assert geomeans[10_000] < 0.15

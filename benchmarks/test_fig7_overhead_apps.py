@@ -1,0 +1,73 @@
+"""Figure 7 — ProRace runtime overhead for real applications.
+
+Paper geomeans: 80%, 34%, 8%, 2.6%, 0.8% for periods 10..100K, with the
+signature split: network-I/O-dominant applications (apache, cherokee,
+memcached, transmission, aget, mysql) show negligible overhead even at
+period 10 because tracing hides behind I/O waits, while the CPU-bound
+utilities (pfscan, pbzip2) behave like PARSEC members.
+"""
+
+from repro.analysis import estimate_overhead, geometric_mean
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import APP_WORKLOADS
+
+from conftest import PERIODS, write_table
+
+PAPER_GEOMEAN = {10: 0.80, 100: 0.34, 1_000: 0.08, 10_000: 0.026,
+                 100_000: 0.008}
+
+
+def measure(profile):
+    per_app = {}
+    for name, workload in APP_WORKLOADS.items():
+        program = workload.instantiate(profile.workload_scale)
+        per_app[name] = {}
+        for period in PERIODS:
+            bundle = trace_run(program, period=period,
+                               driver=PRORACE_DRIVER, seed=1)
+            per_app[name][period] = estimate_overhead(bundle).overhead
+    return per_app
+
+
+def test_fig7_overhead_apps(benchmark, profile, results_dir):
+    per_app = benchmark.pedantic(
+        lambda: measure(profile), rounds=1, iterations=1
+    )
+    geomeans = {
+        period: geometric_mean(
+            [1 + per_app[name][period] for name in per_app]
+        ) - 1
+        for period in PERIODS
+    }
+
+    header = f"{'App':14s}" + "".join(f"{p:>10d}" for p in PERIODS)
+    lines = [header, "-" * len(header)]
+    for name, row in sorted(per_app.items()):
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[p]:10.3f}" for p in PERIODS)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':14s}" + "".join(f"{geomeans[p]:10.3f}" for p in PERIODS)
+    )
+    lines.append(
+        f"{'paper geomean':14s}"
+        + "".join(f"{PAPER_GEOMEAN[p]:10.3f}" for p in PERIODS)
+    )
+    write_table(results_dir, "fig7_overhead_apps", lines)
+
+    # Shape: monotone decreasing geomean; far below PARSEC's levels.
+    assert geomeans[10] >= geomeans[100] >= geomeans[1_000] >= \
+        geomeans[100_000]
+    assert geomeans[10_000] < 0.05  # the paper's 2.6% headline regime
+    # Network-I/O-dominant apps hide overhead even at period 10 (§7.2's
+    # "negligible (<1%) overhead even with the very small sampling
+    # period of 10" category).
+    for name in ("apache", "memcached", "aget"):
+        assert per_app[name][10] < 0.02, name
+    # The paper's other category — "mysql, transmission, pfscan, pbzip2
+    # showed a similar trend of high overhead for a small sampling
+    # period" — cannot hide it.
+    for name in ("mysql", "transmission", "pfscan", "pbzip2"):
+        assert per_app[name][10] > 0.3, name

@@ -1,0 +1,66 @@
+"""Figure 8 — Trace generation rate (MB/s) for PARSEC.
+
+Paper geomeans: 1463, 597, 132, 69, 26 MB/s for periods 10..100K (note
+the paper's inversion: at period 10 kernel throttling drops buffers, so
+some configurations write *less* than at period 100).  Shapes: rate
+grows as the period shrinks; the PEBS stream dominates total bytes; the
+PT stream is period-independent.
+"""
+
+from repro.analysis import geometric_mean, trace_rate_mb_per_s
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import PARSEC_WORKLOADS
+
+from conftest import PERIODS, write_table
+
+PAPER_GEOMEAN = {10: 1463, 100: 597, 1_000: 132, 10_000: 69, 100_000: 26}
+
+
+def measure(profile, workloads):
+    rates = {}
+    pt_share = {}
+    for name, workload in workloads.items():
+        program = workload.instantiate(profile.workload_scale)
+        rates[name] = {}
+        for period in PERIODS:
+            bundle = trace_run(program, period=period,
+                               driver=PRORACE_DRIVER, seed=1)
+            rates[name][period] = trace_rate_mb_per_s(bundle)
+            if period == 10:
+                pt_share[name] = (
+                    bundle.pt_size_bytes / max(bundle.total_trace_bytes, 1)
+                )
+    return rates, pt_share
+
+
+def test_fig8_tracesize_parsec(benchmark, profile, results_dir):
+    rates, pt_share = benchmark.pedantic(
+        lambda: measure(profile, PARSEC_WORKLOADS), rounds=1, iterations=1
+    )
+    geomeans = {
+        period: geometric_mean([rates[name][period] for name in rates])
+        for period in PERIODS
+    }
+
+    header = f"{'App (MB/s)':14s}" + "".join(f"{p:>10d}" for p in PERIODS)
+    lines = [header, "-" * len(header)]
+    for name, row in sorted(rates.items()):
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[p]:10.2f}" for p in PERIODS)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':14s}" + "".join(f"{geomeans[p]:10.2f}" for p in PERIODS)
+    )
+    lines.append(
+        f"{'paper geomean':14s}"
+        + "".join(f"{PAPER_GEOMEAN[p]:10d}" for p in PERIODS)
+    )
+    write_table(results_dir, "fig8_tracesize_parsec", lines)
+
+    # Shapes.
+    assert geomeans[10] > geomeans[1_000] > geomeans[100_000] > 0
+    assert geomeans[100] > geomeans[10_000]
+    # PEBS dominates total trace bytes at small periods (§7.3: ~99%).
+    assert geometric_mean(list(pt_share.values())) < 0.1

@@ -1,0 +1,70 @@
+"""Figure 9 — Trace generation rate (MB/s) for real applications.
+
+Paper geomeans: 99.5, 40.8, 7.9, 1.2, 0.2 MB/s for periods 10..100K —
+the same trend as PARSEC but much lower rates, because the applications
+spend most wall-clock time in I/O waits rather than retiring memory
+operations.
+"""
+
+from repro.analysis import geometric_mean, trace_rate_mb_per_s
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import APP_WORKLOADS, PARSEC_WORKLOADS
+
+from conftest import PERIODS, write_table
+
+PAPER_GEOMEAN = {10: 99.5, 100: 40.8, 1_000: 7.9, 10_000: 1.2,
+                 100_000: 0.2}
+
+
+def measure(profile):
+    rates = {}
+    for name, workload in APP_WORKLOADS.items():
+        program = workload.instantiate(profile.workload_scale)
+        rates[name] = {}
+        for period in PERIODS:
+            bundle = trace_run(program, period=period,
+                               driver=PRORACE_DRIVER, seed=1)
+            rates[name][period] = trace_rate_mb_per_s(bundle)
+    return rates
+
+
+def test_fig9_tracesize_apps(benchmark, profile, results_dir):
+    rates = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                               iterations=1)
+    geomeans = {
+        period: geometric_mean([rates[name][period] for name in rates])
+        for period in PERIODS
+    }
+
+    header = f"{'App (MB/s)':14s}" + "".join(f"{p:>10d}" for p in PERIODS)
+    lines = [header, "-" * len(header)]
+    for name, row in sorted(rates.items()):
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[p]:10.3f}" for p in PERIODS)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':14s}" + "".join(f"{geomeans[p]:10.3f}" for p in PERIODS)
+    )
+    lines.append(
+        f"{'paper geomean':14s}"
+        + "".join(f"{PAPER_GEOMEAN[p]:10.1f}" for p in PERIODS)
+    )
+    write_table(results_dir, "fig9_tracesize_apps", lines)
+
+    # Shapes: monotone-ish growth toward small periods...
+    assert geomeans[10] > geomeans[1_000] > geomeans[100_000] > 0
+    # ...and much lower rates than the CPU-bound PARSEC suite at the
+    # same periods (the paper's Fig 8 vs Fig 9 contrast).
+    parsec_program = PARSEC_WORKLOADS["facesim"].instantiate(
+        profile.workload_scale
+    )
+    parsec_rate = trace_rate_mb_per_s(
+        trace_run(parsec_program, period=1_000, driver=PRORACE_DRIVER,
+                  seed=1)
+    )
+    io_apps = [n for n in rates
+               if APP_WORKLOADS[n].io_bound]
+    apps_geomean = geometric_mean([rates[n][1_000] for n in io_apps])
+    assert apps_geomean < parsec_rate

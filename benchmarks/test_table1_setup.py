@@ -1,0 +1,43 @@
+"""Table 1 — Evaluation setup.
+
+Regenerates the workload-configuration table (application, threads,
+workload description) and benchmarks raw machine execution throughput on
+the real-application models.
+"""
+
+from repro.machine import Machine
+from repro.workloads import APP_WORKLOADS
+
+from conftest import write_table
+
+
+def test_table1_setup(benchmark, profile, results_dir):
+    rows = {}
+
+    def run_all():
+        for name, workload in APP_WORKLOADS.items():
+            program = workload.instantiate(profile.workload_scale)
+            result = Machine(program, seed=1).run()
+            rows[name] = (result.threads, result.instructions,
+                          workload.description)
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"{'App':14s} {'Threads':>7s} {'Instructions':>12s}  Workload",
+        "-" * 70,
+    ]
+    for name, (threads, instructions, description) in rows.items():
+        lines.append(
+            f"{name:14s} {threads:7d} {instructions:12d}  {description}"
+        )
+    write_table(results_dir, "table1_setup", lines)
+
+    # Shape: Table 1's thread counts (capped at the scale's thread_cap).
+    cap = profile.workload_scale.thread_cap
+    natural = {"apache": 4, "cherokee": 38, "mysql": 20, "memcached": 5,
+               "transmission": 4, "pfscan": 4, "pbzip2": 4, "aget": 4}
+    for name, expected in natural.items():
+        threads = rows[name][0]
+        assert threads == min(expected, cap) + 1  # workers + main

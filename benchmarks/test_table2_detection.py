@@ -1,0 +1,87 @@
+"""Table 2 — Data race detection probability, RaceZ vs ProRace.
+
+For each of the twelve real-world bugs, N seeded traces are collected at
+each sampling period and analyzed twice: with RaceZ's basic-block
+reconstruction and with ProRace's full forward/backward replay.  The
+paper's shapes: ProRace detects far more than RaceZ in every cell;
+PC-relative bugs are detected in *every* trace at *every* period (the PT
+path alone recovers them); detection probability falls as the period
+grows, with memory-indirect bugs falling fastest.
+"""
+
+from repro.analysis import OfflinePipeline
+from repro.pmu import PRORACE_DRIVER, VANILLA_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import PC_RELATIVE, RACE_BUGS
+
+from conftest import TABLE2_PERIODS, write_table
+
+
+def measure(profile):
+    counts = {}
+    for name, bug in RACE_BUGS.items():
+        program = bug.build(profile.bug_scale)
+        for period in TABLE2_PERIODS:
+            for detector, driver, mode in (
+                ("racez", VANILLA_DRIVER, "basicblock"),
+                ("prorace", PRORACE_DRIVER, "full"),
+            ):
+                pipeline = OfflinePipeline(program, mode=mode)
+                hits = 0
+                for seed in range(profile.detection_runs):
+                    bundle = trace_run(program, period=period,
+                                       driver=driver, seed=seed)
+                    result = pipeline.analyze(bundle)
+                    hits += bug.detected(program, result)
+                counts[(name, period, detector)] = hits
+    return counts
+
+
+def test_table2_detection(benchmark, profile, results_dir):
+    counts = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                                iterations=1)
+    runs = profile.detection_runs
+
+    header = (
+        f"{'Bug':16s} {'Type':18s}"
+        + "".join(f"  rz@{p:<6d}" for p in TABLE2_PERIODS)
+        + "".join(f"  pr@{p:<6d}" for p in TABLE2_PERIODS)
+    )
+    lines = [f"(detections out of {runs} traces)", header, "-" * len(header)]
+    for name, bug in RACE_BUGS.items():
+        row = f"{name:16s} {bug.access_type:18s}"
+        for detector in ("racez", "prorace"):
+            for period in TABLE2_PERIODS:
+                row += f"  {counts[(name, period, detector)]:<8d}"
+        lines.append(row)
+    totals = {
+        (detector, period): sum(
+            counts[(name, period, detector)] for name in RACE_BUGS
+        )
+        for detector in ("racez", "prorace")
+        for period in TABLE2_PERIODS
+    }
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'TOTAL':35s}"
+        + "".join(f"  {totals[('racez', p)]:<8d}" for p in TABLE2_PERIODS)
+        + "".join(f"  {totals[('prorace', p)]:<8d}" for p in TABLE2_PERIODS)
+    )
+    lines.append("")
+    lines.append("paper: ProRace avg 27.5% at period 10K (vs RaceZ 0.2%); "
+                 "pc-relative rows 100% at all periods for ProRace")
+    write_table(results_dir, "table2_detection", lines)
+
+    # Shape assertions.
+    for period in TABLE2_PERIODS:
+        assert totals[("prorace", period)] >= totals[("racez", period)]
+    assert totals[("prorace", 100)] >= totals[("racez", 100)] * 1.5
+    assert totals[("prorace", 1_000)] >= totals[("racez", 1_000)] * 2
+    # PC-relative bugs: detected in every trace at every period.
+    for name, bug in RACE_BUGS.items():
+        if bug.access_type == PC_RELATIVE:
+            for period in TABLE2_PERIODS:
+                assert counts[(name, period, "prorace")] == runs, \
+                    (name, period)
+    # Detection probability decays with the period for ProRace overall.
+    assert totals[("prorace", 100)] >= totals[("prorace", 10_000)]

@@ -1,0 +1,61 @@
+"""Allocation-generation disambiguation for recycled heap addresses.
+
+§4.3: "Suppose that one object is freed, and another object happens to be
+allocated to the same memory location.  There can be no race condition
+between two different objects, but a data race detector may falsely
+report one as their memory addresses are the same."  ProRace (like most
+detectors) tracks malloc/free; here the allocation log partitions each
+heap address's lifetime into *generations*, and the detector keys its
+shadow state on ``(address, generation)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence
+
+from ..isa.program import HEAP_BASE, STACK_BASE
+from ..pmu.records import AllocRecord
+
+
+class AllocationIndex:
+    """Resolves (address, tsc) to an allocation generation."""
+
+    def __init__(self, records: Sequence[AllocRecord]) -> None:
+        #: Per base address: sorted malloc TSCs (generation boundaries).
+        self._generations: Dict[int, List[int]] = {}
+        #: Sorted block base addresses with their sizes, for interior
+        #: pointer resolution.
+        self._blocks: Dict[int, int] = {}
+        for record in sorted(records, key=lambda r: r.tsc):
+            if record.kind == "malloc":
+                self._generations.setdefault(record.address, []).append(
+                    record.tsc
+                )
+                known = self._blocks.get(record.address, 0)
+                self._blocks[record.address] = max(known, record.size)
+        self._bases = sorted(self._blocks)
+
+    def _base_of(self, address: int) -> int:
+        """Map an interior pointer to its block base (best effort)."""
+        if address in self._generations:
+            return address
+        pos = bisect.bisect_right(self._bases, address) - 1
+        if pos >= 0:
+            base = self._bases[pos]
+            if base <= address < base + self._blocks[base]:
+                return base
+        return address
+
+    def generation(self, address: int, tsc: float) -> int:
+        """Allocation generation of *address* live at *tsc*.
+
+        Non-heap addresses (globals, stacks) have a single generation 0.
+        """
+        if not (HEAP_BASE <= address < STACK_BASE):
+            return 0
+        base = self._base_of(address)
+        mallocs = self._generations.get(base)
+        if not mallocs:
+            return 0
+        return max(0, bisect.bisect_right(mallocs, tsc) - 1)

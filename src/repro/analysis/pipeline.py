@@ -1,0 +1,316 @@
+"""The offline analysis pipeline: decode → reconstruct → detect.
+
+Implements the right-hand side of Figure 1: PT decode and synthesis,
+memory reconstruction (with the race-triggered regeneration protocol of
+§5.1), and FastTrack happens-before detection over the extended memory
+trace, with per-phase wall-clock timing for the Figure 12 breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..detector.events import Access, AccessKind, RaceReport, SyncOp
+from ..detector.fasttrack import FastTrack
+from ..isa.program import Program
+from ..ptdecode.decoder import (
+    DecodedPath,
+    align_samples,
+    decode_all,
+    locate_syncs,
+)
+from ..replay.engine import ReplayEngine, ReplayResult
+from ..replay.window import RecoveredAccess
+from ..tracing.bundle import TraceBundle
+from .generations import AllocationIndex
+from .timeline import ThreadTimeline, build_timeline
+
+
+@dataclass
+class OfflineTimings:
+    """Measured wall-clock seconds per offline phase (Figure 12)."""
+
+    decode_seconds: float = 0.0
+    reconstruction_seconds: float = 0.0
+    detection_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.decode_seconds
+            + self.reconstruction_seconds
+            + self.detection_seconds
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase fractions of the total (the paper reports 33.7% decode,
+        64.7% reconstruction, 1.6% detection)."""
+        total = self.total_seconds or 1.0
+        return {
+            "pt_decoding": self.decode_seconds / total,
+            "trace_reconstruction": self.reconstruction_seconds / total,
+            "race_detection": self.detection_seconds / total,
+        }
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one offline analysis."""
+
+    races: List[RaceReport]
+    racy_addresses: FrozenSet[int]
+    replay: ReplayResult
+    regeneration_rounds: int
+    timings: OfflineTimings
+    events_processed: int
+
+    def races_on(self, address: int) -> List[RaceReport]:
+        return [r for r in self.races if r.address == address]
+
+    def detected(self, address: int) -> bool:
+        return address in self.racy_addresses
+
+
+class OfflinePipeline:
+    """Runs the complete offline stage over a trace bundle.
+
+    Args:
+        program: the traced binary.
+        mode: replay mode — ``"full"`` (ProRace), ``"forward"``,
+            ``"basicblock"`` (RaceZ), or ``"sampled"`` (no reconstruction:
+            detection over PEBS samples only).
+        max_regenerations: cap on the §5.1 invalidate-and-regenerate
+            rounds when races land on emulated memory locations.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        mode: str = "full",
+        max_regenerations: int = 3,
+        jobs: int = 1,
+    ) -> None:
+        self.program = program
+        self.mode = mode
+        self.max_regenerations = max_regenerations
+        #: Worker threads for the per-thread decode/replay stages.  The
+        #: paper notes these phases "can be easily parallelized" across
+        #: analysis machines (§7.6); here the parallelism is across the
+        #: traced program's threads, whose replays are independent.
+        self.jobs = max(1, jobs)
+
+    # ------------------------------------------------------------------
+
+    def decode(self, bundle: TraceBundle):
+        """Decode paths and locate sync/alloc records on them."""
+        paths = decode_all(self.program, bundle.pt_traces,
+                           config=bundle.pt_config)
+        located_syncs = {
+            tid: locate_syncs(
+                path,
+                [r for r in bundle.sync_records if r.tid == tid],
+            )
+            for tid, path in paths.items()
+        }
+        located_allocs = {
+            tid: self._locate_allocs(path, bundle, tid)
+            for tid, path in paths.items()
+        }
+        return paths, located_syncs, located_allocs
+
+    def events_for(self, bundle: TraceBundle,
+                   poisoned: FrozenSet[int] = frozenset()):
+        """Produce the HB-consistent event stream for *bundle* (one
+        reconstruction round, no regeneration) — the hook alternative
+        detectors (lockset, reference) consume in tests and ablations.
+
+        Returns ``(events, replay_result)`` where *events* is the sorted
+        list of ``(sort_key, Access | SyncOp)`` pairs.
+        """
+        paths, located_syncs, located_allocs = self.decode(bundle)
+        mode = "full" if self.mode == "sampled" else self.mode
+        engine = ReplayEngine(self.program, mode=mode, poisoned=poisoned,
+                              jobs=self.jobs)
+        if self.mode == "sampled":
+            replay_result = self._sampled_only(bundle, paths)
+        else:
+            replay_result = engine.replay_bundle(bundle, paths)
+        timelines = {
+            tid: build_timeline(
+                paths[tid],
+                replay_result.aligned.get(tid, []),
+                located_syncs.get(tid, []),
+                located_allocs.get(tid, []),
+            )
+            for tid in paths
+        }
+        alloc_index = AllocationIndex(bundle.alloc_records)
+        events = self._lower_events(
+            bundle, replay_result, timelines, alloc_index
+        )
+        return events, replay_result
+
+    def analyze(self, bundle: TraceBundle) -> DetectionResult:
+        timings = OfflineTimings()
+
+        begin = time.perf_counter()
+        paths, located_syncs, located_allocs = self.decode(bundle)
+        timings.decode_seconds += time.perf_counter() - begin
+
+        alloc_index = AllocationIndex(bundle.alloc_records)
+        poisoned: FrozenSet[int] = frozenset()
+        rounds = 0
+        detector = FastTrack()
+        replay_result: Optional[ReplayResult] = None
+        events_processed = 0
+
+        while True:
+            rounds += 1
+            begin = time.perf_counter()
+            mode = "full" if self.mode == "sampled" else self.mode
+            engine = ReplayEngine(self.program, mode=mode, poisoned=poisoned,
+                                  jobs=self.jobs)
+            if self.mode == "sampled":
+                replay_result = self._sampled_only(bundle, paths)
+            else:
+                replay_result = engine.replay_bundle(bundle, paths)
+            timelines = {
+                tid: build_timeline(
+                    paths[tid],
+                    replay_result.aligned.get(tid, []),
+                    located_syncs.get(tid, []),
+                    located_allocs.get(tid, []),
+                )
+                for tid in paths
+            }
+            timings.reconstruction_seconds += time.perf_counter() - begin
+
+            begin = time.perf_counter()
+            events = self._lower_events(
+                bundle, replay_result, timelines, alloc_index
+            )
+            detector = FastTrack()
+            for _, event in events:
+                if isinstance(event, SyncOp):
+                    detector.sync(event)
+                else:
+                    detector.access(event)
+            events_processed = len(events)
+            timings.detection_seconds += time.perf_counter() - begin
+
+            racy = detector.racy_addresses()
+            # §5.1 regeneration: if a detected race lands on a location
+            # whose *emulated* value fed some reconstructed address,
+            # poison it and regenerate.
+            poison_hits = set()
+            for accesses in replay_result.per_thread.values():
+                for access in accesses:
+                    if access.taint:
+                        poison_hits |= access.taint & racy
+            if (
+                not poison_hits
+                or poison_hits <= poisoned
+                or rounds > self.max_regenerations
+            ):
+                break
+            poisoned = poisoned | frozenset(poison_hits)
+
+        assert replay_result is not None
+        return DetectionResult(
+            races=detector.distinct_races(),
+            racy_addresses=detector.racy_addresses(),
+            replay=replay_result,
+            regeneration_rounds=rounds,
+            timings=timings,
+            events_processed=events_processed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _locate_allocs(self, path: DecodedPath, bundle: TraceBundle,
+                       tid: int):
+        located = []
+        for record in bundle.alloc_records:
+            if record.tid != tid:
+                continue
+            index = path.locate(record.ip, record.tsc)
+            if index is not None:
+                located.append((record, index))
+        return located
+
+    def _sampled_only(
+        self, bundle: TraceBundle, paths: Dict[int, DecodedPath]
+    ) -> ReplayResult:
+        """Detection over raw PEBS samples, with no reconstruction."""
+        from ..replay.engine import ReplayStats
+        from ..replay.window import PROV_SAMPLED
+
+        stats = ReplayStats()
+        per_thread: Dict[int, List[RecoveredAccess]] = {}
+        aligned_map = {}
+        for tid, path in paths.items():
+            aligned = align_samples(path, bundle.samples_of_thread(tid))
+            aligned_map[tid] = aligned
+            stats.sampled += len(aligned)
+            per_thread[tid] = [
+                RecoveredAccess(
+                    tid=tid, step_index=a.step_index, ip=a.sample.ip,
+                    address=a.sample.address, is_store=a.sample.is_store,
+                    provenance=PROV_SAMPLED,
+                )
+                for a in aligned
+            ]
+        return ReplayResult(
+            per_thread=per_thread, paths=paths, aligned=aligned_map,
+            stats=stats,
+        )
+
+    def _lower_events(
+        self,
+        bundle: TraceBundle,
+        replay_result: ReplayResult,
+        timelines: Dict[int, ThreadTimeline],
+        alloc_index: AllocationIndex,
+    ) -> List[Tuple[Tuple[float, int], object]]:
+        """Merge accesses and sync records into one HB-consistent order.
+
+        Sort key is (tsc, seq): sync records carry the machine's exact
+        emission order for same-TSC ties (a blocked lock completing inside
+        another thread's unlock); access timestamps are exact at samples
+        and strictly-monotone interpolations elsewhere, so they never
+        collide with a sync record of the same thread out of order.
+        """
+        events: List[Tuple[Tuple[float, int], object]] = []
+        for record in bundle.sync_records:
+            op = SyncOp(
+                tid=record.tid, kind=record.kind, target=record.target,
+                tsc=float(record.tsc),
+            )
+            events.append(((float(record.tsc), record.seq), op))
+        for tid, accesses in replay_result.per_thread.items():
+            timeline = timelines[tid]
+            for access in accesses:
+                tsc = timeline.tsc_of(access.step_index)
+                generation = alloc_index.generation(access.address, tsc)
+                events.append(
+                    (
+                        (tsc, 0),
+                        Access(
+                            tid=tid,
+                            var=(access.address, generation),
+                            kind=(
+                                AccessKind.WRITE
+                                if access.is_store
+                                else AccessKind.READ
+                            ),
+                            ip=access.ip,
+                            tsc=tsc,
+                            provenance=access.provenance,
+                            taint=access.taint,
+                        ),
+                    )
+                )
+        events.sort(key=lambda item: item[0])
+        return events

@@ -1,0 +1,177 @@
+"""Race report rendering: the "Data Race Report" of Figure 1.
+
+Turns a :class:`~repro.analysis.pipeline.DetectionResult` into artefacts
+a developer (or a fleet dashboard) consumes: annotated text reports with
+disassembly context around each racing instruction, aggregate summaries
+across many runs, and a JSON-serializable form.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..detector.events import RaceReport
+from ..isa.program import Program
+from .pipeline import DetectionResult
+
+
+def _symbol_for(program: Program, address: int) -> Optional[str]:
+    """Best-effort data-symbol name covering *address*."""
+    best = None
+    best_base = -1
+    for name, base in program.symbols.items():
+        if base <= address and base > best_base:
+            best, best_base = name, base
+    if best is None:
+        return None
+    offset = address - best_base
+    return best if offset == 0 else f"{best}+{offset:#x}"
+
+
+def _code_context(program: Program, ip: Optional[int],
+                  radius: int = 2) -> List[str]:
+    """Disassembly lines around *ip*, the racing one marked with '>'."""
+    if ip is None or not (0 <= ip < len(program)):
+        return ["    <unknown instruction>"]
+    labels_at: Dict[int, List[str]] = {}
+    for label, addr in program.labels.items():
+        labels_at.setdefault(addr, []).append(label)
+    lines = []
+    for addr in range(max(0, ip - radius),
+                      min(len(program), ip + radius + 1)):
+        for label in sorted(labels_at.get(addr, ())):
+            lines.append(f"  {label}:")
+        marker = ">" if addr == ip else " "
+        lines.append(f"  {marker} {addr:5d}: {program[addr]}")
+    return lines
+
+
+def render_race(program: Program, race: RaceReport) -> str:
+    """One race, rendered with variable identity and code context."""
+    symbol = _symbol_for(program, race.address)
+    where = f"{race.address:#x}"
+    if symbol:
+        where += f" ({symbol})"
+    generation = race.var[1]
+    if generation:
+        where += f" [allocation generation {generation}]"
+    out = [f"data race on {where}"]
+    out.append(
+        f"  first:  thread {race.first_tid} {race.first_kind.value}"
+    )
+    out.extend("  " + line for line in _code_context(program, race.first_ip))
+    out.append(
+        f"  second: thread {race.second.tid} {race.second.kind.value} "
+        f"(reconstructed via {race.second.provenance})"
+    )
+    out.extend("  " + line for line in _code_context(program,
+                                                     race.second.ip))
+    return "\n".join(out)
+
+
+def render_report(program: Program, result: DetectionResult) -> str:
+    """The full per-run report text."""
+    stats = result.replay.stats
+    header = [
+        f"=== ProRace report: {program.name} ===",
+        f"samples: {stats.sampled}   reconstructed: {stats.recovered} "
+        f"(fwd {stats.forward} / bwd {stats.backward} / "
+        f"bb {stats.basicblock})   recovery ratio: "
+        f"{stats.recovery_ratio:.1f}x",
+        f"events analyzed: {result.events_processed}   "
+        f"regeneration rounds: {result.regeneration_rounds}",
+        f"distinct races: {len(result.races)}",
+        "",
+    ]
+    body = []
+    for index, race in enumerate(result.races, start=1):
+        body.append(f"[{index}] " + render_race(program, race))
+        body.append("")
+    if not result.races:
+        body.append("no data races detected.")
+    return "\n".join(header + body)
+
+
+def to_json(program: Program, result: DetectionResult) -> str:
+    """JSON form for dashboards / aggregation pipelines."""
+    races = [
+        {
+            "address": race.address,
+            "symbol": _symbol_for(program, race.address),
+            "generation": race.var[1],
+            "first": {
+                "tid": race.first_tid,
+                "kind": race.first_kind.value,
+                "ip": race.first_ip,
+            },
+            "second": {
+                "tid": race.second.tid,
+                "kind": race.second.kind.value,
+                "ip": race.second.ip,
+                "provenance": race.second.provenance,
+            },
+        }
+        for race in result.races
+    ]
+    stats = result.replay.stats
+    return json.dumps(
+        {
+            "program": program.name,
+            "races": races,
+            "stats": {
+                "sampled": stats.sampled,
+                "recovered": stats.recovered,
+                "recovery_ratio": stats.recovery_ratio,
+                "events": result.events_processed,
+                "regeneration_rounds": result.regeneration_rounds,
+            },
+            "timings_seconds": {
+                "decode": result.timings.decode_seconds,
+                "reconstruction": result.timings.reconstruction_seconds,
+                "detection": result.timings.detection_seconds,
+            },
+        },
+        indent=2,
+    )
+
+
+@dataclass
+class FleetSummary:
+    """Aggregates detection results across many runs (the datacenter
+    analysis fleet of §3: many traced runs, one consolidated report)."""
+
+    runs: int = 0
+    runs_with_races: int = 0
+    #: (address, ip pair) -> times seen.
+    race_sites: Counter = field(default_factory=Counter)
+    #: address -> a representative report.
+    representatives: Dict[Tuple[int, Tuple[int, int]], RaceReport] = \
+        field(default_factory=dict)
+
+    def add(self, result: DetectionResult) -> None:
+        self.runs += 1
+        if result.races:
+            self.runs_with_races += 1
+        for race in result.races:
+            key = (race.address, race.pair)
+            self.race_sites[key] += 1
+            self.representatives.setdefault(key, race)
+
+    def render(self, program: Program) -> str:
+        lines = [
+            f"=== fleet summary: {program.name} ===",
+            f"runs analyzed: {self.runs}   with races: "
+            f"{self.runs_with_races}",
+            f"distinct race sites: {len(self.race_sites)}",
+            "",
+        ]
+        for (address, pair), count in self.race_sites.most_common():
+            symbol = _symbol_for(program, address) or f"{address:#x}"
+            lines.append(
+                f"  {symbol:24s} ips {pair}  seen in {count}/{self.runs} "
+                "runs"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Experiment sweeps as a library API.
+
+The benchmark harness regenerates the paper's figures; this module
+exposes the same sweeps programmatically, for notebooks, the CLI, and
+downstream studies: overhead-vs-period (Figures 6–7, 10), trace-rate-vs-
+period (Figures 8–9), and detection-probability-vs-period (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..isa.program import Program
+from ..pmu.drivers import DriverModel, PRORACE_DRIVER
+from ..tracing.bundle import trace_run
+from ..workloads.common import Workload, WorkloadScale
+from ..workloads.racebugs import RaceBug
+from .costs import estimate_overhead, trace_rate_mb_per_s
+from .metrics import (
+    DetectionProbability,
+    geometric_mean,
+    measure_detection_probability,
+)
+from .pipeline import OfflinePipeline
+
+DEFAULT_PERIODS: Tuple[int, ...] = (10, 100, 1_000, 10_000, 100_000)
+
+
+@dataclass
+class SweepResult:
+    """A (workload × period) grid of one scalar metric."""
+
+    metric: str
+    periods: Tuple[int, ...]
+    #: workload name -> period -> value.
+    cells: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def geomeans(self) -> Dict[int, float]:
+        """Per-period geometric mean across workloads (the paper's
+        aggregate).  Overhead cells are geomeaned as normalized runtimes
+        (1+overhead) and converted back."""
+        result = {}
+        for period in self.periods:
+            values = [row[period] for row in self.cells.values()]
+            if self.metric == "overhead":
+                result[period] = geometric_mean(
+                    [1 + v for v in values]
+                ) - 1
+            else:
+                result[period] = geometric_mean(values)
+        return result
+
+    def render(self) -> str:
+        header = f"{'workload':16s}" + "".join(
+            f"{p:>12d}" for p in self.periods
+        )
+        lines = [f"[{self.metric}]", header, "-" * len(header)]
+        for name in sorted(self.cells):
+            row = self.cells[name]
+            lines.append(
+                f"{name:16s}"
+                + "".join(f"{row[p]:12.4f}" for p in self.periods)
+            )
+        geo = self.geomeans()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'geomean':16s}"
+            + "".join(f"{geo[p]:12.4f}" for p in self.periods)
+        )
+        return "\n".join(lines)
+
+
+def overhead_sweep(
+    workloads: Mapping[str, Workload],
+    scale: WorkloadScale,
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    driver: DriverModel = PRORACE_DRIVER,
+    seed: int = 1,
+) -> SweepResult:
+    """Estimated runtime overhead per workload per sampling period."""
+    result = SweepResult(metric="overhead", periods=tuple(periods))
+    for name, workload in workloads.items():
+        program = workload.instantiate(scale)
+        row = {}
+        for period in periods:
+            bundle = trace_run(program, period=period, driver=driver,
+                               seed=seed)
+            row[period] = estimate_overhead(bundle).overhead
+        result.cells[name] = row
+    return result
+
+
+def tracesize_sweep(
+    workloads: Mapping[str, Workload],
+    scale: WorkloadScale,
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    driver: DriverModel = PRORACE_DRIVER,
+    seed: int = 1,
+) -> SweepResult:
+    """PMU trace generation rate (MB/s) per workload per period."""
+    result = SweepResult(metric="trace_mb_per_s", periods=tuple(periods))
+    for name, workload in workloads.items():
+        program = workload.instantiate(scale)
+        row = {}
+        for period in periods:
+            bundle = trace_run(program, period=period, driver=driver,
+                               seed=seed)
+            row[period] = trace_rate_mb_per_s(bundle)
+        result.cells[name] = row
+    return result
+
+
+@dataclass
+class DetectionSweepResult:
+    """Detection probability per bug per period for one detector config."""
+
+    detector: str
+    runs: int
+    periods: Tuple[int, ...]
+    #: bug name -> period -> detections.
+    cells: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def totals(self) -> Dict[int, int]:
+        return {
+            period: sum(row[period] for row in self.cells.values())
+            for period in self.periods
+        }
+
+    def render(self) -> str:
+        header = f"{'bug':18s}" + "".join(
+            f"{p:>10d}" for p in self.periods
+        )
+        lines = [f"[{self.detector}, out of {self.runs} runs]", header,
+                 "-" * len(header)]
+        for name in self.cells:
+            row = self.cells[name]
+            lines.append(
+                f"{name:18s}"
+                + "".join(f"{row[p]:10d}" for p in self.periods)
+            )
+        totals = self.totals()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':18s}"
+            + "".join(f"{totals[p]:10d}" for p in self.periods)
+        )
+        return "\n".join(lines)
+
+
+def detection_sweep(
+    bugs: Mapping[str, RaceBug],
+    scale: WorkloadScale,
+    periods: Sequence[int],
+    runs: int,
+    mode: str = "full",
+    driver: DriverModel = PRORACE_DRIVER,
+    detector_name: Optional[str] = None,
+) -> DetectionSweepResult:
+    """Table 2's methodology over an arbitrary bug set."""
+    result = DetectionSweepResult(
+        detector=detector_name or f"{driver.name}/{mode}",
+        runs=runs,
+        periods=tuple(periods),
+    )
+    for name, bug in bugs.items():
+        program = bug.build(scale)
+        pipeline = OfflinePipeline(program, mode=mode)
+        row = {}
+        for period in periods:
+            hits = 0
+            for seed in range(runs):
+                bundle = trace_run(program, period=period, driver=driver,
+                                   seed=seed)
+                hits += bug.detected(program, pipeline.analyze(bundle))
+            row[period] = hits
+        result.cells[name] = row
+    return result

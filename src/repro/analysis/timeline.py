@@ -1,0 +1,94 @@
+"""Per-thread timelines: assigning a TSC to every reconstructed access.
+
+Reconstructed accesses carry a path position (step index) but no hardware
+timestamp.  The timeline pins every step whose TSC is known exactly —
+PT branch anchors, PEBS samples, synchronization and allocation records —
+and monotonically interpolates between them.  The resulting per-thread
+ordering is *exact* relative to the thread's own synchronization
+operations (they are anchor points), which is the property happens-before
+detection needs; only plain-access-vs-plain-access interleaving across
+threads is approximate, and that cannot change a vector-clock verdict.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..pmu.records import AllocRecord, SyncRecord
+from ..ptdecode.decoder import AlignedSample, DecodedPath
+
+
+@dataclass
+class ThreadTimeline:
+    """Monotone step-index → TSC assignment for one thread."""
+
+    tid: int
+    #: Sorted exact (step_index, tsc) points.
+    points: List[Tuple[int, int]]
+    total_steps: int
+
+    def __post_init__(self) -> None:
+        self._steps = [p[0] for p in self.points]
+
+    def tsc_of(self, step: int) -> float:
+        """TSC of *step*: exact at anchor points, interpolated between.
+
+        Interpolated values are strictly monotone in the step index and
+        strictly inside the surrounding exact interval.
+        """
+        steps = self._steps
+        pos = bisect.bisect_left(steps, step)
+        if pos < len(self.points) and self.points[pos][0] == step:
+            return float(self.points[pos][1])
+        if pos == 0:
+            # Before the first exact point: count back one cycle per step.
+            first_step, first_tsc = self.points[0]
+            return float(first_tsc) - (first_step - step)
+        if pos == len(self.points):
+            last_step, last_tsc = self.points[-1]
+            return float(last_tsc) + (step - last_step)
+        s1, t1 = self.points[pos - 1]
+        s2, t2 = self.points[pos]
+        fraction = (step - s1) / (s2 - s1)
+        return t1 + (t2 - t1) * fraction
+
+
+def build_timeline(
+    path: DecodedPath,
+    aligned: Sequence[AlignedSample],
+    syncs: Sequence[Tuple[SyncRecord, int]],
+    allocs: Sequence[Tuple[AllocRecord, int]] = (),
+) -> ThreadTimeline:
+    """Assemble one thread's timeline from all exact-TSC sources.
+
+    Args:
+        path: the decoded path (contributes branch anchors).
+        aligned: PEBS samples pinned to step indices.
+        syncs: (sync record, step index) pairs from
+            :func:`repro.ptdecode.decoder.locate_syncs`.
+        allocs: (alloc record, step index) pairs, same idea.
+    """
+    exact: Dict[int, int] = {}
+    for step, tsc in path.anchors:
+        exact[step] = tsc
+    for item in aligned:
+        exact[item.step_index] = item.sample.tsc
+    for record, step in syncs:
+        exact[step] = record.tsc
+    for record, step in allocs:
+        exact[step] = record.tsc
+    points = sorted(exact.items())
+    # Drop any point violating monotonicity (defensive: a mis-located
+    # record must not corrupt the whole timeline).
+    cleaned: List[Tuple[int, int]] = []
+    for step, tsc in points:
+        if cleaned and tsc <= cleaned[-1][1]:
+            continue
+        cleaned.append((step, tsc))
+    if not cleaned:
+        cleaned = [(0, 0)]
+    return ThreadTimeline(
+        tid=path.tid, points=cleaned, total_steps=len(path.steps)
+    )

@@ -1,0 +1,24 @@
+"""Baseline detectors the paper compares against or discusses (§2):
+RaceZ, LiteRace, Pacer, DataCollider."""
+
+from .datacollider import (
+    Collision,
+    DataCollider,
+    MAX_WATCHPOINTS,
+    run_datacollider,
+)
+from .literace import LiteRace, run_literace
+from .pacer import Pacer, run_pacer
+from .racez import RaceZ
+
+__all__ = [
+    "Collision",
+    "DataCollider",
+    "LiteRace",
+    "MAX_WATCHPOINTS",
+    "Pacer",
+    "RaceZ",
+    "run_datacollider",
+    "run_literace",
+    "run_pacer",
+]

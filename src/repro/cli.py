@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the real tool would be driven in the paper's deployment
+story (§3): trace a run on a production box, ship the trace file, and
+analyze it on a separate machine.
+
+Commands:
+
+* ``workloads`` — list the catalogued benchmark programs and race bugs.
+* ``run`` — execute a workload on the simulated machine (no tracing).
+* ``trace`` — run under PMU tracing and write a ``.prtr`` trace file.
+* ``analyze`` — offline-analyze a trace file and print the race report.
+* ``detect`` — trace + analyze in one step (optionally many seeds, with
+  a fleet summary).
+* ``overhead`` — sweep sampling periods for a workload, printing the
+  cost model's overhead estimates for both drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis import (
+    FleetSummary,
+    OfflinePipeline,
+    estimate_overhead,
+    render_report,
+    to_json,
+)
+from .isa.assembler import assemble
+from .isa.program import Program
+from .machine import Machine
+from .pmu import PRORACE_DRIVER, VANILLA_DRIVER
+from .tracing import read_trace, trace_run, write_trace
+from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
+
+_DRIVERS = {"prorace": PRORACE_DRIVER, "vanilla": VANILLA_DRIVER}
+
+
+def _resolve_program(name: str, scale: WorkloadScale,
+                     source: Optional[str]) -> Program:
+    """A program by workload name, bug name, or assembly file path."""
+    if source is not None:
+        with open(source) as handle:
+            return assemble(handle.read(), name=source)
+    if name in ALL_WORKLOADS:
+        return ALL_WORKLOADS[name].instantiate(scale)
+    if name in RACE_BUGS:
+        return RACE_BUGS[name].build(scale)
+    raise SystemExit(
+        f"unknown program {name!r}; see `repro workloads` "
+        "(or pass --source FILE.s)"
+    )
+
+
+def _scale_from(args: argparse.Namespace) -> WorkloadScale:
+    return WorkloadScale(iterations=args.iterations, threads=args.threads)
+
+
+def _add_program_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="workload/bug name, or - with "
+                                        "--source")
+    parser.add_argument("--source", help="assembly source file to use "
+                                         "instead of a catalogued name")
+    parser.add_argument("--iterations", type=int, default=40,
+                        help="workload scale (default 40)")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name, workload in sorted(ALL_WORKLOADS.items()):
+        io_tag = "io-bound " if workload.io_bound else "cpu-bound"
+        print(f"  {name:16s} [{workload.category:7s}] {io_tag}  "
+              f"{workload.description}")
+    print("\nrace bugs (Table 2):")
+    for name, bug in RACE_BUGS.items():
+        print(f"  {name:16s} [{bug.access_type:17s}]  "
+              f"manifestation: {bug.manifestation}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    result = Machine(program, seed=args.seed).run()
+    print(f"{program.name}: {result.instructions} instructions, "
+          f"{result.memory_ops} memory ops, {result.branches} branches, "
+          f"{result.sync_ops} sync ops, {result.threads} threads, "
+          f"tsc {result.tsc}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    bundle = trace_run(program, period=args.period,
+                       driver=_DRIVERS[args.driver], seed=args.seed)
+    size = write_trace(bundle, args.output)
+    estimate = estimate_overhead(bundle)
+    print(f"traced {program.name} at period {args.period} "
+          f"({args.driver} driver)")
+    print(f"  samples: {len(bundle.samples)}  "
+          f"sync records: {len(bundle.sync_records)}")
+    print(f"  estimated runtime overhead: {100 * estimate.overhead:.2f}%")
+    print(f"  wrote {size} bytes to {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    bundle = read_trace(args.trace, program=program)
+    result = OfflinePipeline(program, mode=args.mode).analyze(bundle)
+    if args.json:
+        print(to_json(program, result))
+    else:
+        print(render_report(program, result))
+    return 1 if result.races else 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    pipeline = OfflinePipeline(program, mode=args.mode)
+    summary = FleetSummary()
+    last_result = None
+    for run_index in range(args.runs):
+        bundle = trace_run(program, period=args.period,
+                           driver=_DRIVERS[args.driver],
+                           seed=args.seed + run_index)
+        last_result = pipeline.analyze(bundle)
+        summary.add(last_result)
+    if args.runs == 1 and last_result is not None:
+        print(render_report(program, last_result))
+    else:
+        print(summary.render(program))
+    return 1 if summary.race_sites else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import detection_sweep, overhead_sweep, tracesize_sweep
+    from .workloads import RACE_BUGS
+
+    scale = _scale_from(args)
+    periods = [int(p) for p in args.periods.split(",")]
+    if args.kind == "detection":
+        bugs = (
+            {args.target: RACE_BUGS[args.target]}
+            if args.target else RACE_BUGS
+        )
+        result = detection_sweep(
+            bugs, scale, periods=periods, runs=args.runs, mode=args.mode,
+            driver=_DRIVERS[args.driver],
+        )
+        print(result.render())
+        return 0
+    workloads = ALL_WORKLOADS
+    if args.target:
+        if args.target not in ALL_WORKLOADS:
+            raise SystemExit(f"unknown workload {args.target!r}")
+        workloads = {args.target: ALL_WORKLOADS[args.target]}
+    sweep = overhead_sweep if args.kind == "overhead" else tracesize_sweep
+    print(sweep(workloads, scale, periods=periods,
+                driver=_DRIVERS[args.driver]).render())
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    periods = [int(p) for p in args.periods.split(",")]
+    print(f"{'period':>10s} {'prorace':>10s} {'vanilla':>10s}")
+    for period in periods:
+        row = []
+        for driver in (PRORACE_DRIVER, VANILLA_DRIVER):
+            bundle = trace_run(program, period=period, driver=driver,
+                               seed=args.seed)
+            row.append(estimate_overhead(bundle).overhead)
+        print(f"{period:10d} {100 * row[0]:9.2f}% {100 * row[1]:9.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProRace reproduction: PMU-sampling data race "
+                    "detection with offline reconstruction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workloads and race bugs")
+
+    run_parser = sub.add_parser("run", help="execute a workload untraced")
+    _add_program_args(run_parser)
+
+    trace_parser = sub.add_parser("trace", help="trace a run to a file")
+    _add_program_args(trace_parser)
+    trace_parser.add_argument("--period", type=int, default=1_000)
+    trace_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                              default="prorace")
+    trace_parser.add_argument("-o", "--output", default="trace.prtr")
+
+    analyze_parser = sub.add_parser("analyze",
+                                    help="offline-analyze a trace file")
+    _add_program_args(analyze_parser)
+    analyze_parser.add_argument("trace", help="trace file (.prtr)")
+    analyze_parser.add_argument("--mode", default="full",
+                                choices=("full", "forward", "basicblock",
+                                         "sampled"))
+    analyze_parser.add_argument("--json", action="store_true")
+
+    detect_parser = sub.add_parser("detect", help="trace + analyze")
+    _add_program_args(detect_parser)
+    detect_parser.add_argument("--period", type=int, default=1_000)
+    detect_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                               default="prorace")
+    detect_parser.add_argument("--mode", default="full",
+                               choices=("full", "forward", "basicblock",
+                                        "sampled"))
+    detect_parser.add_argument("--runs", type=int, default=1,
+                               help="seeded runs to aggregate")
+
+    overhead_parser = sub.add_parser(
+        "overhead", help="sweep sampling periods for a workload"
+    )
+    _add_program_args(overhead_parser)
+    overhead_parser.add_argument(
+        "--periods", default="10,100,1000,10000,100000",
+        help="comma-separated period list",
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="grid experiments over the workload catalog"
+    )
+    sweep_parser.add_argument("kind", choices=("overhead", "tracesize",
+                                               "detection"))
+    sweep_parser.add_argument("--target",
+                              help="one workload/bug (default: all)")
+    sweep_parser.add_argument("--periods", default="100,1000,10000")
+    sweep_parser.add_argument("--runs", type=int, default=5,
+                              help="runs per detection cell")
+    sweep_parser.add_argument("--mode", default="full",
+                              choices=("full", "forward", "basicblock",
+                                       "sampled"))
+    sweep_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                              default="prorace")
+    sweep_parser.add_argument("--iterations", type=int, default=40)
+    sweep_parser.add_argument("--threads", type=int, default=4)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "trace": cmd_trace,
+    "analyze": cmd_analyze,
+    "detect": cmd_detect,
+    "overhead": cmd_overhead,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Happens-before data race detection (FastTrack + reference detector)."""
+
+from .events import Access, AccessKind, RaceReport, SyncOp
+from .fasttrack import FastTrack
+from .lockset import LocksetDetector, LocksetWarning
+from .reference import ReferenceDetector
+from .vectorclock import BOTTOM, Epoch, VectorClock
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "BOTTOM",
+    "Epoch",
+    "FastTrack",
+    "LocksetDetector",
+    "LocksetWarning",
+    "RaceReport",
+    "ReferenceDetector",
+    "SyncOp",
+    "VectorClock",
+]

@@ -1,0 +1,84 @@
+"""Detector-level event types and race reports.
+
+The detector is trace-format agnostic: the analysis pipeline lowers merged
+traces (sampled + reconstructed accesses, sync records) into these events
+in a happens-before-consistent order and feeds them to a detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..replay.program_map import Taint
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access presented to the detector.
+
+    ``var`` is the detector-level variable identity — the address after
+    allocation-generation disambiguation (§4.3), so a recycled heap
+    address maps to a fresh variable.
+    """
+
+    tid: int
+    var: Tuple[int, int]  # (address, allocation generation)
+    kind: AccessKind
+    ip: int
+    tsc: float
+    provenance: str
+    taint: Taint = None
+
+    @property
+    def address(self) -> int:
+        return self.var[0]
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == AccessKind.WRITE
+
+
+@dataclass(frozen=True)
+class SyncOp:
+    """One synchronization operation presented to the detector."""
+
+    tid: int
+    kind: str  # lock|unlock|sem_post|sem_wait|cond_signal|cond_wake|fork|join
+    target: int  # lock/sem address, or peer tid for fork/join
+    tsc: float
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """A detected data race between two accesses to one variable."""
+
+    var: Tuple[int, int]
+    first_tid: int
+    first_kind: AccessKind
+    first_ip: Optional[int]
+    second: Access
+
+    @property
+    def address(self) -> int:
+        return self.var[0]
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The (sorted) racing instruction pair, for deduplication."""
+        a = self.first_ip if self.first_ip is not None else -1
+        return tuple(sorted((a, self.second.ip)))  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        return (
+            f"race on {self.address:#x}: "
+            f"T{self.first_tid} {self.first_kind.value} @ip={self.first_ip} "
+            f"vs T{self.second.tid} {self.second.kind.value} "
+            f"@ip={self.second.ip} ({self.second.provenance})"
+        )

@@ -1,0 +1,116 @@
+"""Eraser-style lockset race detection (Savage et al., SOSP 1997).
+
+Included as a comparator, not as part of ProRace: the paper chooses
+happens-before detection explicitly "for precision (no false positives)"
+(§4.3).  Lockset checking flags any shared variable not consistently
+protected by a common lock — which is *unsound in neither direction*:
+it reports false positives on fork/join- or semaphore-ordered accesses
+(no lock, no race) and can miss nothing HB misses.  The test suite and
+the lockset-vs-fasttrack ablation quantify exactly that trade-off on
+this reproduction's workloads.
+
+The state machine follows the original paper: per variable, Virgin →
+Exclusive (first thread) → Shared (reads from others) → Shared-Modified;
+candidate locksets are intersected on each access and a race is reported
+when the lockset of a Shared-Modified variable becomes empty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .events import Access, AccessKind, SyncOp
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _VarState:
+    state: _State = _State.VIRGIN
+    owner: Optional[int] = None
+    lockset: Optional[FrozenSet[int]] = None  # None = all locks (⊤)
+    first_ip: Optional[int] = None
+    reported: bool = False
+
+
+@dataclass(frozen=True)
+class LocksetWarning:
+    """A lockset violation (a *potential* race)."""
+
+    var: Tuple[int, int]
+    tid: int
+    kind: AccessKind
+    ip: int
+    prior_ip: Optional[int]
+
+    @property
+    def address(self) -> int:
+        return self.var[0]
+
+
+class LocksetDetector:
+    """The Eraser algorithm over the same event stream FastTrack takes."""
+
+    def __init__(self) -> None:
+        self._held: Dict[int, Set[int]] = {}
+        self._vars: Dict[Tuple[int, int], _VarState] = {}
+        self.warnings: List[LocksetWarning] = []
+
+    def _locks_of(self, tid: int) -> Set[int]:
+        return self._held.setdefault(tid, set())
+
+    def sync(self, op: SyncOp) -> None:
+        if op.kind == "lock":
+            self._locks_of(op.tid).add(op.target)
+        elif op.kind == "unlock":
+            self._locks_of(op.tid).discard(op.target)
+        # fork/join/semaphores carry no lockset information: this is the
+        # imprecision the paper's HB choice avoids.
+
+    def access(self, access: Access) -> None:
+        state = self._vars.setdefault(access.var, _VarState())
+        held = frozenset(self._locks_of(access.tid))
+
+        if state.state == _State.VIRGIN:
+            state.state = _State.EXCLUSIVE
+            state.owner = access.tid
+            state.first_ip = access.ip
+            return
+        if state.state == _State.EXCLUSIVE:
+            if access.tid == state.owner:
+                state.first_ip = access.ip
+                return
+            # Second thread: initialize the candidate lockset.
+            state.lockset = held
+            state.state = (
+                _State.SHARED_MODIFIED if access.is_write else _State.SHARED
+            )
+        else:
+            assert state.lockset is not None
+            state.lockset = state.lockset & held
+            if access.is_write:
+                state.state = _State.SHARED_MODIFIED
+
+        if (
+            state.state == _State.SHARED_MODIFIED
+            and not state.lockset
+            and not state.reported
+        ):
+            state.reported = True
+            self.warnings.append(
+                LocksetWarning(
+                    var=access.var, tid=access.tid, kind=access.kind,
+                    ip=access.ip, prior_ip=state.first_ip,
+                )
+            )
+        state.first_ip = access.ip
+
+    def racy_addresses(self) -> frozenset:
+        return frozenset(w.address for w in self.warnings)

@@ -1,0 +1,84 @@
+"""Vector clocks and epochs for happens-before race detection.
+
+Implements the FastTrack (Flanagan & Freund, PLDI 2009) representations
+the paper's offline detector uses (§4.3, §6): full vector clocks for
+thread/lock state and lightweight *epochs* for most variable accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Epoch:
+    """A scalar clock value paired with its thread: ``c@t``."""
+
+    clock: int
+    tid: int
+
+    def __str__(self) -> str:
+        return f"{self.clock}@{self.tid}"
+
+
+#: The minimal epoch, ⊥e — precedes everything.
+BOTTOM = Epoch(0, -1)
+
+
+class VectorClock:
+    """A sparse vector clock (absent entries are zero)."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] | None = None) -> None:
+        self._clocks: Dict[int, int] = {
+            t: c for t, c in (clocks or {}).items() if c > 0
+        }
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def set(self, tid: int, clock: int) -> None:
+        if clock > 0:
+            self._clocks[tid] = clock
+        else:
+            self._clocks.pop(tid, None)
+
+    def increment(self, tid: int) -> None:
+        self._clocks[tid] = self.get(tid) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place least upper bound (⊔)."""
+        for tid, clock in other._clocks.items():
+            if clock > self.get(tid):
+                self._clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(dict(self._clocks))
+
+    def epoch(self, tid: int) -> Epoch:
+        """This thread's current epoch E(t) = C_t[t]@t."""
+        return Epoch(self.get(tid), tid)
+
+    def covers_epoch(self, epoch: Epoch) -> bool:
+        """e ⪯ V  ⇔  e.clock ≤ V[e.tid] (the FastTrack O(1) check)."""
+        if epoch is BOTTOM or epoch.tid < 0:
+            return True
+        return epoch.clock <= self.get(epoch.tid)
+
+    def covers(self, other: "VectorClock") -> bool:
+        """V' ⊑ V (pointwise)."""
+        return all(c <= self.get(t) for t, c in other._clocks.items())
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._clocks == other._clocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{t}:{c}" for t, c in sorted(self._clocks.items()))
+        return f"VC({inner})"

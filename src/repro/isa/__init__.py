@@ -1,0 +1,83 @@
+"""The repro ISA: an x86-64-flavoured instruction set for the simulated
+machine substrate (see DESIGN.md §2 for why a simulated ISA stands in for
+native binaries)."""
+
+from .assembler import AssemblerError, assemble
+from .instructions import (
+    ALU_BINARY,
+    ALU_UNARY,
+    COND_BRANCHES,
+    REVERSIBLE_ALU,
+    SYNC_OPS,
+    SYSTEM_OPS,
+    Instruction,
+    Op,
+)
+from .operands import Imm, Mem, Operand, Reg
+from .program import (
+    DATA_BASE,
+    HEAP_BASE,
+    STACK_BASE,
+    STACK_SIZE,
+    BasicBlock,
+    Program,
+    ProgramBuilder,
+    ProgramError,
+)
+from .registers import (
+    ALL_REGISTERS,
+    GP_REGISTERS,
+    MASK64,
+    RegisterFile,
+    to_signed,
+    to_unsigned,
+)
+from .semantics import (
+    Flags,
+    alu,
+    alu_unary,
+    compare,
+    effective_address,
+    reverse_alu,
+    reverse_alu_src,
+    test_bits,
+)
+
+__all__ = [
+    "ALL_REGISTERS",
+    "ALU_BINARY",
+    "ALU_UNARY",
+    "AssemblerError",
+    "BasicBlock",
+    "COND_BRANCHES",
+    "DATA_BASE",
+    "Flags",
+    "GP_REGISTERS",
+    "HEAP_BASE",
+    "Imm",
+    "Instruction",
+    "MASK64",
+    "Mem",
+    "Op",
+    "Operand",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "REVERSIBLE_ALU",
+    "Reg",
+    "RegisterFile",
+    "STACK_BASE",
+    "STACK_SIZE",
+    "SYNC_OPS",
+    "SYSTEM_OPS",
+    "alu",
+    "alu_unary",
+    "assemble",
+    "compare",
+    "effective_address",
+    "reverse_alu",
+    "reverse_alu_src",
+    "test_bits",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,274 @@
+"""A small AT&T-flavoured text assembler for the repro ISA.
+
+The workload library builds programs with :class:`~repro.isa.program.
+ProgramBuilder`; the text assembler exists so that examples, tests and the
+paper's Figure 5 listing can be written the way the paper prints them::
+
+    asm = '''
+    .global total 0
+    main:
+        mov   total(%rip), %rax
+        add   $1, %rax
+        mov   %rax, total(%rip)
+        halt
+    '''
+    program = assemble(asm)
+
+Syntax summary:
+
+* AT&T operand order (``op src, dst``), ``%reg`` registers, ``$imm``
+  immediates (``$name`` yields a data symbol's address).
+* Memory operands ``disp(base, index, scale)`` with any component omitted,
+  plus ``name(%rip)`` / ``disp(%rip)`` RIP-relative forms.
+* Directives: ``.global name value``, ``.array name v0 v1 ...``,
+  ``.reserve name nwords``.
+* ``label:`` lines define code labels; branch/call/spawn targets are bare
+  label names.  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction, Op
+from .operands import Imm, Mem, Operand, Reg
+from .program import Program, ProgramBuilder, ProgramError
+
+
+class AssemblerError(ProgramError):
+    """Raised on unparseable assembly text (with line number context)."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_RE = re.compile(
+    r"^(?P<disp>[-+]?(?:0x[0-9a-fA-F]+|\d+)|[A-Za-z_][\w.]*)?"
+    r"\((?P<inner>[^)]*)\)$"
+)
+
+class _SymbolicRip:
+    """Transient operand: ``name(%rip)`` awaiting emit-site resolution."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: str) -> None:
+        self.symbol = symbol
+
+
+_OPS_BY_NAME: Dict[str, Op] = {op.value: op for op in Op}
+# "and"/"or"/"not" are Python keywords in the builder but plain mnemonics
+# here; Op values already match the mnemonic text.
+
+_TARGET_ONLY_OPS = frozenset(
+    {Op.JMP, Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.CALL}
+)
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str) -> None:
+        self.builder = ProgramBuilder(name)
+        self.source = source
+        self.symbols: Dict[str, int] = {}
+
+    def error(self, lineno: int, message: str) -> AssemblerError:
+        return AssemblerError(f"line {lineno}: {message}")
+
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> Program:
+        lines = self._clean_lines()
+        # Pass 1: directives first so data symbols exist for operand
+        # resolution; remember code lines in order.
+        code_lines: List[Tuple[int, str]] = []
+        for lineno, line in lines:
+            if line.startswith("."):
+                self._directive(lineno, line)
+            else:
+                code_lines.append((lineno, line))
+        # Pass 2: emit code.
+        for lineno, line in code_lines:
+            match = _LABEL_RE.match(line)
+            if match:
+                try:
+                    self.builder.label(match.group(1))
+                except ProgramError as exc:
+                    raise self.error(lineno, str(exc)) from None
+                continue
+            self._instruction(lineno, line)
+        return self.builder.build()
+
+    def _clean_lines(self) -> List[Tuple[int, str]]:
+        result = []
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                result.append((lineno, line))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _directive(self, lineno: int, line: str) -> None:
+        parts = line.split()
+        directive, args = parts[0], parts[1:]
+        try:
+            if directive == ".global":
+                name = args[0]
+                value = _parse_int(args[1]) if len(args) > 1 else 0
+                self.symbols[name] = self.builder.global_word(name, value)
+            elif directive == ".array":
+                name = args[0]
+                values = [_parse_int(a) for a in args[1:]]
+                self.symbols[name] = self.builder.global_array(name, values)
+            elif directive == ".reserve":
+                name = args[0]
+                words = _parse_int(args[1])
+                self.symbols[name] = self.builder.reserve(name, words)
+            elif directive == ".ptr":
+                # A global initialized (in the data segment) with the
+                # address of another symbol: `.ptr cache_ptr cache`.
+                name, target = args[0], args[1]
+                if target not in self.symbols:
+                    raise self.error(
+                        lineno, f"unknown symbol {target!r} for .ptr"
+                    )
+                self.symbols[name] = self.builder.global_word(
+                    name, self.symbols[target]
+                )
+            else:
+                raise self.error(lineno, f"unknown directive {directive!r}")
+        except (IndexError, ValueError) as exc:
+            raise self.error(lineno, f"bad directive {line!r}: {exc}") from None
+
+    # ------------------------------------------------------------------
+
+    def _instruction(self, lineno: int, line: str) -> None:
+        mnemonic, _, rest = line.partition(" ")
+        op = _OPS_BY_NAME.get(mnemonic.strip())
+        if op is None:
+            raise self.error(lineno, f"unknown mnemonic {mnemonic!r}")
+        fields = [f.strip() for f in self._split_operands(rest)] if rest.strip() else []
+
+        target: Optional[str] = None
+        operands: List[Operand] = []
+        if op in _TARGET_ONLY_OPS:
+            if len(fields) != 1:
+                raise self.error(lineno, f"{op.value} expects one target")
+            if fields[0].startswith("%"):
+                operands.append(self._operand(lineno, fields[0]))
+            else:
+                target = fields[0]
+        elif op == Op.SPAWN:
+            # spawn entry_label [, %tid_dst]
+            if not fields:
+                raise self.error(lineno, "spawn expects an entry label")
+            target = fields[0]
+            dst = self._operand(lineno, fields[1]) if len(fields) > 1 else Reg("rax")
+            operands.append(dst)
+        else:
+            operands = [self._operand(lineno, f) for f in fields]
+
+        ins = Instruction(op, tuple(operands), target)
+        self._fixup_rip_relative(lineno, ins)
+
+    def _fixup_rip_relative(self, lineno: int, ins: Instruction) -> None:
+        """Resolve symbolic RIP-relative displacements at the emit site.
+
+        ``name(%rip)`` must encode ``disp = symbol_address - insn_address``;
+        the instruction address is only known now, at emit time.
+        """
+        address = len(self.builder._instructions)
+        fixed = []
+        for operand in ins.operands:
+            if isinstance(operand, _SymbolicRip):
+                sym = operand.symbol
+                if sym not in self.symbols:
+                    raise self.error(lineno, f"unknown symbol {sym!r}")
+                fixed.append(
+                    Mem(disp=self.symbols[sym] - address, rip_relative=True)
+                )
+            else:
+                fixed.append(operand)
+        self.builder.emit(Instruction(ins.op, tuple(fixed), ins.target))
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        """Split on commas not inside parentheses."""
+        fields, depth, current = [], 0, []
+        for ch in text:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if ch == "," and depth == 0:
+                fields.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+        if current:
+            fields.append("".join(current))
+        return fields
+
+    # ------------------------------------------------------------------
+
+    def _operand(self, lineno: int, text: str) -> Operand:
+        text = text.strip()
+        if text.startswith("%"):
+            try:
+                return Reg(text[1:])
+            except ValueError as exc:
+                raise self.error(lineno, str(exc)) from None
+        if text.startswith("$"):
+            body = text[1:]
+            if body in self.symbols:
+                return Imm(self.symbols[body])
+            try:
+                return Imm(_parse_int(body))
+            except ValueError:
+                raise self.error(lineno, f"bad immediate {text!r}") from None
+        match = _MEM_RE.match(text)
+        if match:
+            return self._memory_operand(lineno, match)
+        raise self.error(lineno, f"unparseable operand {text!r}")
+
+    def _memory_operand(self, lineno: int, match: "re.Match[str]") -> Mem:
+        disp_text = match.group("disp")
+        inner = [p.strip() for p in match.group("inner").split(",")]
+        if inner == ["%rip"]:
+            if disp_text is None:
+                raise self.error(lineno, "rip-relative operand needs a disp")
+            if re.fullmatch(r"[-+]?(?:0x[0-9a-fA-F]+|\d+)", disp_text):
+                return Mem(disp=_parse_int(disp_text), rip_relative=True)
+            # Symbolic: defer resolution to the emit-site fixup.
+            return _SymbolicRip(disp_text)
+        disp = 0
+        if disp_text is not None:
+            if disp_text in self.symbols:
+                disp = self.symbols[disp_text]
+            else:
+                try:
+                    disp = _parse_int(disp_text)
+                except ValueError:
+                    raise self.error(
+                        lineno, f"unknown symbol {disp_text!r}"
+                    ) from None
+        base = index = None
+        scale = 1
+        if inner and inner[0]:
+            base = inner[0].lstrip("%") or None
+        if len(inner) > 1 and inner[1]:
+            index = inner[1].lstrip("%")
+        if len(inner) > 2 and inner[2]:
+            scale = _parse_int(inner[2])
+        try:
+            return Mem(base=base, index=index, scale=scale, disp=disp)
+        except ValueError as exc:
+            raise self.error(lineno, str(exc)) from None
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    return _Assembler(source, name).assemble()

@@ -1,0 +1,311 @@
+"""Instruction definitions for the repro ISA.
+
+The instruction set is a compact x86-64 subset chosen so that every
+mechanism ProRace's offline replay must handle exists here:
+
+* loads/stores with ``base + index*scale + disp`` and RIP-relative
+  addressing (availability of address registers decides reconstructibility);
+* two-operand ALU arithmetic (drives *reverse execution*, §5.2.2);
+* register-to-register moves (drive *backward propagation*, §5.2.1);
+* calls/returns and conditional branches (resolved offline purely from the
+  PT control-flow trace);
+* "system" operations — thread spawn/join, mutexes, semaphores, allocation,
+  blocking I/O — which the machine executes natively and which force the
+  replay engine to conservatively invalidate its emulated memory (§5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from .operands import Mem, Operand, Reg
+
+
+class Op(enum.Enum):
+    """Opcodes, grouped by category."""
+
+    # Data movement
+    MOV = "mov"
+    LEA = "lea"
+    PUSH = "push"
+    POP = "pop"
+
+    # ALU (two-operand: dst = dst <op> src), plus one-operand forms
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    IMUL = "imul"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    NOT = "not"
+    INC = "inc"
+    DEC = "dec"
+
+    # Flags
+    CMP = "cmp"
+    TEST = "test"
+
+    # Control flow
+    JMP = "jmp"
+    JE = "je"
+    JNE = "jne"
+    JL = "jl"
+    JLE = "jle"
+    JG = "jg"
+    JGE = "jge"
+    CALL = "call"
+    RET = "ret"
+
+    # System / synchronization (opaque to the replay engine)
+    SPAWN = "spawn"
+    JOIN = "join"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    SEM_POST = "sem_post"
+    SEM_WAIT = "sem_wait"
+    COND_WAIT = "cond_wait"
+    COND_SIGNAL = "cond_signal"
+    COND_BROADCAST = "cond_broadcast"
+    MALLOC = "malloc"
+    FREE = "free"
+    IO = "io"
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: ALU opcodes with two register/immediate/memory operands.
+ALU_BINARY = frozenset(
+    {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.IMUL, Op.SHL, Op.SHR}
+)
+
+#: ALU opcodes with a single register operand.
+ALU_UNARY = frozenset({Op.NEG, Op.NOT, Op.INC, Op.DEC})
+
+#: Opcodes whose dst = dst op src form is invertible given dst' and one
+#: operand — the reverse-execution set (§5.2.2).  The paper's engine
+#: "currently supports reverse execution of integer arithmetic instructions
+#: such as additions and subtractions"; we support the same set.
+REVERSIBLE_ALU = frozenset({Op.ADD, Op.SUB, Op.XOR})
+
+#: Conditional branches and their flag predicates.
+COND_BRANCHES = frozenset({Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE})
+
+#: Opcodes the replay engine treats as system calls: it cannot model their
+#: effects, so emulated memory is invalidated and outputs become unavailable.
+SYSTEM_OPS = frozenset(
+    {
+        Op.SPAWN,
+        Op.JOIN,
+        Op.LOCK,
+        Op.UNLOCK,
+        Op.SEM_POST,
+        Op.SEM_WAIT,
+        Op.COND_WAIT,
+        Op.COND_SIGNAL,
+        Op.COND_BROADCAST,
+        Op.MALLOC,
+        Op.FREE,
+        Op.IO,
+    }
+)
+
+#: Synchronization opcodes the runtime sync tracer logs (§4.3).
+SYNC_OPS = frozenset(
+    {
+        Op.LOCK,
+        Op.UNLOCK,
+        Op.SEM_POST,
+        Op.SEM_WAIT,
+        Op.COND_WAIT,
+        Op.COND_SIGNAL,
+        Op.COND_BROADCAST,
+        Op.SPAWN,
+        Op.JOIN,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded instruction.
+
+    Attributes:
+        op: the opcode.
+        operands: operand tuple; AT&T-style order ``(src, dst)`` for
+            two-operand forms (matching the paper's Figure 5 listings).
+        target: label name for direct branches / calls / spawns.
+        comment: free-form annotation carried through the assembler.
+    """
+
+    op: Op
+    operands: Tuple[Operand, ...] = ()
+    target: Optional[str] = None
+    comment: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # Classification helpers (used by the machine, PT encoder and replay)
+    # ------------------------------------------------------------------
+
+    def is_branch(self) -> bool:
+        """Any instruction that may divert control flow."""
+        return self.op in COND_BRANCHES or self.op in (Op.JMP, Op.CALL, Op.RET)
+
+    def is_cond_branch(self) -> bool:
+        return self.op in COND_BRANCHES
+
+    def is_system(self) -> bool:
+        return self.op in SYSTEM_OPS
+
+    def is_sync(self) -> bool:
+        return self.op in SYNC_OPS
+
+    # ------------------------------------------------------------------
+    # Memory access classification
+    # ------------------------------------------------------------------
+
+    def memory_operand(self) -> Optional[Mem]:
+        """The single memory operand, if any (mem-to-mem is not encodable)."""
+        for operand in self.operands:
+            if isinstance(operand, Mem):
+                return operand
+        if self.op in (Op.PUSH, Op.POP, Op.CALL, Op.RET):
+            # Implicit stack access through rsp.
+            return Mem(base="rsp")
+        return None
+
+    def is_load(self) -> bool:
+        """True if this instruction reads memory when retired."""
+        mem = self.memory_operand()
+        if mem is None:
+            return False
+        if self.op in (Op.POP, Op.RET):
+            return True
+        if self.op in (Op.PUSH, Op.CALL, Op.LEA):
+            return False
+        if self.op == Op.MOV:
+            return isinstance(self.operands[0], Mem)
+        # ALU / CMP / TEST with a memory operand read it.
+        return True
+
+    def is_store(self) -> bool:
+        """True if this instruction writes memory when retired."""
+        mem = self.memory_operand()
+        if mem is None:
+            return False
+        if self.op in (Op.PUSH, Op.CALL):
+            return True
+        if self.op in (Op.POP, Op.RET, Op.LEA):
+            return False
+        if self.op == Op.MOV:
+            return isinstance(self.operands[1], Mem)
+        return False
+
+    def is_memory_access(self) -> bool:
+        return self.is_load() or self.is_store()
+
+    # ------------------------------------------------------------------
+    # Dataflow metadata for the replay engine
+    # ------------------------------------------------------------------
+
+    def reads_registers(self) -> FrozenSet[str]:
+        """Registers whose values this instruction consumes.
+
+        Includes address registers of any memory operand.  ``rip`` is
+        never listed — it is always available during replay.
+        """
+        regs: set[str] = set()
+        for operand in self.operands:
+            if isinstance(operand, Mem):
+                regs |= operand.address_registers()
+        if self.op == Op.MOV:
+            src = self.operands[0]
+            if isinstance(src, Reg):
+                regs.add(src.name)
+        elif self.op == Op.LEA:
+            pass  # only address registers, already collected
+        elif self.op in ALU_BINARY:
+            src, dst = self.operands
+            if isinstance(src, Reg):
+                regs.add(src.name)
+            assert isinstance(dst, Reg)
+            regs.add(dst.name)
+        elif self.op in ALU_UNARY:
+            (dst,) = self.operands
+            assert isinstance(dst, Reg)
+            regs.add(dst.name)
+        elif self.op in (Op.CMP, Op.TEST):
+            for operand in self.operands:
+                if isinstance(operand, Reg):
+                    regs.add(operand.name)
+        elif self.op == Op.PUSH:
+            src = self.operands[0]
+            if isinstance(src, Reg):
+                regs.add(src.name)
+            regs.add("rsp")
+        elif self.op in (Op.POP, Op.RET):
+            regs.add("rsp")
+        elif self.op == Op.CALL:
+            regs.add("rsp")
+            if self.operands and isinstance(self.operands[0], Reg):
+                regs.add(self.operands[0].name)
+        elif self.op == Op.JMP and self.operands:
+            if isinstance(self.operands[0], Reg):
+                regs.add(self.operands[0].name)
+        elif self.op in SYSTEM_OPS:
+            inputs = self.operands
+            if self.op == Op.SPAWN:
+                inputs = ()  # sole operand is the tid destination
+            elif self.op == Op.MALLOC:
+                inputs = self.operands[:1]  # (size, dst): only size is read
+            for operand in inputs:
+                if isinstance(operand, Reg):
+                    regs.add(operand.name)
+        return frozenset(regs)
+
+    def writes_registers(self) -> FrozenSet[str]:
+        """Registers this instruction overwrites."""
+        regs: set[str] = set()
+        if self.op in (Op.MOV, Op.LEA):
+            dst = self.operands[1]
+            if isinstance(dst, Reg):
+                regs.add(dst.name)
+        elif self.op in ALU_BINARY:
+            dst = self.operands[1]
+            assert isinstance(dst, Reg)
+            regs.add(dst.name)
+        elif self.op in ALU_UNARY:
+            (dst,) = self.operands
+            assert isinstance(dst, Reg)
+            regs.add(dst.name)
+        elif self.op == Op.PUSH:
+            regs.add("rsp")
+        elif self.op == Op.POP:
+            dst = self.operands[0]
+            assert isinstance(dst, Reg)
+            regs.add(dst.name)
+            regs.add("rsp")
+        elif self.op in (Op.CALL, Op.RET):
+            regs.add("rsp")
+        elif self.op == Op.SPAWN:
+            # Thread id is written to the destination operand.
+            if self.operands and isinstance(self.operands[0], Reg):
+                regs.add(self.operands[0].name)
+        elif self.op == Op.MALLOC:
+            # Allocation address is written to the destination operand.
+            if len(self.operands) > 1 and isinstance(self.operands[1], Reg):
+                regs.add(self.operands[1].name)
+        return frozenset(regs)
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        rendered = [str(o) for o in self.operands]
+        if self.target is not None:
+            rendered.append(self.target)
+        if rendered:
+            parts.append(" " + ",".join(rendered))
+        return "".join(parts)

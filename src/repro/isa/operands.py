@@ -1,0 +1,99 @@
+"""Operand types for the repro ISA.
+
+Three operand kinds mirror x86-64: registers, immediates, and memory
+references with the full ``base + index*scale + disp`` addressing mode,
+including RIP-relative addressing.  The addressing mode matters because
+ProRace's detection coverage per bug depends on it (Table 2 classifies the
+racy access of each bug as *memory indirect*, *register indirect*, or
+*pc relative*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from .registers import check_register, to_signed
+
+_VALID_SCALES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand, e.g. ``Reg("rax")``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        check_register(self.name)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``disp(base, index, scale)`` or RIP-relative.
+
+    The effective address is::
+
+        base? + index?*scale + disp          (rip_relative=False)
+        address_of_instruction + disp        (rip_relative=True)
+
+    RIP-relative operands are the easy case for ProRace: the instruction
+    pointer is always known from the PT control-flow trace, so the address
+    is reconstructible without any PEBS register context (§5.1, Table 2).
+    """
+
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    disp: int = 0
+    rip_relative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base is not None:
+            check_register(self.base)
+        if self.index is not None:
+            check_register(self.index)
+        if self.scale not in _VALID_SCALES:
+            raise ValueError(f"scale must be one of {_VALID_SCALES}: {self.scale}")
+        if self.rip_relative and (self.base or self.index):
+            raise ValueError("rip-relative addressing cannot use base/index")
+
+    def address_registers(self) -> FrozenSet[str]:
+        """Registers needed to compute the effective address.
+
+        RIP-relative operands need none — ``rip`` is always available
+        during replay.
+        """
+        regs = set()
+        if self.base:
+            regs.add(self.base)
+        if self.index:
+            regs.add(self.index)
+        return frozenset(regs)
+
+    def __str__(self) -> str:
+        if self.rip_relative:
+            return f"{self.disp:#x}(%rip)"
+        parts = ""
+        if self.base:
+            parts += f"%{self.base}"
+        if self.index:
+            parts += f",%{self.index},{self.scale}"
+        disp = f"{to_signed(self.disp):#x}" if self.disp else ""
+        return f"{disp}({parts})"
+
+
+Operand = Reg | Imm | Mem

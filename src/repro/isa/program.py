@@ -1,0 +1,449 @@
+"""Program container, builder API, and basic-block CFG extraction.
+
+A :class:`Program` is the "application binary" of this reproduction: a flat
+list of instructions with labels, plus initialized global data.  Code
+addresses are instruction indices; the data address space starts at
+:data:`DATA_BASE` and the heap above :data:`HEAP_BASE`, so code and data
+can never alias.
+
+ProRace's offline stage re-executes this binary; the PT decoder maps its
+packets back onto the program's basic blocks, which
+:meth:`Program.basic_blocks` extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .instructions import Instruction, Op
+from .operands import Imm, Mem, Operand, Reg
+
+#: Base of the static data segment (globals).
+DATA_BASE = 0x1_0000
+
+#: Base of the heap (malloc'd objects).
+HEAP_BASE = 0x100_0000
+
+#: Base of the per-thread stacks (grow downward from here, one region per
+#: thread).
+STACK_BASE = 0x1000_0000
+
+#: Size reserved for each thread's stack.
+STACK_SIZE = 0x1_0000
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad operands...)."""
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal single-entry straight-line region of code.
+
+    Attributes:
+        start: address (instruction index) of the first instruction.
+        end: address one past the last instruction.
+    """
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def addresses(self) -> range:
+        return range(self.start, self.end)
+
+
+class Program:
+    """An assembled program: instructions, labels, and initial global data."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Dict[str, int],
+        data: Optional[Dict[int, int]] = None,
+        symbols: Optional[Dict[str, int]] = None,
+        name: str = "a.out",
+    ) -> None:
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.labels: Dict[str, int] = dict(labels)
+        #: Initial contents of the data segment: address -> 64-bit value.
+        self.data: Dict[int, int] = dict(data or {})
+        #: Named data symbols: name -> address (documentation/debugging).
+        self.symbols: Dict[str, int] = dict(symbols or {})
+        self.name = name
+        self._validate()
+        self._blocks: Optional[Tuple[BasicBlock, ...]] = None
+        self._block_of: Optional[Dict[int, BasicBlock]] = None
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for label, addr in self.labels.items():
+            if not (0 <= addr <= len(self.instructions)):
+                raise ProgramError(f"label {label!r} out of range: {addr}")
+        for idx, ins in enumerate(self.instructions):
+            if ins.target is not None and ins.target not in self.labels:
+                raise ProgramError(
+                    f"instruction {idx} ({ins}) targets unknown label "
+                    f"{ins.target!r}"
+                )
+            n_mem = sum(1 for op in ins.operands if isinstance(op, Mem))
+            if n_mem > 1:
+                raise ProgramError(
+                    f"instruction {idx} ({ins}) has {n_mem} memory operands;"
+                    " at most one is encodable"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, address: int) -> Instruction:
+        return self.instructions[address]
+
+    def resolve(self, label: str) -> int:
+        """Return the code address of *label*."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"unknown label: {label!r}") from None
+
+    def target_address(self, ins: Instruction) -> int:
+        """Resolve the direct target of a branch/call/spawn instruction."""
+        if ins.target is None:
+            raise ProgramError(f"instruction {ins} has no direct target")
+        return self.resolve(ins.target)
+
+    # ------------------------------------------------------------------
+    # Basic-block extraction (leaders: entry points, branch targets and
+    # branch fall-throughs).
+    # ------------------------------------------------------------------
+
+    def basic_blocks(self) -> Tuple[BasicBlock, ...]:
+        """Partition the program into basic blocks (cached).
+
+        Leaders are control-flow boundaries only: branch/call/spawn
+        targets and fall-throughs.  Labels that nothing jumps to (marker
+        labels, data symbols) do not split blocks — they are not leaders
+        in the compiled binary either.
+        """
+        if self._blocks is None:
+            leaders = {0, len(self.instructions)}
+            for idx, ins in enumerate(self.instructions):
+                if ins.is_branch() or ins.op == Op.HALT:
+                    leaders.add(idx + 1)
+                    if ins.target is not None:
+                        leaders.add(self.resolve(ins.target))
+                if ins.op == Op.SPAWN and ins.target is not None:
+                    leaders.add(self.resolve(ins.target))
+            ordered = sorted(x for x in leaders if x <= len(self.instructions))
+            blocks = []
+            for start, end in zip(ordered, ordered[1:]):
+                if end > start:
+                    blocks.append(BasicBlock(start, end))
+            self._blocks = tuple(blocks)
+        return self._blocks
+
+    def block_containing(self, address: int) -> BasicBlock:
+        """Return the basic block containing code *address*."""
+        if self._block_of is None:
+            mapping: Dict[int, BasicBlock] = {}
+            for block in self.basic_blocks():
+                for addr in block.addresses():
+                    mapping[addr] = block
+            self._block_of = mapping
+        try:
+            return self._block_of[address]
+        except KeyError:
+            raise ProgramError(f"address {address} not in any block") from None
+
+    # ------------------------------------------------------------------
+
+    def to_asm(self) -> str:
+        """Emit assembly text that re-assembles to an equivalent program.
+
+        Data symbols are emitted in address order with their extents, so
+        the data-segment layout (and therefore every absolute address)
+        is preserved; pointer-valued globals keep their raw values, which
+        stay correct because the layout is identical.  Round-trip
+        property: ``assemble(p.to_asm())`` runs identically to ``p``.
+        """
+        lines: List[str] = []
+        ordered = sorted(self.symbols.items(), key=lambda item: item[1])
+        for index, (name, base) in enumerate(ordered):
+            if index + 1 < len(ordered):
+                extent = ordered[index + 1][1] - base
+            else:
+                top = max(self.data, default=base - 8) + 8
+                extent = max(top - base, 8)
+            words = [
+                str(self.data.get(base + i * 8, 0))
+                for i in range(extent // 8)
+            ]
+            lines.append(f".array {name} {' '.join(words)}")
+        lines.append("")
+        by_addr: Dict[int, List[str]] = {}
+        for label, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(label)
+        for idx, ins in enumerate(self.instructions):
+            for label in sorted(by_addr.get(idx, ())):
+                lines.append(f"{label}:")
+            if ins.op == Op.SPAWN:
+                # Assembler syntax: `spawn entry[, %tid_dst]`.
+                lines.append(f"    spawn {ins.target}, {ins.operands[0]}")
+            else:
+                rendered = [str(o) for o in ins.operands]
+                if ins.target is not None:
+                    rendered.append(ins.target)
+                text = ins.op.value
+                if rendered:
+                    text += " " + ", ".join(rendered)
+                lines.append(f"    {text}")
+        for label in sorted(by_addr.get(len(self.instructions), ())):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    def listing(self) -> str:
+        """A human-readable disassembly listing."""
+        by_addr: Dict[int, List[str]] = {}
+        for label, addr in self.labels.items():
+            by_addr.setdefault(addr, []).append(label)
+        lines = []
+        for idx, ins in enumerate(self.instructions):
+            for label in sorted(by_addr.get(idx, ())):
+                lines.append(f"{label}:")
+            comment = f"  # {ins.comment}" if ins.comment else ""
+            lines.append(f"  {idx:4d}: {ins}{comment}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, {len(self.instructions)} instructions, "
+            f"{len(self.labels)} labels)"
+        )
+
+
+class ProgramBuilder:
+    """Fluent builder used by the workload library to assemble programs.
+
+    Example::
+
+        b = ProgramBuilder("counter")
+        counter = b.global_word("counter", 0)
+        b.label("main")
+        b.mov(Imm(counter), Reg("rdi"))
+        b.load(Mem(base="rdi"), Reg("rax"))
+        b.add(Imm(1), Reg("rax"))
+        b.store(Reg("rax"), Mem(base="rdi"))
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "a.out") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, int] = {}
+        self._symbols: Dict[str, int] = {}
+        self._next_data = DATA_BASE
+
+    # -- data segment ---------------------------------------------------
+
+    def global_word(self, name: str, initial: int = 0) -> int:
+        """Allocate one 64-bit global, returning its address."""
+        return self.global_array(name, [initial])
+
+    def global_array(self, name: str, values: Sequence[int]) -> int:
+        """Allocate a contiguous array of 64-bit globals; returns base."""
+        if name in self._symbols:
+            raise ProgramError(f"duplicate global: {name!r}")
+        base = self._next_data
+        for offset, value in enumerate(values):
+            self._data[base + offset * 8] = value
+        self._symbols[name] = base
+        self._next_data = base + max(len(values), 1) * 8
+        return base
+
+    def reserve(self, name: str, words: int) -> int:
+        """Allocate *words* zeroed globals; returns base address."""
+        return self.global_array(name, [0] * words)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise ProgramError(f"unknown symbol: {name!r}") from None
+
+    # -- code -----------------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ProgramError(f"duplicate label: {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, ins: Instruction) -> "ProgramBuilder":
+        self._instructions.append(ins)
+        return self
+
+    def _ins(self, op: Op, *operands: Operand, target: str | None = None,
+             comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(op, tuple(operands), target, comment))
+
+    # Data movement -----------------------------------------------------
+
+    def mov(self, src: Operand, dst: Operand, comment: str = "") -> "ProgramBuilder":
+        if isinstance(src, Mem) and isinstance(dst, Mem):
+            raise ProgramError("mem-to-mem mov is not encodable")
+        return self._ins(Op.MOV, src, dst, comment=comment)
+
+    def load(self, src: Mem, dst: Reg, comment: str = "") -> "ProgramBuilder":
+        return self.mov(src, dst, comment=comment)
+
+    def store(self, src: Reg | Imm, dst: Mem, comment: str = "") -> "ProgramBuilder":
+        return self.mov(src, dst, comment=comment)
+
+    def lea(self, src: Mem, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.LEA, src, dst)
+
+    def push(self, src: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.PUSH, src)
+
+    def pop(self, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.POP, dst)
+
+    # ALU ----------------------------------------------------------------
+
+    def add(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.ADD, src, dst)
+
+    def sub(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.SUB, src, dst)
+
+    def and_(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.AND, src, dst)
+
+    def or_(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.OR, src, dst)
+
+    def xor(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.XOR, src, dst)
+
+    def imul(self, src: Operand, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.IMUL, src, dst)
+
+    def shl(self, src: Imm, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.SHL, src, dst)
+
+    def shr(self, src: Imm, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.SHR, src, dst)
+
+    def inc(self, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.INC, dst)
+
+    def dec(self, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.DEC, dst)
+
+    def neg(self, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.NEG, dst)
+
+    def not_(self, dst: Reg) -> "ProgramBuilder":
+        return self._ins(Op.NOT, dst)
+
+    # Flags / control ----------------------------------------------------
+
+    def cmp(self, a: Operand, b: Operand) -> "ProgramBuilder":
+        return self._ins(Op.CMP, a, b)
+
+    def test(self, a: Operand, b: Operand) -> "ProgramBuilder":
+        return self._ins(Op.TEST, a, b)
+
+    def jmp(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JMP, target=target)
+
+    def jmp_reg(self, reg: Reg) -> "ProgramBuilder":
+        return self._ins(Op.JMP, reg)
+
+    def je(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JE, target=target)
+
+    def jne(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JNE, target=target)
+
+    def jl(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JL, target=target)
+
+    def jle(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JLE, target=target)
+
+    def jg(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JG, target=target)
+
+    def jge(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.JGE, target=target)
+
+    def call(self, target: str) -> "ProgramBuilder":
+        return self._ins(Op.CALL, target=target)
+
+    def ret(self) -> "ProgramBuilder":
+        return self._ins(Op.RET)
+
+    # System -------------------------------------------------------------
+
+    def spawn(self, entry: str, tid_dst: Reg = Reg("rax")) -> "ProgramBuilder":
+        return self._ins(Op.SPAWN, tid_dst, target=entry)
+
+    def join(self, tid: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.JOIN, tid)
+
+    def lock(self, addr: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.LOCK, addr)
+
+    def unlock(self, addr: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.UNLOCK, addr)
+
+    def sem_post(self, addr: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.SEM_POST, addr)
+
+    def sem_wait(self, addr: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.SEM_WAIT, addr)
+
+    def cond_wait(self, cv: Reg | Imm, mutex: Reg | Imm) -> "ProgramBuilder":
+        """pthread_cond_wait: atomically release *mutex* and sleep on
+        *cv*; reacquires the mutex before returning."""
+        return self._ins(Op.COND_WAIT, cv, mutex)
+
+    def cond_signal(self, cv: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.COND_SIGNAL, cv)
+
+    def cond_broadcast(self, cv: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.COND_BROADCAST, cv)
+
+    def malloc(self, size: Reg | Imm, dst: Reg = Reg("rax")) -> "ProgramBuilder":
+        return self._ins(Op.MALLOC, size, dst)
+
+    def free(self, addr: Reg | Imm) -> "ProgramBuilder":
+        return self._ins(Op.FREE, addr)
+
+    def io(self, cycles: Imm) -> "ProgramBuilder":
+        """Simulated blocking I/O lasting *cycles* machine cycles."""
+        return self._ins(Op.IO, cycles)
+
+    def halt(self) -> "ProgramBuilder":
+        return self._ins(Op.HALT)
+
+    def nop(self) -> "ProgramBuilder":
+        return self._ins(Op.NOP)
+
+    # ---------------------------------------------------------------------
+
+    def build(self) -> Program:
+        return Program(
+            self._instructions,
+            self._labels,
+            data=self._data,
+            symbols=self._symbols,
+            name=self.name,
+        )

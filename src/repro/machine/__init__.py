@@ -1,0 +1,38 @@
+"""Simulated multicore machine substrate (stands in for the paper's
+Skylake testbed; see DESIGN.md §2)."""
+
+from .heap import Allocation, Heap, HeapError
+from .machine import Machine, MachineError, RETURN_SENTINEL, RunResult
+from .memory import Memory
+from .observers import (
+    AllocEvent,
+    BranchEvent,
+    MachineObserver,
+    MemoryAccessEvent,
+    SyncEvent,
+)
+from .sync import Mutex, Semaphore, SyncError, SyncTable
+from .threads import BlockReason, ThreadState, ThreadStatus
+
+__all__ = [
+    "AllocEvent",
+    "Allocation",
+    "BlockReason",
+    "BranchEvent",
+    "Heap",
+    "HeapError",
+    "Machine",
+    "MachineError",
+    "MachineObserver",
+    "Memory",
+    "MemoryAccessEvent",
+    "Mutex",
+    "RETURN_SENTINEL",
+    "RunResult",
+    "Semaphore",
+    "SyncError",
+    "SyncEvent",
+    "SyncTable",
+    "ThreadState",
+    "ThreadStatus",
+]

@@ -1,0 +1,80 @@
+"""Heap allocator for the simulated machine.
+
+A bump allocator with size-bucketed free lists that *eagerly recycles*
+freed blocks: a ``malloc`` after a same-size ``free`` returns the same
+address.  This deliberately reproduces the aliasing hazard of §4.3 — two
+distinct objects occupying the same address at different times — which a
+race detector must disambiguate by tracking malloc/free, exactly as
+ProRace (and our detector pipeline) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..isa.program import HEAP_BASE, STACK_BASE
+
+
+class HeapError(Exception):
+    """Raised on invalid heap operations (double free, bad free...)."""
+
+
+@dataclass
+class Allocation:
+    """Record of one live or past allocation."""
+
+    address: int
+    size: int
+    alloc_tsc: int
+    free_tsc: int | None = None
+
+    @property
+    def live(self) -> bool:
+        return self.free_tsc is None
+
+
+class Heap:
+    """Bump allocator with address-recycling free lists."""
+
+    def __init__(self, base: int = HEAP_BASE, limit: int = STACK_BASE) -> None:
+        self._base = base
+        self._limit = limit
+        self._brk = base
+        self._free_lists: Dict[int, List[int]] = {}
+        self._live: Dict[int, Allocation] = {}
+        self._history: List[Allocation] = []
+
+    def malloc(self, size: int, tsc: int) -> int:
+        """Allocate *size* bytes (rounded up to a word), return the address."""
+        if size <= 0:
+            raise HeapError(f"malloc of non-positive size: {size}")
+        size = (size + 7) & ~7
+        bucket = self._free_lists.get(size)
+        if bucket:
+            address = bucket.pop()
+        else:
+            address = self._brk
+            self._brk += size
+            if self._brk > self._limit:
+                raise HeapError("heap exhausted")
+        record = Allocation(address=address, size=size, alloc_tsc=tsc)
+        self._live[address] = record
+        self._history.append(record)
+        return address
+
+    def free(self, address: int, tsc: int) -> Allocation:
+        """Free the allocation at *address*; returns its record."""
+        record = self._live.pop(address, None)
+        if record is None:
+            raise HeapError(f"free of unallocated address: {address:#x}")
+        record.free_tsc = tsc
+        self._free_lists.setdefault(record.size, []).append(address)
+        return record
+
+    def live_allocations(self) -> Tuple[Allocation, ...]:
+        return tuple(self._live.values())
+
+    def history(self) -> Tuple[Allocation, ...]:
+        """All allocations ever made, in allocation order."""
+        return tuple(self._history)

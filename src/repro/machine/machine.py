@@ -1,0 +1,689 @@
+"""The simulated multithreaded machine.
+
+An interpreter for :mod:`repro.isa` programs with:
+
+* a seeded, preemptive scheduler (quantum + random preemption) so repeated
+  runs explore different interleavings — the paper's detection-probability
+  experiments (Table 2) collect 100 traces per configuration, each a
+  different schedule;
+* a global timestamp counter (TSC) that is *invariant* across cores, the
+  property recent Intel processors provide (§4.3) and that ProRace relies
+  on to merge per-thread traces offline;
+* sequentially consistent shared memory (one instruction retires at a
+  time), FIFO mutexes/semaphores, fork/join threads, and a recycling heap;
+* an observer interface through which the PMU simulation and tracers watch
+  retirement-time events without perturbing the application.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instructions import ALU_BINARY, ALU_UNARY, Instruction, Op
+from ..isa.operands import Imm, Mem, Operand, Reg
+from ..isa.program import (
+    Program,
+    STACK_BASE,
+    STACK_SIZE,
+)
+from ..isa.registers import MASK64, RegisterFile
+from ..isa.semantics import alu, alu_unary, compare, effective_address, test_bits
+from .heap import Heap
+from .memory import Memory
+from .observers import (
+    AllocEvent,
+    BranchEvent,
+    MachineObserver,
+    MemoryAccessEvent,
+    SyncEvent,
+)
+from .sync import SyncTable
+from .threads import BlockReason, ThreadState, ThreadStatus
+
+#: Value pushed as the bottom-of-stack return address of every thread;
+#: returning to it ends the thread (like returning from a pthread entry).
+RETURN_SENTINEL = 0xDEAD_BEEF_DEAD_BEEF
+
+
+class MachineError(Exception):
+    """Raised on machine-level failures (deadlock, runaway execution...)."""
+
+
+@dataclass
+class RunResult:
+    """Summary statistics of one completed run."""
+
+    tsc: int
+    instructions: int
+    memory_ops: int
+    branches: int
+    sync_ops: int
+    threads: int
+    io_cycles: int
+    idle_cycles: int
+    per_thread_retired: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cpu_cycles(self) -> int:
+        """Cycles spent executing instructions (excludes idle waiting)."""
+        return self.tsc - self.idle_cycles
+
+
+class Machine:
+    """Executes a :class:`Program` with multiple threads.
+
+    Args:
+        program: the binary to run.
+        num_cores: number of simulated cores (threads are pinned
+            round-robin, ``core = tid % num_cores``).
+        seed: scheduler seed; fixing it makes the run deterministic.
+        quantum: instructions a thread runs before preemption.
+        preempt_probability: chance of an early preemption at any
+            instruction boundary (interleaving diversity).
+        max_instructions: runaway guard.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_cores: int = 4,
+        seed: int = 0,
+        quantum: int = 40,
+        preempt_probability: float = 0.02,
+        max_instructions: int = 20_000_000,
+    ) -> None:
+        self.program = program
+        self.num_cores = num_cores
+        self.quantum = quantum
+        self.preempt_probability = preempt_probability
+        self.max_instructions = max_instructions
+        self._rng = random.Random(seed)
+        self.memory = Memory(program.data)
+        self.heap = Heap()
+        self.sync = SyncTable()
+        self.threads: Dict[int, ThreadState] = {}
+        self.observers: List[MachineObserver] = []
+        self.tsc = 0
+        self._next_tid = 0
+        self._instructions = 0
+        self._memory_ops = 0
+        self._branches = 0
+        self._sync_ops = 0
+        self._io_cycles = 0
+        self._idle_cycles = 0
+        self._seq = 0
+        self._started = False
+        #: tid -> thread for threads blocked on IO, + earliest wake tsc.
+        self._io_blocked: Dict[int, ThreadState] = {}
+        self._io_next_wake: float = float("inf")
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def attach(self, observer: MachineObserver) -> None:
+        """Attach an observer (PMU, tracer, recorder) before running."""
+        if self._started:
+            raise MachineError("cannot attach observers after run start")
+        self.observers.append(observer)
+
+    def _create_thread(self, entry_ip: int,
+                       parent: Optional[ThreadState]) -> ThreadState:
+        tid = self._next_tid
+        self._next_tid += 1
+        registers = (
+            parent.registers.copy() if parent is not None else RegisterFile()
+        )
+        stack_top = STACK_BASE + (tid + 1) * STACK_SIZE
+        rsp = stack_top - 8
+        # The kernel seeds the bottom-of-stack return address; this is not
+        # a user-level access, so no observer event is emitted.
+        self.memory.store(rsp, RETURN_SENTINEL)
+        registers["rsp"] = rsp
+        registers["rbp"] = rsp
+        registers["rip"] = entry_ip
+        thread = ThreadState(
+            tid=tid,
+            registers=registers,
+            core=tid % self.num_cores,
+            parent=parent.tid if parent else None,
+        )
+        self.threads[tid] = thread
+        for obs in self.observers:
+            obs.on_thread_start(self.tsc, tid, thread.core, entry_ip)
+        return thread
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "main") -> RunResult:
+        """Run to completion from label *entry*; returns run statistics."""
+        if self._started:
+            raise MachineError("machine instances are single-use")
+        self._started = True
+        entry_ip = (
+            self.program.resolve(entry) if entry in self.program.labels else 0
+        )
+        self._create_thread(entry_ip, parent=None)
+
+        import math as _math
+
+        current: Optional[ThreadState] = None
+        ready = ThreadStatus.READY
+        log1mp = (
+            _math.log(1.0 - self.preempt_probability)
+            if 0.0 < self.preempt_probability < 1.0
+            else None
+        )
+        while True:
+            runnable = [
+                t for t in self.threads.values() if t.status is ready
+            ]
+            if not runnable:
+                if all(
+                    t.status == ThreadStatus.DONE
+                    for t in self.threads.values()
+                ):
+                    break
+                self._advance_past_io()
+                continue
+            current = self._pick(runnable, current)
+            # Time-slice length: the quantum, cut short by a random
+            # preemption point (geometric with the per-instruction
+            # preemption probability — one draw replaces one per step).
+            slice_len = self.quantum
+            if log1mp is not None:
+                draw = self._rng.random()
+                geometric = int(_math.log(max(draw, 1e-300)) / log1mp) + 1
+                slice_len = min(slice_len, max(1, geometric))
+            elif self.preempt_probability >= 1.0:
+                slice_len = 1
+            steps = 0
+            while steps < slice_len and current.status is ready:
+                self._step(current)
+                steps += 1
+                if self._io_blocked and self._io_next_wake <= self.tsc:
+                    self._wake_io()
+
+        for obs in self.observers:
+            obs.on_run_end(self.tsc)
+        return RunResult(
+            tsc=self.tsc,
+            instructions=self._instructions,
+            memory_ops=self._memory_ops,
+            branches=self._branches,
+            sync_ops=self._sync_ops,
+            threads=self._next_tid,
+            io_cycles=self._io_cycles,
+            idle_cycles=self._idle_cycles,
+            per_thread_retired={
+                t.tid: t.retired for t in self.threads.values()
+            },
+        )
+
+    def _pick(self, runnable: List[ThreadState],
+              current: Optional[ThreadState]) -> ThreadState:
+        """Round-robin successor of *current* with a randomized tie-break."""
+        if current is not None and len(runnable) > 1:
+            candidates = [t for t in runnable if t.tid != current.tid]
+        else:
+            candidates = runnable
+        start = 0 if current is None else current.tid + 1
+        candidates.sort(key=lambda t: (t.tid - start) % self._next_tid)
+        if len(candidates) > 1 and self._rng.random() < 0.25:
+            return self._rng.choice(candidates)
+        return candidates[0]
+
+    def _advance_past_io(self) -> None:
+        """All threads blocked: jump the TSC to the earliest IO wake-up."""
+        if not self._io_blocked:
+            raise MachineError(
+                "deadlock: all threads blocked on sync "
+                f"at tsc={self.tsc}"
+            )
+        wake = min(t.block_detail for t in self._io_blocked.values())
+        self._idle_cycles += max(0, wake - self.tsc)
+        self.tsc = max(self.tsc, wake)
+        self._wake_io()
+
+    def _wake_io(self) -> None:
+        next_wake = None
+        for tid, thread in list(self._io_blocked.items()):
+            if thread.block_detail <= self.tsc:
+                thread.unblock()
+                del self._io_blocked[tid]
+            elif next_wake is None or thread.block_detail < next_wake:
+                next_wake = thread.block_detail
+        self._io_next_wake = (
+            next_wake if next_wake is not None else float("inf")
+        )
+
+    # ------------------------------------------------------------------
+    # Instruction execution
+    # ------------------------------------------------------------------
+
+    def _step(self, thread: ThreadState) -> None:
+        ip = thread.ip
+        if not (0 <= ip < len(self.program)):
+            raise MachineError(
+                f"thread {thread.tid} fetched out-of-range ip {ip}"
+            )
+        ins = self.program[ip]
+        self._instructions += 1
+        thread.retired += 1
+        if self._instructions > self.max_instructions:
+            raise MachineError(
+                f"instruction budget exceeded ({self.max_instructions})"
+            )
+        self.tsc += 1
+        handler = _DISPATCH.get(ins.op)
+        if handler is None:
+            raise MachineError(f"unimplemented opcode: {ins.op}")
+        handler(self, thread, ip, ins)
+
+    # -- operand evaluation ---------------------------------------------
+
+    def _eval(self, thread: ThreadState, ip: int, operand: Operand) -> int:
+        """Evaluate a source operand, emitting a load event if memory."""
+        if isinstance(operand, Imm):
+            return operand.value & MASK64
+        if isinstance(operand, Reg):
+            return thread.registers[operand.name]
+        address = effective_address(operand, thread.registers, ip)
+        value = self.memory.load(address)
+        self._emit_access(thread, ip, address, is_store=False, value=value)
+        return value
+
+    def _write(self, thread: ThreadState, ip: int, operand: Operand,
+               value: int) -> None:
+        """Write a destination operand, emitting a store event if memory."""
+        if isinstance(operand, Reg):
+            thread.registers[operand.name] = value
+            return
+        if isinstance(operand, Mem):
+            address = effective_address(operand, thread.registers, ip)
+            self.memory.store(address, value)
+            self._emit_access(thread, ip, address, is_store=True, value=value)
+            return
+        raise MachineError(f"cannot write to operand {operand}")
+
+    # -- event emission ----------------------------------------------------
+
+    def _emit_access(self, thread: ThreadState, ip: int, address: int,
+                     is_store: bool, value: int) -> None:
+        self._memory_ops += 1
+        thread.memory_ops += 1
+        self._seq += 1
+        event = MemoryAccessEvent(
+            tsc=self.tsc,
+            tid=thread.tid,
+            core=thread.core,
+            ip=ip,
+            address=address,
+            is_store=is_store,
+            value=value,
+            seq=self._seq,
+        )
+        snapshot: Optional[Dict[str, int]] = None
+        for obs in self.observers:
+            if obs.wants_register_snapshot(thread.tid):
+                if snapshot is None:
+                    # Architectural state *at* the sampled instruction,
+                    # before its own destination write lands — the
+                    # semantics the paper's backward propagation relies on
+                    # (§5.2.1, Figure 5: the next sample's context holds
+                    # the value a register carried since its previous
+                    # update).  The machine emits access events before
+                    # writing destinations, so the live register file is
+                    # exactly this state.
+                    snapshot = thread.registers.snapshot()
+                    snapshot["rip"] = ip
+                obs.on_memory_access(event, snapshot)
+            else:
+                obs.on_memory_access(event, None)
+
+    def _emit_branch(self, thread: ThreadState, ip: int, target: int,
+                     taken: Optional[bool], conditional: bool,
+                     indirect: bool, is_call: bool = False) -> None:
+        self._branches += 1
+        event = BranchEvent(
+            tsc=self.tsc,
+            tid=thread.tid,
+            core=thread.core,
+            ip=ip,
+            target=target,
+            taken=taken,
+            is_conditional=conditional,
+            is_indirect=indirect,
+            is_call=is_call,
+        )
+        for obs in self.observers:
+            obs.on_branch(event)
+
+    def _emit_sync(self, thread: ThreadState, ip: int, kind: str,
+                   target: int) -> None:
+        self._sync_ops += 1
+        self._seq += 1
+        event = SyncEvent(
+            tsc=self.tsc, tid=thread.tid, ip=ip, kind=kind, target=target,
+            seq=self._seq,
+        )
+        for obs in self.observers:
+            obs.on_sync(event)
+
+    def _emit_alloc(self, thread: ThreadState, ip: int, kind: str,
+                    address: int, size: int) -> None:
+        event = AllocEvent(
+            tsc=self.tsc, tid=thread.tid, ip=ip, kind=kind, address=address,
+            size=size,
+        )
+        for obs in self.observers:
+            obs.on_alloc(event)
+
+    # ------------------------------------------------------------------
+    # Opcode handlers
+    # ------------------------------------------------------------------
+
+    def _op_mov(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        src, dst = ins.operands
+        value = self._eval(thread, ip, src)
+        self._write(thread, ip, dst, value)
+        thread.ip = ip + 1
+
+    def _op_lea(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        mem, dst = ins.operands
+        assert isinstance(mem, Mem) and isinstance(dst, Reg)
+        thread.registers[dst.name] = effective_address(
+            mem, thread.registers, ip
+        )
+        thread.ip = ip + 1
+
+    def _op_alu(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        src, dst = ins.operands
+        assert isinstance(dst, Reg)
+        value = self._eval(thread, ip, src)
+        thread.registers[dst.name] = alu(
+            ins.op, value, thread.registers[dst.name]
+        )
+        thread.ip = ip + 1
+
+    def _op_alu_unary(self, thread: ThreadState, ip: int,
+                      ins: Instruction) -> None:
+        (dst,) = ins.operands
+        assert isinstance(dst, Reg)
+        thread.registers[dst.name] = alu_unary(
+            ins.op, thread.registers[dst.name]
+        )
+        thread.ip = ip + 1
+
+    def _op_cmp(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        a, b = ins.operands
+        va = self._eval(thread, ip, a)
+        vb = self._eval(thread, ip, b)
+        if ins.op == Op.CMP:
+            thread.flags = compare(va, vb)
+        else:
+            thread.flags = test_bits(va, vb)
+        thread.ip = ip + 1
+
+    def _op_push(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        value = (
+            self._eval(thread, ip, ins.operands[0]) if ins.operands else 0
+        )
+        rsp = (thread.registers["rsp"] - 8) & MASK64
+        self.memory.store(rsp, value)
+        # Emit before updating rsp so sampled snapshots see pre-execution
+        # register state.
+        self._emit_access(thread, ip, rsp, is_store=True, value=value)
+        thread.registers["rsp"] = rsp
+        thread.ip = ip + 1
+
+    def _op_pop(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        (dst,) = ins.operands
+        assert isinstance(dst, Reg)
+        rsp = thread.registers["rsp"]
+        value = self.memory.load(rsp)
+        self._emit_access(thread, ip, rsp, is_store=False, value=value)
+        thread.registers[dst.name] = value
+        thread.registers["rsp"] = (rsp + 8) & MASK64
+        thread.ip = ip + 1
+
+    def _op_jmp(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        if ins.target is not None:
+            target = self.program.target_address(ins)
+            indirect = False
+        else:
+            (reg,) = ins.operands
+            assert isinstance(reg, Reg)
+            target = thread.registers[reg.name]
+            indirect = True
+        self._emit_branch(thread, ip, target, taken=None, conditional=False,
+                          indirect=indirect)
+        thread.ip = target
+
+    def _op_jcc(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        taken = thread.flags.taken(ins.op)
+        target = self.program.target_address(ins) if taken else ip + 1
+        self._emit_branch(thread, ip, target, taken=taken, conditional=True,
+                          indirect=False)
+        thread.ip = target
+
+    def _op_call(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        target = self.program.target_address(ins)
+        rsp = (thread.registers["rsp"] - 8) & MASK64
+        thread.registers["rsp"] = rsp
+        # The return-address push is part of the control transfer, not a
+        # PEBS-countable data access (thread-private, never racy).
+        self.memory.store(rsp, ip + 1)
+        self._emit_branch(thread, ip, target, taken=None, conditional=False,
+                          indirect=False, is_call=True)
+        thread.ip = target
+
+    def _op_ret(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        rsp = thread.registers["rsp"]
+        target = self.memory.load(rsp)
+        thread.registers["rsp"] = (rsp + 8) & MASK64
+        if target == RETURN_SENTINEL:
+            self._exit_thread(thread)
+            return
+        self._emit_branch(thread, ip, target, taken=None, conditional=False,
+                          indirect=True)
+        thread.ip = target
+
+    # -- system ops ------------------------------------------------------
+
+    def _op_spawn(self, thread: ThreadState, ip: int,
+                  ins: Instruction) -> None:
+        entry_ip = self.program.target_address(ins)
+        child = self._create_thread(entry_ip, parent=thread)
+        (dst,) = ins.operands
+        assert isinstance(dst, Reg)
+        thread.registers[dst.name] = child.tid
+        self._emit_sync(thread, ip, "fork", child.tid)
+        thread.ip = ip + 1
+
+    def _op_join(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        tid = self._eval(thread, ip, ins.operands[0])
+        peer = self.threads.get(tid)
+        if peer is None:
+            raise MachineError(f"join on unknown tid {tid}")
+        thread.ip = ip + 1
+        if peer.status == ThreadStatus.DONE:
+            self._emit_sync(thread, ip, "join", tid)
+            return
+        peer.join_waiters.append(thread.tid)
+        thread.block(BlockReason.JOIN, tid)
+        # The join sync event is emitted when the join completes (at the
+        # joined thread's exit), preserving happens-before TSC ordering.
+
+    def _op_lock(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        mutex = self.sync.mutex(address)
+        thread.ip = ip + 1
+        if mutex.acquire(thread.tid):
+            self._emit_sync(thread, ip, "lock", address)
+        else:
+            thread.block(BlockReason.MUTEX, address)
+
+    def _op_unlock(self, thread: ThreadState, ip: int,
+                   ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        mutex = self.sync.mutex(address)
+        self._emit_sync(thread, ip, "unlock", address)
+        next_owner = mutex.release(thread.tid)
+        thread.ip = ip + 1
+        if next_owner is not None:
+            waiter = self.threads[next_owner]
+            waiter.unblock()
+            # The waiter's lock acquisition completes now.
+            self._emit_sync(waiter, waiter.ip - 1, "lock", address)
+
+    def _op_cond_wait(self, thread: ThreadState, ip: int,
+                      ins: Instruction) -> None:
+        cv_addr = self._eval(thread, ip, ins.operands[0])
+        mutex_addr = self._eval(thread, ip, ins.operands[1])
+        cv = self.sync.condvar(cv_addr)
+        mutex = self.sync.mutex(mutex_addr)
+        # pthread_cond_wait: atomically release the mutex and sleep.
+        self._emit_sync(thread, ip, "unlock", mutex_addr)
+        next_owner = mutex.release(thread.tid)
+        if next_owner is not None:
+            waiter = self.threads[next_owner]
+            waiter.unblock()
+            self._emit_sync(waiter, waiter.ip - 1, "lock", mutex_addr)
+        cv.waiters.append((thread.tid, mutex_addr))
+        thread.ip = ip + 1
+        thread.block(BlockReason.CONDVAR, cv_addr)
+
+    def _wake_cond_waiter(self, cv) -> None:
+        tid, mutex_addr = cv.waiters.popleft()
+        waiter = self.threads[tid]
+        # Conservative HB edge signaler → waiter (common detector
+        # practice; POSIX only promises ordering through the mutex).
+        self._emit_sync(waiter, waiter.ip - 1, "cond_wake", cv.address)
+        mutex = self.sync.mutex(mutex_addr)
+        if mutex.acquire(tid):
+            waiter.unblock()
+            self._emit_sync(waiter, waiter.ip - 1, "lock", mutex_addr)
+        else:
+            # Queued for the mutex; wakes via the unlock hand-off path.
+            waiter.block(BlockReason.MUTEX, mutex_addr)
+
+    def _op_cond_signal(self, thread: ThreadState, ip: int,
+                        ins: Instruction) -> None:
+        cv_addr = self._eval(thread, ip, ins.operands[0])
+        cv = self.sync.condvar(cv_addr)
+        self._emit_sync(thread, ip, "cond_signal", cv_addr)
+        if cv.waiters:
+            self._wake_cond_waiter(cv)
+        thread.ip = ip + 1
+
+    def _op_cond_broadcast(self, thread: ThreadState, ip: int,
+                           ins: Instruction) -> None:
+        cv_addr = self._eval(thread, ip, ins.operands[0])
+        cv = self.sync.condvar(cv_addr)
+        self._emit_sync(thread, ip, "cond_signal", cv_addr)
+        while cv.waiters:
+            self._wake_cond_waiter(cv)
+        thread.ip = ip + 1
+
+    def _op_sem_post(self, thread: ThreadState, ip: int,
+                     ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        sem = self.sync.semaphore(address)
+        self._emit_sync(thread, ip, "sem_post", address)
+        woken = sem.post()
+        thread.ip = ip + 1
+        if woken is not None:
+            waiter = self.threads[woken]
+            waiter.unblock()
+            self._emit_sync(waiter, waiter.ip - 1, "sem_wait", address)
+
+    def _op_sem_wait(self, thread: ThreadState, ip: int,
+                     ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        sem = self.sync.semaphore(address)
+        thread.ip = ip + 1
+        if sem.wait(thread.tid):
+            self._emit_sync(thread, ip, "sem_wait", address)
+        else:
+            thread.block(BlockReason.SEMAPHORE, address)
+
+    def _op_malloc(self, thread: ThreadState, ip: int,
+                   ins: Instruction) -> None:
+        size, dst = ins.operands
+        assert isinstance(dst, Reg)
+        nbytes = self._eval(thread, ip, size)
+        address = self.heap.malloc(nbytes, self.tsc)
+        thread.registers[dst.name] = address
+        self._emit_alloc(thread, ip, "malloc", address, nbytes)
+        thread.ip = ip + 1
+
+    def _op_free(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        record = self.heap.free(address, self.tsc)
+        self._emit_alloc(thread, ip, "free", address, record.size)
+        thread.ip = ip + 1
+
+    def _op_io(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        cycles = self._eval(thread, ip, ins.operands[0])
+        self._io_cycles += cycles
+        thread.io_cycles += cycles
+        thread.ip = ip + 1
+        wake = self.tsc + cycles
+        thread.block(BlockReason.IO, wake)
+        self._io_blocked[thread.tid] = thread
+        if wake < self._io_next_wake:
+            self._io_next_wake = wake
+
+    def _op_halt(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        self._exit_thread(thread)
+
+    def _op_nop(self, thread: ThreadState, ip: int, ins: Instruction) -> None:
+        thread.ip = ip + 1
+
+    def _exit_thread(self, thread: ThreadState) -> None:
+        thread.status = ThreadStatus.DONE
+        for obs in self.observers:
+            obs.on_thread_exit(self.tsc, thread.tid)
+        for waiter_tid in thread.join_waiters:
+            waiter = self.threads[waiter_tid]
+            waiter.unblock()
+            self._emit_sync(waiter, waiter.ip - 1, "join", thread.tid)
+        thread.join_waiters.clear()
+
+
+_DISPATCH = {
+    Op.MOV: Machine._op_mov,
+    Op.LEA: Machine._op_lea,
+    Op.PUSH: Machine._op_push,
+    Op.POP: Machine._op_pop,
+    Op.CMP: Machine._op_cmp,
+    Op.TEST: Machine._op_cmp,
+    Op.JMP: Machine._op_jmp,
+    Op.CALL: Machine._op_call,
+    Op.RET: Machine._op_ret,
+    Op.SPAWN: Machine._op_spawn,
+    Op.JOIN: Machine._op_join,
+    Op.LOCK: Machine._op_lock,
+    Op.UNLOCK: Machine._op_unlock,
+    Op.SEM_POST: Machine._op_sem_post,
+    Op.SEM_WAIT: Machine._op_sem_wait,
+    Op.COND_WAIT: Machine._op_cond_wait,
+    Op.COND_SIGNAL: Machine._op_cond_signal,
+    Op.COND_BROADCAST: Machine._op_cond_broadcast,
+    Op.MALLOC: Machine._op_malloc,
+    Op.FREE: Machine._op_free,
+    Op.IO: Machine._op_io,
+    Op.HALT: Machine._op_halt,
+    Op.NOP: Machine._op_nop,
+}
+for _op in ALU_BINARY:
+    _DISPATCH[_op] = Machine._op_alu
+for _op in ALU_UNARY:
+    _DISPATCH[_op] = Machine._op_alu_unary
+for _op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE):
+    _DISPATCH[_op] = Machine._op_jcc

@@ -1,0 +1,45 @@
+"""Flat 64-bit word memory for the simulated machine.
+
+Addresses are byte addresses; every access reads or writes one 64-bit word
+at its address (the workload programs use 8-byte-strided layouts, matching
+how the paper's race bugs are word-granular variables).  Unwritten
+locations read as zero, like demand-zeroed pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..isa.registers import MASK64
+
+
+class Memory:
+    """Sparse word-addressable memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, initial: Dict[int, int] | None = None) -> None:
+        self._words: Dict[int, int] = {}
+        if initial:
+            for address, value in initial.items():
+                self.store(address, value)
+
+    def load(self, address: int) -> int:
+        return self._words.get(address & MASK64, 0)
+
+    def store(self, address: int, value: int) -> None:
+        self._words[address & MASK64] = value & MASK64
+
+    def __contains__(self, address: int) -> bool:
+        return (address & MASK64) in self._words
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._words.items())
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone

@@ -1,0 +1,126 @@
+"""Synchronization objects: mutexes and counting semaphores.
+
+Lock variables are plain data addresses (as in pthreads); the machine
+keeps a side table from address to the object state.  All operations are
+FIFO-fair so runs are deterministic under a fixed scheduler seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+
+class SyncError(Exception):
+    """Raised on synchronization misuse (unlock by non-owner, ...)."""
+
+
+@dataclass
+class Mutex:
+    """A non-recursive FIFO mutex identified by its variable address."""
+
+    address: int
+    owner: Optional[int] = None
+    waiters: Deque[int] = field(default_factory=deque)
+
+    def acquire(self, tid: int) -> bool:
+        """Try to acquire for *tid*; returns False if the caller must block."""
+        if self.owner is None:
+            self.owner = tid
+            return True
+        if self.owner == tid:
+            raise SyncError(
+                f"thread {tid} re-locking non-recursive mutex {self.address:#x}"
+            )
+        self.waiters.append(tid)
+        return False
+
+    def release(self, tid: int) -> Optional[int]:
+        """Release; returns the tid to hand ownership to, if any."""
+        if self.owner != tid:
+            raise SyncError(
+                f"thread {tid} unlocking mutex {self.address:#x} owned by "
+                f"{self.owner}"
+            )
+        if self.waiters:
+            self.owner = self.waiters.popleft()
+            return self.owner
+        self.owner = None
+        return None
+
+
+@dataclass
+class Semaphore:
+    """A counting semaphore identified by its variable address.
+
+    ``sem_post``/``sem_wait`` give workloads a way to build happens-before
+    edges that are not mutual exclusion (message-passing style ordering),
+    which the FastTrack detector must honour to avoid false positives.
+    """
+
+    address: int
+    count: int = 0
+    waiters: Deque[int] = field(default_factory=deque)
+
+    def wait(self, tid: int) -> bool:
+        """Try to decrement for *tid*; returns False if the caller blocks."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        self.waiters.append(tid)
+        return False
+
+    def post(self) -> Optional[int]:
+        """Increment; returns a tid to wake, if one was blocked."""
+        if self.waiters:
+            return self.waiters.popleft()
+        self.count += 1
+        return None
+
+
+@dataclass
+class CondVar:
+    """A condition variable: waiters sleep with their mutex noted, so a
+    signal can hand them back to the mutex's acquisition path."""
+
+    address: int
+    #: (tid, mutex address) of each sleeping waiter, FIFO.
+    waiters: Deque[tuple] = field(default_factory=deque)
+
+
+class SyncTable:
+    """Side table mapping variable addresses to sync object state."""
+
+    def __init__(self) -> None:
+        self._mutexes: Dict[int, Mutex] = {}
+        self._semaphores: Dict[int, Semaphore] = {}
+        self._condvars: Dict[int, CondVar] = {}
+
+    def _check_free(self, address: int, wanted: str) -> None:
+        kinds = {
+            "mutex": self._mutexes,
+            "semaphore": self._semaphores,
+            "condvar": self._condvars,
+        }
+        for kind, table in kinds.items():
+            if kind != wanted and address in table:
+                raise SyncError(
+                    f"{address:#x} already used as a {kind}"
+                )
+
+    def mutex(self, address: int) -> Mutex:
+        self._check_free(address, "mutex")
+        return self._mutexes.setdefault(address, Mutex(address))
+
+    def semaphore(self, address: int) -> Semaphore:
+        self._check_free(address, "semaphore")
+        return self._semaphores.setdefault(address, Semaphore(address))
+
+    def condvar(self, address: int) -> CondVar:
+        self._check_free(address, "condvar")
+        return self._condvars.setdefault(address, CondVar(address))
+
+    def held_anywhere(self) -> bool:
+        """True if any mutex is currently held (deadlock diagnostics)."""
+        return any(m.owner is not None for m in self._mutexes.values())

@@ -1,0 +1,59 @@
+"""Simulated performance monitoring unit: PEBS sampling, PT control-flow
+tracing, and driver cost models (see DESIGN.md §2)."""
+
+from .drivers import (
+    DriverAccounting,
+    DriverModel,
+    PRORACE_DRIVER,
+    VANILLA_DRIVER,
+)
+from .pebs import PEBSConfig, PEBSEngine
+from .pt import (
+    MTC_BYTES,
+    PSB_BYTES,
+    PTConfig,
+    PTPacket,
+    PTPacketizer,
+    PTThreadTrace,
+    PacketKind,
+    RET_STACK_DEPTH,
+    TIP_BYTES,
+    TNT_BITS_PER_BYTE,
+)
+from .records import (
+    ALLOC_RECORD_BYTES,
+    AllocRecord,
+    DS_SEGMENT_BYTES,
+    PEBSSample,
+    PERF_METADATA_BYTES,
+    RAW_PEBS_RECORD_BYTES,
+    SYNC_RECORD_BYTES,
+    SyncRecord,
+)
+
+__all__ = [
+    "ALLOC_RECORD_BYTES",
+    "AllocRecord",
+    "DS_SEGMENT_BYTES",
+    "DriverAccounting",
+    "DriverModel",
+    "MTC_BYTES",
+    "PEBSConfig",
+    "PEBSEngine",
+    "PEBSSample",
+    "PERF_METADATA_BYTES",
+    "PRORACE_DRIVER",
+    "PSB_BYTES",
+    "PTConfig",
+    "PTPacket",
+    "PTPacketizer",
+    "PTThreadTrace",
+    "PacketKind",
+    "RAW_PEBS_RECORD_BYTES",
+    "RET_STACK_DEPTH",
+    "SYNC_RECORD_BYTES",
+    "SyncRecord",
+    "TIP_BYTES",
+    "TNT_BITS_PER_BYTE",
+    "VANILLA_DRIVER",
+]

@@ -1,0 +1,182 @@
+"""Simulated Intel Processor Trace (PT): compressed control-flow tracing.
+
+PT records the executed control flow in a highly compressed packet stream
+(§4.2): conditional-branch outcomes as TNT bits (six per byte), indirect
+targets as TIP packets, call-return pairs compressed via an internal
+return stack (a compressed RET costs a single TNT bit), plus periodic
+timing (MTC) and synchronization (PSB) packets.
+
+Two fidelities coexist here, as explained in DESIGN.md §2:
+
+* **Byte accounting** follows the packed on-wire format, so trace-size
+  experiments (Figures 8–9) measure what real PT would write.
+* **Decode fidelity** carries an exact per-packet TSC side channel.  On
+  real hardware the cycle-granular TSC makes PEBS↔PT alignment effectively
+  exact; our simulated clock ticks once per *instruction*, so without the
+  side channel the alignment would be artificially ambiguous.  The side
+  channel restores the hardware's effective precision without charging
+  bytes for it.
+
+Code-region filtering (§4.2: the PT hardware offers four address range
+filters; ProRace monitors only the main executable) is supported via
+``PTConfig.filters``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.observers import BranchEvent, MachineObserver
+
+#: Bytes per packet kind in the packed format.
+TIP_BYTES = 5
+MTC_BYTES = 2
+PSB_BYTES = 16
+#: Conditional-branch outcomes per packed TNT byte.
+TNT_BITS_PER_BYTE = 6
+#: Depth of the hardware return-compression stack.
+RET_STACK_DEPTH = 64
+
+
+class PacketKind(enum.Enum):
+    TIP = "tip"  # indirect branch / uncompressed ret / trace start target
+    TNT = "tnt"  # one conditional-branch outcome or compressed-ret bit
+    END = "end"  # tracing stops for this thread (TIP.PGD)
+
+
+@dataclass(frozen=True)
+class PTPacket:
+    """One decoded-form packet with its exact-TSC side channel."""
+
+    kind: PacketKind
+    tsc: int
+    target: Optional[int] = None  # TIP payload
+    bit: Optional[bool] = None  # TNT payload
+
+
+@dataclass(frozen=True)
+class PTConfig:
+    """PT programming.
+
+    Args:
+        filters: up to four ``(lo, hi)`` half-open code-address ranges to
+            trace; empty means trace everything (whole program).
+        mtc_period: cycles between MTC timing packets (size accounting).
+        psb_period: packets between PSB sync packets (size accounting).
+        ret_compression: model the hardware return stack (compressed RETs
+            cost one TNT bit instead of a TIP packet).
+    """
+
+    filters: Tuple[Tuple[int, int], ...] = ()
+    mtc_period: int = 4096
+    psb_period: int = 1024
+    ret_compression: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.filters) > 4:
+            raise ValueError("PT supports at most four address filters")
+
+    def in_region(self, ip: int) -> bool:
+        if not self.filters:
+            return True
+        return any(lo <= ip < hi for lo, hi in self.filters)
+
+
+@dataclass
+class PTThreadTrace:
+    """The packet stream of one thread."""
+
+    tid: int
+    start_ip: int
+    start_tsc: int
+    packets: List[PTPacket] = field(default_factory=list)
+    end_tsc: Optional[int] = None
+    #: True if a region filter suppressed one or more branch packets; the
+    #: decoder cannot follow control flow past the first gap.
+    truncated: bool = False
+
+    def size_bytes(self, config: PTConfig) -> int:
+        """On-wire bytes of this stream in the packed format."""
+        total = PSB_BYTES + TIP_BYTES  # initial PSB + start TIP
+        packet_count = 2
+        tnt_run = 0
+        for packet in self.packets:
+            if packet.kind == PacketKind.TNT:
+                tnt_run += 1
+                continue
+            # A non-TNT packet flushes any pending TNT byte run.
+            total += -(-tnt_run // TNT_BITS_PER_BYTE)
+            packet_count += -(-tnt_run // TNT_BITS_PER_BYTE)
+            tnt_run = 0
+            total += TIP_BYTES
+            packet_count += 1
+        total += -(-tnt_run // TNT_BITS_PER_BYTE)
+        packet_count += -(-tnt_run // TNT_BITS_PER_BYTE)
+        # Timing and sync packets.
+        if self.end_tsc is not None and config.mtc_period > 0:
+            elapsed = max(0, self.end_tsc - self.start_tsc)
+            total += MTC_BYTES * (elapsed // config.mtc_period)
+        if config.psb_period > 0:
+            total += PSB_BYTES * (packet_count // config.psb_period)
+        return total
+
+
+class PTPacketizer(MachineObserver):
+    """Machine observer producing per-thread PT packet streams."""
+
+    def __init__(self, config: PTConfig = PTConfig()) -> None:
+        self.config = config
+        self.traces: Dict[int, PTThreadTrace] = {}
+        self._ret_stacks: Dict[int, List[int]] = {}
+        self.branches_seen = 0
+        self.packets_emitted = 0
+
+    # ------------------------------------------------------------------
+
+    def on_thread_start(self, tsc: int, tid: int, core: int, ip: int) -> None:
+        self.traces[tid] = PTThreadTrace(tid=tid, start_ip=ip, start_tsc=tsc)
+        self._ret_stacks[tid] = []
+
+    def on_thread_exit(self, tsc: int, tid: int) -> None:
+        trace = self.traces[tid]
+        trace.packets.append(PTPacket(PacketKind.END, tsc))
+        trace.end_tsc = tsc
+        self.packets_emitted += 1
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.branches_seen += 1
+        trace = self.traces[event.tid]
+        if not self.config.in_region(event.ip):
+            trace.truncated = True
+            return
+        stack = self._ret_stacks[event.tid]
+        if event.is_conditional:
+            self._emit(trace, PTPacket(PacketKind.TNT, event.tsc,
+                                       bit=event.taken))
+            return
+        if not event.is_indirect:
+            # Direct jmp/call: statically recoverable, no packet — but the
+            # return-compression stack must shadow calls.
+            if event.is_call:
+                stack.append(event.ip + 1)
+                if len(stack) > RET_STACK_DEPTH:
+                    del stack[0]
+            return
+        # Indirect transfer: RET (compressible) or indirect jmp.
+        if self.config.ret_compression and stack and stack[-1] == event.target:
+            stack.pop()
+            self._emit(trace, PTPacket(PacketKind.TNT, event.tsc, bit=True))
+            return
+        self._emit(trace, PTPacket(PacketKind.TIP, event.tsc,
+                                   target=event.target))
+
+    def _emit(self, trace: PTThreadTrace, packet: PTPacket) -> None:
+        trace.packets.append(packet)
+        self.packets_emitted += 1
+
+    # ------------------------------------------------------------------
+
+    def total_size_bytes(self) -> int:
+        return sum(t.size_bytes(self.config) for t in self.traces.values())

@@ -1,0 +1,21 @@
+"""Offline PT packet decoding (Figure 1's "Decode & Synthesis" stage)."""
+
+from .decoder import (
+    AlignedSample,
+    DecodeError,
+    DecodedPath,
+    align_samples,
+    decode_all,
+    decode_thread,
+    locate_syncs,
+)
+
+__all__ = [
+    "AlignedSample",
+    "DecodeError",
+    "DecodedPath",
+    "align_samples",
+    "decode_all",
+    "decode_thread",
+    "locate_syncs",
+]

@@ -1,0 +1,265 @@
+"""PT decode: packets + program binary → per-thread instruction paths.
+
+This is the offline "Decode & Synthesis" stage of Figure 1.  Given the
+application binary and one thread's packet stream, the decoder re-walks
+the program: direct transfers follow statically, conditional branches
+consume TNT bits, indirect transfers consume TIP packets, and compressed
+returns consume a TNT bit while popping a shadow call stack that exactly
+mirrors the packetizer's.
+
+The decoded path carries *anchors* — (step index, TSC) pairs, one per
+consumed packet — which later stages use to align PEBS samples and sync
+records onto exact path positions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Op
+from ..isa.program import Program
+from ..pmu.pt import PTConfig, PTThreadTrace, PacketKind
+from ..pmu.records import PEBSSample, SyncRecord
+
+
+class DecodeError(Exception):
+    """Raised when a packet stream is inconsistent with the binary."""
+
+
+def _needs_packet(ins) -> bool:
+    """True if executing *ins* requires consuming a PT packet."""
+    if ins.op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.RET):
+        return True
+    return ins.op == Op.JMP and ins.target is None
+
+
+@dataclass
+class DecodedPath:
+    """One thread's reconstructed execution path.
+
+    Attributes:
+        tid: thread id.
+        steps: executed instruction addresses, in order.
+        anchors: ``(step_index, tsc)`` pairs with *exact* timestamps,
+            sorted by step index: the start of the path, every consumed
+            branch packet, and the end of trace.
+        complete: False when a PT region filter truncated decode.
+    """
+
+    tid: int
+    steps: List[int]
+    anchors: List[Tuple[int, int]]
+    complete: bool = True
+
+    def segment_for_tsc(self, tsc: int) -> Tuple[int, int]:
+        """Step-index range ``(lo, hi)`` that executed in the anchor
+        window containing *tsc* (half-open on the left: steps with index
+        in ``(lo, hi]`` executed at TSCs in ``(anchor_lo, anchor_hi]``).
+        """
+        tscs = [a[1] for a in self.anchors]
+        pos = bisect.bisect_left(tscs, tsc)
+        if pos == 0:
+            return (-1, self.anchors[0][0])
+        if pos == len(self.anchors):
+            return (self.anchors[-1][0], len(self.steps) - 1)
+        return (self.anchors[pos - 1][0], self.anchors[pos][0])
+
+    def locate(self, ip: int, tsc: int) -> Optional[int]:
+        """Find the unique step index where *ip* executed at *tsc*.
+
+        Returns None if the ip does not occur in the TSC's anchor window
+        (e.g. the event predates the traced region).  If the window holds
+        several occurrences — impossible unless control flow revisits an
+        address without any packet-emitting branch in between — the first
+        is returned and :attr:`ambiguous` is incremented.
+        """
+        lo, hi = self.segment_for_tsc(tsc)
+        matches = [
+            j for j in range(max(lo, 0), min(hi, len(self.steps) - 1) + 1)
+            if self.steps[j] == ip
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            self.ambiguous += 1
+        return matches[0]
+
+    ambiguous: int = 0
+
+
+def decode_thread(
+    program: Program,
+    trace: PTThreadTrace,
+    config: Optional[PTConfig] = None,
+    max_steps: int = 50_000_000,
+) -> DecodedPath:
+    """Decode one thread's packet stream into its execution path.
+
+    When *config* carries address filters, decode stops at the first
+    branch outside the filtered regions (its packet was never recorded,
+    so control flow past it is unknown) and the path is marked incomplete.
+    """
+    steps: List[int] = []
+    anchors: List[Tuple[int, int]] = []
+    shadow_stack: List[int] = []
+    packets = trace.packets
+    cursor = 0
+    ip = trace.start_ip
+    complete = True
+
+    def next_packet():
+        nonlocal cursor
+        if cursor >= len(packets):
+            return None
+        packet = packets[cursor]
+        cursor += 1
+        return packet
+
+    def peek_packet():
+        return packets[cursor] if cursor < len(packets) else None
+
+    while True:
+        if len(steps) >= max_steps:
+            raise DecodeError(f"decode exceeded {max_steps} steps")
+        if not (0 <= ip < len(program)):
+            raise DecodeError(f"decoded ip {ip} out of program range")
+        ins = program[ip]
+        steps.append(ip)
+        op = ins.op
+
+        if (
+            config is not None
+            and config.filters
+            and _needs_packet(ins)
+            and not config.in_region(ip)
+        ):
+            # The packetizer never recorded this branch; control flow past
+            # it is unknown.
+            steps.pop()
+            complete = False
+            break
+
+        if op == Op.HALT:
+            packet = next_packet()
+            if packet is not None and packet.kind != PacketKind.END:
+                raise DecodeError(f"expected END at halt, got {packet.kind}")
+            if packet is not None:
+                anchors.append((len(steps) - 1, packet.tsc))
+            break
+
+        if op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE):
+            packet = next_packet()
+            if packet is None or packet.kind != PacketKind.TNT:
+                if complete and packet is None:
+                    # Trace ended mid-flight (filtered or torn stream).
+                    steps.pop()
+                    complete = False
+                    break
+                raise DecodeError("expected TNT for conditional branch")
+            anchors.append((len(steps) - 1, packet.tsc))
+            ip = program.target_address(ins) if packet.bit else ip + 1
+            continue
+
+        if op == Op.JMP:
+            if ins.target is not None:
+                ip = program.target_address(ins)
+            else:
+                packet = next_packet()
+                if packet is None or packet.kind != PacketKind.TIP:
+                    raise DecodeError("expected TIP for indirect jmp")
+                anchors.append((len(steps) - 1, packet.tsc))
+                ip = packet.target
+            continue
+
+        if op == Op.CALL:
+            shadow_stack.append(ip + 1)
+            ip = program.target_address(ins)
+            continue
+
+        if op == Op.RET:
+            packet = peek_packet()
+            if packet is None or packet.kind == PacketKind.END:
+                # Thread-exit return (to the bottom-of-stack sentinel).
+                if packet is not None:
+                    next_packet()
+                    anchors.append((len(steps) - 1, packet.tsc))
+                break
+            next_packet()
+            anchors.append((len(steps) - 1, packet.tsc))
+            if packet.kind == PacketKind.TNT:
+                if not packet.bit:
+                    raise DecodeError("compressed-ret TNT bit must be taken")
+                if not shadow_stack:
+                    raise DecodeError("compressed ret with empty call stack")
+                ip = shadow_stack.pop()
+            elif packet.kind == PacketKind.TIP:
+                ip = packet.target
+            else:
+                raise DecodeError(f"unexpected packet at ret: {packet.kind}")
+            continue
+
+        # Every other instruction (data, ALU, system ops) falls through.
+        ip += 1
+
+    path = DecodedPath(
+        tid=trace.tid, steps=steps, anchors=anchors, complete=complete
+    )
+    if not anchors or anchors[0][0] != 0:
+        path.anchors = [(0, trace.start_tsc)] + path.anchors
+    return path
+
+
+def decode_all(
+    program: Program,
+    traces: Dict[int, PTThreadTrace],
+    config: Optional[PTConfig] = None,
+) -> Dict[int, DecodedPath]:
+    """Decode every thread's stream."""
+    return {
+        tid: decode_thread(program, t, config=config)
+        for tid, t in traces.items()
+    }
+
+
+@dataclass(frozen=True)
+class AlignedSample:
+    """A PEBS sample pinned to its exact position in the decoded path."""
+
+    sample: PEBSSample
+    step_index: int
+
+
+def align_samples(
+    path: DecodedPath, samples: Sequence[PEBSSample]
+) -> List[AlignedSample]:
+    """Pin each sample of this thread onto the decoded path.
+
+    Samples that cannot be located (trace truncation) are skipped — the
+    corresponding reconstruction opportunity is simply lost, matching how
+    a torn trace degrades gracefully in the real system.
+    """
+    aligned = []
+    for sample in sorted(samples, key=lambda s: s.tsc):
+        index = path.locate(sample.ip, sample.tsc)
+        if index is not None:
+            aligned.append(AlignedSample(sample=sample, step_index=index))
+    return aligned
+
+
+def locate_syncs(
+    path: DecodedPath, records: Sequence[SyncRecord]
+) -> List[Tuple[SyncRecord, int]]:
+    """Pin each sync record of this thread onto the decoded path.
+
+    Fork/join records emitted on behalf of a blocked thread when its
+    wake-up arrives (lock hand-off, join completion) carry the ip of the
+    blocking instruction and its original step position.
+    """
+    located = []
+    for record in sorted(records, key=lambda r: (r.tsc, r.seq)):
+        index = path.locate(record.ip, record.tsc)
+        if index is not None:
+            located.append((record, index))
+    return located

@@ -1,0 +1,299 @@
+"""Replay engine: reconstruct a whole run's unsampled memory accesses.
+
+Orchestrates :class:`~repro.replay.window.WindowReplayer` over every
+thread's decoded path, splitting it at the aligned PEBS samples (Figure
+4's alternating forward/backward replays), and assembles the *extended
+memory trace* — sampled plus reconstructed accesses — that the race
+detector consumes.
+
+Three modes reproduce the paper's Figure 11 comparison:
+
+* ``"full"`` — ProRace: forward + backward replay across basic blocks,
+  iterated to fixpoint.
+* ``"forward"`` — forward replay only (ablation).
+* ``"basicblock"`` — the RaceZ baseline: recovery confined to the basic
+  block containing each sample (forward within the block, plus trivial
+  backward propagation within that block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..isa.program import Program
+from ..ptdecode.decoder import AlignedSample, DecodedPath, align_samples, decode_all
+from ..tracing.bundle import TraceBundle
+from .program_map import Known
+from .window import (
+    PROV_BACKWARD,
+    PROV_BASICBLOCK,
+    PROV_FORWARD,
+    PROV_SAMPLED,
+    RecoveredAccess,
+    WindowReplayer,
+)
+
+_MODES = ("full", "forward", "basicblock")
+
+
+@dataclass
+class ReplayStats:
+    """Counts for the recovery-ratio metrics (Figure 11)."""
+
+    sampled: int = 0
+    forward: int = 0
+    backward: int = 0
+    basicblock: int = 0
+    windows: int = 0
+    iterations: int = 0
+
+    def merge(self, other: "ReplayStats") -> None:
+        """Fold another (per-thread) tally into this one."""
+        self.sampled += other.sampled
+        self.forward += other.forward
+        self.backward += other.backward
+        self.basicblock += other.basicblock
+        self.windows += other.windows
+        self.iterations += other.iterations
+
+    @property
+    def recovered(self) -> int:
+        return self.forward + self.backward + self.basicblock
+
+    @property
+    def recovery_ratio(self) -> float:
+        """(recovered + sampled) / sampled — the paper's Figure 11 metric
+        ("the number of recovered and sampled memory operations normalized
+        to the number of original PEBS-sampled instructions")."""
+        if self.sampled == 0:
+            return 0.0
+        return (self.recovered + self.sampled) / self.sampled
+
+
+@dataclass
+class ReplayResult:
+    """The extended memory trace plus bookkeeping."""
+
+    per_thread: Dict[int, List[RecoveredAccess]]
+    paths: Dict[int, DecodedPath]
+    aligned: Dict[int, List[AlignedSample]]
+    stats: ReplayStats
+
+    @property
+    def accesses(self) -> List[RecoveredAccess]:
+        result: List[RecoveredAccess] = []
+        for tid in sorted(self.per_thread):
+            result.extend(self.per_thread[tid])
+        return result
+
+
+class ReplayEngine:
+    """Reconstructs unsampled memory accesses for traced runs."""
+
+    def __init__(
+        self,
+        program: Program,
+        mode: str = "full",
+        max_iterations: int = 4,
+        poisoned: Optional[FrozenSet[int]] = None,
+        jobs: int = 1,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}: {mode!r}")
+        self.program = program
+        self.mode = mode
+        self.max_iterations = max_iterations
+        self.poisoned = poisoned or frozenset()
+        #: Worker threads: per-thread replays are independent (§7.6).
+        self.jobs = max(1, jobs)
+
+    # ------------------------------------------------------------------
+
+    def replay_bundle(
+        self,
+        bundle: TraceBundle,
+        paths: Optional[Dict[int, DecodedPath]] = None,
+    ) -> ReplayResult:
+        """Replay every thread of a trace bundle."""
+        if paths is None:
+            paths = decode_all(self.program, bundle.pt_traces,
+                               config=bundle.pt_config)
+        stats = ReplayStats()
+        per_thread: Dict[int, List[RecoveredAccess]] = {}
+        aligned_map: Dict[int, List[AlignedSample]] = {}
+
+        def one(tid):
+            path = paths[tid]
+            aligned = align_samples(path, bundle.samples_of_thread(tid))
+            local = ReplayStats()
+            accesses = self.replay_thread(path, aligned, local)
+            return tid, aligned, accesses, local
+
+        if self.jobs > 1 and len(paths) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                results = list(pool.map(one, sorted(paths)))
+        else:
+            results = [one(tid) for tid in sorted(paths)]
+        for tid, aligned, accesses, local in results:
+            aligned_map[tid] = aligned
+            per_thread[tid] = accesses
+            stats.merge(local)
+        return ReplayResult(
+            per_thread=per_thread, paths=paths, aligned=aligned_map,
+            stats=stats,
+        )
+
+    def replay_thread(
+        self,
+        path: DecodedPath,
+        aligned: Sequence[AlignedSample],
+        stats: Optional[ReplayStats] = None,
+    ) -> List[RecoveredAccess]:
+        """Reconstruct one thread's accesses from its path and samples."""
+        if stats is None:
+            stats = ReplayStats()
+        stats.sampled += len(aligned)
+        if self.mode == "basicblock":
+            accesses = self._replay_basicblock(path, aligned)
+        else:
+            accesses = self._replay_windows(path, aligned)
+        # The sampled instructions' own accesses come from the PEBS
+        # records (authoritative address straight from hardware).
+        sample_steps = {a.step_index: a.sample for a in aligned}
+        final: Dict[int, RecoveredAccess] = {}
+        for access in accesses:
+            if access.step_index in sample_steps:
+                continue
+            final[access.step_index] = access
+        for step, sample in sample_steps.items():
+            final[step] = RecoveredAccess(
+                tid=path.tid, step_index=step, ip=sample.ip,
+                address=sample.address, is_store=sample.is_store,
+                provenance=PROV_SAMPLED,
+            )
+        for access in final.values():
+            if access.provenance == PROV_FORWARD:
+                stats.forward += 1
+            elif access.provenance == PROV_BACKWARD:
+                stats.backward += 1
+            elif access.provenance == PROV_BASICBLOCK:
+                stats.basicblock += 1
+        return [final[j] for j in sorted(final)]
+
+    # ------------------------------------------------------------------
+
+    def _replay_windows(
+        self, path: DecodedPath, aligned: Sequence[AlignedSample]
+    ) -> List[RecoveredAccess]:
+        """Full/forward-only mode: windows between consecutive samples."""
+        accesses: List[RecoveredAccess] = []
+        boundaries = [a.step_index for a in aligned]
+        contexts = [a.sample.registers for a in aligned]
+        memory: Dict[int, Known] = {}
+        backward = self.mode == "full"
+
+        # Head window: path start up to the first sample — backward-replay
+        # territory (plus PC-relative forward recovery).
+        if boundaries and boundaries[0] > 0:
+            replayer = WindowReplayer(
+                self.program, path.steps, 0, boundaries[0], path.tid,
+                entry_registers=None,
+                exit_registers=contexts[0] if backward else None,
+                poisoned=self.poisoned,
+                max_iterations=self.max_iterations if backward else 1,
+            )
+            accesses.extend(replayer.run())
+
+        if not boundaries:
+            # No samples at all: only PC-relative forward recovery applies.
+            replayer = WindowReplayer(
+                self.program, path.steps, 0, len(path.steps), path.tid,
+                entry_registers=None, exit_registers=None,
+                poisoned=self.poisoned, max_iterations=1,
+            )
+            return replayer.run()
+
+        for i, start in enumerate(boundaries):
+            end = (
+                boundaries[i + 1] if i + 1 < len(boundaries)
+                else len(path.steps)
+            )
+            exit_regs = (
+                contexts[i + 1]
+                if backward and i + 1 < len(boundaries)
+                else None
+            )
+            replayer = WindowReplayer(
+                self.program, path.steps, start, end, path.tid,
+                entry_registers=contexts[i],
+                exit_registers=exit_regs,
+                entry_memory=memory,
+                poisoned=self.poisoned,
+                max_iterations=self.max_iterations if backward else 1,
+            )
+            accesses.extend(replayer.run())
+            memory = replayer.exit_memory
+        return accesses
+
+    # ------------------------------------------------------------------
+
+    def _replay_basicblock(
+        self, path: DecodedPath, aligned: Sequence[AlignedSample]
+    ) -> List[RecoveredAccess]:
+        """RaceZ baseline: recovery confined to each sample's basic block."""
+        accesses: List[RecoveredAccess] = []
+        for item in aligned:
+            lo, hi = self._block_bounds(path, item.step_index)
+            # Forward within the block, from the sample.
+            fwd = WindowReplayer(
+                self.program, path.steps, item.step_index, hi, path.tid,
+                entry_registers=item.sample.registers,
+                exit_registers=None,
+                poisoned=self.poisoned, max_iterations=1,
+            )
+            accesses.extend(fwd.run())
+            # Trivial backward propagation within the block.
+            if lo < item.step_index:
+                bwd = WindowReplayer(
+                    self.program, path.steps, lo, item.step_index, path.tid,
+                    entry_registers=None,
+                    exit_registers=item.sample.registers,
+                    poisoned=self.poisoned, max_iterations=2,
+                )
+                accesses.extend(bwd.run())
+        renamed = [
+            RecoveredAccess(
+                tid=a.tid, step_index=a.step_index, ip=a.ip,
+                address=a.address, is_store=a.is_store,
+                provenance=PROV_BASICBLOCK, taint=a.taint,
+            )
+            for a in accesses
+        ]
+        # Overlapping blocks (two samples in one block) may duplicate.
+        unique: Dict[int, RecoveredAccess] = {}
+        for access in renamed:
+            unique.setdefault(access.step_index, access)
+        return [unique[j] for j in sorted(unique)]
+
+    def _block_bounds(self, path: DecodedPath, step: int) -> tuple[int, int]:
+        """Largest step range around *step* staying inside one basic block
+        and consecutive in the path (straight-line execution)."""
+        block = self.program.block_containing(path.steps[step])
+        lo = step
+        while (
+            lo > 0
+            and path.steps[lo - 1] == path.steps[lo] - 1
+            and block.start <= path.steps[lo - 1]
+        ):
+            lo -= 1
+        hi = step + 1
+        while (
+            hi < len(path.steps)
+            and path.steps[hi] == path.steps[hi - 1] + 1
+            and path.steps[hi] < block.end
+        ):
+            hi += 1
+        return lo, hi

@@ -1,0 +1,124 @@
+"""The *program map*: availability-tracked register and memory state.
+
+The paper (§5.1) keeps "all the register and memory values in a special
+hash table called program map", where every location is either *available*
+(its 64-bit value is known) or *unavailable*.  Values here additionally
+carry a *taint set* — the emulated memory addresses whose contents flowed
+into them — so the detector-driven invalidation of §5.1 ("when a race is
+detected on the emulated memory location ... PRORACE invalidates the
+memory location and regenerates the trace") can identify exactly which
+reconstructed accesses to retract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+from ..isa.registers import MASK64
+
+#: Taint: emulated-memory addresses a value depends on (None = clean).
+Taint = Optional[FrozenSet[int]]
+
+
+def merge_taint(a: Taint, b: Taint) -> Taint:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+@dataclass(frozen=True)
+class Known:
+    """An available value with provenance taint."""
+
+    value: int
+    taint: Taint = None
+
+
+class ProgramMap:
+    """Register file + emulated memory with availability tracking.
+
+    Registers start unavailable; :meth:`restore_registers` makes the full
+    file available (what a PEBS sample's context provides).  Memory starts
+    empty ("unavailable in the first place") and gains entries only when
+    an available value is stored through a known address — the *memory
+    emulation* of §5.1, which :meth:`invalidate_memory` conservatively
+    clears at system calls or unknown-address stores.
+    """
+
+    __slots__ = ("_regs", "_memory", "memory_invalidations", "poisoned")
+
+    def __init__(self, poisoned: Optional[Iterable[int]] = None) -> None:
+        self._regs: Dict[str, Known] = {}
+        self._memory: Dict[int, Known] = {}
+        self.memory_invalidations = 0
+        #: Addresses whose emulated values must never be used (the
+        #: race-regeneration protocol marks racy locations poisoned).
+        self.poisoned: FrozenSet[int] = frozenset(poisoned or ())
+
+    # -- registers -------------------------------------------------------
+
+    def restore_registers(self, snapshot: Mapping[str, int]) -> None:
+        """Make the whole register file available (a PEBS context)."""
+        self._regs = {
+            name: Known(value & MASK64) for name, value in snapshot.items()
+        }
+
+    def get_register(self, name: str) -> Optional[Known]:
+        return self._regs.get(name)
+
+    def set_register(self, name: str, known: Optional[Known]) -> None:
+        """Set a register value; None marks it unavailable."""
+        if known is None:
+            self._regs.pop(name, None)
+        else:
+            self._regs[name] = Known(known.value & MASK64, known.taint)
+
+    def registers_view(self) -> Dict[str, int]:
+        """Plain name->value mapping of available registers (for
+        :func:`~repro.isa.semantics.effective_address`)."""
+        return {name: k.value for name, k in self._regs.items()}
+
+    def available_registers(self) -> FrozenSet[str]:
+        return frozenset(self._regs)
+
+    def all_registers_known(self, names: Iterable[str]) -> bool:
+        return all(name in self._regs for name in names)
+
+    # -- memory ------------------------------------------------------------
+
+    def load_memory(self, address: int) -> Optional[Known]:
+        """Read emulated memory; the result's taint includes the address
+        itself (the loaded value is only as trustworthy as the emulation
+        of that location)."""
+        known = self._memory.get(address & MASK64)
+        if known is None:
+            return None
+        return Known(known.value, merge_taint(known.taint,
+                                              frozenset({address & MASK64})))
+
+    def store_memory(self, address: int, known: Optional[Known]) -> None:
+        """Write emulated memory; an unavailable value evicts the entry."""
+        address &= MASK64
+        if known is None or address in self.poisoned:
+            self._memory.pop(address, None)
+        else:
+            self._memory[address] = known
+
+    def invalidate_memory(self) -> None:
+        """Conservatively drop all emulated memory (system call, or a
+        store through an unknown address that could alias anything)."""
+        if self._memory:
+            self._memory.clear()
+        self.memory_invalidations += 1
+
+    def emulated_addresses(self) -> FrozenSet[int]:
+        return frozenset(self._memory)
+
+    def memory_copy(self) -> Dict[int, Known]:
+        return dict(self._memory)
+
+    def set_memory_map(self, memory: Dict[int, Known]) -> None:
+        self._memory = dict(memory)

@@ -1,0 +1,15 @@
+"""Online-phase tracing: PMU wiring, sync/alloc logs, trace bundle."""
+
+from .bundle import TraceBundle, trace_run
+from .serialize import TraceFormatError, read_trace, write_trace
+from .tracers import GroundTruthRecorder, SyncTracer
+
+__all__ = [
+    "GroundTruthRecorder",
+    "SyncTracer",
+    "TraceBundle",
+    "TraceFormatError",
+    "read_trace",
+    "trace_run",
+    "write_trace",
+]

@@ -1,0 +1,116 @@
+"""The online phase, end to end: run a program under PMU tracing.
+
+:func:`trace_run` wires a :class:`~repro.machine.Machine` with the PEBS
+engine, PT packetizer, and sync tracer — the complete online stage of
+Figure 1 — and returns a :class:`TraceBundle` holding everything the
+offline stage consumes plus the accounting the cost model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..isa.program import Program
+from ..machine.machine import Machine, RunResult
+from ..pmu.drivers import DriverAccounting, DriverModel, PRORACE_DRIVER
+from ..pmu.pebs import PEBSConfig, PEBSEngine
+from ..pmu.pt import PTConfig, PTPacketizer, PTThreadTrace
+from ..pmu.records import AllocRecord, PEBSSample, SyncRecord
+from .tracers import GroundTruthRecorder, SyncTracer
+
+
+@dataclass
+class TraceBundle:
+    """Everything the online stage produced for one run."""
+
+    program: Program
+    run: RunResult
+    samples: List[PEBSSample]
+    pt_traces: Dict[int, PTThreadTrace]
+    pt_config: PTConfig
+    sync_records: List[SyncRecord]
+    alloc_records: List[AllocRecord]
+    pebs_accounting: DriverAccounting
+    pt_size_bytes: int
+    sync_size_bytes: int
+    #: Present only when requested — a test/metrics oracle, not a real
+    #: trace (see tracers.GroundTruthRecorder).
+    ground_truth: Optional[GroundTruthRecorder] = None
+
+    @property
+    def pebs_size_bytes(self) -> int:
+        return self.pebs_accounting.trace_bytes
+
+    @property
+    def pmu_trace_bytes(self) -> int:
+        """PEBS + PT bytes — the "trace" whose size the paper's Figures
+        8–9 measure.  The synchronization log is a separate, small
+        artefact in the real system."""
+        return self.pebs_size_bytes + self.pt_size_bytes
+
+    @property
+    def total_trace_bytes(self) -> int:
+        return self.pebs_size_bytes + self.pt_size_bytes + self.sync_size_bytes
+
+    def samples_of_thread(self, tid: int) -> List[PEBSSample]:
+        return [s for s in self.samples if s.tid == tid]
+
+
+def trace_run(
+    program: Program,
+    period: int,
+    driver: DriverModel = PRORACE_DRIVER,
+    seed: int = 0,
+    num_cores: int = 4,
+    pt_config: Optional[PTConfig] = None,
+    pebs_config: Optional[PEBSConfig] = None,
+    record_ground_truth: bool = False,
+    machine: Optional[Machine] = None,
+    entry: str = "main",
+) -> TraceBundle:
+    """Run *program* under full PMU tracing and return the trace bundle.
+
+    Args:
+        program: the binary to trace.
+        period: PEBS sampling period (ignored when *pebs_config* given).
+        driver: PEBS driver model (vanilla Linux vs ProRace).
+        seed: drives both the scheduler and PEBS period randomization, so
+            one seed fully determines a run.
+        num_cores: simulated core count.
+        pt_config: PT programming; default traces the whole program.
+        pebs_config: full PEBS programming override.
+        record_ground_truth: also capture the complete access trace
+            (oracle for tests/metrics; real systems cannot afford this).
+        machine: pre-built machine (for custom scheduler parameters);
+            must not have been run yet.
+        entry: program entry label.
+    """
+    if machine is None:
+        machine = Machine(program, num_cores=num_cores, seed=seed)
+    pebs = PEBSEngine(
+        pebs_config or PEBSConfig(period=period), driver=driver, seed=seed + 1
+    )
+    pt = PTPacketizer(pt_config or PTConfig())
+    sync = SyncTracer()
+    machine.attach(pebs)
+    machine.attach(pt)
+    machine.attach(sync)
+    ground_truth = None
+    if record_ground_truth:
+        ground_truth = GroundTruthRecorder()
+        machine.attach(ground_truth)
+    run = machine.run(entry=entry)
+    return TraceBundle(
+        program=program,
+        run=run,
+        samples=pebs.samples,
+        pt_traces=pt.traces,
+        pt_config=pt.config,
+        sync_records=sync.sync_records,
+        alloc_records=sync.alloc_records,
+        pebs_accounting=pebs.accounting,
+        pt_size_bytes=pt.total_size_bytes(),
+        sync_size_bytes=sync.size_bytes,
+        ground_truth=ground_truth,
+    )

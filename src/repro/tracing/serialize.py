@@ -1,0 +1,354 @@
+"""Binary trace-file serialization.
+
+The paper's deployment model (§3) has production machines write traces
+to files that dedicated analysis machines consume later (and delete
+after processing).  This module defines that artefact: a versioned,
+checksummed binary container for everything the offline stage needs —
+PEBS samples, PT packet streams, synchronization/allocation logs, and
+run metadata.  The format is this reproduction's own (not perf.data
+compatible; see DESIGN.md §6), but it is a real on-disk format: fixed
+little-endian layouts, sectioned, with a CRC32 trailer.
+
+Layout::
+
+    header:   magic "PRTR", u16 version, u16 flags, u32 section_count
+    section*: u32 kind, u64 payload_bytes, payload
+    trailer:  u32 crc32 of everything before it
+
+Section kinds: 1 = run metadata, 2 = PEBS samples, 3 = PT stream (one
+per thread), 4 = sync log, 5 = alloc log.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.registers import ALL_REGISTERS
+from ..machine.machine import RunResult
+from ..pmu.drivers import DriverAccounting, PRORACE_DRIVER, VANILLA_DRIVER
+from ..pmu.pt import PTConfig, PTPacket, PTThreadTrace, PacketKind
+from ..pmu.records import (
+    ALLOC_RECORD_BYTES,
+    AllocRecord,
+    PEBSSample,
+    SYNC_RECORD_BYTES,
+    SyncRecord,
+)
+from .bundle import TraceBundle
+
+MAGIC = b"PRTR"
+VERSION = 1
+
+_SEC_META = 1
+_SEC_PEBS = 2
+_SEC_PT = 3
+_SEC_SYNC = 4
+_SEC_ALLOC = 5
+
+_HEADER = struct.Struct("<4sHHI")
+_SECTION = struct.Struct("<IQ")
+#: PEBS sample: tsc, tid, core, ip, address, flags + 17 registers.
+_SAMPLE = struct.Struct("<QIIQQI" + "Q" * len(ALL_REGISTERS))
+#: Sync record: tsc, seq, tid, ip, kind, target.
+_SYNC = struct.Struct("<QQIQBQ")
+#: Alloc record: tsc, tid, ip, kind, address, size.
+_ALLOC = struct.Struct("<QIQBQQ")
+#: PT packet: kind, tsc, payload (target or bit).
+_PACKET = struct.Struct("<BQQ")
+#: PT stream header: tid, start_ip, start_tsc, end_tsc(+1), truncated,
+#: packet count.
+_PT_HEADER = struct.Struct("<IQQQBQ")
+#: Run metadata: the RunResult counters + driver id.
+_META = struct.Struct("<QQQQQIQQB")
+
+_SYNC_KINDS = ("lock", "unlock", "sem_post", "sem_wait",
+               "cond_signal", "cond_wake", "fork", "join")
+_ALLOC_KINDS = ("malloc", "free")
+_PACKET_KINDS = (PacketKind.TIP, PacketKind.TNT, PacketKind.END)
+
+
+class TraceFormatError(Exception):
+    """Raised on malformed or corrupted trace files."""
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _write_section(out: io.BytesIO, kind: int, payload: bytes) -> None:
+    out.write(_SECTION.pack(kind, len(payload)))
+    out.write(payload)
+
+
+def _encode_samples(samples: List[PEBSSample]) -> bytes:
+    chunks = []
+    for sample in samples:
+        registers = tuple(
+            sample.registers.get(name, 0) for name in ALL_REGISTERS
+        )
+        chunks.append(
+            _SAMPLE.pack(
+                sample.tsc, sample.tid, sample.core, sample.ip,
+                sample.address, int(sample.is_store), *registers,
+            )
+        )
+    return b"".join(chunks)
+
+
+def _encode_pt(trace: PTThreadTrace) -> bytes:
+    out = io.BytesIO()
+    end_tsc = 0 if trace.end_tsc is None else trace.end_tsc + 1
+    out.write(
+        _PT_HEADER.pack(
+            trace.tid, trace.start_ip, trace.start_tsc, end_tsc,
+            int(trace.truncated), len(trace.packets),
+        )
+    )
+    for packet in trace.packets:
+        kind = _PACKET_KINDS.index(packet.kind)
+        if packet.kind == PacketKind.TIP:
+            payload = packet.target or 0
+        elif packet.kind == PacketKind.TNT:
+            payload = int(bool(packet.bit))
+        else:
+            payload = 0
+        out.write(_PACKET.pack(kind, packet.tsc, payload))
+    return out.getvalue()
+
+
+def _encode_sync(records: List[SyncRecord]) -> bytes:
+    return b"".join(
+        _SYNC.pack(r.tsc, r.seq, r.tid, r.ip, _SYNC_KINDS.index(r.kind),
+                   r.target)
+        for r in records
+    )
+
+
+def _encode_alloc(records: List[AllocRecord]) -> bytes:
+    return b"".join(
+        _ALLOC.pack(r.tsc, r.tid, r.ip, _ALLOC_KINDS.index(r.kind),
+                    r.address, r.size)
+        for r in records
+    )
+
+
+def _encode_meta(bundle: TraceBundle) -> bytes:
+    run = bundle.run
+    driver_id = 1 if bundle.pebs_accounting.driver.name == "prorace" else 0
+    return _META.pack(
+        run.tsc, run.instructions, run.memory_ops, run.branches,
+        run.sync_ops, run.threads, run.io_cycles, run.idle_cycles,
+        driver_id,
+    )
+
+
+def write_trace(bundle: TraceBundle, path: Path | str) -> int:
+    """Serialize *bundle* to *path*; returns the bytes written.
+
+    The ground-truth oracle (when present) is intentionally *not*
+    serialized: a real trace file cannot contain it.
+    """
+    body = io.BytesIO()
+    sections: List[Tuple[int, bytes]] = [
+        (_SEC_META, _encode_meta(bundle)),
+        (_SEC_PEBS, _encode_samples(bundle.samples)),
+        (_SEC_SYNC, _encode_sync(bundle.sync_records)),
+        (_SEC_ALLOC, _encode_alloc(bundle.alloc_records)),
+    ]
+    for tid in sorted(bundle.pt_traces):
+        sections.append((_SEC_PT, _encode_pt(bundle.pt_traces[tid])))
+    body.write(_HEADER.pack(MAGIC, VERSION, 0, len(sections)))
+    for kind, payload in sections:
+        _write_section(body, kind, payload)
+    blob = body.getvalue()
+    blob += struct.pack("<I", zlib.crc32(blob))
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def _decode_samples(payload: bytes) -> List[PEBSSample]:
+    if len(payload) % _SAMPLE.size:
+        raise TraceFormatError("truncated PEBS section")
+    samples = []
+    for offset in range(0, len(payload), _SAMPLE.size):
+        fields = _SAMPLE.unpack_from(payload, offset)
+        tsc, tid, core, ip, address, is_store = fields[:6]
+        registers = dict(zip(ALL_REGISTERS, fields[6:]))
+        samples.append(
+            PEBSSample(
+                tsc=tsc, tid=tid, core=core, ip=ip, address=address,
+                is_store=bool(is_store), registers=registers,
+            )
+        )
+    return samples
+
+
+def _decode_pt(payload: bytes) -> PTThreadTrace:
+    if len(payload) < _PT_HEADER.size:
+        raise TraceFormatError("truncated PT header")
+    tid, start_ip, start_tsc, end_tsc, truncated, count = \
+        _PT_HEADER.unpack_from(payload, 0)
+    packets = []
+    offset = _PT_HEADER.size
+    expected = offset + count * _PACKET.size
+    if len(payload) != expected:
+        raise TraceFormatError(
+            f"PT stream length mismatch: {len(payload)} != {expected}"
+        )
+    for _ in range(count):
+        kind_id, tsc, value = _PACKET.unpack_from(payload, offset)
+        offset += _PACKET.size
+        try:
+            kind = _PACKET_KINDS[kind_id]
+        except IndexError:
+            raise TraceFormatError(f"bad packet kind {kind_id}") from None
+        if kind == PacketKind.TIP:
+            packets.append(PTPacket(kind, tsc, target=value))
+        elif kind == PacketKind.TNT:
+            packets.append(PTPacket(kind, tsc, bit=bool(value)))
+        else:
+            packets.append(PTPacket(kind, tsc))
+    trace = PTThreadTrace(
+        tid=tid, start_ip=start_ip, start_tsc=start_tsc,
+        packets=packets, end_tsc=None if end_tsc == 0 else end_tsc - 1,
+        truncated=bool(truncated),
+    )
+    return trace
+
+
+def _decode_sync(payload: bytes) -> List[SyncRecord]:
+    if len(payload) % _SYNC.size:
+        raise TraceFormatError("truncated sync section")
+    records = []
+    for offset in range(0, len(payload), _SYNC.size):
+        tsc, seq, tid, ip, kind_id, target = _SYNC.unpack_from(
+            payload, offset
+        )
+        try:
+            kind = _SYNC_KINDS[kind_id]
+        except IndexError:
+            raise TraceFormatError(f"bad sync kind {kind_id}") from None
+        records.append(
+            SyncRecord(tsc=tsc, seq=seq, tid=tid, ip=ip, kind=kind,
+                       target=target)
+        )
+    return records
+
+
+def _decode_alloc(payload: bytes) -> List[AllocRecord]:
+    if len(payload) % _ALLOC.size:
+        raise TraceFormatError("truncated alloc section")
+    records = []
+    for offset in range(0, len(payload), _ALLOC.size):
+        tsc, tid, ip, kind_id, address, size = _ALLOC.unpack_from(
+            payload, offset
+        )
+        try:
+            kind = _ALLOC_KINDS[kind_id]
+        except IndexError:
+            raise TraceFormatError(f"bad alloc kind {kind_id}") from None
+        records.append(
+            AllocRecord(tsc=tsc, tid=tid, ip=ip, kind=kind,
+                        address=address, size=size)
+        )
+    return records
+
+
+def _decode_meta(payload: bytes) -> Tuple[RunResult, str]:
+    if len(payload) != _META.size:
+        raise TraceFormatError("bad metadata section")
+    (tsc, instructions, memory_ops, branches, sync_ops, threads,
+     io_cycles, idle_cycles, driver_id) = _META.unpack(payload)
+    run = RunResult(
+        tsc=tsc, instructions=instructions, memory_ops=memory_ops,
+        branches=branches, sync_ops=sync_ops, threads=threads,
+        io_cycles=io_cycles, idle_cycles=idle_cycles,
+    )
+    return run, ("prorace" if driver_id else "vanilla")
+
+
+def read_trace(path: Path | str, program=None) -> TraceBundle:
+    """Deserialize a trace file back into a :class:`TraceBundle`.
+
+    Driver *accounting* is not stored (it is derived online); the
+    returned bundle carries a fresh accounting object whose
+    ``samples_written`` reflects the stored samples, which is all the
+    offline stage needs.
+    """
+    blob = Path(path).read_bytes()
+    if len(blob) < _HEADER.size + 4:
+        raise TraceFormatError("file too short")
+    crc_stored = struct.unpack("<I", blob[-4:])[0]
+    if zlib.crc32(blob[:-4]) != crc_stored:
+        raise TraceFormatError("checksum mismatch (corrupted trace)")
+    magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported version {version}")
+
+    offset = _HEADER.size
+    run: Optional[RunResult] = None
+    driver_name = "prorace"
+    samples: List[PEBSSample] = []
+    pt_traces: Dict[int, PTThreadTrace] = {}
+    sync_records: List[SyncRecord] = []
+    alloc_records: List[AllocRecord] = []
+
+    for _ in range(section_count):
+        if offset + _SECTION.size > len(blob) - 4:
+            raise TraceFormatError("truncated section table")
+        kind, length = _SECTION.unpack_from(blob, offset)
+        offset += _SECTION.size
+        payload = blob[offset:offset + length]
+        if len(payload) != length:
+            raise TraceFormatError("truncated section payload")
+        offset += length
+        if kind == _SEC_META:
+            run, driver_name = _decode_meta(payload)
+        elif kind == _SEC_PEBS:
+            samples = _decode_samples(payload)
+        elif kind == _SEC_PT:
+            trace = _decode_pt(payload)
+            pt_traces[trace.tid] = trace
+        elif kind == _SEC_SYNC:
+            sync_records = _decode_sync(payload)
+        elif kind == _SEC_ALLOC:
+            alloc_records = _decode_alloc(payload)
+        else:
+            raise TraceFormatError(f"unknown section kind {kind}")
+
+    if run is None:
+        raise TraceFormatError("missing metadata section")
+    driver = PRORACE_DRIVER if driver_name == "prorace" else VANILLA_DRIVER
+    accounting = DriverAccounting(driver)
+    accounting.samples_taken = accounting.samples_written = len(samples)
+    pt_config = PTConfig()
+    bundle = TraceBundle(
+        program=program,
+        run=run,
+        samples=samples,
+        pt_traces=pt_traces,
+        pt_config=pt_config,
+        sync_records=sync_records,
+        alloc_records=alloc_records,
+        pebs_accounting=accounting,
+        pt_size_bytes=sum(
+            t.size_bytes(pt_config) for t in pt_traces.values()
+        ),
+        sync_size_bytes=(
+            len(sync_records) * SYNC_RECORD_BYTES
+            + len(alloc_records) * ALLOC_RECORD_BYTES
+        ),
+    )
+    return bundle

@@ -1,0 +1,99 @@
+"""Runtime tracers: synchronization/allocation logging and ground truth.
+
+:class:`SyncTracer` models ProRace's LD_PRELOAD interposition on pthread
+synchronization and malloc/free (§4.3): per-thread logs of (type,
+variable, TSC), merged offline on the invariant TSC.
+
+:class:`GroundTruthRecorder` has no real-system counterpart — it records
+*every* retired memory access.  The reproduction uses it for (a) soundness
+oracles in tests (every reconstructed access must match ground truth),
+(b) recovery-ratio denominators (Figure 11), and (c) the full-monitoring
+FastTrack baseline that sampling-based detection is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..machine.observers import (
+    AllocEvent,
+    MachineObserver,
+    MemoryAccessEvent,
+    SyncEvent,
+)
+from ..pmu.records import (
+    ALLOC_RECORD_BYTES,
+    AllocRecord,
+    SYNC_RECORD_BYTES,
+    SyncRecord,
+)
+
+
+class SyncTracer(MachineObserver):
+    """Logs synchronization and allocation operations (the LD_PRELOAD shim)."""
+
+    def __init__(self) -> None:
+        self.sync_records: List[SyncRecord] = []
+        self.alloc_records: List[AllocRecord] = []
+
+    def on_sync(self, event: SyncEvent) -> None:
+        self.sync_records.append(
+            SyncRecord(
+                tsc=event.tsc,
+                seq=event.seq,
+                tid=event.tid,
+                ip=event.ip,
+                kind=event.kind,
+                target=event.target,
+            )
+        )
+
+    def on_alloc(self, event: AllocEvent) -> None:
+        self.alloc_records.append(
+            AllocRecord(
+                tsc=event.tsc,
+                tid=event.tid,
+                ip=event.ip,
+                kind=event.kind,
+                address=event.address,
+                size=event.size,
+            )
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            len(self.sync_records) * SYNC_RECORD_BYTES
+            + len(self.alloc_records) * ALLOC_RECORD_BYTES
+        )
+
+    def per_thread(self) -> Dict[int, List[SyncRecord]]:
+        """Per-thread logs, as the runtime writes them."""
+        logs: Dict[int, List[SyncRecord]] = {}
+        for record in self.sync_records:
+            logs.setdefault(record.tid, []).append(record)
+        return logs
+
+
+class GroundTruthRecorder(MachineObserver):
+    """Records the complete memory-access trace (test oracle only)."""
+
+    def __init__(self) -> None:
+        self.accesses: List[MemoryAccessEvent] = []
+
+    def on_memory_access(self, event: MemoryAccessEvent,
+                         registers: Optional[Dict[str, int]]) -> None:
+        self.accesses.append(event)
+
+    def per_thread(self) -> Dict[int, List[MemoryAccessEvent]]:
+        result: Dict[int, List[MemoryAccessEvent]] = {}
+        for access in self.accesses:
+            result.setdefault(access.tid, []).append(access)
+        return result
+
+    def address_map(self) -> Dict[int, Dict[int, MemoryAccessEvent]]:
+        """Per-thread map from TSC to the access retired at that TSC."""
+        result: Dict[int, Dict[int, MemoryAccessEvent]] = {}
+        for access in self.accesses:
+            result.setdefault(access.tid, {})[access.tsc] = access
+        return result

@@ -1,0 +1,42 @@
+"""Workload library: PARSEC-like kernels, real-app models, Table 2 race
+bugs, and a random program generator for property tests."""
+
+from typing import Dict
+
+from .apps import APP_WORKLOADS
+from .common import BENCH, SMALL, Workload, WorkloadScale, pool_program
+from .generator import (
+    GeneratorConfig,
+    generate_program,
+    generate_racy_program,
+)
+from .parsec import PARSEC_WORKLOADS
+from .racebugs import (
+    MEMORY_INDIRECT,
+    PC_RELATIVE,
+    RACE_BUGS,
+    REGISTER_INDIRECT,
+    RaceBug,
+)
+
+#: Every catalogued workload by name.
+ALL_WORKLOADS: Dict[str, Workload] = {**PARSEC_WORKLOADS, **APP_WORKLOADS}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "APP_WORKLOADS",
+    "BENCH",
+    "GeneratorConfig",
+    "MEMORY_INDIRECT",
+    "PARSEC_WORKLOADS",
+    "PC_RELATIVE",
+    "RACE_BUGS",
+    "REGISTER_INDIRECT",
+    "RaceBug",
+    "SMALL",
+    "Workload",
+    "WorkloadScale",
+    "generate_program",
+    "generate_racy_program",
+    "pool_program",
+]

@@ -1,0 +1,391 @@
+"""Real-world application models (the paper's Table 1 workloads).
+
+Each program models its namesake's execution *character* — what fraction
+of time goes to blocking network/disk I/O versus CPU work, how much
+synchronization it does, how many threads it runs — because those are the
+properties the paper's overhead and trace-size results hinge on (§7.2:
+network-I/O-dominant applications hide tracing overhead almost entirely;
+CPU-bound utilities do not).
+
+Thread counts follow Table 1 (apache 4, cherokee 38, mysql 20, memcached
+5, transmission 4, pfscan 4, pbzip2 4, aget 4), capped by
+``WorkloadScale.thread_cap`` to keep simulation tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.program import Program
+from .common import Workload, WorkloadScale, pool_program
+
+
+def _server(
+    name: str,
+    natural_threads: int,
+    scale: WorkloadScale,
+    parse_cycles_asm: str,
+    stats_words: int = 16,
+    io_fraction: int = 2,
+) -> Program:
+    """Common request-serving shape: wait for a request (blocking I/O),
+    parse it (CPU), update shared statistics under a lock, respond
+    (blocking I/O)."""
+    threads = scale.capped_threads(natural_threads)
+    io = scale.io_cycles * io_fraction
+    return pool_program(
+        name,
+        threads,
+        f"""
+.reserve stats {stats_words}
+.global stats_lock 0
+.global served 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+serve_loop:
+    io ${io}
+    mov %rcx, %rax
+{parse_cycles_asm}
+    mov %rax, %r11
+    and ${stats_words - 1}, %r11
+    lock $stats_lock
+    mov stats(,%r11,8), %rdx
+    add $1, %rdx
+    mov %rdx, stats(,%r11,8)
+    mov served(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, served(%rip)
+    unlock $stats_lock
+    io ${io}
+    dec %rcx
+    cmp $0, %rcx
+    jne serve_loop
+    halt
+""",
+    )
+
+
+def apache(scale: WorkloadScale) -> Program:
+    """Apache httpd under ApacheBench: network-dominated request serving
+    with modest per-request parsing."""
+    return _server(
+        "apache", 4, scale,
+        """
+    imul $31, %rax
+    add $7, %rax
+    xor $99, %rax
+""",
+    )
+
+
+def cherokee(scale: WorkloadScale) -> Program:
+    """Cherokee web server: like apache but with its Table 1 thread pool
+    of 38 (capped) and lighter parsing."""
+    return _server(
+        "cherokee", 38, scale,
+        """
+    add $3, %rax
+    shl $1, %rax
+""",
+    )
+
+
+def mysql(scale: WorkloadScale) -> Program:
+    """MySQL under SysBench: per-query B-tree-ish index walk (dependent
+    loads) plus a locked row update, between network waits."""
+    threads = scale.capped_threads(20)
+    words = 64
+    return pool_program(
+        "mysql",
+        threads,
+        f"""
+.reserve index_nodes {words}
+.reserve rows {words}
+.global row_lock 0
+.global queries 0
+.global init_lock 0
+.global init_done 0
+""",
+        f"""
+    lock $init_lock
+    mov init_done(%rip), %rax
+    cmp $0, %rax
+    jne inited
+    mov $0, %r11
+fill:
+    mov %r11, %rdx
+    imul $13, %rdx
+    add $29, %rdx
+    and ${words - 1}, %rdx
+    lea index_nodes(,%rdx,8), %r12
+    mov %r12, index_nodes(,%r11,8)
+    inc %r11
+    cmp ${words}, %r11
+    jl fill
+    mov $1, %rax
+    mov %rax, init_done(%rip)
+inited:
+    unlock $init_lock
+    mov ${scale.iterations}, %rcx
+query_loop:
+    io ${scale.io_cycles}
+    mov %rcx, %r10
+    and ${words - 1}, %r10
+    lea index_nodes(,%r10,8), %rsi
+    mov (%rsi), %rsi
+    mov (%rsi), %rsi
+    mov (%rsi), %rsi
+    mov %rsi, %r11
+    sub $index_nodes, %r11
+    shr $3, %r11
+    and ${words - 1}, %r11
+    lock $row_lock
+    mov rows(,%r11,8), %rax
+    add $1, %rax
+    mov %rax, rows(,%r11,8)
+    mov queries(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, queries(%rip)
+    unlock $row_lock
+    io ${scale.io_cycles}
+    dec %rcx
+    cmp $0, %rcx
+    jne query_loop
+    halt
+""",
+    )
+
+
+def memcached(scale: WorkloadScale) -> Program:
+    """Memcached under YCSB: hash-bucket get/set with striped locks,
+    network-wait dominated."""
+    threads = scale.capped_threads(5)
+    buckets = 32
+    return pool_program(
+        "memcached",
+        threads,
+        f"""
+.reserve buckets {buckets}
+.array bucket_locks 0 0 0 0
+.global ops 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+op_loop:
+    io ${scale.io_cycles * 2}
+    mov %rcx, %r10
+    imul $2654435761, %r10
+    mov %r10, %r11
+    and ${buckets - 1}, %r11
+    mov %r11, %r12
+    and $3, %r12
+    lea bucket_locks(,%r12,8), %r13
+    lock %r13
+    mov buckets(,%r11,8), %rax
+    add %r10, %rax
+    mov %rax, buckets(,%r11,8)
+    unlock %r13
+    io ${scale.io_cycles}
+    dec %rcx
+    cmp $0, %rcx
+    jne op_loop
+    halt
+""",
+    )
+
+
+def transmission(scale: WorkloadScale) -> Program:
+    """Transmission BitTorrent client: long network waits, piece-hash
+    arithmetic bursts, shared progress under a lock."""
+    threads = scale.capped_threads(4)
+    return pool_program(
+        "transmission",
+        threads,
+        """
+.global progress 0
+.global progress_lock 0
+.reserve piecebuf 64
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+piece_loop:
+    io ${scale.io_cycles}
+    mov %rcx, %rax
+    mov $24, %rdx
+hash_loop:
+    mov %rdx, %r10
+    and $63, %r10
+    mov piecebuf(,%r10,8), %r11
+    add %r11, %rax
+    imul $31, %rax
+    add $11, %rax
+    dec %rdx
+    cmp $0, %rdx
+    jne hash_loop
+    lock $progress_lock
+    mov progress(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, progress(%rip)
+    unlock $progress_lock
+    dec %rcx
+    cmp $0, %rcx
+    jne piece_loop
+    halt
+""",
+    )
+
+
+def pfscan(scale: WorkloadScale) -> Program:
+    """pfscan parallel file scanner: CPU/memory-bound sweep over buffered
+    file contents, shared match counter under a lock (little I/O — the
+    file is page-cached)."""
+    threads = scale.capped_threads(4)
+    words = 128
+    return pool_program(
+        "pfscan",
+        threads,
+        f"""
+.reserve filebuf {words}
+.global matches 0
+.global match_lock 0
+""",
+        f"""
+    mov ${scale.iterations * 4}, %rcx
+    mov %rdi, %r10
+scan_loop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov filebuf(,%r11,8), %rax
+    xor $42, %rax
+    and $255, %rax
+    cmp $0, %rax
+    jne no_match
+    lock $match_lock
+    mov matches(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, matches(%rip)
+    unlock $match_lock
+no_match:
+    add ${max(1, scale.threads)}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne scan_loop
+    halt
+""",
+    )
+
+
+def pbzip2(scale: WorkloadScale) -> Program:
+    """pbzip2 parallel compressor: block queue handed to workers via
+    semaphores, heavy per-block arithmetic (CPU-bound)."""
+    threads = scale.capped_threads(4)
+    return pool_program(
+        "pbzip2",
+        threads,
+        """
+.global queue_sem 0
+.global slot_free 0
+.global block_slot 0
+.global done_count 0
+.global done_lock 0
+""",
+        f"""
+    cmp $0, %rdi
+    jne compressor
+    sem_post $slot_free
+    mov ${scale.iterations * (threads - 1) if threads > 1 else scale.iterations}, %rcx
+produce_loop:
+    sem_wait $slot_free
+    mov block_slot(%rip), %rax
+    add $4096, %rax
+    mov %rax, block_slot(%rip)
+    sem_post $queue_sem
+    dec %rcx
+    cmp $0, %rcx
+    jne produce_loop
+    halt
+compressor:
+    mov ${scale.iterations}, %rcx
+compress_loop:
+    sem_wait $queue_sem
+    mov block_slot(%rip), %rax
+    sem_post $slot_free
+    mov $24, %rdx
+crunch:
+    imul $16777619, %rax
+    xor %rcx, %rax
+    shr $1, %rax
+    add $977, %rax
+    dec %rdx
+    cmp $0, %rdx
+    jne crunch
+    lock $done_lock
+    mov done_count(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, done_count(%rip)
+    unlock $done_lock
+    dec %rcx
+    cmp $0, %rcx
+    jne compress_loop
+    halt
+""",
+    )
+
+
+def aget(scale: WorkloadScale) -> Program:
+    """aget parallel downloader: each worker fetches byte ranges (network
+    waits) and updates the shared progress log."""
+    threads = scale.capped_threads(4)
+    return pool_program(
+        "aget",
+        threads,
+        """
+.global bytes_done 0
+.global log_lock 0
+.reserve segments 8
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+fetch_loop:
+    io ${scale.io_cycles * 3}
+    mov %rdi, %r11
+    and $7, %r11
+    mov segments(,%r11,8), %rax
+    add $65536, %rax
+    mov %rax, segments(,%r11,8)
+    lock $log_lock
+    mov bytes_done(%rip), %rdx
+    add $65536, %rdx
+    mov %rdx, bytes_done(%rip)
+    unlock $log_lock
+    dec %rcx
+    cmp $0, %rcx
+    jne fetch_loop
+    halt
+""",
+    )
+
+
+#: The eight real-world application models of Table 1.
+APP_WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload("apache", "server", apache, io_bound=True,
+                 description="web server under ApacheBench"),
+        Workload("cherokee", "server", cherokee, io_bound=True,
+                 description="web server, large thread pool"),
+        Workload("mysql", "server", mysql, io_bound=True,
+                 description="database under SysBench"),
+        Workload("memcached", "server", memcached, io_bound=True,
+                 description="key-value store under YCSB"),
+        Workload("transmission", "server", transmission, io_bound=False,
+                 description="BitTorrent client (piece hashing dominates)"),
+        Workload("pfscan", "utility", pfscan, io_bound=False,
+                 description="parallel file scanner"),
+        Workload("pbzip2", "utility", pbzip2, io_bound=False,
+                 description="parallel compressor"),
+        Workload("aget", "utility", aget, io_bound=True,
+                 description="parallel web downloader"),
+    )
+}

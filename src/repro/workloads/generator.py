@@ -1,0 +1,208 @@
+"""Random program generator for property-based testing.
+
+Generates seeded multithreaded programs whose ground truth the machine
+can record, so hypothesis-style tests can assert reproduction soundness
+(every reconstructed address equals the address the machine issued) over
+a wide space of register/memory dataflow shapes — including the patterns
+that stress forward replay (loads killing availability), backward
+propagation (long live ranges), and reverse execution (ADD/SUB/XOR
+chains).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.instructions import Op
+from ..isa.operands import Imm, Mem, Reg
+from ..isa.program import Program, ProgramBuilder
+
+#: Registers the generator plays with (a subset keeps collisions and
+#: live ranges interesting; rsp is reserved for the implicit stack).
+_GEN_REGS = ("rax", "rbx", "rdx", "rsi", "rdi",
+             "r10", "r11", "r12", "r13", "r14", "r15")
+
+_ALU_OPS = (Op.ADD, Op.SUB, Op.XOR, Op.AND, Op.OR, Op.IMUL)
+_UNARY_OPS = (Op.INC, Op.DEC, Op.NEG, Op.NOT)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for random program generation."""
+
+    threads: int = 2
+    body_length: int = 60
+    data_words: int = 16
+    loop_iterations: int = 3
+    locked_fraction: float = 0.3
+    pointer_fraction: float = 0.15
+
+
+def generate_program(seed: int,
+                     config: Optional[GeneratorConfig] = None) -> Program:
+    """Generate a deterministic random multithreaded program.
+
+    The program always terminates: loops use fixed trip counts and all
+    synchronization is a single global mutex (no deadlocks possible).
+    """
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    builder = ProgramBuilder(f"generated-{seed}")
+    data = builder.global_array(
+        "gdata", [rng.randrange(1 << 16) for _ in range(config.data_words)]
+    )
+    lock_addr = builder.global_word("glock", 0)
+    builder.global_word("gptr", data)  # a pointer cell for indirect chains
+
+    def reg() -> Reg:
+        return Reg(rng.choice(_GEN_REGS))
+
+    def mem_operand() -> Mem:
+        """A bounded memory operand: disp(base) stays inside gdata via
+        pre-masked index registers handled by the emit helpers below."""
+        slot = rng.randrange(config.data_words)
+        return Mem(disp=data + slot * 8)
+
+    def emit_body(rng: random.Random) -> None:
+        for _ in range(config.body_length):
+            roll = rng.random()
+            if roll < 0.18:
+                builder.mov(Imm(rng.randrange(1 << 12)), reg())
+            elif roll < 0.36:
+                builder.mov(reg(), reg())
+            elif roll < 0.52:
+                op = rng.choice(_ALU_OPS)
+                src = (
+                    Imm(rng.randrange(1, 1 << 8))
+                    if rng.random() < 0.5
+                    else reg()
+                )
+                builder._ins(op, src, reg())
+            elif roll < 0.58:
+                builder._ins(rng.choice(_UNARY_OPS), reg())
+            elif roll < 0.74:
+                builder.load(mem_operand(), reg())
+            elif roll < 0.88:
+                builder.store(reg(), mem_operand())
+            elif roll < 0.94 and rng.random() < config.pointer_fraction * 4:
+                # Pointer chase: load the pointer cell, then deref it.
+                pointer = reg()
+                builder.load(Mem(disp=builder.symbol("gptr")), pointer)
+                builder.load(Mem(base=pointer.name), reg())
+            else:
+                # rip-relative access.
+                slot = rng.randrange(config.data_words)
+                target = data + slot * 8
+                here = len(builder._instructions)
+                builder.load(
+                    Mem(disp=target - here, rip_relative=True), reg()
+                )
+
+    # main: spawn workers, do a locked + unlocked body, join.
+    builder.label("main")
+    tids = builder.reserve("tids", config.threads)
+    for i in range(config.threads):
+        builder.spawn("worker", Reg("rax"))
+        builder.store(Reg("rax"), Mem(disp=tids + i * 8))
+    emit_body(random.Random(seed * 7 + 1))
+    for i in range(config.threads):
+        builder.load(Mem(disp=tids + i * 8), Reg("r9"))
+        builder.join(Reg("r9"))
+    builder.halt()
+
+    # worker: loop { body; locked body }.
+    builder.label("worker")
+    builder.mov(Imm(config.loop_iterations), Reg("rcx"))
+    builder.label("worker_loop")
+    emit_body(random.Random(seed * 13 + 2))
+    if rng.random() < config.locked_fraction * 3:
+        builder.lock(Imm(lock_addr))
+        emit_body(random.Random(seed * 17 + 3))
+        builder.unlock(Imm(lock_addr))
+    builder.dec(Reg("rcx"))
+    builder.cmp(Imm(0), Reg("rcx"))
+    builder.jne("worker_loop")
+    builder.halt()
+
+    return builder.build()
+
+
+def generate_racy_program(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> Tuple[Program, Tuple[int, int]]:
+    """Generate a random program with one *known injected race*.
+
+    Returns ``(program, (read_ip, write_ip))``: a dedicated global is
+    read (PC-relative) inside main's post-spawn body and written inside
+    every worker's loop body, with no ordering between them — an
+    unordered pair exists in every schedule, so a full-information
+    detector must always report it.  Used by the end-to-end property
+    tests: at period 1 the pipeline sees every access and must find the
+    injected race regardless of the rest of the random program.
+    """
+    config = config or GeneratorConfig()
+    rng = random.Random(seed ^ 0x5EED)
+    builder = ProgramBuilder(f"racy-generated-{seed}")
+    data = builder.global_array(
+        "gdata", [rng.randrange(1 << 16) for _ in range(config.data_words)]
+    )
+    lock_addr = builder.global_word("glock", 0)
+    builder.global_word("gptr", data)
+    racy_addr = builder.global_word("injected_racy", 0)
+    tids = builder.reserve("tids", config.threads)
+
+    def reg() -> Reg:
+        return Reg(rng.choice(_GEN_REGS))
+
+    def emit_body(body_rng: random.Random, length: int) -> None:
+        for _ in range(length):
+            roll = body_rng.random()
+            if roll < 0.3:
+                builder.mov(Imm(body_rng.randrange(1 << 10)), reg())
+            elif roll < 0.55:
+                slot = body_rng.randrange(config.data_words)
+                builder.load(Mem(disp=data + slot * 8), reg())
+            elif roll < 0.8:
+                slot = body_rng.randrange(config.data_words)
+                builder.store(reg(), Mem(disp=data + slot * 8))
+            else:
+                builder._ins(
+                    body_rng.choice(_ALU_OPS),
+                    Imm(body_rng.randrange(1, 256)), reg(),
+                )
+
+    builder.label("main")
+    for i in range(config.threads):
+        builder.spawn("worker", Reg("rax"))
+        builder.store(Reg("rax"), Mem(disp=tids + i * 8))
+    emit_body(random.Random(seed * 31 + 4), config.body_length // 2)
+    # The injected racy READ (pc-relative: always reconstructible).
+    read_ip = len(builder._instructions)
+    builder.load(
+        Mem(disp=racy_addr - read_ip, rip_relative=True), Reg("rdx"),
+        comment="injected racy read",
+    )
+    emit_body(random.Random(seed * 37 + 5), config.body_length // 2)
+    for i in range(config.threads):
+        builder.load(Mem(disp=tids + i * 8), Reg("r9"))
+        builder.join(Reg("r9"))
+    builder.halt()
+
+    builder.label("worker")
+    builder.mov(Imm(config.loop_iterations), Reg("rcx"))
+    builder.label("worker_loop")
+    emit_body(random.Random(seed * 41 + 6), config.body_length // 2)
+    # The injected racy WRITE.
+    write_ip = len(builder._instructions)
+    builder.store(
+        Reg("rcx"), Mem(disp=racy_addr - write_ip, rip_relative=True),
+        comment="injected racy write",
+    )
+    builder.dec(Reg("rcx"))
+    builder.cmp(Imm(0), Reg("rcx"))
+    builder.jne("worker_loop")
+    builder.halt()
+
+    return builder.build(), (read_ip, write_ip)

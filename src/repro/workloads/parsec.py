@@ -1,0 +1,578 @@
+"""PARSEC-like CPU-bound kernels.
+
+Thirteen multithreaded kernels named after the PARSEC suite the paper
+evaluates (§7.1, simlarge inputs, 4 threads).  Each kernel is a faithful
+*shape* model of its namesake's parallelization pattern — data-parallel
+partitioning, fine-grained locking, pipelines over semaphores, reductions
+under a lock — so their memory-op/branch/sync mixes differ the way the
+real programs' do.  Workers receive their index in ``%rdi``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.program import Program
+from .common import Workload, WorkloadScale, pool_program
+
+
+def _pow2(n: int, minimum: int = 8) -> int:
+    """Largest power of two ≤ n (≥ minimum)."""
+    n = max(n, minimum)
+    return 1 << (n.bit_length() - 1)
+
+
+def blackscholes(scale: WorkloadScale) -> Program:
+    """Embarrassingly parallel option pricing: partitioned array sweep of
+    pure arithmetic, no synchronization inside the loop."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "blackscholes",
+        scale.threads,
+        f"""
+.reserve prices {words}
+.reserve results {words}
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov prices(,%r11,8), %rax
+    imul $3, %rax
+    add $7, %rax
+    shr $1, %rax
+    mov %rax, %rdx
+    imul %rdx, %rax
+    xor %rdx, %rax
+    mov %rax, results(,%r11,8)
+    add ${scale.threads}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def bodytrack(scale: WorkloadScale) -> Program:
+    """Particle filter: independent particle scoring plus a lock-protected
+    global best-score reduction each iteration."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "bodytrack",
+        scale.threads,
+        f"""
+.reserve particles {words}
+.global best_score 0
+.global best_lock 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov particles(,%r11,8), %rax
+    imul $5, %rax
+    add %r10, %rax
+    and $1023, %rax
+    mov %rax, particles(,%r11,8)
+    lock $best_lock
+    mov best_score(%rip), %rdx
+    cmp %rdx, %rax
+    jle skip_best
+    mov %rax, best_score(%rip)
+skip_best:
+    unlock $best_lock
+    add ${scale.threads}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def canneal(scale: WorkloadScale) -> Program:
+    """Simulated annealing: pseudo-random element swaps, each element pair
+    protected by one of several striped locks."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "canneal",
+        scale.threads,
+        f"""
+.reserve netlist {words}
+.array stripe_locks 0 0 0 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+    imul $2654435761, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov %r11, %r12
+    and $3, %r12
+    lea stripe_locks(,%r12,8), %r13
+    lock %r13
+    mov netlist(,%r11,8), %rax
+    add $1, %rax
+    mov %rax, netlist(,%r11,8)
+    unlock %r13
+    imul $1103515245, %r10
+    add $12345, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def dedup(scale: WorkloadScale) -> Program:
+    """Three-stage pipeline (chunk → hash → write) over semaphores: one
+    worker per stage; stages hand items through shared slots."""
+    return pool_program(
+        "dedup",
+        3,
+        """
+.global chunks_ready 0
+.global chunk_free 0
+.global hashes_ready 0
+.global hash_free 0
+.global chunk_slot 0
+.global hash_slot 0
+.global out_count 0
+""",
+        f"""
+    cmp $0, %rdi
+    je chunker
+    cmp $1, %rdi
+    je hasher
+    jmp writer
+chunker:
+    sem_post $chunk_free
+    mov ${scale.iterations}, %rcx
+chunk_loop:
+    sem_wait $chunk_free
+    mov chunk_slot(%rip), %rax
+    add $17, %rax
+    mov %rax, chunk_slot(%rip)
+    sem_post $chunks_ready
+    dec %rcx
+    cmp $0, %rcx
+    jne chunk_loop
+    halt
+hasher:
+    sem_post $hash_free
+    mov ${scale.iterations}, %rcx
+hash_loop:
+    sem_wait $chunks_ready
+    mov chunk_slot(%rip), %rax
+    sem_post $chunk_free
+    imul $31, %rax
+    xor $255, %rax
+    sem_wait $hash_free
+    mov %rax, hash_slot(%rip)
+    sem_post $hashes_ready
+    dec %rcx
+    cmp $0, %rcx
+    jne hash_loop
+    halt
+writer:
+    mov ${scale.iterations}, %rcx
+write_loop:
+    sem_wait $hashes_ready
+    mov hash_slot(%rip), %rax
+    sem_post $hash_free
+    mov out_count(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, out_count(%rip)
+    dec %rcx
+    cmp $0, %rcx
+    jne write_loop
+    halt
+""",
+    )
+
+
+def facesim(scale: WorkloadScale) -> Program:
+    """Physics stencil: each worker sweeps its grid partition reading
+    neighbours and writing the cell (read-heavy)."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "facesim",
+        scale.threads,
+        f"""
+.reserve grid {words + 2}
+.reserve grid_out {words + 2}
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov grid(,%r11,8), %rax
+    lea 1(%r11), %r12
+    mov grid(,%r12,8), %rdx
+    add %rdx, %rax
+    lea 2(%r11), %r12
+    mov grid(,%r12,8), %rdx
+    add %rdx, %rax
+    shr $1, %rax
+    lea 1(%r11), %r12
+    mov %rax, grid_out(,%r12,8)
+    add ${scale.threads}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def ferret(scale: WorkloadScale) -> Program:
+    """Similarity search: pointer-chasing through an index table (loads
+    feeding loads — the memory-indirect pattern replay struggles with)."""
+    words = _pow2(scale.data_words)
+    # Build a self-referential index: table[i] holds the *address* of
+    # another table slot.
+    return pool_program(
+        "ferret",
+        scale.threads,
+        f"""
+.reserve table {words}
+.global table_base 0
+.global init_lock 0
+""",
+        f"""
+    lock $init_lock
+    mov table_base(%rip), %rax
+    cmp $0, %rax
+    jne inited
+    mov $table, %rax
+    mov %rax, table_base(%rip)
+    mov $0, %r11
+fill:
+    mov %r11, %rdx
+    imul $7, %rdx
+    add $13, %rdx
+    and ${words - 1}, %rdx
+    lea table(,%rdx,8), %r12
+    mov %r12, table(,%r11,8)
+    inc %r11
+    cmp ${words}, %r11
+    jl fill
+inited:
+    unlock $init_lock
+    mov ${scale.iterations}, %rcx
+    mov table_base(%rip), %rsi
+    mov %rdi, %r10
+    and ${words - 1}, %r10
+    lea 0(%rsi,%r10,8), %rsi
+wloop:
+    mov (%rsi), %rsi
+    mov (%rsi), %rsi
+    mov (%rsi), %rsi
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def fluidanimate(scale: WorkloadScale) -> Program:
+    """Fluid simulation: fine-grained per-cell locking (the suite's most
+    lock-intensive member)."""
+    words = _pow2(min(scale.data_words, 64))
+    return pool_program(
+        "fluidanimate",
+        scale.threads,
+        f"""
+.reserve cells {words}
+.reserve cell_locks {words}
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    lea cell_locks(,%r11,8), %r13
+    lock %r13
+    mov cells(,%r11,8), %rax
+    add $2, %rax
+    mov %rax, cells(,%r11,8)
+    unlock %r13
+    lea 1(%r11), %r12
+    and ${words - 1}, %r12
+    lea cell_locks(,%r12,8), %r13
+    lock %r13
+    mov cells(,%r12,8), %rax
+    sub $1, %rax
+    mov %rax, cells(,%r12,8)
+    unlock %r13
+    add $7, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def freqmine(scale: WorkloadScale) -> Program:
+    """Frequent itemset mining: per-worker local counting, then a
+    lock-protected merge into a shared histogram."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "freqmine",
+        scale.threads,
+        f"""
+.reserve histogram {words}
+.reserve transactions {words}
+.global hist_lock 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+    mov $0, %r14
+wloop:
+    mov %r10, %r11
+    imul $2246822519, %r11
+    and ${words - 1}, %r11
+    mov transactions(,%r11,8), %r12
+    add %r12, %r14
+    add %r11, %r14
+    inc %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    and ${words - 1}, %r14
+    lock $hist_lock
+    mov histogram(,%r14,8), %rax
+    add $1, %rax
+    mov %rax, histogram(,%r14,8)
+    unlock $hist_lock
+    halt
+""",
+    )
+
+
+def raytrace(scale: WorkloadScale) -> Program:
+    """Ray tracing: read-only shared scene, independent per-ray compute,
+    private result accumulation (near-zero sync)."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "raytrace",
+        scale.threads,
+        f"""
+.reserve scene {words}
+.reserve framebuffer {words}
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov scene(,%r11,8), %rax
+    imul %rax, %rax
+    shr $3, %rax
+    add %r10, %rax
+    mov %rax, framebuffer(,%r11,8)
+    add ${scale.threads}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def streamcluster(scale: WorkloadScale) -> Program:
+    """Online clustering: distance computations with a lock-protected
+    running cost reduction (known for barrier/lock pressure)."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "streamcluster",
+        scale.threads,
+        f"""
+.reserve points {words}
+.global total_cost 0
+.global cost_lock 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov points(,%r11,8), %rax
+    sub %r10, %rax
+    imul %rax, %rax
+    lock $cost_lock
+    mov total_cost(%rip), %rdx
+    add %rax, %rdx
+    mov %rdx, total_cost(%rip)
+    unlock $cost_lock
+    add $2, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def swaptions(scale: WorkloadScale) -> Program:
+    """Monte-Carlo pricing: long private arithmetic chains, rare memory
+    traffic (the most CPU-pure kernel)."""
+    return pool_program(
+        "swaptions",
+        scale.threads,
+        """
+.reserve seeds 8
+.reserve scratch 8
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+    and $7, %r10
+    mov seeds(,%r10,8), %rax
+    add %rdi, %rax
+wloop:
+    imul $6364136223846793005, %rax
+    add $1442695040888963407, %rax
+    mov %rax, %rdx
+    shr $33, %rdx
+    xor %rdx, %rax
+    mov %rax, scratch(,%r10,8)
+    mov scratch(,%r10,8), %r12
+    and $4095, %r12
+    add %r12, %r13
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    mov %r10, %r11
+    mov %r13, seeds(,%r11,8)
+    halt
+""",
+    )
+
+
+def vips(scale: WorkloadScale) -> Program:
+    """Image transform: strided partitioned load-transform-store sweeps
+    (store-heavy)."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "vips",
+        scale.threads,
+        f"""
+.reserve image_in {words}
+.reserve image_out {words}
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov image_in(,%r11,8), %rax
+    shl $1, %rax
+    add $128, %rax
+    and $255, %rax
+    mov %rax, image_out(,%r11,8)
+    mov %rax, %r12
+    xor $255, %r12
+    mov %r11, %r13
+    add ${max(1, scale.threads)}, %r13
+    and ${words - 1}, %r13
+    mov %r12, image_out(,%r13,8)
+    add ${max(1, scale.threads)}, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+""",
+    )
+
+
+def x264(scale: WorkloadScale) -> Program:
+    """Video encoding: frame pipeline where each worker waits for the
+    previous frame's completion (semaphore chain), then encodes."""
+    words = _pow2(scale.data_words)
+    return pool_program(
+        "x264",
+        scale.threads,
+        f"""
+.reserve frames {words}
+.global frame_done 0
+.global encoded 0
+.global enc_lock 0
+""",
+        f"""
+    mov ${scale.iterations}, %rcx
+    mov %rdi, %r10
+    cmp $0, %rdi
+    je first_worker
+    sem_wait $frame_done
+first_worker:
+wloop:
+    mov %r10, %r11
+    and ${words - 1}, %r11
+    mov frames(,%r11,8), %rax
+    imul $3, %rax
+    shr $2, %rax
+    mov %rax, frames(,%r11,8)
+    add $13, %r10
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    lock $enc_lock
+    mov encoded(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, encoded(%rip)
+    unlock $enc_lock
+    sem_post $frame_done
+    halt
+""",
+    )
+
+
+#: The full PARSEC-like suite (the paper evaluates all 13 members).
+PARSEC_WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload("blackscholes", "parsec", blackscholes,
+                 description="data-parallel option pricing"),
+        Workload("bodytrack", "parsec", bodytrack,
+                 description="particle filter with locked reduction"),
+        Workload("canneal", "parsec", canneal,
+                 description="annealing with striped element locks"),
+        Workload("dedup", "parsec", dedup,
+                 description="3-stage semaphore pipeline"),
+        Workload("facesim", "parsec", facesim,
+                 description="stencil sweep"),
+        Workload("ferret", "parsec", ferret,
+                 description="pointer-chasing similarity search"),
+        Workload("fluidanimate", "parsec", fluidanimate,
+                 description="fine-grained per-cell locking"),
+        Workload("freqmine", "parsec", freqmine,
+                 description="histogram mining with merge lock"),
+        Workload("raytrace", "parsec", raytrace,
+                 description="independent rays over read-only scene"),
+        Workload("streamcluster", "parsec", streamcluster,
+                 description="clustering with locked cost reduction"),
+        Workload("swaptions", "parsec", swaptions,
+                 description="private Monte-Carlo arithmetic"),
+        Workload("vips", "parsec", vips,
+                 description="store-heavy image transform"),
+        Workload("x264", "parsec", x264,
+                 description="frame pipeline over semaphores"),
+    )
+}

@@ -1,0 +1,619 @@
+"""The twelve real-world data race bugs of Table 2.
+
+Each bug is a self-contained multithreaded program modelled on the
+documented real-world race (application flavour, manifestation, and —
+crucially — the *addressing mode* of the racy access, which Table 2
+classifies as ``memory indirect``, ``register indirect`` or ``pc
+relative`` and which determines how reconstructible the access is):
+
+* **pc relative** — the racy variable is addressed ``sym(%rip)``; the PT
+  path alone recovers such accesses, so ProRace detects these bugs in
+  every trace regardless of sampling (the paper's 100% rows).
+* **register indirect** — the address lives in a register with a long
+  live range; forward replay from a sample (or backward propagation from
+  the next one) recovers it.
+* **memory indirect** — the address is loaded from memory (pointer
+  chase); recovery needs memory emulation, a nearby sample, or backward
+  propagation of the still-live pointer register — the hardest case.
+
+Mirroring the paper's workloads (100K-request server runs), each racy
+section executes inside a per-thread *request loop* interleaved with
+filler traffic, so racy code runs many times per trace and PEBS samples
+land before, inside, and after it.
+
+The racy instructions carry ``race_*`` labels; a bug is *detected* in a
+run when the analysis reports a race whose instruction pair lies within
+the bug's labelled set.
+
+Register conventions inside bug programs: ``r8`` outer loop counter,
+``r9–r11`` filler scratch, ``rsi/r13/r14/r15`` long-lived pointers,
+``rax/rdx/rcx/r12`` racy-section scratch, ``rbx`` spawn tid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet
+
+from ..analysis.pipeline import DetectionResult
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .common import WorkloadScale
+
+MEMORY_INDIRECT = "memory indirect"
+REGISTER_INDIRECT = "register indirect"
+PC_RELATIVE = "pc relative"
+
+#: Filler loop trips per request iteration.
+_FILL_TRIPS = 8
+
+
+@dataclass(frozen=True)
+class RaceBug:
+    """One documented race bug and how to recognize its detection."""
+
+    name: str
+    manifestation: str
+    access_type: str
+    build: Callable[[WorkloadScale], Program]
+
+    def racy_ips(self, program: Program) -> FrozenSet[int]:
+        """Code addresses of the labelled racy instructions."""
+        return frozenset(
+            addr for label, addr in program.labels.items()
+            if label.startswith("race_")
+        )
+
+    def detected(self, program: Program, result: DetectionResult) -> bool:
+        """True if the analysis reported the bug's race."""
+        targets = self.racy_ips(program)
+        for report in result.races:
+            first, second = report.pair
+            if first in targets and second in targets:
+                return True
+        return False
+
+
+def _filler(label: str, trips: int = _FILL_TRIPS, stride: int = 3,
+            offset: int = 0) -> str:
+    """Background memory traffic (request parsing, buffer copies...) so
+    sampling has realistic work to land on.  Mixes the paper's three
+    addressing classes: rip-relative-indexed accesses (always
+    recoverable), and accesses through ``%rbp`` — a buffer pointer the
+    request loop loaded from memory, so forward replay cannot derive it
+    but backward propagation from a later sample can (it stays live all
+    iteration).  Clobbers only r9–r11."""
+    return f"""
+    mov ${trips}, %r9
+{label}:
+    mov %r9, %r10
+    imul ${stride}, %r10
+    and $31, %r10
+    add ${offset}, %r10
+    mov workbuf(,%r10,8), %r11
+    add %r9, %r11
+    mov %r11, workbuf(,%r10,8)
+    mov (%rbp,%r10,8), %r11
+    dec %r9
+    cmp $0, %r9
+    jne {label}
+"""
+
+
+def _thread(label: str, iterations: int, racy_asm: str,
+            epilogue: str = "", offset: int = 0) -> str:
+    """One thread's request loop: the request-buffer pointer is loaded
+    from memory once at thread start and stays live for the whole thread
+    — the long-live-range situation §5.2.1's backward propagation
+    exploits ("registers used for memory address calculation often have a
+    long live-range").  Then filler + racy section per "request"."""
+    return f"""
+    mov bufptr(%rip), %rbp
+    mov ${iterations}, %r8
+{label}_outer:
+{_filler(label + '_fill', offset=offset)}
+{racy_asm}
+    dec %r8
+    cmp $0, %r8
+    jne {label}_outer
+{_filler(label + '_fill2', offset=offset)}
+{epilogue}
+"""
+
+
+# ---------------------------------------------------------------------------
+# apache
+# ---------------------------------------------------------------------------
+
+
+def apache_21287(scale: WorkloadScale) -> Program:
+    """apache-21287: unsynchronized refcount decrement on a shared cache
+    object reached through a pointer loaded from memory → double free.
+    The racy field is ``obj->refcnt``: memory-indirect addressing."""
+    n = scale.iterations
+    racy = """
+    mov obj_ptr(%rip), %rsi         # pointer loaded from memory
+race_{L}_read:
+    mov (%rsi), %rdx                # racy read of obj->refcnt
+    sub $1, %rdx
+race_{L}_write:
+    mov %rdx, (%rsi)                # racy write of obj->refcnt
+"""
+    free_path = """
+    mov obj_ptr(%rip), %rsi
+    mov (%rsi), %rdx
+    cmp $0, %rdx
+    jg still_alive
+    lock $guard_lock
+    mov free_guard(%rip), %r12
+    cmp $0, %r12
+    jne skip_free
+    mov $1, %r12
+    mov %r12, free_guard(%rip)
+    free %rsi                       # "double free" manifests here
+skip_free:
+    unlock $guard_lock
+still_alive:
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global obj_ptr 0
+.global free_guard 0
+.global guard_lock 0
+
+main:
+    malloc $64, %rax
+    mov ${4 * n + 8}, %rdx
+    mov %rdx, (%rax)                # obj->refcnt
+    mov %rax, obj_ptr(%rip)
+    spawn handler, %rbx
+{_thread('m', n, racy.format(L='m'), free_path)}
+    join %rbx
+    halt
+
+handler:
+{_thread('h', n, racy.format(L='h'), offset=32)}
+    halt
+""",
+        "apache-21287",
+    )
+
+
+def apache_25520(scale: WorkloadScale) -> Program:
+    """apache-25520: concurrent appends to the shared access log corrupt
+    records; the log cursor is reached through a long-lived register
+    (register-indirect)."""
+    racy = """
+race_{L}_read:
+    mov (%r14), %rax                # racy read of the log cursor
+    add $1, %rax
+race_{L}_write:
+    mov %rax, (%r14)                # racy write of the log cursor
+    and $63, %rax
+    mov %r8, logbuf(,%rax,8)
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.reserve logbuf 64
+.global log_cursor 0
+.ptr cursor_ptr log_cursor
+
+main:
+    mov cursor_ptr(%rip), %r14      # cursor address kept in a register
+    spawn handler, %rbx
+{_thread('m', scale.iterations, racy.format(L='m'))}
+    join %rbx
+    halt
+
+handler:
+    mov cursor_ptr(%rip), %r14
+{_thread('h', scale.iterations, racy.format(L='h'), offset=32)}
+    halt
+""",
+        "apache-25520",
+    )
+
+
+def apache_45605(scale: WorkloadScale) -> Program:
+    """apache-45605: a worker toggles a connection status flag while
+    another thread checks it, tripping an assertion; the flag is reached
+    via a register-held structure pointer (register-indirect)."""
+    writer = """
+    mov %r8, %r12
+    and $1, %r12
+race_m_write:
+    mov %r12, 16(%r13)              # racy toggle of conn->status
+"""
+    checker = """
+race_c_read:
+    mov 16(%r13), %rax              # racy read of conn->status
+    cmp $1, %rax
+    je ok_{I}
+    mov assert_failures(%rip), %rdx
+    add $1, %rdx
+    mov %rdx, assert_failures(%rip)
+ok_{I}:
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.reserve conn_struct 4
+.global assert_failures 0
+.ptr conn_ptr conn_struct
+
+main:
+    mov conn_ptr(%rip), %r13        # conn* in a register
+    mov $1, %rax
+    mov %rax, 16(%r13)              # conn->status = READY
+    spawn checker, %rbx
+{_thread('m', scale.iterations, writer)}
+    join %rbx
+    halt
+
+checker:
+    mov conn_ptr(%rip), %r13
+{_thread('c', scale.iterations, checker.format(I='0'), offset=32)}
+    halt
+""",
+        "apache-45605",
+    )
+
+
+# ---------------------------------------------------------------------------
+# mysql
+# ---------------------------------------------------------------------------
+
+
+def mysql_3596(scale: WorkloadScale) -> Program:
+    """mysql-3596: two sessions race on a table handler's open flag; the
+    handler is found by chasing the table-cache entry (memory-indirect) —
+    a stale read crashes the server."""
+    writer = """
+    mov table_cache(%rip), %rsi     # chase the cache entry
+    mov %r8, %r12
+    and $1, %r12
+race_m_write:
+    mov %r12, 8(%rsi)               # racy open/close of the handler
+"""
+    reader = """
+    mov table_cache(%rip), %rsi
+race_s_read:
+    mov 8(%rsi), %rax               # racy read: may see closed handler
+    cmp $0, %rax
+    jne fine_0
+    mov %rax, workbuf(%rip)         # models the crash path
+fine_0:
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.reserve table_cache 8
+
+main:
+    malloc $64, %rax
+    mov $1, %rdx
+    mov %rdx, 8(%rax)               # handler->open = 1
+    mov %rax, table_cache(%rip)
+    spawn session, %rbx
+{_thread('m', scale.iterations, writer)}
+    join %rbx
+    halt
+
+session:
+{_thread('s', scale.iterations, reader, offset=32)}
+    halt
+""",
+        "mysql-3596",
+    )
+
+
+def mysql_644(scale: WorkloadScale) -> Program:
+    """mysql-644: the query cache's free-list head is updated by two
+    threads; the head cell is reached via a pointer loaded from the cache
+    descriptor (memory-indirect)."""
+    racy = """
+    mov qc_desc(%rip), %rsi
+race_{L}_read:
+    mov (%rsi), %rax                # racy read of free-list head
+    add $8, %rax
+race_{L}_write:
+    mov %rax, (%rsi)                # racy write of free-list head
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.reserve freelist_cell 1
+.ptr qc_desc freelist_cell
+
+main:
+    spawn purger, %rbx
+{_thread('m', scale.iterations, racy.format(L='m'))}
+    join %rbx
+    halt
+
+purger:
+{_thread('p', scale.iterations, racy.format(L='p'), offset=32)}
+    halt
+""",
+        "mysql-644",
+    )
+
+
+def mysql_791(scale: WorkloadScale) -> Program:
+    """mysql-791: a binlog record counter read while another thread
+    increments it — the reader misses output; the counter lives in a
+    heap-allocated log object (memory-indirect)."""
+    reader = """
+    mov binlog_ptr(%rip), %rsi
+race_m_read:
+    mov 24(%rsi), %rax              # racy read of record count
+    mov %rax, drained(%rip)         # missing output when stale
+"""
+    writer = """
+    mov binlog_ptr(%rip), %rsi
+    mov 24(%rsi), %rax
+    add $1, %rax
+race_w_write:
+    mov %rax, 24(%rsi)              # racy count increment
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global binlog_ptr 0
+.global drained 0
+
+main:
+    malloc $32, %rax
+    mov %rax, binlog_ptr(%rip)
+    spawn writer_t, %rbx
+{_thread('m', scale.iterations, reader)}
+    join %rbx
+    halt
+
+writer_t:
+{_thread('w', scale.iterations, writer, offset=32)}
+    halt
+""",
+        "mysql-791",
+    )
+
+
+# ---------------------------------------------------------------------------
+# cherokee
+# ---------------------------------------------------------------------------
+
+
+def _cherokee_variant(name: str, scale: WorkloadScale,
+                      log_words: int) -> Program:
+    """Both cherokee bugs are unsynchronized updates of the shared logger
+    state through a register-held logger pointer (register-indirect)."""
+    racy = """
+race_{L}_read:
+    mov 8(%r15), %rax               # racy read of logger->used
+    add $1, %rax
+race_{L}_write:
+    mov %rax, 8(%r15)               # racy write of logger->used
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.reserve logger {log_words}
+.ptr logger_ptr logger
+
+main:
+    mov logger_ptr(%rip), %r15      # logger* in a register
+    spawn conn_thread, %rbx
+{_thread('m', scale.iterations, racy.format(L='m'))}
+    join %rbx
+    halt
+
+conn_thread:
+    mov logger_ptr(%rip), %r15
+{_thread('c', scale.iterations, racy.format(L='c'), offset=32)}
+    halt
+""",
+        name,
+    )
+
+
+def cherokee_092(scale: WorkloadScale) -> Program:
+    return _cherokee_variant("cherokee-0.9.2", scale, 8)
+
+
+def cherokee_bug1(scale: WorkloadScale) -> Program:
+    return _cherokee_variant("cherokee-bug1", scale, 16)
+
+
+# ---------------------------------------------------------------------------
+# pbzip2 / pfscan / aget
+# ---------------------------------------------------------------------------
+
+
+def pbzip2_094(scale: WorkloadScale) -> Program:
+    """pbzip2-0.9.4: the main thread pokes the output queue's state while
+    a consumer still dereferences it (use-after-free crash); the queue is
+    reached through a pointer loaded from memory (memory-indirect)."""
+    writer = """
+    mov queue_ptr(%rip), %rsi
+    mov %r8, %r12
+    and $7, %r12
+race_m_write:
+    mov %r12, 16(%rsi)              # racy write of queue->state
+"""
+    reader = """
+    mov queue_ptr(%rip), %rsi
+race_c_read:
+    mov 16(%rsi), %rax              # racy read (use after teardown)
+    cmp $0, %rax
+    jne alive_0
+    mov %rax, workbuf(%rip)         # models the crash
+alive_0:
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global queue_ptr 0
+
+main:
+    malloc $48, %rax
+    mov $7, %rdx
+    mov %rdx, 16(%rax)              # queue->state
+    mov %rax, queue_ptr(%rip)
+    spawn consumer, %rbx
+{_thread('m', scale.iterations, writer)}
+    join %rbx
+    halt
+
+consumer:
+{_thread('c', scale.iterations, reader, offset=32)}
+    halt
+""",
+        "pbzip2-0.9.4",
+    )
+
+
+def pbzip2_091(scale: WorkloadScale) -> Program:
+    """pbzip2-0.9.1: benign race on the global ``allDone`` progress flag,
+    addressed PC-relative — detectable from the PT path alone."""
+    writer = """
+    mov %r8, %r12
+    and $1, %r12
+race_m_write:
+    mov %r12, all_done(%rip)        # racy (benign) flag write
+"""
+    reader = """
+race_w_read:
+    mov all_done(%rip), %rax        # racy (benign) flag read
+    add %rax, %r12
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global all_done 0
+
+main:
+    spawn worker_t, %rbx
+{_thread('m', scale.iterations, writer)}
+    join %rbx
+    halt
+
+worker_t:
+{_thread('w', scale.iterations, reader, offset=32)}
+    halt
+""",
+        "pbzip2-0.9.1",
+    )
+
+
+def pfscan_bug(scale: WorkloadScale) -> Program:
+    """pfscan: the worker polls the global ``aworker`` counter that the
+    main thread updates without the matching lock — stale reads spin
+    forever; PC-relative addressing."""
+    writer = """
+    mov %r8, %r12
+    and $3, %r12
+race_m_write:
+    mov %r12, aworker(%rip)         # racy update (no lock)
+"""
+    reader = """
+    mov $4, %rcx
+spin_{I}:
+race_s_read:
+    mov aworker(%rip), %rax         # racy poll read
+    cmp $0, %rax
+    je spun_{I}
+    dec %rcx
+    cmp $0, %rcx
+    jne spin_{I}                    # bounded stand-in for the hang
+spun_{I}:
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global aworker 1
+
+main:
+    spawn scanner, %rbx
+{_thread('m', scale.iterations, writer)}
+    join %rbx
+    halt
+
+scanner:
+{_thread('s', scale.iterations, reader.format(I='0'), offset=32)}
+    halt
+""",
+        "pfscan",
+    )
+
+
+def aget_bug2(scale: WorkloadScale) -> Program:
+    """aget-bug2: the signal-time progress snapshot reads ``bwritten``
+    while downloaders update it under a different lock — wrong record in
+    the log; PC-relative addressing."""
+    reader = """
+race_m_read:
+    mov bwritten(%rip), %rax        # racy snapshot read
+    mov %rax, log_record(%rip)
+"""
+    writer = """
+    mov bwritten(%rip), %rax
+    add $4096, %rax
+race_d_write:
+    mov %rax, bwritten(%rip)        # racy progress write
+"""
+    return assemble(
+        f"""
+.reserve workbuf 64
+.ptr bufptr workbuf
+.global bwritten 0
+.global log_record 0
+
+main:
+    spawn downloader, %rbx
+{_thread('m', scale.iterations, reader)}
+    join %rbx
+    halt
+
+downloader:
+{_thread('d', scale.iterations, writer, offset=32)}
+    halt
+""",
+        "aget-bug2",
+    )
+
+
+#: Table 2's twelve bugs, in the paper's order.
+RACE_BUGS: Dict[str, RaceBug] = {
+    bug.name: bug
+    for bug in (
+        RaceBug("apache-21287", "double free", MEMORY_INDIRECT,
+                apache_21287),
+        RaceBug("apache-25520", "corrupted log", REGISTER_INDIRECT,
+                apache_25520),
+        RaceBug("apache-45605", "assertion", REGISTER_INDIRECT,
+                apache_45605),
+        RaceBug("mysql-3596", "crash", MEMORY_INDIRECT, mysql_3596),
+        RaceBug("mysql-644", "crash", MEMORY_INDIRECT, mysql_644),
+        RaceBug("mysql-791", "missing output", MEMORY_INDIRECT, mysql_791),
+        RaceBug("cherokee-0.9.2", "corrupted log", REGISTER_INDIRECT,
+                cherokee_092),
+        RaceBug("cherokee-bug1", "corrupted log", REGISTER_INDIRECT,
+                cherokee_bug1),
+        RaceBug("pbzip2-0.9.4", "crash", MEMORY_INDIRECT, pbzip2_094),
+        RaceBug("pbzip2-0.9.1", "benign", PC_RELATIVE, pbzip2_091),
+        RaceBug("pfscan", "infinite loop", PC_RELATIVE, pfscan_bug),
+        RaceBug("aget-bug2", "wrong record in log", PC_RELATIVE, aget_bug2),
+    )
+}

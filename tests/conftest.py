@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.tracing import trace_run
+
+from tests.helpers import CLEAN_COUNTER_ASM, RACY_ASM
+
+
+@pytest.fixture
+def clean_program():
+    return assemble(CLEAN_COUNTER_ASM, "clean-counter")
+
+
+@pytest.fixture
+def racy_program():
+    return assemble(RACY_ASM, "racy-counter")
+
+
+@pytest.fixture
+def clean_bundle(clean_program):
+    return trace_run(clean_program, period=5, seed=7,
+                     record_ground_truth=True)
+
+
+@pytest.fixture
+def racy_bundle(racy_program):
+    return trace_run(racy_program, period=5, seed=7,
+                     record_ground_truth=True)

@@ -1,0 +1,96 @@
+"""Shared helpers and program sources for the test suite."""
+
+from __future__ import annotations
+
+from repro.machine import Machine
+
+#: A small two-thread program with a lock-protected counter (no races).
+CLEAN_COUNTER_ASM = """
+.global total 0
+.global lockvar 0
+main:
+    mov $6, %rcx
+    spawn worker, %rbx
+loop:
+    call bump
+    dec %rcx
+    cmp $0, %rcx
+    jne loop
+    join %rbx
+    halt
+bump:
+    lock $lockvar
+    mov total(%rip), %rax
+    add $1, %rax
+    mov %rax, total(%rip)
+    unlock $lockvar
+    ret
+worker:
+    mov $5, %rcx
+wloop:
+    call bump
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+"""
+
+#: A small two-thread program with an obvious data race on `racy`.
+RACY_ASM = """
+.global racy 0
+.global lockvar 0
+.reserve workbuf 16
+main:
+    spawn worker, %rbx
+    mov $8, %rcx
+mloop:
+    mov racy(%rip), %rax
+    add $1, %rax
+    mov %rax, racy(%rip)
+    mov %rcx, %r10
+    and $15, %r10
+    mov workbuf(,%r10,8), %r11
+    dec %rcx
+    cmp $0, %rcx
+    jne mloop
+    join %rbx
+    halt
+worker:
+    mov $8, %rcx
+wloop:
+    mov racy(%rip), %rax
+    add $2, %rax
+    mov %rax, racy(%rip)
+    dec %rcx
+    cmp $0, %rcx
+    jne wloop
+    halt
+"""
+
+
+def run_machine(program, seed=0, **kwargs):
+    """Convenience: run a program on a fresh machine."""
+    machine = Machine(program, seed=seed, **kwargs)
+    result = machine.run()
+    return machine, result
+
+
+def record_states(program, seed=0, num_cores=4):
+    """Run *program* recording, per thread, the executed instruction
+    addresses and the register snapshot *before* each instruction.
+
+    Returns {tid: [(ip, regs_before_dict), ...]} in execution order —
+    the oracle several replay tests drive WindowReplayer with.
+    """
+    machine = Machine(program, seed=seed, num_cores=num_cores)
+    states = {}
+    original_step = machine._step
+
+    def wrapped(thread):
+        snapshot = thread.registers.snapshot()
+        states.setdefault(thread.tid, []).append((thread.ip, snapshot))
+        original_step(thread)
+
+    machine._step = wrapped
+    machine.run()
+    return machine, states

@@ -1,0 +1,95 @@
+"""Cost model tests: overhead estimation and trace-size accounting."""
+
+import pytest
+
+from repro.analysis import estimate_overhead, trace_rate_mb_per_s
+from repro.pmu import PRORACE_DRIVER, VANILLA_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import APP_WORKLOADS, PARSEC_WORKLOADS, WorkloadScale
+
+SCALE = WorkloadScale(iterations=40)
+
+
+def _overhead(workload, period, driver=PRORACE_DRIVER, seed=0):
+    program = workload.instantiate(SCALE)
+    bundle = trace_run(program, period=period, driver=driver, seed=seed)
+    return estimate_overhead(bundle)
+
+
+class TestOverheadShape:
+    def test_smaller_period_costs_more(self):
+        w = PARSEC_WORKLOADS["blackscholes"]
+        overheads = [
+            _overhead(w, period).overhead for period in (10, 100, 1000)
+        ]
+        assert overheads[0] > overheads[1] > overheads[2]
+
+    def test_prorace_driver_cheaper_than_vanilla(self):
+        w = PARSEC_WORKLOADS["streamcluster"]
+        for period in (10, 100, 1000):
+            prorace = _overhead(w, period, PRORACE_DRIVER).overhead
+            vanilla = _overhead(w, period, VANILLA_DRIVER).overhead
+            assert prorace < vanilla, f"period {period}"
+
+    def test_io_bound_app_hides_overhead(self):
+        """§7.2: network-I/O-dominant applications show negligible
+        overhead even at period 10."""
+        apache = _overhead(APP_WORKLOADS["apache"], period=10)
+        assert apache.overhead < 0.02
+
+    def test_cpu_bound_app_pays(self):
+        pbzip2 = _overhead(APP_WORKLOADS["pbzip2"], period=10)
+        assert pbzip2.overhead > 0.5
+
+    def test_pebs_dominates_tracing(self):
+        """§7.2: PEBS contributes 97–99% of tracing cost at small
+        periods; PT and sync stay small."""
+        est = _overhead(PARSEC_WORKLOADS["blackscholes"], period=10)
+        breakdown = est.breakdown()
+        assert breakdown["pebs"] > 0.9
+        assert breakdown["pt"] < 0.1
+
+    def test_breakdown_sums_to_one(self):
+        est = _overhead(PARSEC_WORKLOADS["vips"], period=100)
+        assert abs(sum(est.breakdown().values()) - 1.0) < 1e-9
+
+    def test_normalized_runtime(self):
+        est = _overhead(PARSEC_WORKLOADS["vips"], period=100)
+        assert est.normalized_runtime == pytest.approx(1 + est.overhead)
+
+
+class TestTraceSize:
+    def test_rate_positive(self):
+        program = PARSEC_WORKLOADS["canneal"].instantiate(SCALE)
+        bundle = trace_run(program, period=10, seed=0)
+        assert trace_rate_mb_per_s(bundle) > 0
+
+    def test_smaller_period_bigger_trace(self):
+        program = PARSEC_WORKLOADS["canneal"].instantiate(SCALE)
+        small = trace_run(program, period=10, seed=0)
+        large = trace_run(program, period=1000, seed=0)
+        assert small.total_trace_bytes > large.total_trace_bytes
+
+    def test_pebs_dominates_bytes_at_small_period(self):
+        program = PARSEC_WORKLOADS["facesim"].instantiate(SCALE)
+        bundle = trace_run(program, period=10, seed=0)
+        assert bundle.pebs_size_bytes > bundle.pt_size_bytes
+
+    def test_pt_size_independent_of_period(self):
+        """§7.3: the PT trace size is constant across PEBS configs."""
+        program = PARSEC_WORKLOADS["facesim"].instantiate(SCALE)
+        sizes = {
+            trace_run(program, period=p, seed=0).pt_size_bytes
+            for p in (10, 100, 1000)
+        }
+        assert len(sizes) == 1
+
+    def test_vanilla_records_inflate_trace(self):
+        program = PARSEC_WORKLOADS["facesim"].instantiate(SCALE)
+        vanilla = trace_run(program, period=10, driver=VANILLA_DRIVER, seed=0)
+        prorace = trace_run(program, period=10, driver=PRORACE_DRIVER, seed=0)
+        written_v = vanilla.pebs_accounting.samples_written
+        written_p = prorace.pebs_accounting.samples_written
+        if written_v and written_p:
+            assert (vanilla.pebs_size_bytes / written_v) > \
+                (prorace.pebs_size_bytes / written_p)

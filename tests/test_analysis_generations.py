@@ -1,0 +1,62 @@
+"""Allocation-generation disambiguation tests (§4.3)."""
+
+from repro.analysis.generations import AllocationIndex
+from repro.isa.program import DATA_BASE, HEAP_BASE
+from repro.pmu.records import AllocRecord
+
+
+def malloc(address, tsc, size=32, tid=0):
+    return AllocRecord(tsc=tsc, tid=tid, ip=0, kind="malloc",
+                       address=address, size=size)
+
+
+def free(address, tsc, size=32, tid=0):
+    return AllocRecord(tsc=tsc, tid=tid, ip=0, kind="free",
+                       address=address, size=size)
+
+
+ADDR = HEAP_BASE + 0x100
+
+
+class TestGenerations:
+    def test_non_heap_is_generation_zero(self):
+        index = AllocationIndex([])
+        assert index.generation(DATA_BASE + 8, tsc=100) == 0
+
+    def test_single_allocation(self):
+        index = AllocationIndex([malloc(ADDR, 10)])
+        assert index.generation(ADDR, 50) == 0
+
+    def test_recycled_address_distinct_generation(self):
+        index = AllocationIndex(
+            [malloc(ADDR, 10), free(ADDR, 20), malloc(ADDR, 30)]
+        )
+        assert index.generation(ADDR, 15) == 0
+        assert index.generation(ADDR, 40) == 1
+
+    def test_interpolated_tsc_between_generations(self):
+        index = AllocationIndex(
+            [malloc(ADDR, 10), free(ADDR, 20), malloc(ADDR, 30)]
+        )
+        assert index.generation(ADDR, 29.5) == 0
+        assert index.generation(ADDR, 30.5) == 1
+
+    def test_interior_pointer_resolves_to_block(self):
+        index = AllocationIndex(
+            [malloc(ADDR, 10, size=64), free(ADDR, 20, size=64),
+             malloc(ADDR, 30, size=64)]
+        )
+        assert index.generation(ADDR + 24, 15) == 0
+        assert index.generation(ADDR + 24, 35) == 1
+
+    def test_pointer_past_block_is_its_own_variable(self):
+        index = AllocationIndex([malloc(ADDR, 10, size=16)])
+        # Address beyond the block: no generations known.
+        assert index.generation(ADDR + 64, 50) == 0
+
+    def test_unordered_records_sorted(self):
+        index = AllocationIndex(
+            [malloc(ADDR, 30), malloc(ADDR, 10), free(ADDR, 20)]
+        )
+        assert index.generation(ADDR, 15) == 0
+        assert index.generation(ADDR, 35) == 1

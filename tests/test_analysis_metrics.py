@@ -1,0 +1,144 @@
+"""Metrics module tests: aggregates, detection-probability harness,
+offline-overhead measurement."""
+
+import pytest
+
+from repro.analysis import (
+    geometric_mean,
+    arithmetic_mean,
+    measure_detection_probability,
+    measure_offline_overhead,
+)
+from repro.analysis.metrics import DetectionProbability, DetectionTrial
+from repro.tracing import trace_run
+
+
+class TestAggregates:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_leq_arithmetic(self):
+        values = [1.2, 3.4, 0.9, 7.7]
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-12
+
+
+class TestDetectionProbability:
+    def test_empty(self):
+        probability = DetectionProbability()
+        assert probability.probability == 0.0
+        assert probability.runs == 0
+
+    def test_counts(self):
+        probability = DetectionProbability(trials=[
+            DetectionTrial(seed=0, detected=True, races=1, samples=5),
+            DetectionTrial(seed=1, detected=False, races=0, samples=5),
+        ])
+        assert probability.runs == 2
+        assert probability.detections == 1
+        assert probability.probability == 0.5
+
+    def test_harness_detects_obvious_race(self, racy_program):
+        probability = measure_detection_probability(
+            racy_program,
+            racy_addresses=[racy_program.symbols["racy"]],
+            period=3,
+            runs=5,
+        )
+        assert probability.runs == 5
+        assert probability.probability >= 0.8
+
+    def test_harness_clean_program_never_detects(self, clean_program):
+        probability = measure_detection_probability(
+            clean_program,
+            racy_addresses=[clean_program.symbols["total"]],
+            period=3,
+            runs=4,
+        )
+        assert probability.probability == 0.0
+
+    def test_seeds_are_distinct(self, racy_program):
+        probability = measure_detection_probability(
+            racy_program,
+            racy_addresses=[racy_program.symbols["racy"]],
+            period=3,
+            runs=3,
+            seed_base=100,
+        )
+        assert [t.seed for t in probability.trials] == [100, 101, 102]
+
+
+class TestOfflineOverhead:
+    def test_measures(self, racy_program):
+        bundle = trace_run(racy_program, period=5, seed=1)
+        overhead = measure_offline_overhead(racy_program, bundle)
+        assert overhead.analysis_seconds > 0
+        assert overhead.execution_seconds > 0
+        assert overhead.overhead_per_execution_second > 0
+        assert abs(sum(overhead.breakdown.values()) - 1.0) < 1e-9
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        from repro.analysis import wilson_interval
+
+        low, high = wilson_interval(7, 10)
+        assert low <= 0.7 <= high
+
+    def test_bounds_in_unit_interval(self):
+        from repro.analysis import wilson_interval
+
+        for hits, runs in ((0, 10), (10, 10), (1, 1), (0, 1)):
+            low, high = wilson_interval(hits, runs)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_narrows_with_more_runs(self):
+        from repro.analysis import wilson_interval
+
+        low10, high10 = wilson_interval(5, 10)
+        low100, high100 = wilson_interval(50, 100)
+        assert (high100 - low100) < (high10 - low10)
+
+    def test_zero_runs(self):
+        from repro.analysis import wilson_interval
+
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestExpectedRuns:
+    def test_geometric_expectation(self):
+        from repro.analysis.metrics import (
+            DetectionProbability,
+            DetectionTrial,
+        )
+
+        probability = DetectionProbability(trials=[
+            DetectionTrial(seed=i, detected=(i % 4 == 0), races=1,
+                           samples=1)
+            for i in range(8)
+        ])
+        assert probability.probability == 0.25
+        assert probability.expected_runs_to_detection() == 4.0
+
+    def test_never_detected_is_infinite(self):
+        import math
+
+        from repro.analysis.metrics import (
+            DetectionProbability,
+            DetectionTrial,
+        )
+
+        probability = DetectionProbability(trials=[
+            DetectionTrial(seed=0, detected=False, races=0, samples=0)
+        ])
+        assert math.isinf(probability.expected_runs_to_detection())

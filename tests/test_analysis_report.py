@@ -1,0 +1,125 @@
+"""Race report rendering tests."""
+
+import json
+
+from repro.analysis import (
+    FleetSummary,
+    OfflinePipeline,
+    render_race,
+    render_report,
+    to_json,
+)
+from repro.tracing import trace_run
+
+
+def _analyzed(program, seed=1):
+    bundle = trace_run(program, period=3, seed=seed)
+    return OfflinePipeline(program).analyze(bundle)
+
+
+class TestRenderRace:
+    def test_names_the_symbol(self, racy_program):
+        result = _analyzed(racy_program)
+        assert result.races
+        text = render_race(racy_program, result.races[0])
+        assert "racy" in text
+        assert "data race on" in text
+
+    def test_marks_racing_instructions(self, racy_program):
+        result = _analyzed(racy_program)
+        text = render_race(racy_program, result.races[0])
+        assert ">" in text
+        assert "thread" in text
+
+    def test_mentions_provenance(self, racy_program):
+        result = _analyzed(racy_program)
+        text = render_race(racy_program, result.races[0])
+        assert "reconstructed via" in text
+
+
+class TestRenderReport:
+    def test_racy_report(self, racy_program):
+        result = _analyzed(racy_program)
+        text = render_report(racy_program, result)
+        assert "recovery ratio" in text
+        assert f"distinct races: {len(result.races)}" in text
+
+    def test_clean_report(self, clean_program):
+        result = _analyzed(clean_program)
+        text = render_report(clean_program, result)
+        assert "no data races detected" in text
+
+
+class TestJson:
+    def test_valid_json_with_expected_fields(self, racy_program):
+        result = _analyzed(racy_program)
+        payload = json.loads(to_json(racy_program, result))
+        assert payload["program"] == racy_program.name
+        assert payload["stats"]["sampled"] >= 0
+        assert payload["races"]
+        race = payload["races"][0]
+        assert {"address", "symbol", "first", "second"} <= set(race)
+        assert race["symbol"].startswith("racy")
+
+    def test_timings_present(self, clean_program):
+        result = _analyzed(clean_program)
+        payload = json.loads(to_json(clean_program, result))
+        assert payload["timings_seconds"]["reconstruction"] > 0
+
+
+class TestFleetSummary:
+    def test_aggregates_across_runs(self, racy_program):
+        summary = FleetSummary()
+        for seed in range(4):
+            bundle = trace_run(racy_program, period=3, seed=seed)
+            summary.add(OfflinePipeline(racy_program).analyze(bundle))
+        assert summary.runs == 4
+        assert summary.runs_with_races >= 3
+        text = summary.render(racy_program)
+        assert "distinct race sites" in text
+        assert "racy" in text
+
+    def test_clean_fleet(self, clean_program):
+        summary = FleetSummary()
+        for seed in range(2):
+            bundle = trace_run(clean_program, period=3, seed=seed)
+            summary.add(OfflinePipeline(clean_program).analyze(bundle))
+        assert summary.runs_with_races == 0
+        assert not summary.race_sites
+
+
+class TestSymbolResolution:
+    def test_address_below_all_symbols(self, racy_program):
+        from repro.analysis.report import _symbol_for
+
+        assert _symbol_for(racy_program, 0x10) is None
+
+    def test_interior_offset_named(self, racy_program):
+        from repro.analysis.report import _symbol_for
+
+        base = racy_program.symbols["workbuf"]
+        assert _symbol_for(racy_program, base + 0x18) == "workbuf+0x18"
+
+    def test_no_symbols_program(self):
+        from repro.analysis.report import _symbol_for
+        from repro.isa import assemble
+
+        program = assemble("main:\n    halt\n")
+        assert _symbol_for(program, 0x10000) is None
+
+
+class TestCodeContext:
+    def test_out_of_range_ip(self, racy_program):
+        from repro.analysis.report import _code_context
+
+        assert _code_context(racy_program, 10_000) == \
+            ["    <unknown instruction>"]
+        assert _code_context(racy_program, None) == \
+            ["    <unknown instruction>"]
+
+    def test_labels_shown(self, racy_program):
+        from repro.analysis.report import _code_context
+
+        worker_ip = racy_program.resolve("worker")
+        lines = _code_context(racy_program, worker_ip + 1)
+        assert any("worker:" in line for line in lines)

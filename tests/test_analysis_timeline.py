@@ -1,0 +1,89 @@
+"""Timeline tests: monotone, exact-at-anchors TSC assignment."""
+
+from repro.analysis.timeline import ThreadTimeline, build_timeline
+from repro.isa import assemble
+from repro.ptdecode import align_samples, decode_all, locate_syncs
+from repro.tracing import trace_run
+
+from tests.helpers import RACY_ASM
+
+
+class TestThreadTimeline:
+    def _timeline(self):
+        return ThreadTimeline(
+            tid=0, points=[(0, 10), (5, 30), (10, 100)], total_steps=12
+        )
+
+    def test_exact_at_points(self):
+        tl = self._timeline()
+        assert tl.tsc_of(0) == 10
+        assert tl.tsc_of(5) == 30
+        assert tl.tsc_of(10) == 100
+
+    def test_interpolation_strictly_inside(self):
+        tl = self._timeline()
+        for step in range(1, 5):
+            assert 10 < tl.tsc_of(step) < 30
+
+    def test_monotone(self):
+        tl = self._timeline()
+        values = [tl.tsc_of(s) for s in range(12)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_extrapolation_beyond_last(self):
+        tl = self._timeline()
+        assert tl.tsc_of(11) == 101.0
+
+    def test_extrapolation_before_first(self):
+        tl = ThreadTimeline(tid=0, points=[(3, 10)], total_steps=5)
+        assert tl.tsc_of(1) == 8.0
+
+
+class TestBuildTimeline:
+    def _built(self, seed=4):
+        program = assemble(RACY_ASM)
+        bundle = trace_run(program, period=4, seed=seed)
+        paths = decode_all(program, bundle.pt_traces)
+        timelines = {}
+        for tid, path in paths.items():
+            aligned = align_samples(path, bundle.samples_of_thread(tid))
+            syncs = locate_syncs(
+                path, [r for r in bundle.sync_records if r.tid == tid]
+            )
+            timelines[tid] = (path, aligned, syncs,
+                              build_timeline(path, aligned, syncs))
+        return program, bundle, timelines
+
+    def test_sample_steps_get_exact_tsc(self):
+        _, _, timelines = self._built()
+        for path, aligned, _, timeline in timelines.values():
+            for item in aligned:
+                assert timeline.tsc_of(item.step_index) == item.sample.tsc
+
+    def test_sync_steps_get_exact_tsc(self):
+        _, _, timelines = self._built()
+        for path, _, syncs, timeline in timelines.values():
+            for record, step in syncs:
+                assert timeline.tsc_of(step) == record.tsc
+
+    def test_every_step_monotone(self):
+        _, _, timelines = self._built()
+        for path, _, _, timeline in timelines.values():
+            previous = float("-inf")
+            for step in range(len(path.steps)):
+                value = timeline.tsc_of(step)
+                assert value > previous
+                previous = value
+
+    def test_interpolated_within_true_execution_window(self):
+        """Interpolated TSCs stay within the anchor windows that really
+        bounded the step's execution — never crossing a sync boundary."""
+        _, _, timelines = self._built()
+        for path, _, syncs, timeline in timelines.values():
+            sync_steps = {step: record.tsc for record, step in syncs}
+            for step, true_tsc in sync_steps.items():
+                if step > 0:
+                    assert timeline.tsc_of(step - 1) < true_tsc
+                if step + 1 < len(path.steps):
+                    assert timeline.tsc_of(step + 1) > true_tsc

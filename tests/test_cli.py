@@ -1,0 +1,133 @@
+"""CLI tests (driven in-process via repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.helpers import RACY_ASM
+
+
+@pytest.fixture
+def racy_source(tmp_path):
+    path = tmp_path / "racy.s"
+    path.write_text(RACY_ASM)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_lists_everything(self, capsys):
+        code, out = run_cli(capsys, "workloads")
+        assert code == 0
+        assert "blackscholes" in out
+        assert "apache-21287" in out
+        assert "pc relative" in out
+
+
+class TestRun:
+    def test_runs_catalogued_workload(self, capsys):
+        code, out = run_cli(capsys, "run", "swaptions", "--iterations", "5")
+        assert code == 0
+        assert "instructions" in out
+
+    def test_runs_source_file(self, capsys, racy_source):
+        code, out = run_cli(capsys, "run", "-", "--source", racy_source)
+        assert code == 0
+
+    def test_unknown_program(self, capsys):
+        with pytest.raises(SystemExit, match="unknown program"):
+            main(["run", "nonsense"])
+
+
+class TestTraceAnalyze:
+    def test_trace_then_analyze(self, capsys, racy_source, tmp_path):
+        trace_path = str(tmp_path / "out.prtr")
+        code, out = run_cli(
+            capsys, "trace", "-", "--source", racy_source,
+            "--period", "5", "-o", trace_path, "--seed", "3",
+        )
+        assert code == 0
+        assert "wrote" in out
+        code, out = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path
+        )
+        assert code == 1  # races found → nonzero exit
+        assert "data race on" in out
+        assert "racy" in out
+
+    def test_analyze_json(self, capsys, racy_source, tmp_path):
+        trace_path = str(tmp_path / "out.prtr")
+        run_cli(capsys, "trace", "-", "--source", racy_source,
+                "--period", "5", "-o", trace_path, "--seed", "3")
+        code, out = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--json",
+        )
+        payload = json.loads(out)
+        assert payload["races"]
+
+
+class TestDetect:
+    def test_single_run_report(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "detect", "-", "--source", racy_source,
+            "--period", "5", "--seed", "2",
+        )
+        assert code == 1
+        assert "ProRace report" in out
+
+    def test_fleet_summary(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "detect", "-", "--source", racy_source,
+            "--period", "5", "--runs", "3",
+        )
+        assert code == 1
+        assert "fleet summary" in out
+        assert "/3 runs" in out
+
+    def test_clean_program_exits_zero(self, capsys):
+        code, out = run_cli(
+            capsys, "detect", "blackscholes", "--iterations", "5",
+            "--period", "5",
+        )
+        assert code == 0
+        assert "no data races detected" in out
+
+
+class TestOverhead:
+    def test_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, "overhead", "swaptions", "--iterations", "20",
+            "--periods", "100,10000",
+        )
+        assert code == 0
+        assert "prorace" in out and "vanilla" in out
+        assert out.count("%") >= 4
+
+
+class TestSweep:
+    def test_detection_sweep_single_bug(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "detection", "--target", "aget-bug2",
+            "--periods", "100", "--runs", "2", "--iterations", "8",
+        )
+        assert code == 0
+        assert "aget-bug2" in out and "total" in out
+
+    def test_overhead_sweep_single_workload(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "overhead", "--target", "swaptions",
+            "--periods", "100,10000", "--iterations", "20",
+        )
+        assert code == 0
+        assert "geomean" in out
+
+    def test_unknown_sweep_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "overhead", "--target", "nope"])

@@ -1,0 +1,190 @@
+"""FastTrack detector tests: the classic happens-before scenarios."""
+
+import pytest
+
+from repro.detector import (
+    Access,
+    AccessKind,
+    FastTrack,
+    ReferenceDetector,
+    SyncOp,
+)
+
+VAR = (0x1000, 0)
+LOCK = 0x2000
+
+
+def read(tid, var=VAR, ip=1, tsc=0.0):
+    return Access(tid=tid, var=var, kind=AccessKind.READ, ip=ip, tsc=tsc,
+                  provenance="test")
+
+
+def write(tid, var=VAR, ip=2, tsc=0.0):
+    return Access(tid=tid, var=var, kind=AccessKind.WRITE, ip=ip, tsc=tsc,
+                  provenance="test")
+
+
+def sync(tid, kind, target=LOCK):
+    return SyncOp(tid=tid, kind=kind, target=target, tsc=0.0)
+
+
+@pytest.fixture(params=[FastTrack, ReferenceDetector])
+def detector(request):
+    return request.param()
+
+
+class TestRaces:
+    def test_unordered_write_write_races(self, detector):
+        detector.access(write(0))
+        detector.access(write(1))
+        assert VAR[0] in detector.racy_addresses()
+
+    def test_unordered_write_read_races(self, detector):
+        detector.access(write(0))
+        detector.access(read(1))
+        assert VAR[0] in detector.racy_addresses()
+
+    def test_unordered_read_write_races(self, detector):
+        detector.access(read(0))
+        detector.access(write(1))
+        assert VAR[0] in detector.racy_addresses()
+
+    def test_concurrent_reads_do_not_race(self, detector):
+        detector.access(read(0))
+        detector.access(read(1))
+        detector.access(read(2))
+        assert not detector.racy_addresses()
+
+    def test_same_thread_never_races(self, detector):
+        detector.access(write(0))
+        detector.access(read(0))
+        detector.access(write(0))
+        assert not detector.racy_addresses()
+
+
+class TestLockOrdering:
+    def test_lock_protected_accesses_do_not_race(self, detector):
+        for tid in (0, 1):
+            detector.sync(sync(tid, "lock"))
+            detector.access(write(tid))
+            detector.sync(sync(tid, "unlock"))
+        assert not detector.racy_addresses()
+
+    def test_distinct_locks_do_not_order(self, detector):
+        detector.sync(sync(0, "lock", target=0x111))
+        detector.access(write(0))
+        detector.sync(sync(0, "unlock", target=0x111))
+        detector.sync(sync(1, "lock", target=0x222))
+        detector.access(write(1))
+        detector.sync(sync(1, "unlock", target=0x222))
+        assert VAR[0] in detector.racy_addresses()
+
+    def test_partially_locked_still_races(self, detector):
+        detector.sync(sync(0, "lock"))
+        detector.access(write(0))
+        detector.sync(sync(0, "unlock"))
+        detector.access(write(1))  # no lock
+        assert VAR[0] in detector.racy_addresses()
+
+
+class TestForkJoin:
+    def test_fork_orders_parent_before_child(self, detector):
+        detector.access(write(0))
+        detector.sync(SyncOp(tid=0, kind="fork", target=1, tsc=0.0))
+        detector.access(write(1))
+        assert not detector.racy_addresses()
+
+    def test_join_orders_child_before_parent(self, detector):
+        detector.sync(SyncOp(tid=0, kind="fork", target=1, tsc=0.0))
+        detector.access(write(1))
+        detector.sync(SyncOp(tid=0, kind="join", target=1, tsc=0.0))
+        detector.access(write(0))
+        assert not detector.racy_addresses()
+
+    def test_sibling_threads_race(self, detector):
+        detector.sync(SyncOp(tid=0, kind="fork", target=1, tsc=0.0))
+        detector.sync(SyncOp(tid=0, kind="fork", target=2, tsc=0.0))
+        detector.access(write(1))
+        detector.access(write(2))
+        assert VAR[0] in detector.racy_addresses()
+
+
+class TestSemaphores:
+    def test_post_wait_orders(self, detector):
+        detector.access(write(0))
+        detector.sync(sync(0, "sem_post", target=0x300))
+        detector.sync(sync(1, "sem_wait", target=0x300))
+        detector.access(write(1))
+        assert not detector.racy_addresses()
+
+
+class TestAllocationGenerations:
+    def test_distinct_generations_never_race(self, detector):
+        """Recycled heap addresses are distinct variables (§4.3)."""
+        detector.access(write(0, var=(0x5000, 0)))
+        detector.access(write(1, var=(0x5000, 1)))
+        assert not detector.racy_addresses()
+
+
+class TestFastTrackSpecifics:
+    def test_read_shared_then_write_reports_all_unordered_readers(self):
+        ft = FastTrack()
+        ft.access(read(0, ip=10))
+        ft.access(read(1, ip=11))
+        ft.access(read(2, ip=12))
+        ft.access(write(3, ip=13))
+        racy_ips = {r.first_ip for r in ft.races}
+        assert racy_ips == {10, 11, 12}
+
+    def test_same_epoch_fast_path_no_duplicate_reports(self):
+        ft = FastTrack()
+        ft.access(write(0))
+        ft.access(write(1))
+        before = len(ft.races)
+        ft.access(write(1))  # same epoch: no recheck, no new race
+        assert len(ft.races) == before
+
+    def test_distinct_races_dedup(self):
+        ft = FastTrack()
+        ft.access(write(0, ip=1))
+        ft.access(write(1, ip=2))
+        ft.sync(sync(1, "unlock"))  # bump t1's epoch
+        ft.access(write(1, ip=2))
+        # write_epoch now t1's; next t0 write races again with same pair.
+        assert len(ft.distinct_races()) <= len(ft.races)
+
+    def test_report_metadata(self):
+        ft = FastTrack()
+        ft.access(write(0, ip=5))
+        ft.access(write(1, ip=6))
+        report = ft.races[0]
+        assert report.first_tid == 0
+        assert report.second.tid == 1
+        assert report.pair == (5, 6)
+        assert "race on" in report.describe()
+
+
+class TestDifferential:
+    """FastTrack must agree with the reference detector on racy vars."""
+
+    def _scenario(self, detector, script):
+        for item in script:
+            if isinstance(item, SyncOp):
+                detector.sync(item)
+            else:
+                detector.access(item)
+        return frozenset(detector.racy_addresses())
+
+    @pytest.mark.parametrize("script", [
+        [write(0), write(1), read(2)],
+        [read(0), read(1), write(0)],
+        [sync(0, "lock"), write(0), sync(0, "unlock"),
+         sync(1, "lock"), read(1), sync(1, "unlock")],
+        [write(0), sync(0, "sem_post"), sync(1, "sem_wait"), write(1),
+         write(2)],
+        [SyncOp(0, "fork", 1, 0.0), write(1),
+         SyncOp(0, "join", 1, 0.0), write(0), read(1, var=(0x7777, 0))],
+    ])
+    def test_agreement(self, script):
+        assert self._scenario(FastTrack(), script) == \
+            self._scenario(ReferenceDetector(), script)

@@ -1,0 +1,71 @@
+"""Unit tests for vector clocks and epochs."""
+
+from repro.detector.vectorclock import BOTTOM, Epoch, VectorClock
+
+
+class TestEpoch:
+    def test_ordering(self):
+        assert Epoch(1, 0) < Epoch(2, 0)
+
+    def test_str(self):
+        assert str(Epoch(5, 2)) == "5@2"
+
+
+class TestVectorClock:
+    def test_absent_is_zero(self):
+        assert VectorClock().get(3) == 0
+
+    def test_set_get(self):
+        vc = VectorClock()
+        vc.set(1, 5)
+        assert vc.get(1) == 5
+
+    def test_set_zero_removes(self):
+        vc = VectorClock({1: 5})
+        vc.set(1, 0)
+        assert vc.get(1) == 0
+        assert dict(vc.items()) == {}
+
+    def test_increment(self):
+        vc = VectorClock()
+        vc.increment(2)
+        vc.increment(2)
+        assert vc.get(2) == 2
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 5, 2: 1})
+        b = VectorClock({1: 3, 2: 4, 3: 7})
+        a.join(b)
+        assert dict(a.items()) == {1: 5, 2: 4, 3: 7}
+
+    def test_join_idempotent(self):
+        a = VectorClock({1: 5})
+        b = a.copy()
+        a.join(b)
+        assert a == b
+
+    def test_copy_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.increment(1)
+        assert a.get(1) == 1
+
+    def test_covers_epoch(self):
+        vc = VectorClock({2: 4})
+        assert vc.covers_epoch(Epoch(4, 2))
+        assert vc.covers_epoch(Epoch(3, 2))
+        assert not vc.covers_epoch(Epoch(5, 2))
+
+    def test_bottom_always_covered(self):
+        assert VectorClock().covers_epoch(BOTTOM)
+
+    def test_covers_vector(self):
+        big = VectorClock({1: 3, 2: 3})
+        small = VectorClock({1: 2})
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_thread_epoch(self):
+        vc = VectorClock({7: 9})
+        assert vc.epoch(7) == Epoch(9, 7)
+        assert vc.epoch(8) == Epoch(0, 8)

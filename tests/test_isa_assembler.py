@@ -1,0 +1,157 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Op
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.program import DATA_BASE
+
+
+class TestDirectives:
+    def test_global_word(self):
+        program = assemble(".global x 7\nmain:\n    halt\n")
+        addr = program.symbols["x"]
+        assert program.data[addr] == 7
+        assert addr >= DATA_BASE
+
+    def test_array(self):
+        program = assemble(".array a 1 2 3\nmain:\n    halt\n")
+        base = program.symbols["a"]
+        assert [program.data[base + i * 8] for i in range(3)] == [1, 2, 3]
+
+    def test_reserve(self):
+        program = assemble(".reserve buf 4\nmain:\n    halt\n")
+        base = program.symbols["buf"]
+        assert all(program.data[base + i * 8] == 0 for i in range(4))
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus x\nmain:\n    halt\n")
+
+
+class TestOperands:
+    def test_register(self):
+        program = assemble("main:\n    mov %rax, %rbx\n    halt\n")
+        assert program[0].operands == (Reg("rax"), Reg("rbx"))
+
+    def test_immediate_decimal_and_hex(self):
+        program = assemble("main:\n    mov $10, %rax\n    mov $0x10, %rbx\n    halt\n")
+        assert program[0].operands[0] == Imm(10)
+        assert program[1].operands[0] == Imm(16)
+
+    def test_symbol_immediate(self):
+        program = assemble(".global g 0\nmain:\n    mov $g, %rax\n    halt\n")
+        assert program[0].operands[0] == Imm(program.symbols["g"])
+
+    def test_memory_full_form(self):
+        program = assemble("main:\n    mov 0x8(%rbp,%rbx,4), %rdx\n    halt\n")
+        assert program[0].operands[0] == Mem(base="rbp", index="rbx",
+                                             scale=4, disp=8)
+
+    def test_memory_base_only(self):
+        program = assemble("main:\n    mov (%rsi), %rax\n    halt\n")
+        assert program[0].operands[0] == Mem(base="rsi")
+
+    def test_memory_index_only(self):
+        program = assemble("main:\n    mov (,%r8,8), %rax\n    halt\n")
+        assert program[0].operands[0] == Mem(index="r8", scale=8)
+
+    def test_symbol_indexed(self):
+        program = assemble(
+            ".reserve tab 4\nmain:\n    mov tab(,%r8,8), %rax\n    halt\n"
+        )
+        mem = program[0].operands[0]
+        assert mem.disp == program.symbols["tab"]
+        assert mem.index == "r8" and mem.scale == 8
+
+    def test_rip_relative_symbol(self):
+        program = assemble(".global g 0\nmain:\n    mov g(%rip), %rax\n    halt\n")
+        mem = program[0].operands[0]
+        assert mem.rip_relative
+        # disp resolves so that instruction address + disp == symbol.
+        assert 0 + mem.disp == program.symbols["g"]
+
+    def test_rip_relative_site_dependent(self):
+        program = assemble(
+            ".global g 0\nmain:\n    nop\n    mov g(%rip), %rax\n    halt\n"
+        )
+        mem = program[1].operands[0]
+        assert 1 + mem.disp == program.symbols["g"]
+
+    def test_negative_displacement(self):
+        program = assemble("main:\n    mov -8(%rbp), %rax\n    halt\n")
+        mem = program[0].operands[0]
+        assert mem.disp == -8
+
+    def test_unparseable_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n    mov @x, %rax\n    halt\n")
+
+
+class TestControlFlow:
+    def test_branch_target(self):
+        program = assemble("main:\nl:\n    jmp l\n")
+        assert program[0].target == "l"
+        assert program.resolve("l") == 0
+
+    def test_indirect_jmp(self):
+        program = assemble("main:\n    jmp %rax\n")
+        assert program[0].target is None
+        assert program[0].operands == (Reg("rax"),)
+
+    def test_spawn_default_tid_register(self):
+        program = assemble("main:\n    spawn w\n    halt\nw:\n    halt\n")
+        assert program[0].op == Op.SPAWN
+        assert program[0].operands == (Reg("rax"),)
+        assert program[0].target == "w"
+
+    def test_spawn_custom_tid_register(self):
+        program = assemble("main:\n    spawn w, %r9\n    halt\nw:\n    halt\n")
+        assert program[0].operands == (Reg("r9"),)
+
+    def test_unknown_label(self):
+        with pytest.raises(Exception):
+            assemble("main:\n    jmp nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\nmain:\n    halt\n")
+
+
+class TestComments:
+    def test_hash_comments_stripped(self):
+        program = assemble("main:  # entry\n    halt  # done\n")
+        assert len(program) == 1
+
+    def test_blank_lines_ignored(self):
+        program = assemble("\n\nmain:\n\n    halt\n\n")
+        assert len(program) == 1
+
+
+class TestFigure5Listing:
+    """The paper's Figure 5 example assembles verbatim (modulo movslq,
+    which the ISA spells mov)."""
+
+    SOURCE = """
+main:
+    mov %rax,0x8(%rsp)
+    mov 0x0(%rbp,%rbx,4),%rdx
+    mov (%r15,%rbx,8),%rsi
+    mov 0x8(%rsi),%rax
+    mov %r10,%rdi
+    mov 0x8(%r14),%rax
+    add %rax,%r13
+    xor %rax,%rax
+    mov %r13,0x8(%r14)
+    mov 0x8(%rsp),%rcx
+    mov (%r15,%r12,8),%rsi
+    halt
+"""
+
+    def test_assembles(self):
+        program = assemble(self.SOURCE)
+        assert len(program) == 12
+        assert program[3].operands[0] == Mem(base="rsi", disp=8)
+        assert program[10].operands[0] == Mem(base="r15", index="r12",
+                                              scale=8)

@@ -1,0 +1,102 @@
+"""Assembler error handling and the .ptr directive."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("main:\n    frobnicate %rax\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("main:\n    mov %eax, %rbx\n    halt\n")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="bad immediate"):
+            assemble("main:\n    mov $zzz, %rax\n    halt\n")
+
+    def test_unknown_rip_symbol(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble("main:\n    mov nope(%rip), %rax\n    halt\n")
+
+    def test_unknown_indexed_symbol(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble("main:\n    mov nope(,%r8,8), %rax\n    halt\n")
+
+    def test_bad_scale(self):
+        with pytest.raises(AssemblerError, match="scale"):
+            assemble("main:\n    mov (%rax,%rbx,3), %rcx\n    halt\n")
+
+    def test_jump_expects_one_target(self):
+        with pytest.raises(AssemblerError, match="one target"):
+            assemble("main:\n    jmp a, b\n")
+
+    def test_spawn_needs_entry(self):
+        with pytest.raises(AssemblerError, match="entry label"):
+            assemble("main:\n    spawn\n")
+
+    def test_line_numbers_in_messages(self):
+        try:
+            assemble("main:\n    nop\n    bogus %rax\n")
+        except AssemblerError as exc:
+            assert "line 3" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected AssemblerError")
+
+    def test_directive_argument_errors(self):
+        with pytest.raises(AssemblerError, match="bad directive"):
+            assemble(".global\nmain:\n    halt\n")
+        with pytest.raises(AssemblerError, match="bad directive"):
+            assemble(".reserve buf xyz\nmain:\n    halt\n")
+
+
+class TestPtrDirective:
+    def test_ptr_holds_target_address(self):
+        program = assemble(
+            ".reserve buf 4\n.ptr buf_ptr buf\nmain:\n    halt\n"
+        )
+        cell = program.symbols["buf_ptr"]
+        assert program.data[cell] == program.symbols["buf"]
+
+    def test_ptr_forward_reference_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble(".ptr p later\n.global later 0\nmain:\n    halt\n")
+
+    def test_ptr_loads_like_any_global(self):
+        from repro.machine import Machine
+
+        source = """
+.array data 7 8 9
+.ptr data_ptr data
+.global out 0
+main:
+    mov data_ptr(%rip), %rsi
+    mov 8(%rsi), %rax
+    mov %rax, out(%rip)
+    halt
+"""
+        program = assemble(source)
+        machine = Machine(program)
+        machine.run()
+        assert machine.memory.load(program.symbols["out"]) == 8
+
+
+class TestCondvarSyntax:
+    def test_cond_ops_parse(self):
+        program = assemble(
+            ".global cv 0\n.global m 0\nmain:\n"
+            "    cond_signal $cv\n"
+            "    cond_broadcast $cv\n"
+            "    halt\n"
+        )
+        assert len(program) == 3
+
+    def test_cond_wait_two_operands(self):
+        program = assemble(
+            ".global cv 0\n.global m 0\nmain:\n"
+            "    cond_wait $cv, $m\n    halt\n"
+        )
+        assert len(program[0].operands) == 2

@@ -1,0 +1,62 @@
+"""Unit tests for operand types."""
+
+import pytest
+
+from repro.isa.operands import Imm, Mem, Reg
+
+
+class TestReg:
+    def test_valid(self):
+        assert Reg("rax").name == "rax"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Reg("zzz")
+
+    def test_str(self):
+        assert str(Reg("r12")) == "%r12"
+
+    def test_hashable_and_equal(self):
+        assert Reg("rax") == Reg("rax")
+        assert len({Reg("rax"), Reg("rax"), Reg("rbx")}) == 2
+
+
+class TestImm:
+    def test_str_small(self):
+        assert str(Imm(5)) == "$5"
+
+    def test_str_large_hex(self):
+        assert str(Imm(0x1000)) == "$0x1000"
+
+
+class TestMem:
+    def test_base_only(self):
+        mem = Mem(base="rbx")
+        assert mem.address_registers() == frozenset({"rbx"})
+
+    def test_base_index_scale(self):
+        mem = Mem(base="rbp", index="rbx", scale=4, disp=0x10)
+        assert mem.address_registers() == frozenset({"rbp", "rbx"})
+
+    def test_rip_relative_needs_no_registers(self):
+        mem = Mem(disp=0x40, rip_relative=True)
+        assert mem.address_registers() == frozenset()
+
+    def test_rip_relative_rejects_base(self):
+        with pytest.raises(ValueError):
+            Mem(base="rax", rip_relative=True)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Mem(base="rax", index="rbx", scale=3)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            Mem(base="bogus")
+
+    def test_str_full_form(self):
+        text = str(Mem(base="rbp", index="rbx", scale=4, disp=0x10))
+        assert text == "0x10(%rbp,%rbx,4)"
+
+    def test_str_rip(self):
+        assert str(Mem(disp=8, rip_relative=True)) == "0x8(%rip)"

@@ -1,0 +1,142 @@
+"""Unit tests for Program, ProgramBuilder and basic-block extraction."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Op
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.program import (
+    DATA_BASE,
+    HEAP_BASE,
+    Program,
+    ProgramBuilder,
+    ProgramError,
+    STACK_BASE,
+)
+
+
+class TestAddressSpaces:
+    def test_segments_do_not_overlap(self):
+        assert DATA_BASE < HEAP_BASE < STACK_BASE
+
+
+class TestBuilder:
+    def test_globals_are_word_spaced(self):
+        b = ProgramBuilder()
+        a = b.global_word("a", 1)
+        c = b.global_word("c", 2)
+        assert c == a + 8
+
+    def test_array_layout(self):
+        b = ProgramBuilder()
+        base = b.global_array("arr", [5, 6, 7])
+        b.label("main")
+        b.halt()
+        program = b.build()
+        assert program.data[base + 8] == 6
+
+    def test_duplicate_global_rejected(self):
+        b = ProgramBuilder()
+        b.global_word("x")
+        with pytest.raises(ProgramError):
+            b.global_word("x")
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("a")
+        with pytest.raises(ProgramError):
+            b.label("a")
+
+    def test_mem_to_mem_mov_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            b.mov(Mem(base="rax"), Mem(base="rbx"))
+
+    def test_unknown_symbol(self):
+        b = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            b.symbol("missing")
+
+    def test_builds_runnable_program(self):
+        b = ProgramBuilder("tiny")
+        addr = b.global_word("g", 3)
+        b.label("main")
+        b.load(Mem(disp=addr), Reg("rax"))
+        b.add(Imm(1), Reg("rax"))
+        b.store(Reg("rax"), Mem(disp=addr))
+        b.halt()
+        program = b.build()
+        assert len(program) == 4
+        assert program.name == "tiny"
+
+
+class TestValidation:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ProgramError, match="unknown label"):
+            Program([Instruction(Op.JMP, (), "nowhere")], {})
+
+    def test_two_memory_operands_rejected(self):
+        bad = Instruction(Op.CMP, (Mem(base="rax"), Mem(base="rbx")))
+        with pytest.raises(ProgramError, match="memory operands"):
+            Program([bad], {})
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ProgramError, match="out of range"):
+            Program([Instruction(Op.HALT)], {"x": 5})
+
+
+class TestBasicBlocks:
+    SOURCE = """
+main:
+    mov $3, %rcx
+loop:
+    dec %rcx
+    cmp $0, %rcx
+    jne loop
+    halt
+"""
+
+    def test_partition(self):
+        program = assemble(self.SOURCE)
+        blocks = program.basic_blocks()
+        starts = [b.start for b in blocks]
+        # Leaders: 0 (entry), 1 (branch target `loop`), 4 (after jne).
+        assert starts == [0, 1, 4]
+
+    def test_blocks_cover_program(self):
+        program = assemble(self.SOURCE)
+        covered = sorted(
+            addr for b in program.basic_blocks() for addr in b.addresses()
+        )
+        assert covered == list(range(len(program)))
+
+    def test_block_containing(self):
+        program = assemble(self.SOURCE)
+        block = program.block_containing(2)
+        assert block.start == 1 and block.end == 4
+
+    def test_marker_labels_do_not_split_blocks(self):
+        program = assemble(
+            "main:\n    mov $1, %rax\nmarker:\n    mov $2, %rbx\n    halt\n"
+        )
+        assert len(program.basic_blocks()) == 1
+
+    def test_spawn_target_is_leader(self):
+        program = assemble(
+            "main:\n    spawn w\n    halt\nw:\n    nop\n    halt\n"
+        )
+        starts = [b.start for b in program.basic_blocks()]
+        assert program.resolve("w") in starts
+
+    def test_block_containing_invalid(self):
+        program = assemble(self.SOURCE)
+        with pytest.raises(ProgramError):
+            program.block_containing(999)
+
+
+class TestListing:
+    def test_listing_mentions_labels_and_instructions(self):
+        program = assemble("main:\n    mov $1, %rax\n    halt\n")
+        listing = program.listing()
+        assert "main:" in listing
+        assert "halt" in listing

@@ -1,0 +1,104 @@
+"""Unit tests for the register file."""
+
+import pytest
+
+from repro.isa.registers import (
+    ALL_REGISTERS,
+    GP_REGISTERS,
+    MASK64,
+    RegisterFile,
+    check_register,
+    is_register,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestRegisterNames:
+    def test_sixteen_gp_registers(self):
+        assert len(GP_REGISTERS) == 16
+
+    def test_all_registers_includes_rip(self):
+        assert "rip" in ALL_REGISTERS
+        assert len(ALL_REGISTERS) == 17
+
+    def test_is_register(self):
+        assert is_register("rax")
+        assert is_register("r15")
+        assert not is_register("eax")
+        assert not is_register("")
+
+    def test_check_register_returns_name(self):
+        assert check_register("rbx") == "rbx"
+
+    def test_check_register_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown register"):
+            check_register("xmm0")
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        regs = RegisterFile()
+        assert all(regs[name] == 0 for name in ALL_REGISTERS)
+
+    def test_set_get(self):
+        regs = RegisterFile()
+        regs["rax"] = 42
+        assert regs["rax"] == 42
+
+    def test_values_masked_to_64_bits(self):
+        regs = RegisterFile()
+        regs["rax"] = 1 << 70
+        assert regs["rax"] == 0
+        regs["rbx"] = -1
+        assert regs["rbx"] == MASK64
+
+    def test_unknown_register_read_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs["nope"]
+
+    def test_unknown_register_write_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs["nope"] = 1
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        regs["rcx"] = 9
+        snap = regs.snapshot()
+        regs["rcx"] = 10
+        assert snap["rcx"] == 9
+
+    def test_restore(self):
+        regs = RegisterFile()
+        regs.restore({"rdx": 5, "rip": 100})
+        assert regs["rdx"] == 5
+        assert regs["rip"] == 100
+
+    def test_copy_is_independent(self):
+        regs = RegisterFile({"rax": 1})
+        clone = regs.copy()
+        clone["rax"] = 2
+        assert regs["rax"] == 1
+
+    def test_constructor_values(self):
+        regs = RegisterFile({"rsi": 77})
+        assert regs["rsi"] == 77
+
+    def test_equality(self):
+        assert RegisterFile({"rax": 3}) == RegisterFile({"rax": 3})
+        assert RegisterFile({"rax": 3}) != RegisterFile({"rax": 4})
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_to_unsigned_roundtrip(self):
+        for value in (0, 1, -1, -12345, 2**63 - 1, -(2**63)):
+            assert to_signed(to_unsigned(value)) == value

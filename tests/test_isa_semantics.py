@@ -1,0 +1,112 @@
+"""Unit tests for shared instruction semantics (ALU, flags, addresses)."""
+
+import pytest
+
+from repro.isa.instructions import Op
+from repro.isa.operands import Mem
+from repro.isa.registers import MASK64
+from repro.isa.semantics import (
+    Flags,
+    alu,
+    alu_unary,
+    compare,
+    effective_address,
+    reverse_alu,
+    reverse_alu_src,
+)
+from repro.isa.semantics import test_bits as bits_flags
+
+
+class TestAlu:
+    def test_add_wraps(self):
+        assert alu(Op.ADD, 1, MASK64) == 0
+
+    def test_sub_wraps(self):
+        assert alu(Op.SUB, 1, 0) == MASK64
+
+    def test_xor(self):
+        assert alu(Op.XOR, 0b1010, 0b0110) == 0b1100
+
+    def test_imul_signed(self):
+        minus_two = MASK64 - 1
+        assert alu(Op.IMUL, minus_two, 3) == (MASK64 - 5)  # -2*3 == -6
+
+    def test_shl_shr(self):
+        assert alu(Op.SHL, 4, 1) == 16
+        assert alu(Op.SHR, 4, 32) == 2
+
+    def test_unary(self):
+        assert alu_unary(Op.INC, 1) == 2
+        assert alu_unary(Op.DEC, 0) == MASK64
+        assert alu_unary(Op.NEG, 5) == MASK64 - 4
+        assert alu_unary(Op.NOT, 0) == MASK64
+
+    def test_non_alu_rejected(self):
+        with pytest.raises(ValueError):
+            alu(Op.MOV, 1, 2)
+        with pytest.raises(ValueError):
+            alu_unary(Op.ADD, 1)
+
+
+class TestReverseExecution:
+    @pytest.mark.parametrize("op", [Op.ADD, Op.SUB, Op.XOR])
+    @pytest.mark.parametrize("src,dst", [(3, 10), (0, 0), (MASK64, 7)])
+    def test_reverse_recovers_old_dst(self, op, src, dst):
+        result = alu(op, src, dst)
+        assert reverse_alu(op, src, result) == dst
+
+    @pytest.mark.parametrize("op", [Op.ADD, Op.SUB, Op.XOR])
+    def test_reverse_recovers_src(self, op):
+        src, dst = 41, 1000
+        result = alu(op, src, dst)
+        assert reverse_alu_src(op, dst, result) == src
+
+    def test_irreversible_rejected(self):
+        with pytest.raises(ValueError):
+            reverse_alu(Op.AND, 1, 2)
+        with pytest.raises(ValueError):
+            reverse_alu_src(Op.IMUL, 1, 2)
+
+
+class TestFlags:
+    def test_compare_matches_att_direction(self):
+        # cmp $3, %rax with rax=5: jg taken (5 > 3).
+        flags = compare(3, 5)
+        assert flags.taken(Op.JG)
+        assert not flags.taken(Op.JL)
+        assert not flags.taken(Op.JE)
+
+    def test_compare_equal(self):
+        flags = compare(4, 4)
+        assert flags.taken(Op.JE)
+        assert flags.taken(Op.JLE)
+        assert flags.taken(Op.JGE)
+        assert not flags.taken(Op.JNE)
+
+    def test_compare_signed(self):
+        # -1 < 3 under signed comparison.
+        flags = compare(3, MASK64)
+        assert flags.taken(Op.JL)
+
+    def test_test_bits(self):
+        assert bits_flags(0b100, 0b011).eq
+        assert not bits_flags(0b100, 0b110).eq
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            Flags().taken(Op.MOV)
+
+
+class TestEffectiveAddress:
+    def test_base_index_scale_disp(self):
+        mem = Mem(base="rbx", index="rcx", scale=8, disp=16)
+        regs = {"rbx": 1000, "rcx": 3}
+        assert effective_address(mem, regs, ip=0) == 1040
+
+    def test_rip_relative_uses_ip(self):
+        mem = Mem(disp=100, rip_relative=True)
+        assert effective_address(mem, {}, ip=7) == 107
+
+    def test_wraps_to_64_bits(self):
+        mem = Mem(base="rbx", disp=10)
+        assert effective_address(mem, {"rbx": MASK64}, ip=0) == 9

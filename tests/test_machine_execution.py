@@ -1,0 +1,248 @@
+"""Per-opcode semantics tests for the machine interpreter."""
+
+import pytest
+
+from repro.isa import MASK64, assemble
+from repro.machine import Machine, MachineError
+
+from tests.helpers import run_machine
+
+
+def run_asm(source, seed=0, **kwargs):
+    program = assemble(source)
+    machine, result = run_machine(program, seed=seed, **kwargs)
+    return program, machine, result
+
+
+class TestDataMovement:
+    def test_mov_imm_and_store(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $42, %rax\n"
+            "    mov %rax, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 42
+
+    def test_load(self):
+        p, m, _ = run_asm(
+            ".global g 9\nmain:\n    mov g(%rip), %rbx\n"
+            "    mov %rbx, %rcx\n    mov %rcx, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 9
+
+    def test_indexed_addressing(self):
+        p, m, _ = run_asm(
+            ".array a 1 2 3 4\nmain:\n    mov $2, %r8\n"
+            "    mov a(,%r8,8), %rax\n    mov %rax, a(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["a"]) == 3
+
+    def test_lea(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $5, %r8\n"
+            "    lea 16(,%r8,8), %rax\n    mov %rax, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 56
+
+    def test_push_pop(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $7, %rax\n    push %rax\n"
+            "    mov $0, %rax\n    pop %rbx\n    mov %rbx, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 7
+
+
+class TestAlu:
+    @pytest.mark.parametrize(
+        "op,initial,operand,expected",
+        [
+            ("add", 5, 3, 8),
+            ("sub", 5, 3, 2),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("imul", 6, 7, 42),
+            ("shl", 3, 2, 12),
+            ("shr", 12, 2, 3),
+        ],
+    )
+    def test_binary(self, op, initial, operand, expected):
+        p, m, _ = run_asm(
+            f".global g 0\nmain:\n    mov ${initial}, %rax\n"
+            f"    {op} ${operand}, %rax\n    mov %rax, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == expected
+
+    @pytest.mark.parametrize(
+        "op,initial,expected",
+        [("inc", 5, 6), ("dec", 5, 4), ("neg", 5, MASK64 - 4),
+         ("not", 0, MASK64)],
+    )
+    def test_unary(self, op, initial, expected):
+        p, m, _ = run_asm(
+            f".global g 0\nmain:\n    mov ${initial}, %rax\n"
+            f"    {op} %rax\n    mov %rax, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == expected
+
+    def test_alu_with_memory_source(self):
+        p, m, _ = run_asm(
+            ".global g 10\n.global out 0\nmain:\n    mov $1, %rax\n"
+            "    add g(%rip), %rax\n    mov %rax, out(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["out"]) == 11
+
+
+class TestControlFlow:
+    def test_loop_runs_expected_trips(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $5, %rcx\nloop:\n"
+            "    mov g(%rip), %rax\n    add $2, %rax\n"
+            "    mov %rax, g(%rip)\n    dec %rcx\n    cmp $0, %rcx\n"
+            "    jne loop\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 10
+
+    def test_call_ret(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    call f\n    call f\n    halt\n"
+            "f:\n    mov g(%rip), %rax\n    add $1, %rax\n"
+            "    mov %rax, g(%rip)\n    ret\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 2
+
+    def test_indirect_jmp(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $5, %rax\n    jmp %rax\n"
+            "    halt\n    halt\n    halt\n"
+            "target:\n    mov $1, %rbx\n    mov %rbx, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 1
+
+    @pytest.mark.parametrize(
+        "jump,a,b,taken",
+        [
+            ("je", 3, 3, True), ("je", 3, 4, False),
+            ("jne", 3, 4, True), ("jne", 3, 3, False),
+            ("jl", 5, 3, True), ("jl", 3, 5, False),
+            ("jg", 3, 5, True), ("jg", 5, 3, False),
+            ("jle", 3, 3, True), ("jge", 3, 3, True),
+        ],
+    )
+    def test_conditional_branches(self, jump, a, b, taken):
+        # cmp $a, %rax(=b); j?? taken iff (b ?? a).
+        p, m, _ = run_asm(
+            f".global g 0\nmain:\n    mov ${b}, %rax\n    cmp ${a}, %rax\n"
+            f"    {jump} yes\n    halt\n"
+            "yes:\n    mov $1, %rbx\n    mov %rbx, g(%rip)\n    halt\n"
+        )
+        assert (m.memory.load(p.symbols["g"]) == 1) == taken
+
+
+class TestThreadsAndSync:
+    def test_spawn_copies_registers(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    mov $77, %rdi\n    spawn w, %rbx\n"
+            "    join %rbx\n    halt\n"
+            "w:\n    mov %rdi, g(%rip)\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 77
+
+    def test_join_waits_for_child(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    spawn w, %rbx\n    join %rbx\n"
+            "    mov g(%rip), %rax\n    add $1, %rax\n"
+            "    mov %rax, g(%rip)\n    halt\n"
+            "w:\n    mov $10, %rax\n    mov %rax, g(%rip)\n    halt\n"
+        )
+        # Join ensures main's increment happens after the child's store.
+        assert m.memory.load(p.symbols["g"]) == 11
+
+    def test_join_on_unknown_tid(self):
+        with pytest.raises(MachineError):
+            run_asm("main:\n    mov $99, %rax\n    join %rax\n    halt\n")
+
+    def test_lock_mutual_exclusion(self, clean_program):
+        for seed in range(8):
+            machine, _ = run_machine(clean_program, seed=seed)
+            assert machine.memory.load(
+                clean_program.symbols["total"]) == 11
+
+    def test_semaphore_orders_producer_consumer(self):
+        src = """
+.global sem 0
+.global slot 0
+.global got 0
+main:
+    spawn consumer, %rbx
+    mov $123, %rax
+    mov %rax, slot(%rip)
+    sem_post $sem
+    join %rbx
+    halt
+consumer:
+    sem_wait $sem
+    mov slot(%rip), %rax
+    mov %rax, got(%rip)
+    halt
+"""
+        for seed in range(8):
+            p, m, _ = run_asm(src, seed=seed)
+            assert m.memory.load(p.symbols["got"]) == 123
+
+    def test_deadlock_detected(self):
+        src = """
+.global l1 0
+main:
+    lock $l1
+    spawn w, %rbx
+    join %rbx
+    unlock $l1
+    halt
+w:
+    lock $l1
+    unlock $l1
+    halt
+"""
+        with pytest.raises(MachineError, match="deadlock"):
+            run_asm(src)
+
+    def test_malloc_free_roundtrip(self):
+        p, m, _ = run_asm(
+            ".global g 0\nmain:\n    malloc $32, %rax\n"
+            "    mov $5, %rbx\n    mov %rbx, 8(%rax)\n"
+            "    mov 8(%rax), %rcx\n    mov %rcx, g(%rip)\n"
+            "    free %rax\n    halt\n"
+        )
+        assert m.memory.load(p.symbols["g"]) == 5
+
+    def test_io_advances_time(self):
+        _, _, result = run_asm("main:\n    io $5000\n    halt\n")
+        assert result.tsc >= 5000
+        assert result.idle_cycles > 0
+
+    def test_ret_from_thread_entry_exits(self):
+        p, m, result = run_asm(
+            "main:\n    spawn w, %rbx\n    join %rbx\n    halt\nw:\n    ret\n"
+        )
+        assert result.threads == 2
+
+
+class TestRunResult:
+    def test_instruction_counts(self, clean_program):
+        _, result = run_machine(clean_program, seed=1)
+        assert result.instructions == sum(
+            result.per_thread_retired.values())
+        assert result.memory_ops > 0
+        assert result.sync_ops > 0
+
+    def test_machine_single_use(self, clean_program):
+        machine, _ = run_machine(clean_program)
+        with pytest.raises(MachineError):
+            machine.run()
+
+    def test_budget_guard(self):
+        src = "main:\nloop:\n    jmp loop\n"
+        program = assemble(src)
+        machine = Machine(program, max_instructions=1000)
+        with pytest.raises(MachineError, match="budget"):
+            machine.run()

@@ -1,0 +1,100 @@
+"""Unit tests for Memory and the recycling Heap."""
+
+import pytest
+
+from repro.isa.program import HEAP_BASE
+from repro.machine.heap import Heap, HeapError
+from repro.machine.memory import Memory
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(0x1234) == 0
+
+    def test_store_load(self):
+        mem = Memory()
+        mem.store(0x10, 99)
+        assert mem.load(0x10) == 99
+
+    def test_values_masked(self):
+        mem = Memory()
+        mem.store(0x10, -1)
+        assert mem.load(0x10) == (1 << 64) - 1
+
+    def test_initial_contents(self):
+        mem = Memory({0x20: 5})
+        assert mem.load(0x20) == 5
+
+    def test_contains(self):
+        mem = Memory()
+        assert 0x30 not in mem
+        mem.store(0x30, 0)
+        assert 0x30 in mem
+
+    def test_copy_independent(self):
+        mem = Memory({1: 1})
+        clone = mem.copy()
+        clone.store(1, 2)
+        assert mem.load(1) == 1
+
+
+class TestHeap:
+    def test_malloc_returns_heap_addresses(self):
+        heap = Heap()
+        addr = heap.malloc(16, tsc=0)
+        assert addr >= HEAP_BASE
+
+    def test_size_rounded_to_words(self):
+        heap = Heap()
+        a = heap.malloc(1, tsc=0)
+        b = heap.malloc(1, tsc=0)
+        assert b - a == 8
+
+    def test_free_then_malloc_recycles_address(self):
+        """§4.3's aliasing hazard: same address, different object."""
+        heap = Heap()
+        a = heap.malloc(32, tsc=0)
+        heap.free(a, tsc=1)
+        b = heap.malloc(32, tsc=2)
+        assert a == b
+
+    def test_different_size_not_recycled(self):
+        heap = Heap()
+        a = heap.malloc(32, tsc=0)
+        heap.free(a, tsc=1)
+        b = heap.malloc(64, tsc=2)
+        assert a != b
+
+    def test_double_free_rejected(self):
+        heap = Heap()
+        a = heap.malloc(8, tsc=0)
+        heap.free(a, tsc=1)
+        with pytest.raises(HeapError):
+            heap.free(a, tsc=2)
+
+    def test_free_of_unallocated_rejected(self):
+        with pytest.raises(HeapError):
+            Heap().free(0x999, tsc=0)
+
+    def test_non_positive_malloc_rejected(self):
+        with pytest.raises(HeapError):
+            Heap().malloc(0, tsc=0)
+
+    def test_history_records_generations(self):
+        heap = Heap()
+        a = heap.malloc(8, tsc=10)
+        heap.free(a, tsc=20)
+        heap.malloc(8, tsc=30)
+        history = heap.history()
+        assert len(history) == 2
+        assert history[0].free_tsc == 20
+        assert history[1].alloc_tsc == 30
+        assert history[1].live
+
+    def test_live_allocations(self):
+        heap = Heap()
+        a = heap.malloc(8, tsc=0)
+        b = heap.malloc(8, tsc=0)
+        heap.free(a, tsc=1)
+        live = heap.live_allocations()
+        assert [x.address for x in live] == [b]

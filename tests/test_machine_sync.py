@@ -1,0 +1,89 @@
+"""Unit tests for mutexes, semaphores, and the sync table."""
+
+import pytest
+
+from repro.machine.sync import Mutex, Semaphore, SyncError, SyncTable
+
+
+class TestMutex:
+    def test_uncontended_acquire(self):
+        m = Mutex(0x100)
+        assert m.acquire(1)
+        assert m.owner == 1
+
+    def test_contended_acquire_blocks(self):
+        m = Mutex(0x100)
+        m.acquire(1)
+        assert not m.acquire(2)
+        assert list(m.waiters) == [2]
+
+    def test_release_hands_off_fifo(self):
+        m = Mutex(0x100)
+        m.acquire(1)
+        m.acquire(2)
+        m.acquire(3)
+        assert m.release(1) == 2
+        assert m.owner == 2
+        assert m.release(2) == 3
+
+    def test_release_without_waiters_frees(self):
+        m = Mutex(0x100)
+        m.acquire(1)
+        assert m.release(1) is None
+        assert m.owner is None
+
+    def test_release_by_non_owner_rejected(self):
+        m = Mutex(0x100)
+        m.acquire(1)
+        with pytest.raises(SyncError):
+            m.release(2)
+
+    def test_recursive_lock_rejected(self):
+        m = Mutex(0x100)
+        m.acquire(1)
+        with pytest.raises(SyncError):
+            m.acquire(1)
+
+
+class TestSemaphore:
+    def test_wait_on_zero_blocks(self):
+        s = Semaphore(0x200)
+        assert not s.wait(1)
+        assert list(s.waiters) == [1]
+
+    def test_post_wakes_waiter(self):
+        s = Semaphore(0x200)
+        s.wait(1)
+        assert s.post() == 1
+        assert s.count == 0
+
+    def test_post_without_waiters_increments(self):
+        s = Semaphore(0x200)
+        assert s.post() is None
+        assert s.count == 1
+        assert s.wait(2)
+        assert s.count == 0
+
+    def test_initial_count(self):
+        s = Semaphore(0x200, count=2)
+        assert s.wait(1)
+        assert s.wait(2)
+        assert not s.wait(3)
+
+
+class TestSyncTable:
+    def test_same_address_same_object(self):
+        table = SyncTable()
+        assert table.mutex(0x10) is table.mutex(0x10)
+
+    def test_mutex_and_semaphore_cannot_share_address(self):
+        table = SyncTable()
+        table.mutex(0x10)
+        with pytest.raises(SyncError):
+            table.semaphore(0x10)
+
+    def test_held_anywhere(self):
+        table = SyncTable()
+        assert not table.held_anywhere()
+        table.mutex(0x10).acquire(1)
+        assert table.held_anywhere()

@@ -1,0 +1,42 @@
+"""Parallel offline analysis: jobs>1 must be verdict-identical (§7.6)."""
+
+import pytest
+
+from repro.analysis import OfflinePipeline
+from repro.replay import ReplayEngine
+from repro.tracing import trace_run
+from repro.workloads import PARSEC_WORKLOADS, RACE_BUGS, WorkloadScale
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("name", ["cherokee-0.9.2", "mysql-644",
+                                      "aget-bug2"])
+    def test_same_verdicts(self, name):
+        bug = RACE_BUGS[name]
+        program = bug.build(WorkloadScale(iterations=10))
+        bundle = trace_run(program, period=40, seed=5)
+        serial = OfflinePipeline(program, jobs=1).analyze(bundle)
+        parallel = OfflinePipeline(program, jobs=4).analyze(bundle)
+        assert serial.racy_addresses == parallel.racy_addresses
+        assert {r.pair for r in serial.races} == \
+            {r.pair for r in parallel.races}
+        assert serial.replay.stats.recovered == \
+            parallel.replay.stats.recovered
+
+    def test_same_accesses_per_thread(self, racy_program):
+        bundle = trace_run(racy_program, period=4, seed=2)
+        serial = ReplayEngine(racy_program, jobs=1).replay_bundle(bundle)
+        parallel = ReplayEngine(racy_program, jobs=4).replay_bundle(bundle)
+        assert serial.per_thread.keys() == parallel.per_thread.keys()
+        for tid in serial.per_thread:
+            assert serial.per_thread[tid] == parallel.per_thread[tid]
+
+    def test_many_thread_workload(self):
+        program = PARSEC_WORKLOADS["fluidanimate"].instantiate(
+            WorkloadScale(iterations=8, threads=4)
+        )
+        bundle = trace_run(program, period=6, seed=1)
+        serial = OfflinePipeline(program, jobs=1).analyze(bundle)
+        parallel = OfflinePipeline(program, jobs=8).analyze(bundle)
+        assert serial.racy_addresses == parallel.racy_addresses
+        assert serial.events_processed == parallel.events_processed

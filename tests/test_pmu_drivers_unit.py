@@ -1,0 +1,113 @@
+"""Driver accounting unit tests: throttle math, steady-state handler,
+pollution model."""
+
+import pytest
+
+from repro.pmu.drivers import (
+    DriverAccounting,
+    PRORACE_DRIVER,
+    VANILLA_DRIVER,
+)
+
+
+def accounting(driver=PRORACE_DRIVER, segment_records=16):
+    return DriverAccounting(driver, segment_records=segment_records)
+
+
+class TestThrottle:
+    def test_relaxed_arrivals_kept(self):
+        acc = accounting()
+        assert acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000_000)
+        assert acc.samples_written == 16
+        assert acc.samples_dropped == 0
+
+    def test_back_to_back_arrivals_dropped(self):
+        acc = accounting(VANILLA_DRIVER)
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000_000)
+        # The next buffer lands almost immediately: the handler cannot
+        # keep up within the throttle fraction.
+        kept = acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000_100)
+        assert not kept
+        assert acc.samples_dropped == 16
+        assert acc.dropped_interrupts == 1
+
+    def test_throttle_is_per_core(self):
+        acc = accounting(VANILLA_DRIVER)
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000_000)
+        # Same instant on another core: that core's own gap is huge.
+        assert acc.on_buffer_full(core=1, n_records=16, tsc_now=1_000_000)
+
+    def test_forced_drain_never_dropped_and_counted_separately(self):
+        acc = accounting(VANILLA_DRIVER)
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        # Forced drain one cycle later would fail the throttle if it were
+        # subject to it; it is not.
+        kept = acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6 + 1,
+                                  force=True)
+        assert kept
+        assert acc.exit_drain_cycles > 0
+        assert acc.samples_written == 32
+
+    def test_conservation(self):
+        acc = accounting(VANILLA_DRIVER)
+        for i in range(5):
+            acc.on_buffer_full(core=0, n_records=16,
+                               tsc_now=1_000 + i * 200)
+        assert acc.samples_written + acc.samples_dropped == 5 * 16
+
+
+class TestSteadyHandler:
+    def test_scales_with_samples(self):
+        acc = accounting()
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        one = acc.steady_handler_cycles()
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=2 * 10**6)
+        assert acc.steady_handler_cycles() == pytest.approx(2 * one)
+
+    def test_dropped_interrupts_still_cost_entry(self):
+        acc = accounting(VANILLA_DRIVER)
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        before = acc.steady_handler_cycles()
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6 + 1)
+        after = acc.steady_handler_cycles()
+        assert after == pytest.approx(
+            before + VANILLA_DRIVER.per_interrupt_cycles
+        )
+
+    def test_vanilla_per_sample_costlier(self):
+        vanilla, prorace = accounting(VANILLA_DRIVER), accounting()
+        for acc in (vanilla, prorace):
+            acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        assert vanilla.steady_handler_cycles() > \
+            prorace.steady_handler_cycles()
+
+
+class TestPollution:
+    def test_pollution_grows_with_occupancy(self):
+        acc = accounting()
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        handler = acc.steady_handler_cycles()
+        busy = acc.tracing_cycles(cpu_cycles=int(handler * 2))
+        idle = acc.tracing_cycles(cpu_cycles=int(handler * 1000))
+        # Same handler work costs more of the application's time when it
+        # occupies a larger share (cache/TLB pollution).
+        fixed_busy = PRORACE_DRIVER.fixed_overhead_fraction * handler * 2
+        fixed_idle = PRORACE_DRIVER.fixed_overhead_fraction * handler * 1000
+        assert (busy - fixed_busy) > (idle - fixed_idle)
+
+    def test_pollution_capped(self):
+        acc = accounting()
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=10**6)
+        handler = acc.steady_handler_cycles()
+        total = acc.tracing_cycles(cpu_cycles=1)  # occupancy → ∞
+        cap = PRORACE_DRIVER.pollution_cap
+        assert total <= acc.hw_assist_total_cycles + handler * (1 + cap) + 1
+
+
+class TestZeroActivity:
+    def test_no_samples_no_cost_beyond_fixed(self):
+        acc = accounting()
+        cycles = acc.tracing_cycles(cpu_cycles=1_000_000)
+        assert cycles == pytest.approx(
+            PRORACE_DRIVER.fixed_overhead_fraction * 1_000_000
+        )

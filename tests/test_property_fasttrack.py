@@ -1,0 +1,132 @@
+"""Property-based differential test: FastTrack ≡ reference detector.
+
+Random well-formed event schedules (lock discipline respected, fork
+before child activity) must produce identical racy-variable verdicts
+from the epoch-optimized FastTrack and the plain vector-clock reference
+detector — FastTrack's correctness theorem.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detector import (
+    Access,
+    AccessKind,
+    FastTrack,
+    ReferenceDetector,
+    SyncOp,
+)
+
+N_THREADS = 3
+VARS = [(0x100, 0), (0x200, 0)]
+LOCKS = [0x900, 0x901]
+SEMS = [0xA00]
+
+#: One abstract step: (kind, thread, object index).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["read", "write", "lock", "unlock", "sem_post", "sem_wait"]
+        ),
+        st.integers(min_value=0, max_value=N_THREADS - 1),
+        st.integers(min_value=0, max_value=1),
+    ),
+    max_size=60,
+)
+
+
+def materialize(schedule):
+    """Turn an arbitrary step list into a *valid* event stream: lock ops
+    respect ownership, sem_wait only fires when a post is pending."""
+    events = []
+    lock_owner = {lock: None for lock in LOCKS}
+    held = {t: set() for t in range(N_THREADS)}
+    sem_count = {sem: 0 for sem in SEMS}
+    for kind, tid, index in schedule:
+        if kind in ("read", "write"):
+            events.append(
+                Access(
+                    tid=tid,
+                    var=VARS[index],
+                    kind=AccessKind.READ if kind == "read"
+                    else AccessKind.WRITE,
+                    ip=100 + index,
+                    tsc=float(len(events)),
+                    provenance="prop",
+                )
+            )
+        elif kind == "lock":
+            lock = LOCKS[index]
+            if lock_owner[lock] is None:
+                lock_owner[lock] = tid
+                held[tid].add(lock)
+                events.append(SyncOp(tid, "lock", lock, float(len(events))))
+        elif kind == "unlock":
+            lock = LOCKS[index]
+            if lock_owner[lock] == tid:
+                lock_owner[lock] = None
+                held[tid].discard(lock)
+                events.append(SyncOp(tid, "unlock", lock, float(len(events))))
+        elif kind == "sem_post":
+            sem_count[SEMS[0]] += 1
+            events.append(SyncOp(tid, "sem_post", SEMS[0],
+                                 float(len(events))))
+        elif kind == "sem_wait":
+            if sem_count[SEMS[0]] > 0:
+                sem_count[SEMS[0]] -= 1
+                events.append(SyncOp(tid, "sem_wait", SEMS[0],
+                                     float(len(events))))
+    return events
+
+
+def run(detector, events):
+    for event in events:
+        if isinstance(event, SyncOp):
+            detector.sync(event)
+        else:
+            detector.access(event)
+    return frozenset(detector.racy_addresses())
+
+
+@given(steps)
+@settings(max_examples=300, deadline=None)
+def test_fasttrack_matches_reference(schedule):
+    events = materialize(schedule)
+    assert run(FastTrack(), events) == run(ReferenceDetector(), events)
+
+
+@given(steps)
+@settings(max_examples=100, deadline=None)
+def test_fully_locked_accesses_never_race(schedule):
+    """Wrap every access in the same lock: no races possible."""
+    events = []
+    tick = 0
+    for kind, tid, index in schedule:
+        if kind not in ("read", "write"):
+            continue
+        events.append(SyncOp(tid, "lock", LOCKS[0], float(tick)))
+        events.append(
+            Access(
+                tid=tid, var=VARS[index],
+                kind=AccessKind.READ if kind == "read" else AccessKind.WRITE,
+                ip=1, tsc=float(tick), provenance="prop",
+            )
+        )
+        events.append(SyncOp(tid, "unlock", LOCKS[0], float(tick)))
+        tick += 1
+    assert not run(FastTrack(), events)
+
+
+@given(steps)
+@settings(max_examples=100, deadline=None)
+def test_single_thread_never_races(schedule):
+    events = [
+        Access(
+            tid=0, var=VARS[index],
+            kind=AccessKind.READ if kind == "read" else AccessKind.WRITE,
+            ip=1, tsc=float(i), provenance="prop",
+        )
+        for i, (kind, _, index) in enumerate(schedule)
+        if kind in ("read", "write")
+    ]
+    assert not run(FastTrack(), events)

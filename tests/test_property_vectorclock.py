@@ -1,0 +1,77 @@
+"""Property-based tests: vector-clock lattice laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detector.vectorclock import Epoch, VectorClock
+
+clock_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=50),
+    max_size=6,
+)
+
+
+def vc(d):
+    return VectorClock(dict(d))
+
+
+@given(clock_dicts, clock_dicts)
+@settings(max_examples=200)
+def test_join_commutative(a, b):
+    left = vc(a)
+    left.join(vc(b))
+    right = vc(b)
+    right.join(vc(a))
+    assert left == right
+
+
+@given(clock_dicts, clock_dicts, clock_dicts)
+@settings(max_examples=200)
+def test_join_associative(a, b, c):
+    left = vc(a)
+    left.join(vc(b))
+    left.join(vc(c))
+    bc = vc(b)
+    bc.join(vc(c))
+    right = vc(a)
+    right.join(bc)
+    assert left == right
+
+
+@given(clock_dicts)
+def test_join_idempotent(a):
+    result = vc(a)
+    result.join(vc(a))
+    assert result == vc(a)
+
+
+@given(clock_dicts, clock_dicts)
+def test_join_is_upper_bound(a, b):
+    joined = vc(a)
+    joined.join(vc(b))
+    assert joined.covers(vc(a))
+    assert joined.covers(vc(b))
+
+
+@given(clock_dicts, clock_dicts)
+def test_covers_antisymmetric(a, b):
+    va, vb = vc(a), vc(b)
+    if va.covers(vb) and vb.covers(va):
+        assert va == vb
+
+
+@given(clock_dicts, st.integers(min_value=0, max_value=5))
+def test_epoch_covered_iff_component_large_enough(a, tid):
+    va = vc(a)
+    epoch = Epoch(va.get(tid), tid)
+    assert va.covers_epoch(epoch)
+    assert not va.covers_epoch(Epoch(va.get(tid) + 1, tid))
+
+
+@given(clock_dicts, st.integers(min_value=0, max_value=5))
+def test_increment_strictly_grows(a, tid):
+    va = vc(a)
+    before = va.get(tid)
+    va.increment(tid)
+    assert va.get(tid) == before + 1

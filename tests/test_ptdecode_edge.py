@@ -1,0 +1,82 @@
+"""Decoder edge cases: window lookup, locate misses, torn tails."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.ptdecode.decoder import DecodedPath
+from repro.pmu.records import SyncRecord
+from repro.ptdecode import locate_syncs
+from repro.tracing import trace_run
+
+
+def _path():
+    return DecodedPath(
+        tid=0,
+        steps=[10, 11, 12, 13, 14, 15, 16],
+        anchors=[(0, 100), (3, 200), (6, 300)],
+    )
+
+
+class TestSegmentLookup:
+    def test_inside_window(self):
+        assert _path().segment_for_tsc(150) == (0, 3)
+        assert _path().segment_for_tsc(250) == (3, 6)
+
+    def test_exactly_at_anchor(self):
+        # Window is half-open on the left: tsc == anchor maps to the
+        # segment *ending* at that anchor.
+        assert _path().segment_for_tsc(200) == (0, 3)
+
+    def test_before_first_anchor(self):
+        assert _path().segment_for_tsc(50) == (-1, 0)
+
+    def test_after_last_anchor(self):
+        assert _path().segment_for_tsc(999) == (6, 6)
+
+
+class TestLocate:
+    def test_unique_hit(self):
+        path = _path()
+        assert path.locate(12, 150) == 2
+
+    def test_wrong_window_misses(self):
+        path = _path()
+        # ip 12 executed in the first window; searching the second
+        # window's time range must not find it.
+        assert path.locate(12, 250) is None
+
+    def test_unknown_ip_misses(self):
+        assert _path().locate(99, 150) is None
+
+    def test_ambiguity_counted(self):
+        path = DecodedPath(
+            tid=0, steps=[10, 11, 10, 12], anchors=[(0, 100), (3, 200)],
+        )
+        index = path.locate(10, 150)
+        assert index == 0  # first occurrence
+        assert path.ambiguous == 1
+
+
+class TestLocateSyncs:
+    def test_records_from_other_windows_skipped(self, clean_program):
+        bundle = trace_run(clean_program, period=3, seed=2)
+        from repro.ptdecode import decode_all
+
+        paths = decode_all(clean_program, bundle.pt_traces)
+        # A fabricated record whose ip never executed must be dropped.
+        bogus = SyncRecord(tsc=5, seq=0, tid=0, ip=10_000, kind="lock",
+                           target=1)
+        located = locate_syncs(paths[0], [bogus])
+        assert located == []
+
+    def test_all_real_records_locate(self, clean_program):
+        bundle = trace_run(clean_program, period=3, seed=2)
+        from repro.ptdecode import decode_all
+
+        paths = decode_all(clean_program, bundle.pt_traces)
+        for tid, path in paths.items():
+            records = [r for r in bundle.sync_records if r.tid == tid]
+            located = locate_syncs(path, records)
+            assert len(located) == len(records)
+            for record, step in located:
+                assert path.steps[step] == record.ip

@@ -1,0 +1,150 @@
+"""Trace-file serialization tests: round-trip, corruption, analysis
+equivalence."""
+
+import struct
+
+import pytest
+
+from repro.analysis import OfflinePipeline
+from repro.isa import assemble
+from repro.tracing import TraceFormatError, read_trace, trace_run, write_trace
+
+from tests.helpers import CLEAN_COUNTER_ASM, RACY_ASM
+
+
+@pytest.fixture
+def traced(racy_program):
+    return racy_program, trace_run(racy_program, period=4, seed=9)
+
+
+class TestRoundTrip:
+    def test_samples_preserved(self, traced, tmp_path):
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        assert loaded.samples == bundle.samples
+
+    def test_pt_streams_preserved(self, traced, tmp_path):
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        assert set(loaded.pt_traces) == set(bundle.pt_traces)
+        for tid, trace in bundle.pt_traces.items():
+            other = loaded.pt_traces[tid]
+            assert other.packets == trace.packets
+            assert other.start_ip == trace.start_ip
+            assert other.start_tsc == trace.start_tsc
+            assert other.end_tsc == trace.end_tsc
+
+    def test_sync_and_alloc_preserved(self, tmp_path):
+        source = """
+.global g 0
+main:
+    malloc $16, %rax
+    mov $1, %rdx
+    mov %rdx, (%rax)
+    free %rax
+    spawn w, %rbx
+    join %rbx
+    halt
+w:
+    mov g(%rip), %rax
+    halt
+"""
+        program = assemble(source)
+        bundle = trace_run(program, period=2, seed=1)
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        assert loaded.sync_records == bundle.sync_records
+        assert loaded.alloc_records == bundle.alloc_records
+
+    def test_run_metadata_preserved(self, traced, tmp_path):
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        assert loaded.run.tsc == bundle.run.tsc
+        assert loaded.run.instructions == bundle.run.instructions
+        assert loaded.run.threads == bundle.run.threads
+
+    def test_analysis_equivalent(self, traced, tmp_path):
+        """Analyzing a deserialized trace gives identical verdicts."""
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        direct = OfflinePipeline(program).analyze(bundle)
+        from_file = OfflinePipeline(program).analyze(loaded)
+        assert direct.racy_addresses == from_file.racy_addresses
+        assert len(direct.races) == len(from_file.races)
+
+    def test_ground_truth_never_serialized(self, racy_program, tmp_path):
+        bundle = trace_run(racy_program, period=4, seed=9,
+                           record_ground_truth=True)
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=racy_program)
+        assert loaded.ground_truth is None
+
+
+class TestCorruption:
+    def _write(self, program, tmp_path):
+        bundle = trace_run(program, period=5, seed=1)
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        return path
+
+    def test_bitflip_detected(self, clean_program, tmp_path):
+        path = self._write(clean_program, tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="checksum"):
+            read_trace(path)
+
+    def test_truncation_detected(self, clean_program, tmp_path):
+        path = self._write(clean_program, tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 10])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.prtr"
+        blob = b"NOPE" + b"\x00" * 64
+        blob += struct.pack("<I", __import__("zlib").crc32(blob))
+        path.write_bytes(blob)
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace(path)
+
+    def test_bad_version(self, clean_program, tmp_path):
+        import zlib
+
+        path = self._write(clean_program, tmp_path)
+        blob = bytearray(path.read_bytes())[:-4]
+        blob[4] = 99  # version field
+        blob += struct.pack("<I", zlib.crc32(bytes(blob)))
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="version"):
+            read_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.prtr"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+
+class TestDriverTag:
+    def test_driver_identity_roundtrips(self, clean_program, tmp_path):
+        from repro.pmu import VANILLA_DRIVER
+
+        bundle = trace_run(clean_program, period=5, seed=1,
+                           driver=VANILLA_DRIVER)
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path)
+        assert loaded.pebs_accounting.driver.name == "vanilla"

@@ -1,0 +1,94 @@
+"""Workload functional correctness: the kernels compute what their
+synchronization promises (pipelines conserve items, reductions add up)."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.workloads import APP_WORKLOADS, PARSEC_WORKLOADS, WorkloadScale
+
+SCALE = WorkloadScale(iterations=12)
+
+
+def run(workload, seed=0):
+    program = workload.instantiate(SCALE)
+    machine = Machine(program, seed=seed)
+    machine.run()
+    return program, machine
+
+
+class TestPipelines:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dedup_conserves_items(self, seed):
+        """Every chunk flows chunk→hash→write exactly once."""
+        program, machine = run(PARSEC_WORKLOADS["dedup"], seed)
+        out_count = machine.memory.load(program.symbols["out_count"])
+        assert out_count == SCALE.iterations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pbzip2_compresses_every_block(self, seed):
+        program, machine = run(APP_WORKLOADS["pbzip2"], seed)
+        done = machine.memory.load(program.symbols["done_count"])
+        threads = SCALE.capped_threads(4)
+        assert done == SCALE.iterations * (threads - 1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_x264_every_worker_encodes(self, seed):
+        program, machine = run(PARSEC_WORKLOADS["x264"], seed)
+        encoded = machine.memory.load(program.symbols["encoded"])
+        assert encoded == SCALE.threads
+
+
+class TestReductions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_streamcluster_cost_deterministic_under_lock(self, seed):
+        """The locked reduction must be schedule-independent."""
+        first = run(PARSEC_WORKLOADS["streamcluster"], seed)
+        second = run(PARSEC_WORKLOADS["streamcluster"], seed + 100)
+        cost_a = first[1].memory.load(first[0].symbols["total_cost"])
+        cost_b = second[1].memory.load(second[0].symbols["total_cost"])
+        assert cost_a == cost_b
+
+    def test_freqmine_histogram_sums_to_thread_count(self):
+        program, machine = run(PARSEC_WORKLOADS["freqmine"], 2)
+        base = program.symbols["histogram"]
+        total = sum(machine.memory.load(base + i * 8) for i in range(64))
+        assert total == SCALE.threads  # one merge per worker
+
+
+class TestServers:
+    @pytest.mark.parametrize("name", ["apache", "cherokee"])
+    def test_served_counter_exact(self, name):
+        program, machine = run(APP_WORKLOADS[name], 3)
+        served = machine.memory.load(program.symbols["served"])
+        workload_threads = SCALE.capped_threads(
+            38 if name == "cherokee" else 4
+        )
+        assert served == SCALE.iterations * workload_threads
+
+    def test_mysql_queries_exact(self):
+        program, machine = run(APP_WORKLOADS["mysql"], 1)
+        queries = machine.memory.load(program.symbols["queries"])
+        assert queries == SCALE.iterations * SCALE.capped_threads(20)
+
+    def test_transmission_progress_exact(self):
+        program, machine = run(APP_WORKLOADS["transmission"], 1)
+        progress = machine.memory.load(program.symbols["progress"])
+        assert progress == SCALE.iterations * SCALE.capped_threads(4)
+
+    def test_aget_bytes_exact(self):
+        program, machine = run(APP_WORKLOADS["aget"], 1)
+        done = machine.memory.load(program.symbols["bytes_done"])
+        assert done == 65536 * SCALE.iterations * SCALE.capped_threads(4)
+
+
+class TestFerretInit:
+    def test_table_initialized_exactly_once(self):
+        """The init_lock double-checked pattern fills the table once."""
+        program, machine = run(PARSEC_WORKLOADS["ferret"], 5)
+        base = machine.memory.load(program.symbols["table_base"])
+        assert base == program.symbols["table"]
+        # Every slot holds an in-table pointer.
+        for i in range(8):
+            value = machine.memory.load(base + i * 8)
+            assert program.symbols["table"] <= value < \
+                program.symbols["table"] + 64 * 8
