@@ -1,5 +1,11 @@
 """Offline pipeline, cost model, and experiment metrics."""
 
+from .context import (
+    AnalysisContext,
+    ContextStats,
+    access_sort_key,
+    sync_sort_key,
+)
 from .costs import (
     OverheadEstimate,
     PT_CYCLES_PER_BYTE,
@@ -33,6 +39,10 @@ from .timeline import ThreadTimeline, build_timeline
 
 __all__ = [
     "AllocationIndex",
+    "AnalysisContext",
+    "ContextStats",
+    "access_sort_key",
+    "sync_sort_key",
     "DetectionProbability",
     "DetectionResult",
     "DetectionSweepResult",

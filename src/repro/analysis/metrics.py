@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..isa.program import Program
+from ..parallel import parallel_map
 from ..pmu.drivers import DriverModel, PRORACE_DRIVER
 from ..tracing.bundle import TraceBundle, trace_run
 from .costs import SIMULATED_CLOCK_HZ
@@ -83,6 +84,27 @@ class DetectionProbability:
         return 1.0 / self.probability
 
 
+def _run_probability_trial(work: tuple) -> DetectionTrial:
+    """Module-level trial worker (picklable for the process executor).
+
+    Each trial is fully independent: its own seeded trace and its own
+    pipeline run.  Workers keep pipeline ``jobs=1`` — the parallelism
+    budget is spent at the trial level, not nested inside it.
+    """
+    program, targets, period, mode, driver, seed, num_cores, entry = work
+    bundle = trace_run(
+        program, period=period, driver=driver, seed=seed,
+        num_cores=num_cores, entry=entry,
+    )
+    analysis = OfflinePipeline(program, mode=mode).analyze(bundle)
+    return DetectionTrial(
+        seed=seed,
+        detected=bool(targets & analysis.racy_addresses),
+        races=len(analysis.races),
+        samples=len(bundle.samples),
+    )
+
+
 def measure_detection_probability(
     program: Program,
     racy_addresses: Iterable[int],
@@ -93,32 +115,27 @@ def measure_detection_probability(
     seed_base: int = 0,
     num_cores: int = 4,
     entry: str = "main",
+    jobs: int = 1,
+    executor: str = "process",
 ) -> DetectionProbability:
     """Run *runs* seeded traces and count those whose analysis reports a
     race on any of *racy_addresses* — the Table 2 methodology ("collected
     100 traces for each PEBS sampling period ... and counted how many
     times ProRace can report the data race").
+
+    With *jobs* > 1 the seeded trials fan out over the executor; results
+    are folded back in seed order, so the returned trial list is
+    bit-identical to the serial one.
     """
     targets = frozenset(racy_addresses)
-    pipeline = OfflinePipeline(program, mode=mode)
-    result = DetectionProbability()
-    for i in range(runs):
-        seed = seed_base + i
-        bundle = trace_run(
-            program, period=period, driver=driver, seed=seed,
-            num_cores=num_cores, entry=entry,
-        )
-        analysis = pipeline.analyze(bundle)
-        detected = bool(targets & analysis.racy_addresses)
-        result.trials.append(
-            DetectionTrial(
-                seed=seed,
-                detected=detected,
-                races=len(analysis.races),
-                samples=len(bundle.samples),
-            )
-        )
-    return result
+    work = [
+        (program, targets, period, mode, driver, seed_base + i,
+         num_cores, entry)
+        for i in range(runs)
+    ]
+    trials = parallel_map(_run_probability_trial, work, jobs=jobs,
+                          executor=executor)
+    return DetectionProbability(trials=list(trials))
 
 
 @dataclass

@@ -4,28 +4,29 @@ Implements the right-hand side of Figure 1: PT decode and synthesis,
 memory reconstruction (with the race-triggered regeneration protocol of
 §5.1), and FastTrack happens-before detection over the extended memory
 trace, with per-phase wall-clock timing for the Figure 12 breakdown.
+
+The heavy lifting lives in :class:`~repro.analysis.context.AnalysisContext`:
+round-invariant artifacts (decoded paths, located records, timelines,
+pre-sorted event streams) are computed once per bundle, regeneration
+rounds re-replay only the threads whose program maps touched poisoned
+addresses, and the detector consumes a streaming k-way merge instead of
+a globally re-sorted event list.  ``analyze()`` and ``events_for()`` are
+two consumers of the same context — not two divergent copies of the
+lowering logic.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
-from ..detector.events import Access, AccessKind, RaceReport, SyncOp
+from ..detector.events import RaceReport, SyncOp
 from ..detector.fasttrack import FastTrack
 from ..isa.program import Program
-from ..ptdecode.decoder import (
-    DecodedPath,
-    align_samples,
-    decode_all,
-    locate_syncs,
-)
-from ..replay.engine import ReplayEngine, ReplayResult
-from ..replay.window import RecoveredAccess
+from ..replay.engine import ReplayResult
 from ..tracing.bundle import TraceBundle
-from .generations import AllocationIndex
-from .timeline import ThreadTimeline, build_timeline
+from .context import AnalysisContext
 
 
 @dataclass
@@ -83,6 +84,16 @@ class OfflinePipeline:
             detection over PEBS samples only).
         max_regenerations: cap on the §5.1 invalidate-and-regenerate
             rounds when races land on emulated memory locations.
+        jobs: worker count for the per-thread decode/replay fan-outs.
+            The paper notes these phases "can be easily parallelized"
+            (§7.6); here the parallelism is across the traced program's
+            threads, whose replays are independent.
+        executor: execution strategy for the replay fan-out (``"thread"``
+            default; ``"process"`` for GIL-free workers, every work item
+            is picklable).
+        round_cache: when False, regeneration rounds recompute every
+            thread from scratch (the reference behaviour the incremental
+            context is property-tested against).
     """
 
     def __init__(
@@ -91,34 +102,29 @@ class OfflinePipeline:
         mode: str = "full",
         max_regenerations: int = 3,
         jobs: int = 1,
+        executor: str = "thread",
+        round_cache: bool = True,
     ) -> None:
         self.program = program
         self.mode = mode
         self.max_regenerations = max_regenerations
-        #: Worker threads for the per-thread decode/replay stages.  The
-        #: paper notes these phases "can be easily parallelized" across
-        #: analysis machines (§7.6); here the parallelism is across the
-        #: traced program's threads, whose replays are independent.
         self.jobs = max(1, jobs)
+        self.executor = executor
+        self.round_cache = round_cache
 
     # ------------------------------------------------------------------
 
+    def context_for(self, bundle: TraceBundle) -> AnalysisContext:
+        """A fresh analysis context for *bundle*."""
+        return AnalysisContext(
+            self.program, bundle, mode=self.mode, jobs=self.jobs,
+            executor=self.executor, round_cache=self.round_cache,
+        )
+
     def decode(self, bundle: TraceBundle):
         """Decode paths and locate sync/alloc records on them."""
-        paths = decode_all(self.program, bundle.pt_traces,
-                           config=bundle.pt_config)
-        located_syncs = {
-            tid: locate_syncs(
-                path,
-                [r for r in bundle.sync_records if r.tid == tid],
-            )
-            for tid, path in paths.items()
-        }
-        located_allocs = {
-            tid: self._locate_allocs(path, bundle, tid)
-            for tid, path in paths.items()
-        }
-        return paths, located_syncs, located_allocs
+        context = self.context_for(bundle)
+        return context.paths, context.located_syncs, context.located_allocs
 
     def events_for(self, bundle: TraceBundle,
                    poisoned: FrozenSet[int] = frozenset()):
@@ -127,78 +133,43 @@ class OfflinePipeline:
         detectors (lockset, reference) consume in tests and ablations.
 
         Returns ``(events, replay_result)`` where *events* is the sorted
-        list of ``(sort_key, Access | SyncOp)`` pairs.
+        list of ``(sort_key, Access | SyncOp)`` pairs, materialized from
+        the same streaming merge ``analyze()`` consumes.
         """
-        paths, located_syncs, located_allocs = self.decode(bundle)
-        mode = "full" if self.mode == "sampled" else self.mode
-        engine = ReplayEngine(self.program, mode=mode, poisoned=poisoned,
-                              jobs=self.jobs)
-        if self.mode == "sampled":
-            replay_result = self._sampled_only(bundle, paths)
-        else:
-            replay_result = engine.replay_bundle(bundle, paths)
-        timelines = {
-            tid: build_timeline(
-                paths[tid],
-                replay_result.aligned.get(tid, []),
-                located_syncs.get(tid, []),
-                located_allocs.get(tid, []),
-            )
-            for tid in paths
-        }
-        alloc_index = AllocationIndex(bundle.alloc_records)
-        events = self._lower_events(
-            bundle, replay_result, timelines, alloc_index
-        )
+        context = self.context_for(bundle)
+        replay_result = context.replay(poisoned)
+        events = list(context.merged_events())
         return events, replay_result
 
     def analyze(self, bundle: TraceBundle) -> DetectionResult:
-        timings = OfflineTimings()
-
-        begin = time.perf_counter()
-        paths, located_syncs, located_allocs = self.decode(bundle)
-        timings.decode_seconds += time.perf_counter() - begin
-
-        alloc_index = AllocationIndex(bundle.alloc_records)
+        context = self.context_for(bundle)
+        detection_seconds = 0.0
         poisoned: FrozenSet[int] = frozenset()
         rounds = 0
         detector = FastTrack()
-        replay_result: Optional[ReplayResult] = None
+        replay_result: ReplayResult | None = None
         events_processed = 0
 
         while True:
             rounds += 1
-            begin = time.perf_counter()
-            mode = "full" if self.mode == "sampled" else self.mode
-            engine = ReplayEngine(self.program, mode=mode, poisoned=poisoned,
-                                  jobs=self.jobs)
-            if self.mode == "sampled":
-                replay_result = self._sampled_only(bundle, paths)
-            else:
-                replay_result = engine.replay_bundle(bundle, paths)
-            timelines = {
-                tid: build_timeline(
-                    paths[tid],
-                    replay_result.aligned.get(tid, []),
-                    located_syncs.get(tid, []),
-                    located_allocs.get(tid, []),
-                )
-                for tid in paths
-            }
-            timings.reconstruction_seconds += time.perf_counter() - begin
+            replay_result = context.replay(poisoned)
+            if rounds > 1 and not context.last_replay_changed:
+                # The regenerated extended trace is bit-identical to the
+                # previous round's, so every verdict over it is too: the
+                # previous detector state stands and this round's poison
+                # hits would be a subset of what is already poisoned.
+                break
 
             begin = time.perf_counter()
-            events = self._lower_events(
-                bundle, replay_result, timelines, alloc_index
-            )
             detector = FastTrack()
-            for _, event in events:
+            events_processed = 0
+            for _, event in context.merged_events():
                 if isinstance(event, SyncOp):
                     detector.sync(event)
                 else:
                     detector.access(event)
-            events_processed = len(events)
-            timings.detection_seconds += time.perf_counter() - begin
+                events_processed += 1
+            detection_seconds += time.perf_counter() - begin
 
             racy = detector.racy_addresses()
             # §5.1 regeneration: if a detected race lands on a location
@@ -218,6 +189,11 @@ class OfflinePipeline:
             poisoned = poisoned | frozenset(poison_hits)
 
         assert replay_result is not None
+        timings = OfflineTimings(
+            decode_seconds=context.decode_seconds,
+            reconstruction_seconds=context.reconstruction_seconds,
+            detection_seconds=detection_seconds,
+        )
         return DetectionResult(
             races=detector.distinct_races(),
             racy_addresses=detector.racy_addresses(),
@@ -226,91 +202,3 @@ class OfflinePipeline:
             timings=timings,
             events_processed=events_processed,
         )
-
-    # ------------------------------------------------------------------
-
-    def _locate_allocs(self, path: DecodedPath, bundle: TraceBundle,
-                       tid: int):
-        located = []
-        for record in bundle.alloc_records:
-            if record.tid != tid:
-                continue
-            index = path.locate(record.ip, record.tsc)
-            if index is not None:
-                located.append((record, index))
-        return located
-
-    def _sampled_only(
-        self, bundle: TraceBundle, paths: Dict[int, DecodedPath]
-    ) -> ReplayResult:
-        """Detection over raw PEBS samples, with no reconstruction."""
-        from ..replay.engine import ReplayStats
-        from ..replay.window import PROV_SAMPLED
-
-        stats = ReplayStats()
-        per_thread: Dict[int, List[RecoveredAccess]] = {}
-        aligned_map = {}
-        for tid, path in paths.items():
-            aligned = align_samples(path, bundle.samples_of_thread(tid))
-            aligned_map[tid] = aligned
-            stats.sampled += len(aligned)
-            per_thread[tid] = [
-                RecoveredAccess(
-                    tid=tid, step_index=a.step_index, ip=a.sample.ip,
-                    address=a.sample.address, is_store=a.sample.is_store,
-                    provenance=PROV_SAMPLED,
-                )
-                for a in aligned
-            ]
-        return ReplayResult(
-            per_thread=per_thread, paths=paths, aligned=aligned_map,
-            stats=stats,
-        )
-
-    def _lower_events(
-        self,
-        bundle: TraceBundle,
-        replay_result: ReplayResult,
-        timelines: Dict[int, ThreadTimeline],
-        alloc_index: AllocationIndex,
-    ) -> List[Tuple[Tuple[float, int], object]]:
-        """Merge accesses and sync records into one HB-consistent order.
-
-        Sort key is (tsc, seq): sync records carry the machine's exact
-        emission order for same-TSC ties (a blocked lock completing inside
-        another thread's unlock); access timestamps are exact at samples
-        and strictly-monotone interpolations elsewhere, so they never
-        collide with a sync record of the same thread out of order.
-        """
-        events: List[Tuple[Tuple[float, int], object]] = []
-        for record in bundle.sync_records:
-            op = SyncOp(
-                tid=record.tid, kind=record.kind, target=record.target,
-                tsc=float(record.tsc),
-            )
-            events.append(((float(record.tsc), record.seq), op))
-        for tid, accesses in replay_result.per_thread.items():
-            timeline = timelines[tid]
-            for access in accesses:
-                tsc = timeline.tsc_of(access.step_index)
-                generation = alloc_index.generation(access.address, tsc)
-                events.append(
-                    (
-                        (tsc, 0),
-                        Access(
-                            tid=tid,
-                            var=(access.address, generation),
-                            kind=(
-                                AccessKind.WRITE
-                                if access.is_store
-                                else AccessKind.READ
-                            ),
-                            ip=access.ip,
-                            tsc=tsc,
-                            provenance=access.provenance,
-                            taint=access.taint,
-                        ),
-                    )
-                )
-        events.sort(key=lambda item: item[0])
-        return events

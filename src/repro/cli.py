@@ -32,6 +32,7 @@ from .analysis import (
 from .isa.assembler import assemble
 from .isa.program import Program
 from .machine import Machine
+from .parallel import parallel_map
 from .pmu import PRORACE_DRIVER, VANILLA_DRIVER
 from .tracing import read_trace, trace_run, write_trace
 from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
@@ -111,7 +112,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     bundle = read_trace(args.trace, program=program)
-    result = OfflinePipeline(program, mode=args.mode).analyze(bundle)
+    pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs)
+    result = pipeline.analyze(bundle)
     if args.json:
         print(to_json(program, result))
     else:
@@ -119,21 +121,38 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if result.races else 0
 
 
+def _detect_one(work: tuple):
+    """Module-level detect worker (picklable for the process executor):
+    one seeded trace + analysis."""
+    program, mode, period, driver, seed = work
+    bundle = trace_run(program, period=period, driver=driver, seed=seed)
+    return OfflinePipeline(program, mode=mode).analyze(bundle)
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
-    pipeline = OfflinePipeline(program, mode=args.mode)
     summary = FleetSummary()
-    last_result = None
-    for run_index in range(args.runs):
+    if args.runs == 1:
+        # One run: spend the job budget inside the pipeline (per-thread
+        # decode/replay fan-out).
         bundle = trace_run(program, period=args.period,
-                           driver=_DRIVERS[args.driver],
-                           seed=args.seed + run_index)
-        last_result = pipeline.analyze(bundle)
-        summary.add(last_result)
-    if args.runs == 1 and last_result is not None:
-        print(render_report(program, last_result))
-    else:
-        print(summary.render(program))
+                           driver=_DRIVERS[args.driver], seed=args.seed)
+        pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs)
+        result = pipeline.analyze(bundle)
+        summary.add(result)
+        print(render_report(program, result))
+        return 1 if summary.race_sites else 0
+    # Many runs: fan the independent seeded trials out across processes
+    # and fold the results back in seed order.
+    work = [
+        (program, args.mode, args.period, _DRIVERS[args.driver],
+         args.seed + run_index)
+        for run_index in range(args.runs)
+    ]
+    for result in parallel_map(_detect_one, work, jobs=args.jobs,
+                               executor="process"):
+        summary.add(result)
+    print(summary.render(program))
     return 1 if summary.race_sites else 0
 
 
@@ -150,7 +169,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         result = detection_sweep(
             bugs, scale, periods=periods, runs=args.runs, mode=args.mode,
-            driver=_DRIVERS[args.driver],
+            driver=_DRIVERS[args.driver], jobs=args.jobs,
         )
         print(result.render())
         return 0
@@ -207,6 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=("full", "forward", "basicblock",
                                          "sampled"))
     analyze_parser.add_argument("--json", action="store_true")
+    analyze_parser.add_argument("--jobs", type=int, default=1,
+                                help="workers for per-thread decode/replay")
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")
     _add_program_args(detect_parser)
@@ -218,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
                                         "sampled"))
     detect_parser.add_argument("--runs", type=int, default=1,
                                help="seeded runs to aggregate")
+    detect_parser.add_argument("--jobs", type=int, default=1,
+                               help="workers: across runs when --runs > 1, "
+                                    "inside the pipeline otherwise")
 
     overhead_parser = sub.add_parser(
         "overhead", help="sweep sampling periods for a workload"
@@ -243,6 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
                                        "sampled"))
     sweep_parser.add_argument("--driver", choices=sorted(_DRIVERS),
                               default="prorace")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="workers for detection-sweep trials")
     sweep_parser.add_argument("--iterations", type=int, default=40)
     sweep_parser.add_argument("--threads", type=int, default=4)
     sweep_parser.add_argument("--seed", type=int, default=0)

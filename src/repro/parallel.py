@@ -1,0 +1,77 @@
+"""Shared executor abstraction for the offline analysis service.
+
+§7.6 observes that PT decode and memory reconstruction "can be easily
+parallelized" across analysis machines; the whole premise of the offline
+phase is that dedicated machines absorb its cost.  This module is the
+single place that decision lives.  Three layers fan out through it:
+
+* :class:`repro.replay.ReplayEngine` — the traced program's threads have
+  independent replays (thread executor: the workers share the program
+  and decoded paths in memory, and each unit of work is small).
+* :class:`repro.analysis.AnalysisContext` — regeneration rounds re-replay
+  only the invalidated threads, again fanned out per thread.
+* :func:`repro.analysis.detection_sweep` and
+  :func:`repro.analysis.measure_detection_probability` — independent
+  seeded runs, the biggest win.  These default to the *process* executor:
+  the work is pure-Python and CPU-bound, so it only scales past the GIL
+  in separate interpreters, and every work item (program, driver model,
+  seed) is picklable by construction.
+
+Every fan-out returns results in input order regardless of completion
+order, so callers are deterministic — ``jobs=4`` is bit-identical to
+``jobs=1`` by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognized execution strategies.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a jobs request: ``None``/``0`` means one worker per
+    available CPU; negative values are clamped to 1."""
+    if not jobs:
+        return max(1, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    executor: str = "thread",
+) -> List[R]:
+    """Map *fn* over *items* with the chosen execution strategy.
+
+    Results come back in input order whatever the completion order, so a
+    parallel sweep folds into exactly the same structure as a serial one.
+    Degenerate requests (one job, one item, or ``executor="serial"``) run
+    inline with zero pool overhead.
+
+    The process executor requires *fn* to be a module-level function and
+    every item/result to be picklable; all repro work units (programs,
+    trace bundles, driver models, detection trials) satisfy this.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}: {executor!r}")
+    work: Sequence[T] = items if isinstance(items, list) else list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(work) <= 1 or executor == "serial":
+        return [fn(item) for item in work]
+    workers = min(jobs, len(work))
+    if executor == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, work))
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, work))

@@ -215,12 +215,23 @@ def decode_all(
     program: Program,
     traces: Dict[int, PTThreadTrace],
     config: Optional[PTConfig] = None,
+    jobs: int = 1,
 ) -> Dict[int, DecodedPath]:
-    """Decode every thread's stream."""
-    return {
-        tid: decode_thread(program, t, config=config)
-        for tid, t in traces.items()
-    }
+    """Decode every thread's stream.
+
+    Per-thread packet streams are independent, so decode fans out over
+    the shared executor abstraction when *jobs* > 1 (§7.6: decode "can
+    be easily parallelized").  Decode always uses the thread executor:
+    the work shares the program in memory and the units are small.
+    """
+    from ..parallel import parallel_map
+
+    tids = sorted(traces)
+    paths = parallel_map(
+        lambda tid: decode_thread(program, traces[tid], config=config),
+        tids, jobs=jobs, executor="thread",
+    )
+    return dict(zip(tids, paths))
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Offline memory-access reconstruction (the paper's §5)."""
 
-from .engine import ReplayEngine, ReplayResult, ReplayStats
+from .engine import ReplayEngine, ReplayResult, ReplayStats, ThreadReplay
 from .program_map import Known, ProgramMap, Taint, merge_taint
 from .window import (
     PROV_BACKWARD,
@@ -24,6 +24,7 @@ __all__ = [
     "ReplayResult",
     "ReplayStats",
     "Taint",
+    "ThreadReplay",
     "WindowReplayer",
     "WindowStats",
     "merge_taint",

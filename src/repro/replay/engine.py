@@ -18,10 +18,11 @@ Three modes reproduce the paper's Figure 11 comparison:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..isa.program import Program
+from ..parallel import parallel_map
 from ..ptdecode.decoder import AlignedSample, DecodedPath, align_samples, decode_all
 from ..tracing.bundle import TraceBundle
 from .program_map import Known
@@ -35,6 +36,13 @@ from .window import (
 )
 
 _MODES = ("full", "forward", "basicblock")
+
+
+def _replay_one(work: tuple) -> "ThreadReplay":
+    """Module-level worker so the fan-out also runs under the process
+    executor (closures don't pickle; engines and paths do)."""
+    engine, path, aligned = work
+    return engine.replay_thread_full(path, aligned)
 
 
 @dataclass
@@ -72,6 +80,25 @@ class ReplayStats:
 
 
 @dataclass
+class ThreadReplay:
+    """One thread's replay output, self-contained for caching.
+
+    The analysis context keeps these across §5.1 regeneration rounds and
+    recomputes only the threads whose :attr:`touched` set intersects the
+    newly poisoned addresses (poisoning can only alter a replay that
+    emulated one of the poisoned locations).
+    """
+
+    tid: int
+    accesses: List[RecoveredAccess]
+    stats: ReplayStats
+    #: Addresses this thread's replay emulated (tried to store an
+    #: available value at) — the exact invalidation predicate for
+    #: regeneration rounds.
+    touched: FrozenSet[int]
+
+
+@dataclass
 class ReplayResult:
     """The extended memory trace plus bookkeeping."""
 
@@ -79,6 +106,8 @@ class ReplayResult:
     paths: Dict[int, DecodedPath]
     aligned: Dict[int, List[AlignedSample]]
     stats: ReplayStats
+    #: Per-thread emulated-address sets (empty for sampled-only results).
+    emulated_touched: Dict[int, FrozenSet[int]] = field(default_factory=dict)
 
     @property
     def accesses(self) -> List[RecoveredAccess]:
@@ -98,6 +127,7 @@ class ReplayEngine:
         max_iterations: int = 4,
         poisoned: Optional[FrozenSet[int]] = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}: {mode!r}")
@@ -105,8 +135,10 @@ class ReplayEngine:
         self.mode = mode
         self.max_iterations = max_iterations
         self.poisoned = poisoned or frozenset()
-        #: Worker threads: per-thread replays are independent (§7.6).
+        #: Worker count for the per-thread replay fan-out: per-thread
+        #: replays are independent (§7.6).
         self.jobs = max(1, jobs)
+        self.executor = executor
 
     # ------------------------------------------------------------------
 
@@ -119,47 +151,51 @@ class ReplayEngine:
         if paths is None:
             paths = decode_all(self.program, bundle.pt_traces,
                                config=bundle.pt_config)
+        aligned_map = {
+            tid: align_samples(paths[tid], bundle.samples_of_thread(tid))
+            for tid in sorted(paths)
+        }
+        replays = self.replay_threads(paths, aligned_map, sorted(paths))
         stats = ReplayStats()
         per_thread: Dict[int, List[RecoveredAccess]] = {}
-        aligned_map: Dict[int, List[AlignedSample]] = {}
-
-        def one(tid):
-            path = paths[tid]
-            aligned = align_samples(path, bundle.samples_of_thread(tid))
-            local = ReplayStats()
-            accesses = self.replay_thread(path, aligned, local)
-            return tid, aligned, accesses, local
-
-        if self.jobs > 1 and len(paths) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                results = list(pool.map(one, sorted(paths)))
-        else:
-            results = [one(tid) for tid in sorted(paths)]
-        for tid, aligned, accesses, local in results:
-            aligned_map[tid] = aligned
-            per_thread[tid] = accesses
-            stats.merge(local)
+        touched: Dict[int, FrozenSet[int]] = {}
+        for replay in replays:
+            per_thread[replay.tid] = replay.accesses
+            touched[replay.tid] = replay.touched
+            stats.merge(replay.stats)
         return ReplayResult(
             per_thread=per_thread, paths=paths, aligned=aligned_map,
-            stats=stats,
+            stats=stats, emulated_touched=touched,
         )
 
-    def replay_thread(
+    def replay_threads(
+        self,
+        paths: Dict[int, DecodedPath],
+        aligned: Dict[int, List[AlignedSample]],
+        tids: Sequence[int],
+    ) -> List[ThreadReplay]:
+        """Replay a subset of threads, fanned out over the executor.
+
+        This is the unit the analysis context re-runs per regeneration
+        round: *tids* names only the threads whose program maps touched
+        newly poisoned addresses.
+        """
+        work = [(self, paths[tid], aligned.get(tid, [])) for tid in tids]
+        return parallel_map(_replay_one, work, jobs=self.jobs,
+                            executor=self.executor)
+
+    def replay_thread_full(
         self,
         path: DecodedPath,
         aligned: Sequence[AlignedSample],
-        stats: Optional[ReplayStats] = None,
-    ) -> List[RecoveredAccess]:
+    ) -> ThreadReplay:
         """Reconstruct one thread's accesses from its path and samples."""
-        if stats is None:
-            stats = ReplayStats()
+        stats = ReplayStats()
         stats.sampled += len(aligned)
         if self.mode == "basicblock":
-            accesses = self._replay_basicblock(path, aligned)
+            accesses, touched = self._replay_basicblock(path, aligned)
         else:
-            accesses = self._replay_windows(path, aligned)
+            accesses, touched = self._replay_windows(path, aligned)
         # The sampled instructions' own accesses come from the PEBS
         # records (authoritative address straight from hardware).
         sample_steps = {a.step_index: a.sample for a in aligned}
@@ -181,15 +217,33 @@ class ReplayEngine:
                 stats.backward += 1
             elif access.provenance == PROV_BASICBLOCK:
                 stats.basicblock += 1
-        return [final[j] for j in sorted(final)]
+        return ThreadReplay(
+            tid=path.tid,
+            accesses=[final[j] for j in sorted(final)],
+            stats=stats,
+            touched=frozenset(touched),
+        )
+
+    def replay_thread(
+        self,
+        path: DecodedPath,
+        aligned: Sequence[AlignedSample],
+        stats: Optional[ReplayStats] = None,
+    ) -> List[RecoveredAccess]:
+        """Compatibility wrapper around :meth:`replay_thread_full`."""
+        replay = self.replay_thread_full(path, aligned)
+        if stats is not None:
+            stats.merge(replay.stats)
+        return replay.accesses
 
     # ------------------------------------------------------------------
 
     def _replay_windows(
         self, path: DecodedPath, aligned: Sequence[AlignedSample]
-    ) -> List[RecoveredAccess]:
+    ) -> Tuple[List[RecoveredAccess], set]:
         """Full/forward-only mode: windows between consecutive samples."""
         accesses: List[RecoveredAccess] = []
+        touched: set = set()
         boundaries = [a.step_index for a in aligned]
         contexts = [a.sample.registers for a in aligned]
         memory: Dict[int, Known] = {}
@@ -206,6 +260,7 @@ class ReplayEngine:
                 max_iterations=self.max_iterations if backward else 1,
             )
             accesses.extend(replayer.run())
+            touched |= replayer.touched
 
         if not boundaries:
             # No samples at all: only PC-relative forward recovery applies.
@@ -214,7 +269,8 @@ class ReplayEngine:
                 entry_registers=None, exit_registers=None,
                 poisoned=self.poisoned, max_iterations=1,
             )
-            return replayer.run()
+            accesses = replayer.run()
+            return accesses, replayer.touched
 
         for i, start in enumerate(boundaries):
             end = (
@@ -235,16 +291,18 @@ class ReplayEngine:
                 max_iterations=self.max_iterations if backward else 1,
             )
             accesses.extend(replayer.run())
+            touched |= replayer.touched
             memory = replayer.exit_memory
-        return accesses
+        return accesses, touched
 
     # ------------------------------------------------------------------
 
     def _replay_basicblock(
         self, path: DecodedPath, aligned: Sequence[AlignedSample]
-    ) -> List[RecoveredAccess]:
+    ) -> Tuple[List[RecoveredAccess], set]:
         """RaceZ baseline: recovery confined to each sample's basic block."""
         accesses: List[RecoveredAccess] = []
+        touched: set = set()
         for item in aligned:
             lo, hi = self._block_bounds(path, item.step_index)
             # Forward within the block, from the sample.
@@ -255,6 +313,7 @@ class ReplayEngine:
                 poisoned=self.poisoned, max_iterations=1,
             )
             accesses.extend(fwd.run())
+            touched |= fwd.touched
             # Trivial backward propagation within the block.
             if lo < item.step_index:
                 bwd = WindowReplayer(
@@ -264,6 +323,7 @@ class ReplayEngine:
                     poisoned=self.poisoned, max_iterations=2,
                 )
                 accesses.extend(bwd.run())
+                touched |= bwd.touched
         renamed = [
             RecoveredAccess(
                 tid=a.tid, step_index=a.step_index, ip=a.ip,
@@ -276,7 +336,7 @@ class ReplayEngine:
         unique: Dict[int, RecoveredAccess] = {}
         for access in renamed:
             unique.setdefault(access.step_index, access)
-        return [unique[j] for j in sorted(unique)]
+        return [unique[j] for j in sorted(unique)], touched
 
     def _block_bounds(self, path: DecodedPath, step: int) -> tuple[int, int]:
         """Largest step range around *step* staying inside one basic block

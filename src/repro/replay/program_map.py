@@ -48,7 +48,8 @@ class ProgramMap:
     clears at system calls or unknown-address stores.
     """
 
-    __slots__ = ("_regs", "_memory", "memory_invalidations", "poisoned")
+    __slots__ = ("_regs", "_memory", "memory_invalidations", "poisoned",
+                 "emulated_touched")
 
     def __init__(self, poisoned: Optional[Iterable[int]] = None) -> None:
         self._regs: Dict[str, Known] = {}
@@ -57,6 +58,14 @@ class ProgramMap:
         #: Addresses whose emulated values must never be used (the
         #: race-regeneration protocol marks racy locations poisoned).
         self.poisoned: FrozenSet[int] = frozenset(poisoned or ())
+        #: Every address this replay *tried* to emulate (available value
+        #: stored, whether or not poisoning refused it).  Poisoning an
+        #: address can only change a replay that consulted the poison set,
+        #: and the poison set is consulted exactly at emulating stores —
+        #: so a replay whose touched set misses the new poisons is
+        #: provably identical, which is what lets regeneration rounds
+        #: skip re-replaying unaffected threads.
+        self.emulated_touched: set = set()
 
     # -- registers -------------------------------------------------------
 
@@ -102,7 +111,11 @@ class ProgramMap:
     def store_memory(self, address: int, known: Optional[Known]) -> None:
         """Write emulated memory; an unavailable value evicts the entry."""
         address &= MASK64
-        if known is None or address in self.poisoned:
+        if known is None:
+            self._memory.pop(address, None)
+            return
+        self.emulated_touched.add(address)
+        if address in self.poisoned:
             self._memory.pop(address, None)
         else:
             self._memory[address] = known

@@ -126,6 +126,9 @@ class WindowReplayer:
         self.max_iterations = max_iterations
         self.stats = WindowStats()
         self.exit_memory: Dict[int, Known] = {}
+        #: Union of the program maps' emulated-store address sets across
+        #: all forward passes (see ProgramMap.emulated_touched).
+        self.touched: set = set()
 
     # ------------------------------------------------------------------
 
@@ -192,6 +195,7 @@ class WindowReplayer:
         self.stats.steps = self.end - self.start
         self.stats.memory_invalidations = pm.memory_invalidations
         self.exit_memory = pm.memory_copy()
+        self.touched |= pm.emulated_touched
         return accesses, frozenset(blocked)
 
     # -- operand helpers ---------------------------------------------------

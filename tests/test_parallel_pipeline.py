@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis import OfflinePipeline
+from repro.analysis import (
+    OfflinePipeline,
+    detection_sweep,
+    measure_detection_probability,
+)
 from repro.replay import ReplayEngine
 from repro.tracing import trace_run
 from repro.workloads import PARSEC_WORKLOADS, RACE_BUGS, WorkloadScale
@@ -40,3 +44,49 @@ class TestParallelEquivalence:
         parallel = OfflinePipeline(program, jobs=8).analyze(bundle)
         assert serial.racy_addresses == parallel.racy_addresses
         assert serial.events_processed == parallel.events_processed
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pipeline_executor_identical(self, executor):
+        """The replay fan-out must be invisible regardless of executor —
+        process workers exercise the pickling path end to end."""
+        bug = RACE_BUGS["aget-bug2"]
+        program = bug.build(WorkloadScale(iterations=10))
+        bundle = trace_run(program, period=40, seed=5)
+        serial = OfflinePipeline(program, jobs=1).analyze(bundle)
+        fanned = OfflinePipeline(program, jobs=4,
+                                 executor=executor).analyze(bundle)
+        assert serial.racy_addresses == fanned.racy_addresses
+        assert {r.pair for r in serial.races} == \
+            {r.pair for r in fanned.races}
+        assert serial.replay.stats == fanned.replay.stats
+        assert serial.replay.per_thread == fanned.replay.per_thread
+        assert serial.regeneration_rounds == fanned.regeneration_rounds
+        assert serial.events_processed == fanned.events_processed
+
+
+class TestParallelSweeps:
+    """Trial-level fan-out: bit-identical grids in every configuration."""
+
+    BUGS = {"aget-bug2": RACE_BUGS["aget-bug2"]}
+    SCALE = WorkloadScale(iterations=8)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_detection_sweep_jobs_identical(self, executor):
+        serial = detection_sweep(self.BUGS, self.SCALE,
+                                 periods=[200, 1000], runs=3, jobs=1)
+        fanned = detection_sweep(self.BUGS, self.SCALE,
+                                 periods=[200, 1000], runs=3, jobs=4,
+                                 executor=executor)
+        assert serial.cells == fanned.cells
+        assert serial.totals() == fanned.totals()
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_detection_probability_jobs_identical(self, racy_program,
+                                                  executor):
+        racy = [racy_program.symbols["racy"]]
+        serial = measure_detection_probability(
+            racy_program, racy, period=3, runs=4, jobs=1)
+        fanned = measure_detection_probability(
+            racy_program, racy, period=3, runs=4, jobs=4, executor=executor)
+        assert serial.trials == fanned.trials
+        assert serial.probability == fanned.probability

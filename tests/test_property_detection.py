@@ -50,6 +50,24 @@ def test_sparser_sampling_never_invents_races(seed):
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=10, deadline=None)
+def test_incremental_context_equals_from_scratch(seed):
+    """The cached/incremental analysis context (decode once, selective
+    per-thread re-replay across §5.1 rounds, streaming merge) must be an
+    *invisible* optimization: identical races, addresses, rounds and
+    replay statistics to the from-scratch per-round pipeline."""
+    program, _ = generate_racy_program(seed, CONFIG)
+    bundle = trace_run(program, period=5, seed=seed)
+    cached = OfflinePipeline(program, round_cache=True).analyze(bundle)
+    scratch = OfflinePipeline(program, round_cache=False).analyze(bundle)
+    assert _pairs(cached) == _pairs(scratch)
+    assert cached.racy_addresses == scratch.racy_addresses
+    assert cached.regeneration_rounds == scratch.regeneration_rounds
+    assert cached.replay.stats == scratch.replay.stats
+    assert cached.replay.per_thread == scratch.replay.per_thread
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
 def test_injected_race_detected_even_with_no_samples(seed):
     """The injected accesses are PC-relative: the PT path alone recovers
     them, so even an absurdly sparse period finds the race (the Table 2
