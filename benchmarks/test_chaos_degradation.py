@@ -1,0 +1,89 @@
+"""Robustness — detection probability vs fault intensity.
+
+Production traces are lossy (the §4.1 motivation); this experiment
+measures how much detection power each hardware failure mode costs.
+For a handful of the Table 2 bugs, N seeded traces are analyzed
+pristine (the baseline column) and then re-analyzed under every
+built-in fault plan at a sweep of intensities.  The shapes: detection
+never *exceeds* the pristine baseline (lost data cannot create
+evidence), degrades gently at small intensities, and every degraded
+analysis completes with reconciled accounting.
+"""
+
+from repro.analysis import OfflinePipeline
+from repro.faults import BUILTIN_PLAN_NAMES, builtin_plans
+from repro.pmu import PRORACE_DRIVER
+from repro.tracing import trace_run
+from repro.workloads import RACE_BUGS
+
+from conftest import write_table
+
+BUGS = ("apache-25520", "aget-bug2", "pbzip2-0.9.4")
+INTENSITIES = (0.05, 0.1, 0.2, 0.4)
+PERIOD = 100
+
+
+def measure(profile):
+    hits = {}
+    for name in BUGS:
+        bug = RACE_BUGS[name]
+        program = bug.build(profile.bug_scale)
+        pipeline = OfflinePipeline(program)
+        bundles = [
+            trace_run(program, period=PERIOD, driver=PRORACE_DRIVER,
+                      seed=seed)
+            for seed in range(profile.recovery_runs)
+        ]
+        hits[(name, "baseline", 0.0)] = sum(
+            bug.detected(program, pipeline.analyze(b)) for b in bundles
+        )
+        for intensity in INTENSITIES:
+            for plan_name in BUILTIN_PLAN_NAMES:
+                detected = 0
+                for seed, bundle in enumerate(bundles):
+                    plan = builtin_plans(intensity, seed=seed)[plan_name]
+                    degraded, defects = plan.apply(bundle)
+                    result = pipeline.analyze(degraded)
+                    report = result.degradation
+                    assert report.gaps_crossed == defects.pt_gaps, \
+                        (name, plan_name, intensity)
+                    detected += bug.detected(program, result)
+                hits[(name, plan_name, intensity)] = detected
+    return hits
+
+
+def test_chaos_degradation(benchmark, profile, results_dir):
+    hits = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                              iterations=1)
+    runs = profile.recovery_runs
+
+    header = (
+        f"{'Bug':16s} {'Plan':18s}"
+        + "".join(f"  @{i:<5.2f}" for i in INTENSITIES)
+    )
+    lines = [f"(detections out of {runs} traces; baseline = pristine)",
+             header, "-" * len(header)]
+    for name in BUGS:
+        lines.append(
+            f"{name:16s} {'baseline':18s}"
+            + f"  {hits[(name, 'baseline', 0.0)]:<6d}" * len(INTENSITIES)
+        )
+        for plan_name in BUILTIN_PLAN_NAMES:
+            row = f"{'':16s} {plan_name:18s}"
+            for intensity in INTENSITIES:
+                row += f"  {hits[(name, plan_name, intensity)]:<6d}"
+            lines.append(row)
+    write_table(results_dir, "chaos_degradation", lines)
+
+    # Shape assertions.
+    for name in BUGS:
+        baseline = hits[(name, "baseline", 0.0)]
+        assert baseline > 0, name
+        for plan_name in BUILTIN_PLAN_NAMES:
+            for intensity in INTENSITIES:
+                # Precision: degradation never beats the pristine run.
+                assert hits[(name, plan_name, intensity)] <= baseline, \
+                    (name, plan_name, intensity)
+            # Gentle start: mild faults keep most of the detection power.
+            assert hits[(name, plan_name, 0.05)] >= baseline / 2, \
+                (name, plan_name)

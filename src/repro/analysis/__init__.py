@@ -26,8 +26,19 @@ from .metrics import (
     measure_offline_overhead,
     wilson_interval,
 )
-from .pipeline import DetectionResult, OfflinePipeline, OfflineTimings
-from .report import FleetSummary, render_race, render_report, to_json
+from .pipeline import (
+    DegradationReport,
+    DetectionResult,
+    OfflinePipeline,
+    OfflineTimings,
+)
+from .report import (
+    FleetSummary,
+    render_degradation,
+    render_race,
+    render_report,
+    to_json,
+)
 from .sweeps import (
     DetectionSweepResult,
     SweepResult,
@@ -43,6 +54,7 @@ __all__ = [
     "ContextStats",
     "access_sort_key",
     "sync_sort_key",
+    "DegradationReport",
     "DetectionProbability",
     "DetectionResult",
     "DetectionSweepResult",
@@ -66,6 +78,7 @@ __all__ = [
     "estimate_overhead",
     "geometric_mean",
     "measure_detection_probability",
+    "render_degradation",
     "render_race",
     "render_report",
     "to_json",

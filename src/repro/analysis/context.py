@@ -62,16 +62,23 @@ from operator import itemgetter
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..detector.events import Access, AccessKind, SyncOp
+from ..faults import MAX_TSC_JITTER
 from ..isa.program import Program
 from ..pmu.records import SyncRecord
 from ..ptdecode.decoder import (
     AlignedSample,
     DecodedPath,
     align_samples,
-    decode_all,
+    decode_all_tolerant,
     locate_syncs,
 )
-from ..replay.engine import ReplayEngine, ReplayResult, ReplayStats, ThreadReplay
+from ..replay.engine import (
+    ReplayEngine,
+    ReplayFailure,
+    ReplayResult,
+    ReplayStats,
+    ThreadReplay,
+)
 from ..replay.window import PROV_SAMPLED, RecoveredAccess
 from ..tracing.bundle import TraceBundle
 from .generations import AllocationIndex
@@ -156,6 +163,13 @@ class AnalysisContext:
         #: unchanged — the merged stream, and therefore every detector
         #: verdict over it, is provably identical to the previous round.
         self.last_replay_changed = True
+        #: Per-thread decode/replay failures (tid → reason): one faulty
+        #: thread degrades to a skipped thread, never a dead analysis.
+        self.decode_failures: Dict[int, str] = {}
+        self.replay_failures: Dict[int, str] = {}
+        #: Accesses suppressed by the conservative truncation cutoff in
+        #: the last merged_events() pass (see :meth:`merged_events`).
+        self.suppressed_accesses = 0
 
         self._paths: Optional[Dict[int, DecodedPath]] = None
         self._located_syncs = None
@@ -174,12 +188,25 @@ class AnalysisContext:
 
     @property
     def paths(self) -> Dict[int, DecodedPath]:
-        """Decoded per-thread paths — PT decode runs exactly once."""
+        """Decoded per-thread paths — PT decode runs exactly once.
+
+        Decode is tolerant: a thread whose stream cannot be decoded
+        (even with gap resynchronization) lands in
+        :attr:`decode_failures` and is skipped by every later stage.
+        PEBS samples are handed to the decoder so OVF gaps can
+        resynchronize at the next sample instead of failing.
+        """
         if self._paths is None:
             begin = time.perf_counter()
-            self._paths = decode_all(self.program, self.bundle.pt_traces,
-                                     config=self.bundle.pt_config,
-                                     jobs=self.jobs)
+            sample_map = {
+                tid: self.bundle.samples_of_thread(tid)
+                for tid in self.bundle.pt_traces
+            }
+            self._paths, self.decode_failures = decode_all_tolerant(
+                self.program, self.bundle.pt_traces,
+                config=self.bundle.pt_config,
+                jobs=self.jobs, samples=sample_map,
+            )
             self.decode_seconds += time.perf_counter() - begin
             self.stats.decode_calls += 1
         return self._paths
@@ -362,7 +389,16 @@ class AnalysisContext:
             jobs=self.jobs, executor=self.executor,
         )
         changed = False
-        for replay in engine.replay_threads(paths, aligned, tids):
+        for replay in engine.replay_threads(paths, aligned, tids,
+                                            tolerant=True):
+            if isinstance(replay, ReplayFailure):
+                # Isolate the failure: drop this thread's events and
+                # carry on with every other thread's analysis.
+                self.replay_failures[replay.tid] = replay.error
+                self._threads.pop(replay.tid, None)
+                self._access_events.pop(replay.tid, None)
+                changed = True
+                continue
             old = self._threads.get(replay.tid)
             if old is None or old != replay:
                 changed = True
@@ -431,10 +467,63 @@ class AnalysisContext:
         """The happens-before-consistent event stream: a k-way streaming
         merge of the sync stream and every thread's pre-sorted access
         stream.  Nothing is materialized or globally sorted; the detector
-        consumes the iterator incrementally."""
+        consumes the iterator incrementally.
+
+        When the bundle's sync/alloc log is known-truncated
+        (``defects.log_truncated_at_tsc``), accesses after the cutoff
+        are suppressed: happens-before edges there may be missing, and a
+        lost edge must degrade detection power, never fabricate a race.
+        """
         if self.stats.replay_rounds == 0:
             raise RuntimeError("call replay() before merged_events()")
         streams = [self.sync_events]
         for tid in sorted(self._threads):
             streams.append(self.access_events(tid))
-        return heapq.merge(*streams, key=itemgetter(0))
+        merged = heapq.merge(*streams, key=itemgetter(0))
+        self.suppressed_accesses = 0
+        cutoff = self.truncation_cutoff
+        if cutoff is None:
+            return merged
+        defects = self.bundle.defects
+        if defects is not None and defects.tsc_perturbed:
+            # Jittered sample anchors can understate a true time by up
+            # to the jitter bound; widen the distrusted region to match.
+            cutoff -= MAX_TSC_JITTER
+        return self._suppress_after(merged, cutoff)
+
+    @property
+    def truncation_cutoff(self) -> Optional[int]:
+        """Last trustworthy sync-log TSC, or None for a complete log."""
+        defects = self.bundle.defects
+        if defects is None:
+            return None
+        return defects.log_truncated_at_tsc
+
+    def _suppress_after(
+        self, merged: Iterator[Tuple[EventKey, object]], cutoff: int
+    ) -> Iterator[Tuple[EventKey, object]]:
+        for key, event in merged:
+            if isinstance(event, Access):
+                # A degraded timeline may *understate* an access's true
+                # time (lost sync anchors pull interpolation early), so
+                # keep only accesses provably before the cutoff: the
+                # next exact anchor bounds the true time from above.
+                bound = self.timelines[event.tid].upper_bound(key[3])
+                if bound > cutoff:
+                    self.suppressed_accesses += 1
+                    continue
+            yield key, event
+
+    @property
+    def skipped_threads(self) -> Tuple[int, ...]:
+        """Threads dropped by tolerant decode or replay, sorted."""
+        return tuple(sorted(
+            set(self.decode_failures) | set(self.replay_failures)
+        ))
+
+    @property
+    def samples_unaligned(self) -> int:
+        """Samples that could not be pinned onto any decoded path
+        (gap-covered TSC, truncated path, undecodable thread)."""
+        placed = sum(len(items) for items in self.aligned.values())
+        return len(self.bundle.samples) - placed

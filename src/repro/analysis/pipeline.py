@@ -18,14 +18,14 @@ lowering logic.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..detector.events import RaceReport, SyncOp
 from ..detector.fasttrack import FastTrack
 from ..isa.program import Program
 from ..replay.engine import ReplayResult
-from ..tracing.bundle import TraceBundle
+from ..tracing.bundle import TraceBundle, TraceDefects
 from .context import AnalysisContext
 
 
@@ -57,6 +57,52 @@ class OfflineTimings:
 
 
 @dataclass
+class DegradationReport:
+    """How lossy the inputs were and what the analysis did about it.
+
+    The *declared* fields echo the bundle's
+    :class:`~repro.tracing.bundle.TraceDefects` (what fault injection or
+    salvage loading says was lost); the *observed* fields are measured
+    by the consumers (what decode/replay/detection actually did).  Under
+    a pure PT-gap fault plan, ``gaps_crossed`` must reconcile exactly
+    with the injected ``pt_gaps`` — that equality is the subsystem's
+    end-to-end accounting check, and it is tested.
+    """
+
+    # Declared losses (from TraceDefects).
+    samples_dropped: int = 0
+    drop_bursts: int = 0
+    pt_packets_lost: int = 0
+    sync_records_lost: int = 0
+    alloc_records_lost: int = 0
+    tsc_perturbed: int = 0
+    log_truncated_at_tsc: Optional[int] = None
+    corrupted_sections: Tuple[str, ...] = ()
+    # Observed degradation (measured by the consumers).
+    gaps_crossed: int = 0
+    windows_aborted: int = 0
+    samples_unaligned: int = 0
+    suppressed_accesses: int = 0
+    threads_skipped: Tuple[int, ...] = ()
+    incomplete_paths: int = 0
+    #: Figure 11 recovery ratio of this (possibly degraded) analysis —
+    #: compare against a pristine run to quantify reconstruction impact.
+    recovery_ratio: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.samples_dropped or self.pt_packets_lost
+            or self.sync_records_lost or self.alloc_records_lost
+            or self.tsc_perturbed or self.corrupted_sections
+            or self.log_truncated_at_tsc is not None
+            or self.gaps_crossed or self.windows_aborted
+            or self.samples_unaligned or self.suppressed_accesses
+            or self.threads_skipped or self.incomplete_paths
+        )
+
+
+@dataclass
 class DetectionResult:
     """Outcome of one offline analysis."""
 
@@ -66,6 +112,7 @@ class DetectionResult:
     regeneration_rounds: int
     timings: OfflineTimings
     events_processed: int
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     def races_on(self, address: int) -> List[RaceReport]:
         return [r for r in self.races if r.address == address]
@@ -201,4 +248,36 @@ class OfflinePipeline:
             regeneration_rounds=rounds,
             timings=timings,
             events_processed=events_processed,
+            degradation=self.degradation_report(
+                bundle, context, replay_result
+            ),
+        )
+
+    def degradation_report(
+        self,
+        bundle: TraceBundle,
+        context: AnalysisContext,
+        replay_result: ReplayResult,
+    ) -> DegradationReport:
+        """Reconcile declared trace defects with observed degradation."""
+        defects = bundle.defects or TraceDefects()
+        paths = context.paths
+        return DegradationReport(
+            samples_dropped=defects.samples_dropped,
+            drop_bursts=defects.drop_bursts,
+            pt_packets_lost=defects.pt_packets_lost,
+            sync_records_lost=defects.sync_records_lost,
+            alloc_records_lost=defects.alloc_records_lost,
+            tsc_perturbed=defects.tsc_perturbed,
+            log_truncated_at_tsc=defects.log_truncated_at_tsc,
+            corrupted_sections=defects.corrupted_sections,
+            gaps_crossed=sum(p.ovf_gaps for p in paths.values()),
+            windows_aborted=replay_result.stats.windows_aborted,
+            samples_unaligned=context.samples_unaligned,
+            suppressed_accesses=context.suppressed_accesses,
+            threads_skipped=context.skipped_threads,
+            incomplete_paths=sum(
+                1 for p in paths.values() if not p.complete
+            ),
+            recovery_ratio=replay_result.stats.recovery_ratio,
         )

@@ -72,6 +72,46 @@ def render_race(program: Program, race: RaceReport) -> str:
     return "\n".join(out)
 
 
+def render_degradation(result: DetectionResult) -> List[str]:
+    """Degradation summary lines (empty for a pristine analysis)."""
+    deg = result.degradation
+    if not deg.degraded:
+        return []
+    lines = ["degraded inputs:"]
+    if deg.samples_dropped:
+        lines.append(
+            f"  samples dropped: {deg.samples_dropped} "
+            f"in {deg.drop_bursts} overflow bursts"
+        )
+    if deg.gaps_crossed or deg.pt_packets_lost:
+        lines.append(
+            f"  pt gaps crossed: {deg.gaps_crossed} "
+            f"({deg.pt_packets_lost} packets lost, "
+            f"{deg.windows_aborted} replay windows aborted)"
+        )
+    if deg.sync_records_lost or deg.alloc_records_lost:
+        lines.append(
+            f"  log truncation: {deg.sync_records_lost} sync / "
+            f"{deg.alloc_records_lost} alloc records lost "
+            f"({deg.suppressed_accesses} accesses suppressed)"
+        )
+    if deg.tsc_perturbed:
+        lines.append(f"  tsc perturbed: {deg.tsc_perturbed} samples")
+    if deg.samples_unaligned:
+        lines.append(f"  samples unaligned: {deg.samples_unaligned}")
+    if deg.threads_skipped:
+        lines.append(
+            "  threads skipped: "
+            + ", ".join(str(t) for t in deg.threads_skipped)
+        )
+    if deg.corrupted_sections:
+        lines.append(
+            "  corrupted sections dropped: "
+            + ", ".join(deg.corrupted_sections)
+        )
+    return lines
+
+
 def render_report(program: Program, result: DetectionResult) -> str:
     """The full per-run report text."""
     stats = result.replay.stats
@@ -84,8 +124,9 @@ def render_report(program: Program, result: DetectionResult) -> str:
         f"events analyzed: {result.events_processed}   "
         f"regeneration rounds: {result.regeneration_rounds}",
         f"distinct races: {len(result.races)}",
-        "",
     ]
+    header.extend(render_degradation(result))
+    header.append("")
     body = []
     for index, race in enumerate(result.races, start=1):
         body.append(f"[{index}] " + render_race(program, race))
@@ -132,6 +173,19 @@ def to_json(program: Program, result: DetectionResult) -> str:
                 "decode": result.timings.decode_seconds,
                 "reconstruction": result.timings.reconstruction_seconds,
                 "detection": result.timings.detection_seconds,
+            },
+            "degradation": {
+                "degraded": result.degradation.degraded,
+                "samples_dropped": result.degradation.samples_dropped,
+                "gaps_crossed": result.degradation.gaps_crossed,
+                "windows_aborted": result.degradation.windows_aborted,
+                "sync_records_lost": result.degradation.sync_records_lost,
+                "suppressed_accesses":
+                    result.degradation.suppressed_accesses,
+                "samples_unaligned": result.degradation.samples_unaligned,
+                "threads_skipped": list(result.degradation.threads_skipped),
+                "corrupted_sections":
+                    list(result.degradation.corrupted_sections),
             },
         },
         indent=2,

@@ -54,6 +54,18 @@ class ThreadTimeline:
         fraction = (step - s1) / (s2 - s1)
         return t1 + (t2 - t1) * fraction
 
+    def upper_bound(self, step: int) -> float:
+        """A sound upper bound on *step*'s true time: the first exact
+        point at or after it.  Interpolated (and especially degraded)
+        timelines can drift, but the true time never exceeds the next
+        anchor's.  Past the last anchor nothing bounds the step —
+        returns +inf, so conservative consumers treat it as untrusted.
+        """
+        pos = bisect.bisect_left(self._steps, step)
+        if pos == len(self.points):
+            return float("inf")
+        return float(self.points[pos][1])
+
 
 def build_timeline(
     path: DecodedPath,
@@ -70,25 +82,39 @@ def build_timeline(
             :func:`repro.ptdecode.decoder.locate_syncs`.
         allocs: (alloc record, step index) pairs, same idea.
     """
-    exact: Dict[int, int] = {}
-    for step, tsc in path.anchors:
-        exact[step] = tsc
-    for item in aligned:
-        exact[item.step_index] = item.sample.tsc
+    # Anchor sources are tiered by trustworthiness: the thread's own
+    # software logs (sync/alloc records) are authoritative — an access
+    # placed on the wrong side of its own lock release fabricates a
+    # race — while PT branch anchors and PEBS sample timestamps come
+    # from perturbable hardware counters.  A lower-tier point that
+    # contradicts an already-accepted one (e.g. a clock-jittered sample
+    # claiming a TSC past the next sync record) is dropped, never the
+    # other way around: dropping an anchor only coarsens interpolation,
+    # which stays strictly inside the surrounding exact interval.
+    tiers: List[Dict[int, int]] = [{}, {}, {}]
     for record, step in syncs:
-        exact[step] = record.tsc
+        tiers[0][step] = record.tsc
     for record, step in allocs:
-        exact[step] = record.tsc
-    points = sorted(exact.items())
-    # Drop any point violating monotonicity (defensive: a mis-located
-    # record must not corrupt the whole timeline).
-    cleaned: List[Tuple[int, int]] = []
-    for step, tsc in points:
-        if cleaned and tsc <= cleaned[-1][1]:
-            continue
-        cleaned.append((step, tsc))
-    if not cleaned:
-        cleaned = [(0, 0)]
+        tiers[0].setdefault(step, record.tsc)
+    for step, tsc in path.anchors:
+        tiers[1][step] = tsc
+    for item in aligned:
+        tiers[2][item.step_index] = item.sample.tsc
+    accepted: List[Tuple[int, int]] = []
+    steps: List[int] = []
+    for tier in tiers:
+        for step, tsc in sorted(tier.items()):
+            pos = bisect.bisect_left(steps, step)
+            if pos < len(steps) and steps[pos] == step:
+                continue  # a higher tier already pinned this step
+            if pos > 0 and tsc <= accepted[pos - 1][1]:
+                continue
+            if pos < len(accepted) and tsc >= accepted[pos][1]:
+                continue
+            accepted.insert(pos, (step, tsc))
+            steps.insert(pos, step)
+    if not accepted:
+        accepted = [(0, 0)]
     return ThreadTimeline(
-        tid=path.tid, points=cleaned, total_steps=len(path.steps)
+        tid=path.tid, points=accepted, total_steps=len(path.steps)
     )

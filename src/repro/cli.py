@@ -14,6 +14,8 @@ Commands:
   a fleet summary).
 * ``overhead`` — sweep sampling periods for a workload, printing the
   cost model's overhead estimates for both drivers.
+* ``chaos`` — sweep fault-injection intensity over seeded runs and
+  report the detection-probability curve under each fault plan.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from .isa.program import Program
 from .machine import Machine
 from .parallel import parallel_map
 from .pmu import PRORACE_DRIVER, VANILLA_DRIVER
-from .tracing import read_trace, trace_run, write_trace
+from .tracing import TraceFormatError, read_trace, trace_run, write_trace
 from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
 
 _DRIVERS = {"prorace": PRORACE_DRIVER, "vanilla": VANILLA_DRIVER}
@@ -111,7 +113,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
-    bundle = read_trace(args.trace, program=program)
+    try:
+        bundle = read_trace(args.trace, program=program,
+                            allow_partial=args.allow_partial)
+    except FileNotFoundError:
+        print(f"repro analyze: trace file not found: {args.trace}",
+              file=sys.stderr)
+        return 2
+    except TraceFormatError as error:
+        print(f"repro analyze: unreadable trace {args.trace}: {error}",
+              file=sys.stderr)
+        return 2
     pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs)
     result = pipeline.analyze(bundle)
     if args.json:
@@ -184,6 +196,70 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_one(work: tuple):
+    """Module-level chaos worker (picklable): degrade one seeded bundle
+    under one plan and analyze it."""
+    program, mode, bundle, plan = work
+    degraded, _ = plan.apply(bundle)
+    return OfflinePipeline(program, mode=mode).analyze(degraded)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection sweep: detection probability vs fault intensity.
+
+    For each built-in fault plan and each intensity, every seeded run's
+    bundle is degraded and analyzed; the cell reports the fraction of
+    runs in which at least one race was still detected.  The analysis
+    must *complete* on every degraded bundle — any exception fails the
+    sweep — so this doubles as the chaos smoke test in CI.
+    """
+    from .faults import BUILTIN_PLAN_NAMES, builtin_plans
+
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    intensities = [float(x) for x in args.intensities.split(",")]
+    plan_names = (
+        [p.strip() for p in args.plans.split(",")] if args.plans
+        else list(BUILTIN_PLAN_NAMES)
+    )
+    unknown = set(plan_names) - set(BUILTIN_PLAN_NAMES)
+    if unknown:
+        raise SystemExit(
+            f"unknown fault plans {sorted(unknown)}; "
+            f"choose from {', '.join(BUILTIN_PLAN_NAMES)}"
+        )
+    bundles = [
+        trace_run(program, period=args.period,
+                  driver=_DRIVERS[args.driver], seed=args.seed + index)
+        for index in range(args.runs)
+    ]
+    baseline = sum(
+        1 for bundle in bundles
+        if OfflinePipeline(program, mode=args.mode).analyze(bundle).races
+    )
+    print(f"chaos sweep: {program.name}  period {args.period}  "
+          f"{args.runs} runs  seed {args.seed}")
+    print(f"baseline detection (no faults): "
+          f"{baseline}/{args.runs} = {baseline / args.runs:.2f}")
+    header = f"{'intensity':>10s}" + "".join(
+        f" {name:>18s}" for name in plan_names
+    )
+    print(header)
+    for intensity in intensities:
+        cells = []
+        for name in plan_names:
+            detected = 0
+            for index, bundle in enumerate(bundles):
+                plan = builtin_plans(intensity,
+                                     seed=args.seed + index)[name]
+                result = _chaos_one((program, args.mode, bundle, plan))
+                if result.races:
+                    detected += 1
+            cells.append(f"{detected / args.runs:18.2f}")
+        print(f"{intensity:10.2f}" + " " + " ".join(cells))
+    print("chaos sweep complete: all degraded analyses finished.")
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     periods = [int(p) for p in args.periods.split(",")]
@@ -228,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--json", action="store_true")
     analyze_parser.add_argument("--jobs", type=int, default=1,
                                 help="workers for per-thread decode/replay")
+    analyze_parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="salvage intact sections of a corrupted v2 trace file "
+             "instead of failing on the checksum",
+    )
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")
     _add_program_args(detect_parser)
@@ -273,6 +354,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--threads", type=int, default=4)
     sweep_parser.add_argument("--seed", type=int, default=0)
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: detection probability vs intensity",
+    )
+    _add_program_args(chaos_parser)
+    chaos_parser.add_argument("--period", type=int, default=100)
+    chaos_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                              default="prorace")
+    chaos_parser.add_argument("--mode", default="full",
+                              choices=("full", "forward", "basicblock",
+                                       "sampled"))
+    chaos_parser.add_argument("--runs", type=int, default=3,
+                              help="seeded runs per cell")
+    chaos_parser.add_argument("--plans", default="",
+                              help="comma-separated fault plan names "
+                                   "(default: all built-ins)")
+    chaos_parser.add_argument("--intensities", default="0.05,0.1,0.2",
+                              help="comma-separated fault intensities")
+
     return parser
 
 
@@ -284,6 +384,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "detect": cmd_detect,
     "overhead": cmd_overhead,
     "sweep": cmd_sweep,
+    "chaos": cmd_chaos,
 }
 
 

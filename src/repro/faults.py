@@ -1,0 +1,320 @@
+"""Deterministic fault injection: degrade trace bundles like real PMUs do.
+
+ProRace's driver redesign (§4.1) exists because production PEBS/PT
+tracing *loses data*: buffer overflows discard whole sample bursts, PT
+emits OVF packets and resynchronizes, a crashing application truncates
+its synchronization log mid-write, cross-core TSC drift skews
+timestamps, and trace files rot on disk.  This module reproduces each of
+those failure modes as a seeded, reproducible transformation of a
+:class:`~repro.tracing.bundle.TraceBundle`, so every offline-stage
+consumer can be tested — and measured — under exactly the inputs a
+production deployment would hand it.
+
+A :class:`FaultPlan` is pure: ``apply`` never mutates its input bundle;
+it returns a degraded copy carrying a
+:class:`~repro.tracing.bundle.TraceDefects` record of everything that
+was lost.  The same (plan, bundle) pair always produces the same
+degraded bundle, so fault scenarios are as replayable as the traces
+themselves.
+
+Fault models:
+
+* **PEBS overflow bursts** — samples vanish in whole-buffer units, not
+  individually: the kernel throttle of
+  :meth:`~repro.pmu.drivers.DriverAccounting.on_buffer_full` drops a
+  full DS segment at a time.  Bursts are grouped per core at the
+  driver's ``segment_records`` granularity and the cloned accounting is
+  updated through :meth:`~repro.pmu.drivers.DriverAccounting.record_fault_drop`,
+  so trace-byte and cost-model arithmetic stay consistent.
+* **PT gaps** — a contiguous packet span per thread is replaced by one
+  explicit ``OVF`` marker carrying the lost span's timestamp range,
+  exactly how real PT reports aux-buffer overflow.
+* **Crash truncation** — the sync and alloc logs lose their common tail
+  past a cut timestamp (a crashed app never flushes its last records).
+* **TSC perturbation** — a fraction of sample timestamps jitter by a few
+  ticks (cross-core TSC drift), clamped to preserve each thread's
+  per-thread sample order.
+* **Byte corruption** — :func:`corrupt_trace_file` flips bytes inside
+  one on-disk container section, for exercising salvage loading
+  (``read_trace(..., allow_partial=True)``).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import struct
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .pmu.pt import PTPacket, PTThreadTrace, PacketKind
+from .pmu.records import PEBSSample
+from .tracing.bundle import TraceBundle, TraceDefects
+
+#: Maximum timestamp jitter (ticks) applied by TSC perturbation.
+MAX_TSC_JITTER = 2
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded recipe for degrading one trace bundle.
+
+    Each field is an intensity in [0, 1]; zero disables that fault.
+
+    Args:
+        seed: drives every random choice; one seed fully determines the
+            degradation (given the bundle).
+        sample_drop: probability that each per-core DS-segment burst of
+            PEBS samples is discarded.
+        pt_gap: fraction of each thread's PT packet stream swallowed by
+            one OVF gap (threads with too few packets are left alone).
+        log_truncation: fraction of the combined sync+alloc log tail
+            lost to a simulated crash.
+        tsc_jitter: probability that each sample's timestamp is
+            perturbed by up to ±``MAX_TSC_JITTER`` ticks.
+    """
+
+    seed: int = 0
+    sample_drop: float = 0.0
+    pt_gap: float = 0.0
+    log_truncation: float = 0.0
+    tsc_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("sample_drop", "pt_gap", "log_truncation",
+                     "tsc_jitter"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+    @property
+    def intensity(self) -> float:
+        """The strongest enabled fault's intensity."""
+        return max(self.sample_drop, self.pt_gap, self.log_truncation,
+                   self.tsc_jitter)
+
+    # ------------------------------------------------------------------
+
+    def apply(self, bundle: TraceBundle) -> Tuple[TraceBundle, TraceDefects]:
+        """Return a degraded copy of *bundle* plus the injection record.
+
+        The input bundle is never mutated.  The returned bundle carries
+        the same :class:`TraceDefects` object in its ``defects`` field.
+        """
+        rng = random.Random(self.seed)
+        defects = TraceDefects()
+        if bundle.defects is not None:
+            defects = copy.deepcopy(bundle.defects)
+
+        samples = list(bundle.samples)
+        accounting = copy.deepcopy(bundle.pebs_accounting)
+        pt_traces = dict(bundle.pt_traces)
+        sync_records = list(bundle.sync_records)
+        alloc_records = list(bundle.alloc_records)
+
+        if self.sample_drop > 0.0:
+            samples = self._drop_sample_bursts(
+                rng, samples, accounting, defects
+            )
+        if self.pt_gap > 0.0:
+            pt_traces = self._inject_pt_gaps(rng, pt_traces, defects)
+        if self.log_truncation > 0.0:
+            sync_records, alloc_records = self._truncate_logs(
+                rng, sync_records, alloc_records, defects
+            )
+        if self.tsc_jitter > 0.0:
+            samples = self._perturb_tscs(rng, samples, defects)
+
+        degraded = replace(
+            bundle,
+            samples=samples,
+            pt_traces=pt_traces,
+            sync_records=sync_records,
+            alloc_records=alloc_records,
+            pebs_accounting=accounting,
+            defects=defects,
+            _sample_index=None,
+            _sample_index_key=None,
+        )
+        return degraded, defects
+
+    # ------------------------------------------------------------------
+    # Individual fault models
+    # ------------------------------------------------------------------
+
+    def _drop_sample_bursts(
+        self,
+        rng: random.Random,
+        samples: List[PEBSSample],
+        accounting,
+        defects: TraceDefects,
+    ) -> List[PEBSSample]:
+        """Discard whole per-core DS-segment bursts of samples."""
+        burst_size = max(1, accounting.segment_records)
+        per_core: Dict[int, List[PEBSSample]] = {}
+        for sample in samples:
+            per_core.setdefault(sample.core, []).append(sample)
+        dropped_ids = set()
+        for core in sorted(per_core):
+            burst: List[PEBSSample] = []
+            bursts = [
+                per_core[core][i:i + burst_size]
+                for i in range(0, len(per_core[core]), burst_size)
+            ]
+            for burst in bursts:
+                if rng.random() < self.sample_drop:
+                    dropped_ids.update(id(s) for s in burst)
+                    accounting.record_fault_drop(len(burst))
+                    defects.samples_dropped += len(burst)
+                    defects.drop_bursts += 1
+        if not dropped_ids:
+            return samples
+        return [s for s in samples if id(s) not in dropped_ids]
+
+    def _inject_pt_gaps(
+        self,
+        rng: random.Random,
+        pt_traces: Dict[int, PTThreadTrace],
+        defects: TraceDefects,
+    ) -> Dict[int, PTThreadTrace]:
+        """Replace one packet span per thread with an OVF marker."""
+        degraded: Dict[int, PTThreadTrace] = {}
+        for tid in sorted(pt_traces):
+            trace = pt_traces[tid]
+            packets = trace.packets
+            length = max(1, int(len(packets) * self.pt_gap))
+            # Too short a stream carries no meaningful span to lose.
+            if len(packets) < 4 or length >= len(packets):
+                degraded[tid] = trace
+                continue
+            start = rng.randrange(0, len(packets) - length)
+            lost = packets[start:start + length]
+            marker = PTPacket(
+                PacketKind.OVF, lost[0].tsc, target=lost[-1].tsc
+            )
+            degraded[tid] = replace(
+                trace,
+                packets=packets[:start] + [marker]
+                + packets[start + length:],
+            )
+            defects.pt_gaps += 1
+            defects.pt_packets_lost += length
+        return degraded
+
+    def _truncate_logs(
+        self,
+        rng: random.Random,
+        sync_records: list,
+        alloc_records: list,
+        defects: TraceDefects,
+    ) -> Tuple[list, list]:
+        """Cut the common tail off the sync+alloc logs (crashed app)."""
+        combined = sorted(
+            [r.tsc for r in sync_records] + [r.tsc for r in alloc_records]
+        )
+        if not combined:
+            return sync_records, alloc_records
+        lost = max(1, int(len(combined) * self.log_truncation))
+        cutoff = combined[len(combined) - lost] - 1
+        kept_sync = [r for r in sync_records if r.tsc <= cutoff]
+        kept_alloc = [r for r in alloc_records if r.tsc <= cutoff]
+        defects.sync_records_lost += len(sync_records) - len(kept_sync)
+        defects.alloc_records_lost += len(alloc_records) - len(kept_alloc)
+        previous = defects.log_truncated_at_tsc
+        defects.log_truncated_at_tsc = (
+            cutoff if previous is None else min(previous, cutoff)
+        )
+        return kept_sync, kept_alloc
+
+    def _perturb_tscs(
+        self,
+        rng: random.Random,
+        samples: List[PEBSSample],
+        defects: TraceDefects,
+    ) -> List[PEBSSample]:
+        """Jitter sample timestamps, preserving per-thread order."""
+        last_tsc: Dict[int, int] = {}
+        result: List[PEBSSample] = []
+        for sample in samples:
+            tsc = sample.tsc
+            if rng.random() < self.tsc_jitter:
+                delta = rng.choice([-2, -1, 1, 2][:2 * MAX_TSC_JITTER])
+                tsc = max(0, tsc + delta)
+                defects.tsc_perturbed += 1
+            floor = last_tsc.get(sample.tid)
+            if floor is not None and tsc < floor:
+                tsc = floor
+            last_tsc[sample.tid] = tsc
+            result.append(
+                sample if tsc == sample.tsc else replace(sample, tsc=tsc)
+            )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Built-in plans and on-disk corruption
+# ---------------------------------------------------------------------------
+
+
+#: Names of the built-in single-fault (plus combined) plan shapes.
+BUILTIN_PLAN_NAMES = (
+    "pebs-overflow", "pt-gap", "crash-truncation", "tsc-jitter", "combined",
+)
+
+
+def builtin_plans(intensity: float, seed: int = 0) -> Dict[str, FaultPlan]:
+    """The standard plan suite at one intensity: each hardware failure
+    mode in isolation, plus all of them together."""
+    return {
+        "pebs-overflow": FaultPlan(seed=seed, sample_drop=intensity),
+        "pt-gap": FaultPlan(seed=seed, pt_gap=intensity),
+        "crash-truncation": FaultPlan(seed=seed, log_truncation=intensity),
+        "tsc-jitter": FaultPlan(seed=seed, tsc_jitter=intensity),
+        "combined": FaultPlan(
+            seed=seed, sample_drop=intensity, pt_gap=intensity,
+            log_truncation=intensity, tsc_jitter=intensity,
+        ),
+    }
+
+
+_HEADER = struct.Struct("<4sHHI")
+_SECTION = struct.Struct("<IQ")
+_SECTION_V2 = struct.Struct("<IQI")
+
+
+def corrupt_trace_file(
+    path: Path | str,
+    seed: int = 0,
+    section_index: Optional[int] = None,
+    flips: int = 8,
+) -> int:
+    """Flip bytes inside one section payload of an on-disk trace file.
+
+    Neither the section CRC nor the file trailer is repaired — that is
+    the point: a strict ``read_trace`` must reject the file, and salvage
+    loading must recover everything *except* the damaged section.
+    Returns the index of the corrupted section.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
+    section_struct = _SECTION_V2 if version >= 2 else _SECTION
+    rng = random.Random(seed)
+    if section_index is None:
+        section_index = rng.randrange(section_count)
+    offset = _HEADER.size
+    for index in range(section_count):
+        fields = section_struct.unpack_from(blob, offset)
+        length = fields[1]
+        offset += section_struct.size
+        if index == section_index:
+            if length == 0:
+                raise ValueError(f"section {index} is empty")
+            for _ in range(max(1, flips)):
+                position = offset + rng.randrange(length)
+                blob[position] ^= 0xFF
+            break
+        offset += length
+    path.write_bytes(bytes(blob))
+    return section_index

@@ -157,6 +157,21 @@ class DriverAccounting:
         self.samples_written += n_records
         return True
 
+    def record_fault_drop(self, n_records: int) -> None:
+        """Account one injected overflow-burst loss (fault injection).
+
+        Mirrors the bookkeeping of a throttled :meth:`on_buffer_full`
+        after the fact: a whole buffer of already-written records is
+        retroactively discarded, so ``samples_written`` shrinks and the
+        drop counters grow — keeping ``trace_bytes`` and every
+        cost-model consumer consistent with the degraded sample list.
+        """
+        self.interrupts += 1
+        self.dropped_interrupts += 1
+        self.samples_dropped += n_records
+        self.samples_written = max(0, self.samples_written - n_records)
+        self.handler_cycles += self.driver.per_interrupt_cycles
+
     @property
     def trace_bytes(self) -> int:
         return self.samples_written * self.driver.record_bytes

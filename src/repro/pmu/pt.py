@@ -44,15 +44,23 @@ class PacketKind(enum.Enum):
     TIP = "tip"  # indirect branch / uncompressed ret / trace start target
     TNT = "tnt"  # one conditional-branch outcome or compressed-ret bit
     END = "end"  # tracing stops for this thread (TIP.PGD)
+    OVF = "ovf"  # aux-buffer overflow: a span of packets was lost
 
 
 @dataclass(frozen=True)
 class PTPacket:
-    """One decoded-form packet with its exact-TSC side channel."""
+    """One decoded-form packet with its exact-TSC side channel.
+
+    An OVF packet marks a lost span: real PT emits OVF when the aux
+    buffer overflows and packets are discarded until tracing resumes.
+    Its ``tsc`` is the timestamp of the first lost packet and ``target``
+    holds the timestamp of the last one — the decoder cannot follow
+    control flow across that span and must resynchronize.
+    """
 
     kind: PacketKind
     tsc: int
-    target: Optional[int] = None  # TIP payload
+    target: Optional[int] = None  # TIP payload / OVF gap-end timestamp
     bit: Optional[bool] = None  # TNT payload
 
 

@@ -4,8 +4,10 @@ from .decoder import (
     AlignedSample,
     DecodeError,
     DecodedPath,
+    GAP_OPEN,
     align_samples,
     decode_all,
+    decode_all_tolerant,
     decode_thread,
     locate_syncs,
 )
@@ -14,8 +16,10 @@ __all__ = [
     "AlignedSample",
     "DecodeError",
     "DecodedPath",
+    "GAP_OPEN",
     "align_samples",
     "decode_all",
+    "decode_all_tolerant",
     "decode_thread",
     "locate_syncs",
 ]

@@ -15,7 +15,7 @@ records onto exact path positions.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import Op
@@ -35,6 +35,10 @@ def _needs_packet(ins) -> bool:
     return ins.op == Op.JMP and ins.target is None
 
 
+#: Sentinel gap end: the stream never resynchronized after the gap.
+GAP_OPEN = float("inf")
+
+
 @dataclass
 class DecodedPath:
     """One thread's reconstructed execution path.
@@ -45,13 +49,25 @@ class DecodedPath:
         anchors: ``(step_index, tsc)`` pairs with *exact* timestamps,
             sorted by step index: the start of the path, every consumed
             branch packet, and the end of trace.
-        complete: False when a PT region filter truncated decode.
+        complete: False when a PT region filter or an unrecoverable OVF
+            gap truncated decode.
+        gap_ranges: TSC spans ``[lo, hi)`` where control flow is unknown
+            (OVF gaps, desync windows).  :meth:`locate` refuses to place
+            events inside them — attribution there would be a guess.
+        segment_starts: step indices where decode resynchronized after a
+            gap.  State (registers, program map, straight-line adjacency)
+            must never be carried across these boundaries.
+        ovf_gaps: OVF packets consumed — the count the degradation
+            report reconciles against the injected fault plan.
     """
 
     tid: int
     steps: List[int]
     anchors: List[Tuple[int, int]]
     complete: bool = True
+    gap_ranges: List[Tuple[int, float]] = field(default_factory=list)
+    segment_starts: List[int] = field(default_factory=list)
+    ovf_gaps: int = 0
 
     def segment_for_tsc(self, tsc: int) -> Tuple[int, int]:
         """Step-index range ``(lo, hi)`` that executed in the anchor
@@ -70,11 +86,16 @@ class DecodedPath:
         """Find the unique step index where *ip* executed at *tsc*.
 
         Returns None if the ip does not occur in the TSC's anchor window
-        (e.g. the event predates the traced region).  If the window holds
-        several occurrences — impossible unless control flow revisits an
-        address without any packet-emitting branch in between — the first
-        is returned and :attr:`ambiguous` is incremented.
+        (e.g. the event predates the traced region) or if the TSC falls
+        inside a gap: steps there were never decoded, so any placement
+        would be fabricated.  If the window holds several occurrences —
+        impossible unless control flow revisits an address without any
+        packet-emitting branch in between — the first is returned and
+        :attr:`ambiguous` is incremented.
         """
+        for gap_lo, gap_hi in self.gap_ranges:
+            if gap_lo <= tsc < gap_hi:
+                return None
         lo, hi = self.segment_for_tsc(tsc)
         matches = [
             j for j in range(max(lo, 0), min(hi, len(self.steps) - 1) + 1)
@@ -94,20 +115,34 @@ def decode_thread(
     trace: PTThreadTrace,
     config: Optional[PTConfig] = None,
     max_steps: int = 50_000_000,
+    samples: Optional[Sequence[PEBSSample]] = None,
 ) -> DecodedPath:
     """Decode one thread's packet stream into its execution path.
 
     When *config* carries address filters, decode stops at the first
     branch outside the filtered regions (its packet was never recorded,
     so control flow past it is unknown) and the path is marked incomplete.
+
+    When the stream carries OVF gap markers (aux-buffer overflow — see
+    :mod:`repro.faults`), decode resynchronizes at the first of this
+    thread's *samples* past the gap: a PEBS record carries the exact ip
+    and register file at a known TSC, which is precisely a new decode
+    entry point.  Without samples to resynchronize on, the path simply
+    ends at the gap and is marked incomplete — degraded, never wrong.
     """
     steps: List[int] = []
     anchors: List[Tuple[int, int]] = []
+    gap_ranges: List[Tuple[int, float]] = []
+    segment_starts: List[int] = []
     shadow_stack: List[int] = []
     packets = trace.packets
     cursor = 0
     ip = trace.start_ip
     complete = True
+    ovf_gaps = 0
+
+    sample_list = sorted(samples or (), key=lambda s: s.tsc)
+    sample_tscs = [s.tsc for s in sample_list]
 
     def next_packet():
         nonlocal cursor
@@ -120,10 +155,57 @@ def decode_thread(
     def peek_packet():
         return packets[cursor] if cursor < len(packets) else None
 
+    def count_gap() -> None:
+        nonlocal ovf_gaps
+        ovf_gaps += 1
+
+    def resync(gap_start: int, gap_end: int) -> bool:
+        """Re-enter decode at the first sample past a lost span.
+
+        Records the gap, fast-forwards past packets whose position in the
+        program is unknowable (they describe control flow between the gap
+        and the resync point), clears the shadow stack (its pre-gap
+        frames no longer correspond to the packetizer's), and restarts
+        decode at the sample's authoritative ip.  Returns False when no
+        sample exists past the gap — the caller must end the path.
+        """
+        nonlocal ip, complete, cursor
+        pos = bisect.bisect_right(sample_tscs, gap_end)
+        if pos >= len(sample_list):
+            gap_ranges.append((gap_start, GAP_OPEN))
+            complete = False
+            return False
+        sample = sample_list[pos]
+        gap_ranges.append((gap_start, sample.tsc))
+        while cursor < len(packets):
+            stale = packets[cursor]
+            if stale.kind == PacketKind.OVF:
+                # A second gap before the resync point: swallow it into
+                # this one (its span is already inside the skip window).
+                count_gap()
+                cursor += 1
+                continue
+            if stale.tsc >= sample.tsc:
+                break
+            cursor += 1
+            if stale.kind == PacketKind.END:
+                # The thread exited before the resync point was reached.
+                gap_ranges[-1] = (gap_start, GAP_OPEN)
+                complete = False
+                return False
+        shadow_stack.clear()
+        segment_starts.append(len(steps))
+        anchors.append((len(steps), sample.tsc))
+        ip = sample.ip
+        return True
+
     while True:
         if len(steps) >= max_steps:
             raise DecodeError(f"decode exceeded {max_steps} steps")
         if not (0 <= ip < len(program)):
+            if gap_ranges:
+                complete = False
+                break
             raise DecodeError(f"decoded ip {ip} out of program range")
         ins = program[ip]
         steps.append(ip)
@@ -143,6 +225,16 @@ def decode_thread(
 
         if op == Op.HALT:
             packet = next_packet()
+            if packet is not None and packet.kind == PacketKind.OVF:
+                # The gap swallowed this thread's END packet; the halt
+                # itself was reached deterministically, so the path is
+                # intact — only the exact end timestamp is lost.
+                count_gap()
+                gap_end = packet.target if packet.target is not None \
+                    else packet.tsc
+                gap_ranges.append((packet.tsc, GAP_OPEN))
+                anchors.append((len(steps) - 1, gap_end))
+                break
             if packet is not None and packet.kind != PacketKind.END:
                 raise DecodeError(f"expected END at halt, got {packet.kind}")
             if packet is not None:
@@ -151,9 +243,26 @@ def decode_thread(
 
         if op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE):
             packet = next_packet()
+            if packet is not None and packet.kind == PacketKind.OVF:
+                # This branch executed (its TNT bit is the first lost
+                # packet) but its outcome is gone: anchor it at the gap
+                # start and resynchronize past the lost span.
+                count_gap()
+                anchors.append((len(steps) - 1, packet.tsc))
+                gap_end = packet.target if packet.target is not None \
+                    else packet.tsc
+                if resync(packet.tsc, gap_end):
+                    continue
+                break
             if packet is None or packet.kind != PacketKind.TNT:
                 if complete and packet is None:
                     # Trace ended mid-flight (filtered or torn stream).
+                    steps.pop()
+                    complete = False
+                    break
+                if gap_ranges:
+                    # Post-gap desync: degrade to a truncated path
+                    # instead of failing the whole thread.
                     steps.pop()
                     complete = False
                     break
@@ -167,7 +276,19 @@ def decode_thread(
                 ip = program.target_address(ins)
             else:
                 packet = next_packet()
+                if packet is not None and packet.kind == PacketKind.OVF:
+                    count_gap()
+                    anchors.append((len(steps) - 1, packet.tsc))
+                    gap_end = packet.target if packet.target is not None \
+                        else packet.tsc
+                    if resync(packet.tsc, gap_end):
+                        continue
+                    break
                 if packet is None or packet.kind != PacketKind.TIP:
+                    if gap_ranges:
+                        steps.pop()
+                        complete = False
+                        break
                     raise DecodeError("expected TIP for indirect jmp")
                 anchors.append((len(steps) - 1, packet.tsc))
                 ip = packet.target
@@ -187,16 +308,39 @@ def decode_thread(
                     anchors.append((len(steps) - 1, packet.tsc))
                 break
             next_packet()
+            if packet.kind == PacketKind.OVF:
+                count_gap()
+                anchors.append((len(steps) - 1, packet.tsc))
+                gap_end = packet.target if packet.target is not None \
+                    else packet.tsc
+                if resync(packet.tsc, gap_end):
+                    continue
+                break
             anchors.append((len(steps) - 1, packet.tsc))
             if packet.kind == PacketKind.TNT:
                 if not packet.bit:
+                    if gap_ranges:
+                        complete = False
+                        break
                     raise DecodeError("compressed-ret TNT bit must be taken")
                 if not shadow_stack:
+                    # Post-gap: the packetizer compressed this return
+                    # against a pre-gap frame the resync discarded.  The
+                    # return target is unknowable — resynchronize again
+                    # at the next sample past this point.
+                    if gap_ranges and resync(packet.tsc, packet.tsc):
+                        continue
+                    if gap_ranges:
+                        complete = False
+                        break
                     raise DecodeError("compressed ret with empty call stack")
                 ip = shadow_stack.pop()
             elif packet.kind == PacketKind.TIP:
                 ip = packet.target
             else:
+                if gap_ranges:
+                    complete = False
+                    break
                 raise DecodeError(f"unexpected packet at ret: {packet.kind}")
             continue
 
@@ -204,7 +348,9 @@ def decode_thread(
         ip += 1
 
     path = DecodedPath(
-        tid=trace.tid, steps=steps, anchors=anchors, complete=complete
+        tid=trace.tid, steps=steps, anchors=anchors, complete=complete,
+        gap_ranges=gap_ranges, segment_starts=segment_starts,
+        ovf_gaps=ovf_gaps,
     )
     if not anchors or anchors[0][0] != 0:
         path.anchors = [(0, trace.start_tsc)] + path.anchors
@@ -216,6 +362,7 @@ def decode_all(
     traces: Dict[int, PTThreadTrace],
     config: Optional[PTConfig] = None,
     jobs: int = 1,
+    samples: Optional[Dict[int, Sequence[PEBSSample]]] = None,
 ) -> Dict[int, DecodedPath]:
     """Decode every thread's stream.
 
@@ -223,15 +370,57 @@ def decode_all(
     the shared executor abstraction when *jobs* > 1 (§7.6: decode "can
     be easily parallelized").  Decode always uses the thread executor:
     the work shares the program in memory and the units are small.
+
+    *samples* (per-tid PEBS samples) enables OVF gap resynchronization;
+    without it a gapped stream simply truncates at its first gap.
     """
     from ..parallel import parallel_map
 
     tids = sorted(traces)
+    sample_map = samples or {}
     paths = parallel_map(
-        lambda tid: decode_thread(program, traces[tid], config=config),
+        lambda tid: decode_thread(program, traces[tid], config=config,
+                                  samples=sample_map.get(tid)),
         tids, jobs=jobs, executor="thread",
     )
     return dict(zip(tids, paths))
+
+
+def decode_all_tolerant(
+    program: Program,
+    traces: Dict[int, PTThreadTrace],
+    config: Optional[PTConfig] = None,
+    jobs: int = 1,
+    samples: Optional[Dict[int, Sequence[PEBSSample]]] = None,
+) -> Tuple[Dict[int, DecodedPath], Dict[int, str]]:
+    """Decode every thread, isolating per-thread failures.
+
+    Returns ``(paths, failures)``: one undecodable stream yields an
+    entry in *failures* (tid → reason) and a skipped thread, not a dead
+    analysis.  Gap resynchronization still applies via *samples*.
+    """
+    from ..parallel import parallel_map
+
+    tids = sorted(traces)
+    sample_map = samples or {}
+
+    def _one(tid: int):
+        try:
+            return decode_thread(program, traces[tid], config=config,
+                                 samples=sample_map.get(tid))
+        except Exception as error:
+            return (tid, f"{type(error).__name__}: {error}")
+
+    paths: Dict[int, DecodedPath] = {}
+    failures: Dict[int, str] = {}
+    for tid, outcome in zip(
+        tids, parallel_map(_one, tids, jobs=jobs, executor="thread")
+    ):
+        if isinstance(outcome, DecodedPath):
+            paths[tid] = outcome
+        else:
+            failures[tid] = outcome[1]
+    return paths, failures
 
 
 @dataclass(frozen=True)

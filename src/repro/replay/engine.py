@@ -45,6 +45,26 @@ def _replay_one(work: tuple) -> "ThreadReplay":
     return engine.replay_thread_full(path, aligned)
 
 
+@dataclass(frozen=True)
+class ReplayFailure:
+    """Picklable failure sentinel from the tolerant replay fan-out."""
+
+    tid: int
+    error: str
+
+
+def _replay_one_tolerant(work: tuple):
+    """Tolerant worker: one thread's failure becomes a sentinel, not a
+    dead fan-out (graceful degradation under faulty traces)."""
+    engine, path, aligned = work
+    try:
+        return engine.replay_thread_full(path, aligned)
+    except Exception as error:
+        return ReplayFailure(
+            tid=path.tid, error=f"{type(error).__name__}: {error}"
+        )
+
+
 @dataclass
 class ReplayStats:
     """Counts for the recovery-ratio metrics (Figure 11)."""
@@ -55,6 +75,9 @@ class ReplayStats:
     basicblock: int = 0
     windows: int = 0
     iterations: int = 0
+    #: Replay windows cut short at PT gap boundaries: state must not be
+    #: carried across a resynchronization point (degradation metric).
+    windows_aborted: int = 0
 
     def merge(self, other: "ReplayStats") -> None:
         """Fold another (per-thread) tally into this one."""
@@ -64,6 +87,7 @@ class ReplayStats:
         self.basicblock += other.basicblock
         self.windows += other.windows
         self.iterations += other.iterations
+        self.windows_aborted += other.windows_aborted
 
     @property
     def recovered(self) -> int:
@@ -149,8 +173,11 @@ class ReplayEngine:
     ) -> ReplayResult:
         """Replay every thread of a trace bundle."""
         if paths is None:
-            paths = decode_all(self.program, bundle.pt_traces,
-                               config=bundle.pt_config)
+            paths = decode_all(
+                self.program, bundle.pt_traces, config=bundle.pt_config,
+                samples={tid: bundle.samples_of_thread(tid)
+                         for tid in bundle.pt_traces},
+            )
         aligned_map = {
             tid: align_samples(paths[tid], bundle.samples_of_thread(tid))
             for tid in sorted(paths)
@@ -173,15 +200,19 @@ class ReplayEngine:
         paths: Dict[int, DecodedPath],
         aligned: Dict[int, List[AlignedSample]],
         tids: Sequence[int],
+        tolerant: bool = False,
     ) -> List[ThreadReplay]:
         """Replay a subset of threads, fanned out over the executor.
 
         This is the unit the analysis context re-runs per regeneration
         round: *tids* names only the threads whose program maps touched
-        newly poisoned addresses.
+        newly poisoned addresses.  With *tolerant*, a thread whose
+        replay raises yields a :class:`ReplayFailure` sentinel in the
+        result list instead of killing the whole fan-out.
         """
         work = [(self, paths[tid], aligned.get(tid, [])) for tid in tids]
-        return parallel_map(_replay_one, work, jobs=self.jobs,
+        worker = _replay_one_tolerant if tolerant else _replay_one
+        return parallel_map(worker, work, jobs=self.jobs,
                             executor=self.executor)
 
     def replay_thread_full(
@@ -192,6 +223,9 @@ class ReplayEngine:
         """Reconstruct one thread's accesses from its path and samples."""
         stats = ReplayStats()
         stats.sampled += len(aligned)
+        # Every resynchronization boundary cuts short the window that
+        # would have spanned it (the degradation report's metric).
+        stats.windows_aborted += len(path.segment_starts)
         if self.mode == "basicblock":
             accesses, touched = self._replay_basicblock(path, aligned)
         else:
@@ -241,7 +275,42 @@ class ReplayEngine:
     def _replay_windows(
         self, path: DecodedPath, aligned: Sequence[AlignedSample]
     ) -> Tuple[List[RecoveredAccess], set]:
-        """Full/forward-only mode: windows between consecutive samples."""
+        """Full/forward-only mode: windows between consecutive samples.
+
+        A resynchronized path is replayed segment by segment: register
+        state and the carried program map are invalidated at every gap
+        boundary — the same mechanism as the §5.1 syscall invalidation —
+        so values reconstructed before a gap can never leak across the
+        unknown span and poison post-gap addresses.
+        """
+        if not path.segment_starts:
+            return self._replay_windows_segment(
+                path, aligned, 0, len(path.steps)
+            )
+        accesses: List[RecoveredAccess] = []
+        touched: set = set()
+        bounds = [0] + sorted(path.segment_starts) + [len(path.steps)]
+        for seg_lo, seg_hi in zip(bounds, bounds[1:]):
+            if seg_lo >= seg_hi:
+                continue
+            seg_aligned = [
+                a for a in aligned if seg_lo <= a.step_index < seg_hi
+            ]
+            seg_accesses, seg_touched = self._replay_windows_segment(
+                path, seg_aligned, seg_lo, seg_hi
+            )
+            accesses.extend(seg_accesses)
+            touched |= seg_touched
+        return accesses, touched
+
+    def _replay_windows_segment(
+        self,
+        path: DecodedPath,
+        aligned: Sequence[AlignedSample],
+        seg_lo: int,
+        seg_hi: int,
+    ) -> Tuple[List[RecoveredAccess], set]:
+        """Replay one contiguous decode segment ``[seg_lo, seg_hi)``."""
         accesses: List[RecoveredAccess] = []
         touched: set = set()
         boundaries = [a.step_index for a in aligned]
@@ -249,11 +318,11 @@ class ReplayEngine:
         memory: Dict[int, Known] = {}
         backward = self.mode == "full"
 
-        # Head window: path start up to the first sample — backward-replay
-        # territory (plus PC-relative forward recovery).
-        if boundaries and boundaries[0] > 0:
+        # Head window: segment start up to the first sample — backward-
+        # replay territory (plus PC-relative forward recovery).
+        if boundaries and boundaries[0] > seg_lo:
             replayer = WindowReplayer(
-                self.program, path.steps, 0, boundaries[0], path.tid,
+                self.program, path.steps, seg_lo, boundaries[0], path.tid,
                 entry_registers=None,
                 exit_registers=contexts[0] if backward else None,
                 poisoned=self.poisoned,
@@ -265,7 +334,7 @@ class ReplayEngine:
         if not boundaries:
             # No samples at all: only PC-relative forward recovery applies.
             replayer = WindowReplayer(
-                self.program, path.steps, 0, len(path.steps), path.tid,
+                self.program, path.steps, seg_lo, seg_hi, path.tid,
                 entry_registers=None, exit_registers=None,
                 poisoned=self.poisoned, max_iterations=1,
             )
@@ -275,7 +344,7 @@ class ReplayEngine:
         for i, start in enumerate(boundaries):
             end = (
                 boundaries[i + 1] if i + 1 < len(boundaries)
-                else len(path.steps)
+                else seg_hi
             )
             exit_regs = (
                 contexts[i + 1]
@@ -340,11 +409,15 @@ class ReplayEngine:
 
     def _block_bounds(self, path: DecodedPath, step: int) -> tuple[int, int]:
         """Largest step range around *step* staying inside one basic block
-        and consecutive in the path (straight-line execution)."""
+        and consecutive in the path (straight-line execution).  Never
+        crosses a resynchronization boundary: two coincidentally adjacent
+        ips on opposite sides of a gap are not straight-line execution."""
+        segment_starts = set(path.segment_starts)
         block = self.program.block_containing(path.steps[step])
         lo = step
         while (
             lo > 0
+            and lo not in segment_starts
             and path.steps[lo - 1] == path.steps[lo] - 1
             and block.start <= path.steps[lo - 1]
         ):
@@ -352,6 +425,7 @@ class ReplayEngine:
         hi = step + 1
         while (
             hi < len(path.steps)
+            and hi not in segment_starts
             and path.steps[hi] == path.steps[hi - 1] + 1
             and path.steps[hi] < block.end
         ):

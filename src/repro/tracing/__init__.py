@@ -1,6 +1,6 @@
 """Online-phase tracing: PMU wiring, sync/alloc logs, trace bundle."""
 
-from .bundle import TraceBundle, trace_run
+from .bundle import TraceBundle, TraceDefects, trace_run
 from .serialize import TraceFormatError, read_trace, write_trace
 from .tracers import GroundTruthRecorder, SyncTracer
 
@@ -8,6 +8,7 @@ __all__ = [
     "GroundTruthRecorder",
     "SyncTracer",
     "TraceBundle",
+    "TraceDefects",
     "TraceFormatError",
     "read_trace",
     "trace_run",

@@ -8,8 +8,8 @@ offline stage consumes plus the accounting the cost model needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import Program
 from ..machine.machine import Machine, RunResult
@@ -18,6 +18,54 @@ from ..pmu.pebs import PEBSConfig, PEBSEngine
 from ..pmu.pt import PTConfig, PTPacketizer, PTThreadTrace
 from ..pmu.records import AllocRecord, PEBSSample, SyncRecord
 from .tracers import GroundTruthRecorder, SyncTracer
+
+
+@dataclass
+class TraceDefects:
+    """Known damage to a trace bundle, as declared by whoever degraded it.
+
+    Real PEBS/PT tracing loses data (buffer overflows, OVF packets, a
+    crashing application truncating its logs, disk corruption).  When a
+    bundle was produced by fault injection (:mod:`repro.faults`) or by
+    salvage loading (``read_trace(..., allow_partial=True)``), this
+    record travels with it so the offline stage can degrade its answers
+    *conservatively* instead of computing garbage — and so the
+    :class:`~repro.analysis.pipeline.DegradationReport` can reconcile
+    what the consumers observed against what was actually lost.
+    """
+
+    #: PEBS samples discarded by overflow-burst drops.
+    samples_dropped: int = 0
+    #: Whole-buffer bursts those samples were dropped in.
+    drop_bursts: int = 0
+    #: OVF gap markers injected across all PT streams.
+    pt_gaps: int = 0
+    #: PT packets the gaps swallowed.
+    pt_packets_lost: int = 0
+    #: Sync records lost to log truncation.
+    sync_records_lost: int = 0
+    #: Alloc records lost to log truncation.
+    alloc_records_lost: int = 0
+    #: Last trustworthy timestamp of the sync/alloc logs.  ``None`` means
+    #: the logs are complete; ``-1`` means nothing after the trace start
+    #: can be trusted (e.g. the sync section was unrecoverable).  The
+    #: pipeline suppresses accesses after this point: happens-before
+    #: edges there may be missing, and lost edges must degrade detection
+    #: power, never fabricate races.
+    log_truncated_at_tsc: Optional[int] = None
+    #: Samples whose timestamps were perturbed (clock skew / jitter).
+    tsc_perturbed: int = 0
+    #: Container sections dropped by salvage loading.
+    corrupted_sections: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.samples_dropped or self.pt_gaps
+            or self.sync_records_lost or self.alloc_records_lost
+            or self.log_truncated_at_tsc is not None
+            or self.tsc_perturbed or self.corrupted_sections
+        )
 
 
 @dataclass
@@ -37,6 +85,17 @@ class TraceBundle:
     #: Present only when requested — a test/metrics oracle, not a real
     #: trace (see tracers.GroundTruthRecorder).
     ground_truth: Optional[GroundTruthRecorder] = None
+    #: Known damage (fault injection, salvage loading); None = pristine.
+    defects: Optional[TraceDefects] = None
+    #: Lazy per-tid sample index behind :meth:`samples_of_thread` (the
+    #: replay fan-out calls it once per thread; a linear rescan per call
+    #: made that O(threads × samples)).
+    _sample_index: Optional[Dict[int, List[PEBSSample]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _sample_index_key: Optional[Tuple[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def pebs_size_bytes(self) -> int:
@@ -54,7 +113,20 @@ class TraceBundle:
         return self.pebs_size_bytes + self.pt_size_bytes + self.sync_size_bytes
 
     def samples_of_thread(self, tid: int) -> List[PEBSSample]:
-        return [s for s in self.samples if s.tid == tid]
+        """This thread's samples, in emission order.
+
+        Built once from a cached per-tid index and rebuilt only if the
+        ``samples`` list object is swapped out (fault injection replaces
+        it wholesale).  Callers must treat the result as read-only.
+        """
+        key = (id(self.samples), len(self.samples))
+        if self._sample_index is None or self._sample_index_key != key:
+            index: Dict[int, List[PEBSSample]] = {}
+            for sample in self.samples:
+                index.setdefault(sample.tid, []).append(sample)
+            self._sample_index = index
+            self._sample_index_key = key
+        return self._sample_index.get(tid, [])
 
 
 def trace_run(

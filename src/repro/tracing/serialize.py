@@ -12,11 +12,20 @@ little-endian layouts, sectioned, with a CRC32 trailer.
 Layout::
 
     header:   magic "PRTR", u16 version, u16 flags, u32 section_count
-    section*: u32 kind, u64 payload_bytes, payload
+    section*: v1: u32 kind, u64 payload_bytes, payload
+              v2: u32 kind, u64 payload_bytes, u32 payload_crc32, payload
     trailer:  u32 crc32 of everything before it
 
 Section kinds: 1 = run metadata, 2 = PEBS samples, 3 = PT stream (one
 per thread), 4 = sync log, 5 = alloc log.
+
+Version 2 adds a CRC32 per section so damage can be *localized*:
+``read_trace(..., allow_partial=True)`` salvages every intact section of
+a corrupted file instead of rejecting the whole trace on the trailer
+checksum, recording what was dropped in the bundle's
+:class:`~repro.tracing.bundle.TraceDefects`.  Version-1 files remain
+fully readable (but carry no per-section CRCs, so they cannot be
+salvaged — damage there is unlocalizable by design of the v1 format).
 """
 
 from __future__ import annotations
@@ -38,10 +47,12 @@ from ..pmu.records import (
     SYNC_RECORD_BYTES,
     SyncRecord,
 )
-from .bundle import TraceBundle
+from .bundle import TraceBundle, TraceDefects
 
 MAGIC = b"PRTR"
-VERSION = 1
+#: Current write version: per-section CRC32s for salvage loading.
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _SEC_META = 1
 _SEC_PEBS = 2
@@ -49,8 +60,14 @@ _SEC_PT = 3
 _SEC_SYNC = 4
 _SEC_ALLOC = 5
 
+_SECTION_NAMES = {
+    _SEC_META: "meta", _SEC_PEBS: "pebs", _SEC_PT: "pt",
+    _SEC_SYNC: "sync", _SEC_ALLOC: "alloc",
+}
+
 _HEADER = struct.Struct("<4sHHI")
 _SECTION = struct.Struct("<IQ")
+_SECTION_V2 = struct.Struct("<IQI")
 #: PEBS sample: tsc, tid, core, ip, address, flags + 17 registers.
 _SAMPLE = struct.Struct("<QIIQQI" + "Q" * len(ALL_REGISTERS))
 #: Sync record: tsc, seq, tid, ip, kind, target.
@@ -68,7 +85,10 @@ _META = struct.Struct("<QQQQQIQQB")
 _SYNC_KINDS = ("lock", "unlock", "sem_post", "sem_wait",
                "cond_signal", "cond_wake", "fork", "join")
 _ALLOC_KINDS = ("malloc", "free")
-_PACKET_KINDS = (PacketKind.TIP, PacketKind.TNT, PacketKind.END)
+#: OVF (index 3) appears only in degraded streams; v1 writers never
+#: emitted it, so accepting it on read keeps v1 compatibility intact.
+_PACKET_KINDS = (PacketKind.TIP, PacketKind.TNT, PacketKind.END,
+                 PacketKind.OVF)
 
 
 class TraceFormatError(Exception):
@@ -80,8 +100,13 @@ class TraceFormatError(Exception):
 # ---------------------------------------------------------------------------
 
 
-def _write_section(out: io.BytesIO, kind: int, payload: bytes) -> None:
-    out.write(_SECTION.pack(kind, len(payload)))
+def _write_section(out: io.BytesIO, kind: int, payload: bytes,
+                   version: int = VERSION) -> None:
+    if version >= 2:
+        out.write(_SECTION_V2.pack(kind, len(payload),
+                                   zlib.crc32(payload)))
+    else:
+        out.write(_SECTION.pack(kind, len(payload)))
     out.write(payload)
 
 
@@ -111,7 +136,7 @@ def _encode_pt(trace: PTThreadTrace) -> bytes:
     )
     for packet in trace.packets:
         kind = _PACKET_KINDS.index(packet.kind)
-        if packet.kind == PacketKind.TIP:
+        if packet.kind in (PacketKind.TIP, PacketKind.OVF):
             payload = packet.target or 0
         elif packet.kind == PacketKind.TNT:
             payload = int(bool(packet.bit))
@@ -147,12 +172,17 @@ def _encode_meta(bundle: TraceBundle) -> bytes:
     )
 
 
-def write_trace(bundle: TraceBundle, path: Path | str) -> int:
+def write_trace(bundle: TraceBundle, path: Path | str,
+                version: int = VERSION) -> int:
     """Serialize *bundle* to *path*; returns the bytes written.
 
     The ground-truth oracle (when present) is intentionally *not*
-    serialized: a real trace file cannot contain it.
+    serialized: a real trace file cannot contain it.  *version* selects
+    the container format (2 by default; 1 writes the legacy layout
+    without per-section CRCs, kept for compatibility tests).
     """
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported write version {version}")
     body = io.BytesIO()
     sections: List[Tuple[int, bytes]] = [
         (_SEC_META, _encode_meta(bundle)),
@@ -162,9 +192,9 @@ def write_trace(bundle: TraceBundle, path: Path | str) -> int:
     ]
     for tid in sorted(bundle.pt_traces):
         sections.append((_SEC_PT, _encode_pt(bundle.pt_traces[tid])))
-    body.write(_HEADER.pack(MAGIC, VERSION, 0, len(sections)))
+    body.write(_HEADER.pack(MAGIC, version, 0, len(sections)))
     for kind, payload in sections:
-        _write_section(body, kind, payload)
+        _write_section(body, kind, payload, version=version)
     blob = body.getvalue()
     blob += struct.pack("<I", zlib.crc32(blob))
     Path(path).write_bytes(blob)
@@ -212,7 +242,7 @@ def _decode_pt(payload: bytes) -> PTThreadTrace:
             kind = _PACKET_KINDS[kind_id]
         except IndexError:
             raise TraceFormatError(f"bad packet kind {kind_id}") from None
-        if kind == PacketKind.TIP:
+        if kind in (PacketKind.TIP, PacketKind.OVF):
             packets.append(PTPacket(kind, tsc, target=value))
         elif kind == PacketKind.TNT:
             packets.append(PTPacket(kind, tsc, bit=bool(value)))
@@ -277,26 +307,40 @@ def _decode_meta(payload: bytes) -> Tuple[RunResult, str]:
     return run, ("prorace" if driver_id else "vanilla")
 
 
-def read_trace(path: Path | str, program=None) -> TraceBundle:
+def read_trace(path: Path | str, program=None,
+               allow_partial: bool = False) -> TraceBundle:
     """Deserialize a trace file back into a :class:`TraceBundle`.
 
     Driver *accounting* is not stored (it is derived online); the
     returned bundle carries a fresh accounting object whose
     ``samples_written`` reflects the stored samples, which is all the
     offline stage needs.
+
+    With *allow_partial* (version-2 files only, which carry per-section
+    CRCs), a corrupted file is *salvaged*: every section whose CRC
+    verifies is recovered, damaged ones are dropped, and the returned
+    bundle's ``defects`` names what was lost.  A salvaged bundle with a
+    missing sync or alloc log is marked fully truncated
+    (``log_truncated_at_tsc = -1``): with no happens-before edges to
+    trust, the pipeline suppresses all accesses rather than fabricate
+    races.  Version-1 files have no per-section CRCs, so damage cannot
+    be localized and *allow_partial* cannot help there.
     """
     blob = Path(path).read_bytes()
     if len(blob) < _HEADER.size + 4:
         raise TraceFormatError("file too short")
-    crc_stored = struct.unpack("<I", blob[-4:])[0]
-    if zlib.crc32(blob[:-4]) != crc_stored:
-        raise TraceFormatError("checksum mismatch (corrupted trace)")
     magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
     if magic != MAGIC:
         raise TraceFormatError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceFormatError(f"unsupported version {version}")
+    crc_stored = struct.unpack("<I", blob[-4:])[0]
+    file_intact = zlib.crc32(blob[:-4]) == crc_stored
+    salvage = allow_partial and version >= 2
+    if not file_intact and not salvage:
+        raise TraceFormatError("checksum mismatch (corrupted trace)")
 
+    section_struct = _SECTION_V2 if version >= 2 else _SECTION
     offset = _HEADER.size
     run: Optional[RunResult] = None
     driver_name = "prorace"
@@ -304,32 +348,64 @@ def read_trace(path: Path | str, program=None) -> TraceBundle:
     pt_traces: Dict[int, PTThreadTrace] = {}
     sync_records: List[SyncRecord] = []
     alloc_records: List[AllocRecord] = []
+    corrupted: List[str] = []
 
-    for _ in range(section_count):
-        if offset + _SECTION.size > len(blob) - 4:
+    for index in range(section_count):
+        if offset + section_struct.size > len(blob) - 4:
             raise TraceFormatError("truncated section table")
-        kind, length = _SECTION.unpack_from(blob, offset)
-        offset += _SECTION.size
+        if version >= 2:
+            kind, length, payload_crc = section_struct.unpack_from(
+                blob, offset
+            )
+        else:
+            kind, length = section_struct.unpack_from(blob, offset)
+            payload_crc = None
+        offset += section_struct.size
         payload = blob[offset:offset + length]
         if len(payload) != length:
             raise TraceFormatError("truncated section payload")
         offset += length
-        if kind == _SEC_META:
-            run, driver_name = _decode_meta(payload)
-        elif kind == _SEC_PEBS:
-            samples = _decode_samples(payload)
-        elif kind == _SEC_PT:
-            trace = _decode_pt(payload)
-            pt_traces[trace.tid] = trace
-        elif kind == _SEC_SYNC:
-            sync_records = _decode_sync(payload)
-        elif kind == _SEC_ALLOC:
-            alloc_records = _decode_alloc(payload)
-        else:
-            raise TraceFormatError(f"unknown section kind {kind}")
+        name = _SECTION_NAMES.get(kind, f"kind{kind}")
+        if payload_crc is not None and zlib.crc32(payload) != payload_crc:
+            if not salvage:
+                raise TraceFormatError(
+                    f"section {index} ({name}) checksum mismatch"
+                )
+            corrupted.append(f"{name}#{index}")
+            continue
+        try:
+            if kind == _SEC_META:
+                run, driver_name = _decode_meta(payload)
+            elif kind == _SEC_PEBS:
+                samples = _decode_samples(payload)
+            elif kind == _SEC_PT:
+                trace = _decode_pt(payload)
+                pt_traces[trace.tid] = trace
+            elif kind == _SEC_SYNC:
+                sync_records = _decode_sync(payload)
+            elif kind == _SEC_ALLOC:
+                alloc_records = _decode_alloc(payload)
+            else:
+                raise TraceFormatError(f"unknown section kind {kind}")
+        except TraceFormatError:
+            # CRC passed but the payload is inconsistent (or the kind is
+            # unknown): recoverable only in salvage mode.
+            if not salvage:
+                raise
+            corrupted.append(f"{name}#{index}")
 
+    defects: Optional[TraceDefects] = None
+    if corrupted:
+        defects = TraceDefects(corrupted_sections=tuple(corrupted))
+        lost_kinds = {entry.split("#")[0] for entry in corrupted}
+        if "sync" in lost_kinds or "alloc" in lost_kinds:
+            # No trustworthy happens-before edges at all.
+            defects.log_truncated_at_tsc = -1
     if run is None:
-        raise TraceFormatError("missing metadata section")
+        if not salvage:
+            raise TraceFormatError("missing metadata section")
+        run = RunResult(tsc=0, instructions=0, memory_ops=0, branches=0,
+                        sync_ops=0, threads=0, io_cycles=0, idle_cycles=0)
     driver = PRORACE_DRIVER if driver_name == "prorace" else VANILLA_DRIVER
     accounting = DriverAccounting(driver)
     accounting.samples_taken = accounting.samples_written = len(samples)
@@ -350,5 +426,6 @@ def read_trace(path: Path | str, program=None) -> TraceBundle:
             len(sync_records) * SYNC_RECORD_BYTES
             + len(alloc_records) * ALLOC_RECORD_BYTES
         ),
+        defects=defects,
     )
     return bundle

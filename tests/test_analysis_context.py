@@ -78,13 +78,14 @@ class TestDecodeOnce:
         analyze, observed from outside the cache."""
         program, bundle = regen_case
         calls = []
-        real_decode_all = context_mod.decode_all
+        real_decode_all = context_mod.decode_all_tolerant
 
         def counting_decode_all(*args, **kwargs):
             calls.append(1)
             return real_decode_all(*args, **kwargs)
 
-        monkeypatch.setattr(context_mod, "decode_all", counting_decode_all)
+        monkeypatch.setattr(context_mod, "decode_all_tolerant",
+                            counting_decode_all)
         result = OfflinePipeline(program).analyze(bundle)
         assert result.regeneration_rounds > 1
         assert len(calls) == 1

@@ -73,6 +73,73 @@ class TestTraceAnalyze:
         assert payload["races"]
 
 
+class TestAnalyzeErrors:
+    def test_missing_trace_file(self, capsys, racy_source):
+        code = main(["analyze", "-", "--source", racy_source,
+                     "/no/such/file.prtr"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "trace file not found" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_unreadable_trace(self, capsys, racy_source, tmp_path):
+        bad = tmp_path / "bad.prtr"
+        bad.write_bytes(b"garbage bytes, not a trace")
+        code = main(["analyze", "-", "--source", racy_source, str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unreadable trace" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_allow_partial_salvages(self, capsys, racy_source, tmp_path):
+        from repro.faults import corrupt_trace_file
+
+        trace_path = str(tmp_path / "out.prtr")
+        run_cli(capsys, "trace", "-", "--source", racy_source,
+                "--period", "5", "-o", trace_path, "--seed", "3")
+        corrupt_trace_file(trace_path, seed=1, section_index=1)  # pebs
+        # Strict read refuses...
+        code = main(["analyze", "-", "--source", racy_source, trace_path])
+        assert code == 2
+        capsys.readouterr()
+        # ...salvage mode analyzes what survived.
+        code, out = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--allow-partial",
+        )
+        assert code in (0, 1)
+        assert "degraded inputs" in out
+
+
+class TestChaos:
+    def test_smoke_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, "chaos", "aget-bug2", "--runs", "2", "--seed", "7",
+            "--intensities", "0.1", "--iterations", "8",
+        )
+        assert code == 0
+        assert "baseline detection" in out
+        for name in ("pebs-overflow", "pt-gap", "crash-truncation",
+                     "tsc-jitter", "combined"):
+            assert name in out
+        assert "chaos sweep complete" in out
+
+    def test_plan_subset(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "chaos", "-", "--source", racy_source,
+            "--runs", "2", "--plans", "pt-gap",
+            "--intensities", "0.1,0.2",
+        )
+        assert code == 0
+        assert "pt-gap" in out
+        assert "pebs-overflow" not in out
+
+    def test_unknown_plan(self, racy_source):
+        with pytest.raises(SystemExit, match="unknown fault plan"):
+            main(["chaos", "-", "--source", racy_source,
+                  "--plans", "nonsense"])
+
+
 class TestDetect:
     def test_single_run_report(self, capsys, racy_source):
         code, out = run_cli(

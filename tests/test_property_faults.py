@@ -1,0 +1,71 @@
+"""Fault-transparency properties: no seeded degradation of a trace
+bundle may crash the offline pipeline or manufacture a race.
+
+The analogue of the cache-transparency property in
+test_property_detection: fault injection is allowed to *shrink* the
+verdict set (lost data costs detection power) but never to grow it, and
+the analysis must always run to completion and account for what it
+skipped."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OfflinePipeline
+from repro.faults import FaultPlan
+from repro.isa import assemble
+from repro.tracing import trace_run
+from repro.workloads import GeneratorConfig, generate_racy_program
+
+from tests.helpers import CLEAN_COUNTER_ASM
+
+CONFIG = GeneratorConfig(threads=2, body_length=24, loop_iterations=2)
+
+_CLEAN_PROGRAM = assemble(CLEAN_COUNTER_ASM, "clean-counter")
+_CLEAN_BUNDLE = trace_run(_CLEAN_PROGRAM, period=5, seed=7)
+
+intensity = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=10_000),
+    sample_drop=intensity,
+    pt_gap=intensity,
+    log_truncation=intensity,
+    tsc_jitter=intensity,
+)
+
+
+@given(plan=plans)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_degraded_race_free_run_stays_race_free(plan):
+    """analyze() completes and reports nothing on a race-free workload,
+    whatever the fault plan."""
+    degraded, defects = plan.apply(_CLEAN_BUNDLE)
+    result = OfflinePipeline(_CLEAN_PROGRAM).analyze(degraded)
+    assert result.races == []
+    assert result.racy_addresses == frozenset()
+    assert result.degradation.gaps_crossed == defects.pt_gaps
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000), plan=plans)
+@settings(max_examples=10, deadline=None, derandomize=True)
+def test_degradation_never_invents_races(seed, plan):
+    """On a random racy program, the degraded verdict set is a subset
+    of the pristine one — information loss cannot create evidence."""
+    program, _ = generate_racy_program(seed, CONFIG)
+    bundle = trace_run(program, period=5, seed=seed)
+    pristine = OfflinePipeline(program).analyze(bundle)
+    degraded, _ = plan.apply(bundle)
+    result = OfflinePipeline(program).analyze(degraded)
+    assert result.racy_addresses <= pristine.racy_addresses
+
+
+@given(plan=plans)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_fault_application_is_deterministic(plan):
+    first, first_defects = plan.apply(_CLEAN_BUNDLE)
+    second, second_defects = plan.apply(_CLEAN_BUNDLE)
+    assert first_defects == second_defects
+    assert first.samples == second.samples
+    assert first.sync_records == second.sync_records

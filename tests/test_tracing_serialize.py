@@ -90,6 +90,73 @@ w:
         assert loaded.ground_truth is None
 
 
+class TestVersions:
+    """Both container versions round-trip; v2 adds per-section CRCs."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_round_trip(self, traced, tmp_path, version):
+        program, bundle = traced
+        path = tmp_path / f"v{version}.prtr"
+        write_trace(bundle, path, version=version)
+        loaded = read_trace(path, program=program)
+        assert loaded.samples == bundle.samples
+        assert loaded.sync_records == bundle.sync_records
+        assert loaded.alloc_records == bundle.alloc_records
+        for tid, trace in bundle.pt_traces.items():
+            assert loaded.pt_traces[tid].packets == trace.packets
+        assert loaded.run.tsc == bundle.run.tsc
+        assert loaded.defects is None
+
+    def test_default_is_v2(self, traced, tmp_path):
+        import struct as struct_mod
+
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        _, version, _, _ = struct_mod.unpack_from(
+            "<4sHHI", path.read_bytes(), 0)
+        assert version == 2
+
+    def test_v2_is_larger_by_section_crcs(self, traced, tmp_path):
+        program, bundle = traced
+        v1 = tmp_path / "v1.prtr"
+        v2 = tmp_path / "v2.prtr"
+        size1 = write_trace(bundle, v1, version=1)
+        size2 = write_trace(bundle, v2, version=2)
+        assert size2 > size1
+
+    def test_unsupported_write_version(self, traced, tmp_path):
+        _, bundle = traced
+        with pytest.raises(ValueError, match="version"):
+            write_trace(bundle, tmp_path / "t.prtr", version=3)
+
+    def test_v1_has_no_salvage(self, clean_program, tmp_path):
+        """allow_partial needs per-section CRCs; a corrupt v1 file is
+        rejected either way."""
+        from repro.faults import corrupt_trace_file
+
+        bundle = trace_run(clean_program, period=5, seed=1)
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path, version=1)
+        corrupt_trace_file(path, seed=1, section_index=1)
+        with pytest.raises(TraceFormatError, match="checksum"):
+            read_trace(path, allow_partial=True)
+
+    def test_v2_salvage_round_trips_damage_free_sections(
+            self, traced, tmp_path):
+        from repro.faults import corrupt_trace_file
+
+        program, bundle = traced
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        corrupt_trace_file(path, seed=1, section_index=0)  # meta
+        loaded = read_trace(path, program=program, allow_partial=True)
+        assert loaded.defects.corrupted_sections == ("meta#0",)
+        assert loaded.samples == bundle.samples
+        assert loaded.sync_records == bundle.sync_records
+        assert loaded.run.tsc == 0  # zeroed stand-in header
+
+
 class TestCorruption:
     def _write(self, program, tmp_path):
         bundle = trace_run(program, period=5, seed=1)
