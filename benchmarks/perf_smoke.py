@@ -1,0 +1,88 @@
+"""CI perf smoke: the micro-op replay path must beat the interpreter.
+
+A deliberately small, fast guard (seconds, not minutes) run on every CI
+build; the full measurements live in ``benchmarks/test_replay_speed.py``
+and ``docs/performance.md``.  Fails loudly if the compiled replay path
+stops being faster than the instruction interpreter on the forward
+reconstruction hot loop, or if a warm summary cache stops beating a
+plain micro-op re-replay.
+
+Run directly: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
+"""
+
+import sys
+import time
+
+from repro.analysis import OfflinePipeline
+from repro.replay import BlockSummaryCache, ReplayEngine
+from repro.tracing import trace_run
+from repro.workloads import PARSEC_WORKLOADS, WorkloadScale
+
+# Generous margins: CI runners are noisy, and this guard should only
+# trip on real regressions (measured locally: ~2x and ~1.8x).
+MIN_JIT_SPEEDUP = 1.15
+MIN_WARM_SPEEDUP = 1.05
+REPEATS = 3
+
+
+def _recon_seconds(program, bundle, jit):
+    best = None
+    for _ in range(REPEATS):
+        result = OfflinePipeline(program, mode="forward",
+                                 jit=jit).analyze(bundle)
+        seconds = result.timings.reconstruction_seconds
+        if best is None or seconds < best:
+            best = seconds
+    return best
+
+
+def _replay_seconds(program, bundle, cache):
+    best = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        ReplayEngine(program, jit=True,
+                     summary_cache=cache).replay_bundle(bundle)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def main():
+    scale = WorkloadScale(iterations=150, data_words=64)
+    program = PARSEC_WORKLOADS["blackscholes"].build(scale)
+    bundle = trace_run(program, period=50, seed=1)
+
+    interp = _recon_seconds(program, bundle, jit=False)
+    jit = _recon_seconds(program, bundle, jit=True)
+    speedup = interp / jit
+    print(f"forward reconstruction: interpreter {interp * 1e3:.1f} ms, "
+          f"micro-op {jit * 1e3:.1f} ms -> {speedup:.2f}x")
+
+    cache = BlockSummaryCache()
+    _replay_seconds(program, bundle, cache)  # cold round warms the cache
+    plain = _replay_seconds(program, bundle, None)
+    warm = _replay_seconds(program, bundle, cache)
+    warm_speedup = plain / warm
+    print(f"bundle re-replay: plain micro-op {plain * 1e3:.1f} ms, "
+          f"warm cache {warm * 1e3:.1f} ms -> {warm_speedup:.2f}x "
+          f"({cache.window_hits} window memo hits)")
+
+    failures = []
+    if speedup < MIN_JIT_SPEEDUP:
+        failures.append(
+            f"micro-op replay only {speedup:.2f}x vs interpreter "
+            f"(floor {MIN_JIT_SPEEDUP}x)")
+    if warm_speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm summary cache only {warm_speedup:.2f}x vs plain "
+            f"micro-op (floor {MIN_WARM_SPEEDUP}x)")
+    if cache.window_hits == 0:
+        failures.append("warm re-replay produced no window memo hits")
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,7 @@ from ..replay.engine import (
     ReplayStats,
     ThreadReplay,
 )
+from ..replay.summary import BlockSummaryCache
 from ..replay.window import PROV_SAMPLED, RecoveredAccess
 from ..tracing.bundle import TraceBundle
 from .generations import AllocationIndex
@@ -132,6 +133,9 @@ class AnalysisContext:
         round_cache: when False, every :meth:`replay` call recomputes all
             threads from scratch (the reference behaviour the incremental
             path is property-tested against).
+        jit: replay windows through the pre-lowered micro-op executor
+            with the shared block effect-summary cache; False falls back
+            to the instruction interpreter (bit-identical results).
     """
 
     def __init__(
@@ -143,6 +147,7 @@ class AnalysisContext:
         executor: str = "thread",
         max_iterations: int = 4,
         round_cache: bool = True,
+        jit: bool = True,
     ) -> None:
         self.program = program
         self.bundle = bundle
@@ -152,6 +157,14 @@ class AnalysisContext:
         self.executor = executor
         self.max_iterations = max_iterations
         self.round_cache = round_cache
+        self.jit = jit
+        #: Block effect-summary cache, shared by the §5.2.2 fixed-point
+        #: iterations, the per-thread replay fan-out and every §5.1
+        #: regeneration round of this context (poison-set changes select
+        #: a fresh scope inside the cache rather than clearing it).
+        self.summary_cache: Optional[BlockSummaryCache] = (
+            BlockSummaryCache() if jit else None
+        )
         self.stats = ContextStats()
         #: Wall-clock accumulators for the Figure 12 breakdown.  Timeline
         #: construction is attributed to reconstruction — always, in both
@@ -387,6 +400,7 @@ class AnalysisContext:
             self.program, mode=self.replay_mode,
             max_iterations=self.max_iterations, poisoned=poisoned,
             jobs=self.jobs, executor=self.executor,
+            jit=self.jit, summary_cache=self.summary_cache,
         )
         changed = False
         for replay in engine.replay_threads(paths, aligned, tids,
@@ -400,7 +414,12 @@ class AnalysisContext:
                 changed = True
                 continue
             old = self._threads.get(replay.tid)
-            if old is None or old != replay:
+            # Compare the reconstructed access streams, not the whole
+            # ThreadReplay: stats vary with summary-cache warmth while
+            # the output stays bit-identical, and a spurious "changed"
+            # here would cost an extra regeneration round (and make
+            # --no-jit converge differently).
+            if old is None or old.accesses != replay.accesses:
                 changed = True
                 self._access_events.pop(replay.tid, None)
             self._threads[replay.tid] = replay

@@ -141,6 +141,10 @@ class OfflinePipeline:
         round_cache: when False, regeneration rounds recompute every
             thread from scratch (the reference behaviour the incremental
             context is property-tested against).
+        jit: replay through the pre-lowered micro-op executor with the
+            block effect-summary cache; False (the ``--no-jit`` escape
+            hatch) uses the instruction interpreter.  Results are
+            bit-identical either way.
     """
 
     def __init__(
@@ -151,6 +155,7 @@ class OfflinePipeline:
         jobs: int = 1,
         executor: str = "thread",
         round_cache: bool = True,
+        jit: bool = True,
     ) -> None:
         self.program = program
         self.mode = mode
@@ -158,6 +163,7 @@ class OfflinePipeline:
         self.jobs = max(1, jobs)
         self.executor = executor
         self.round_cache = round_cache
+        self.jit = jit
 
     # ------------------------------------------------------------------
 
@@ -166,6 +172,7 @@ class OfflinePipeline:
         return AnalysisContext(
             self.program, bundle, mode=self.mode, jobs=self.jobs,
             executor=self.executor, round_cache=self.round_cache,
+            jit=self.jit,
         )
 
     def decode(self, bundle: TraceBundle):

@@ -123,6 +123,10 @@ def render_report(program: Program, result: DetectionResult) -> str:
         f"{stats.recovery_ratio:.1f}x",
         f"events analyzed: {result.events_processed}   "
         f"regeneration rounds: {result.regeneration_rounds}",
+        f"replay: {stats.executed_steps} steps executed over "
+        f"{stats.windows} windows ({stats.summary_hits} summary hits "
+        f"skipped {stats.summary_steps} steps, "
+        f"{stats.window_hits} whole-window memo hits)",
         f"distinct races: {len(result.races)}",
     ]
     header.extend(render_degradation(result))
@@ -168,6 +172,19 @@ def to_json(program: Program, result: DetectionResult) -> str:
                 "recovery_ratio": stats.recovery_ratio,
                 "events": result.events_processed,
                 "regeneration_rounds": result.regeneration_rounds,
+            },
+            "replay_speed": {
+                "windows": stats.windows,
+                "executed_steps": stats.executed_steps,
+                "summary_hits": stats.summary_hits,
+                "summary_steps": stats.summary_steps,
+                "window_hits": stats.window_hits,
+                "steps_per_second": (
+                    stats.executed_steps
+                    / result.timings.reconstruction_seconds
+                    if result.timings.reconstruction_seconds > 0
+                    else 0.0
+                ),
             },
             "timings_seconds": {
                 "decode": result.timings.decode_seconds,

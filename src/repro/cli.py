@@ -124,8 +124,23 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"repro analyze: unreadable trace {args.trace}: {error}",
               file=sys.stderr)
         return 2
-    pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs)
-    result = pipeline.analyze(bundle)
+    pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
+                               jit=not args.no_jit)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = pipeline.analyze(bundle)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+        print(f"wrote offline-stage profile to {args.profile} "
+              f"(see docs/performance.md for how to read it)",
+              file=sys.stderr)
+    else:
+        result = pipeline.analyze(bundle)
     if args.json:
         print(to_json(program, result))
     else:
@@ -308,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-partial", action="store_true",
         help="salvage intact sections of a corrupted v2 trace file "
              "instead of failing on the checksum",
+    )
+    analyze_parser.add_argument(
+        "--no-jit", action="store_true",
+        help="replay with the instruction interpreter instead of the "
+             "pre-lowered micro-op executor (bit-identical, slower)",
+    )
+    analyze_parser.add_argument(
+        "--profile", metavar="PATH",
+        help="dump a cProfile pstats file for the offline stage to PATH",
     )
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")

@@ -122,16 +122,26 @@ class FastTrack:
 
     def _read(self, access: Access) -> None:
         self.accesses_processed += 1
-        clock = self._clock(access.tid)
-        state = self._vars.setdefault(access.var, _VarState())
-        epoch = clock.epoch(access.tid)
+        tid = access.tid
+        clock = self._clock(tid)
+        current = clock.get(tid)
+        state = self._vars.get(access.var)
 
-        # Same-epoch fast path.
-        if state.read_vc is None and state.read_epoch == epoch:
-            return
-        if state.read_vc is not None and \
-                state.read_vc.get(access.tid) == epoch.clock:
-            return
+        # Same-epoch fast path on raw (clock, tid) — the overwhelmingly
+        # common repeated-read case allocates no Epoch, VectorClock, or
+        # _VarState at all.
+        if state is not None:
+            read_vc = state.read_vc
+            if read_vc is None:
+                last = state.read_epoch
+                if last.clock == current and last.tid == tid:
+                    return
+            elif read_vc.get(tid) == current:
+                return
+        else:
+            state = _VarState()
+            self._vars[access.var] = state
+        epoch = Epoch(current, tid)
 
         # write-read race check.
         if not clock.covers_epoch(state.write_epoch):
@@ -163,13 +173,21 @@ class FastTrack:
 
     def _write(self, access: Access) -> None:
         self.accesses_processed += 1
-        clock = self._clock(access.tid)
-        state = self._vars.setdefault(access.var, _VarState())
-        epoch = clock.epoch(access.tid)
+        tid = access.tid
+        clock = self._clock(tid)
+        current = clock.get(tid)
+        state = self._vars.get(access.var)
 
-        # Same-epoch fast path.
-        if state.write_epoch == epoch:
-            return
+        # Same-epoch fast path on raw (clock, tid): a repeated write by
+        # the same thread in the same epoch allocates nothing.
+        if state is not None:
+            last = state.write_epoch
+            if last.clock == current and last.tid == tid:
+                return
+        else:
+            state = _VarState()
+            self._vars[access.var] = state
+        epoch = Epoch(current, tid)
 
         # write-write race check.
         if not clock.covers_epoch(state.write_epoch):

@@ -27,35 +27,58 @@ BOTTOM = Epoch(0, -1)
 
 
 class VectorClock:
-    """A sparse vector clock (absent entries are zero)."""
+    """A sparse vector clock (absent entries are zero).
 
-    __slots__ = ("_clocks",)
+    Copies are copy-on-write: :meth:`copy` shares the underlying dict
+    (lock release and fork/join in FastTrack copy clocks far more often
+    than the copies are subsequently mutated), and the first mutation
+    through either owner splits it.
+    """
+
+    __slots__ = ("_clocks", "_shared")
 
     def __init__(self, clocks: Dict[int, int] | None = None) -> None:
         self._clocks: Dict[int, int] = {
             t: c for t, c in (clocks or {}).items() if c > 0
         }
+        self._shared = False
+
+    def _own(self) -> None:
+        if self._shared:
+            self._clocks = dict(self._clocks)
+            self._shared = False
 
     def get(self, tid: int) -> int:
         return self._clocks.get(tid, 0)
 
     def set(self, tid: int, clock: int) -> None:
+        self._own()
         if clock > 0:
             self._clocks[tid] = clock
         else:
             self._clocks.pop(tid, None)
 
     def increment(self, tid: int) -> None:
+        self._own()
         self._clocks[tid] = self.get(tid) + 1
 
     def join(self, other: "VectorClock") -> None:
         """In-place least upper bound (⊔)."""
+        clocks = self._clocks
+        get = clocks.get
         for tid, clock in other._clocks.items():
-            if clock > self.get(tid):
-                self._clocks[tid] = clock
+            if clock > get(tid, 0):
+                self._own()
+                clocks = self._clocks
+                get = clocks.get
+                clocks[tid] = clock
 
     def copy(self) -> "VectorClock":
-        return VectorClock(dict(self._clocks))
+        clone = VectorClock()
+        clone._clocks = self._clocks
+        clone._shared = True
+        self._shared = True
+        return clone
 
     def epoch(self, tid: int) -> Epoch:
         """This thread's current epoch E(t) = C_t[t]@t."""

@@ -76,7 +76,7 @@ class Program:
         self.name = name
         self._validate()
         self._blocks: Optional[Tuple[BasicBlock, ...]] = None
-        self._block_of: Optional[Dict[int, BasicBlock]] = None
+        self._block_table: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
 
@@ -146,18 +146,28 @@ class Program:
             self._blocks = tuple(blocks)
         return self._blocks
 
+    def block_table(self) -> List[int]:
+        """Per-address basic-block index (cached).
+
+        ``block_table()[addr]`` is the index into :meth:`basic_blocks` of
+        the block containing code address *addr*.  The replay compiler
+        uses this flat array to bound straight-line spans at block
+        boundaries without any per-step dictionary lookup.
+        """
+        if self._block_table is None:
+            table = [0] * len(self.instructions)
+            for index, block in enumerate(self.basic_blocks()):
+                for addr in block.addresses():
+                    table[addr] = index
+            self._block_table = table
+        return self._block_table
+
     def block_containing(self, address: int) -> BasicBlock:
         """Return the basic block containing code *address*."""
-        if self._block_of is None:
-            mapping: Dict[int, BasicBlock] = {}
-            for block in self.basic_blocks():
-                for addr in block.addresses():
-                    mapping[addr] = block
-            self._block_of = mapping
-        try:
-            return self._block_of[address]
-        except KeyError:
-            raise ProgramError(f"address {address} not in any block") from None
+        table = self.block_table()
+        if 0 <= address < len(table):
+            return self.basic_blocks()[table[address]]
+        raise ProgramError(f"address {address} not in any block")
 
     # ------------------------------------------------------------------
 

@@ -40,6 +40,19 @@ ALL_REGISTERS: Tuple[str, ...] = GP_REGISTERS + (RIP,)
 
 _REGISTER_SET = frozenset(ALL_REGISTERS)
 
+#: Dense slot index per architectural register (``rip`` included last).
+#: The replay engine's program map stores register availability in a flat
+#: list indexed by these slots; the micro-op IR resolves operand names to
+#: slot indices once, at lowering time, so the replay hot loop never
+#: hashes a register name.
+REG_SLOT: Dict[str, int] = {name: i for i, name in enumerate(ALL_REGISTERS)}
+
+#: Inverse of :data:`REG_SLOT`: slot index -> register name.
+SLOT_NAMES: Tuple[str, ...] = ALL_REGISTERS
+
+#: Number of register slots.
+NUM_SLOTS = len(ALL_REGISTERS)
+
 #: 64-bit wraparound mask.
 MASK64 = (1 << 64) - 1
 

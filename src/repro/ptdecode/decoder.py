@@ -69,12 +69,35 @@ class DecodedPath:
     segment_starts: List[int] = field(default_factory=list)
     ovf_gaps: int = 0
 
+    def _anchor_tsc_index(self) -> List[int]:
+        """Anchor TSCs as a flat sorted array, built once per path.
+
+        Anchors are frozen by the time queries start (decode fills them,
+        alignment reads them), so both lazy indices are safe to build on
+        first use and never invalidated.
+        """
+        tscs = self._tsc_index
+        if tscs is None:
+            tscs = [a[1] for a in self.anchors]
+            self._tsc_index = tscs
+        return tscs
+
+    def _occurrences(self, ip: int) -> Optional[List[int]]:
+        """Sorted step indices executing *ip*, built once per path."""
+        index = self._ip_index
+        if index is None:
+            index = {}
+            for j, step_ip in enumerate(self.steps):
+                index.setdefault(step_ip, []).append(j)
+            self._ip_index = index
+        return index.get(ip)
+
     def segment_for_tsc(self, tsc: int) -> Tuple[int, int]:
         """Step-index range ``(lo, hi)`` that executed in the anchor
         window containing *tsc* (half-open on the left: steps with index
         in ``(lo, hi]`` executed at TSCs in ``(anchor_lo, anchor_hi]``).
         """
-        tscs = [a[1] for a in self.anchors]
+        tscs = self._anchor_tsc_index()
         pos = bisect.bisect_left(tscs, tsc)
         if pos == 0:
             return (-1, self.anchors[0][0])
@@ -97,17 +120,25 @@ class DecodedPath:
             if gap_lo <= tsc < gap_hi:
                 return None
         lo, hi = self.segment_for_tsc(tsc)
-        matches = [
-            j for j in range(max(lo, 0), min(hi, len(self.steps) - 1) + 1)
-            if self.steps[j] == ip
-        ]
-        if not matches:
+        occurrences = self._occurrences(ip)
+        if not occurrences:
             return None
-        if len(matches) > 1:
+        left = bisect.bisect_left(occurrences, max(lo, 0))
+        right = bisect.bisect_right(
+            occurrences, min(hi, len(self.steps) - 1)
+        )
+        if left >= right:
+            return None
+        if right - left > 1:
             self.ambiguous += 1
-        return matches[0]
+        return occurrences[left]
 
     ambiguous: int = 0
+    #: Lazy query indices (see :meth:`_anchor_tsc_index`).
+    _tsc_index: Optional[List[int]] = field(
+        default=None, repr=False, compare=False)
+    _ip_index: Optional[Dict[int, List[int]]] = field(
+        default=None, repr=False, compare=False)
 
 
 def decode_thread(

@@ -2,6 +2,7 @@
 
 from .engine import ReplayEngine, ReplayResult, ReplayStats, ThreadReplay
 from .program_map import Known, ProgramMap, Taint, merge_taint
+from .summary import BlockSummaryCache, SpanSummary
 from .window import (
     PROV_BACKWARD,
     PROV_BASICBLOCK,
@@ -13,6 +14,7 @@ from .window import (
 )
 
 __all__ = [
+    "BlockSummaryCache",
     "Known",
     "PROV_BACKWARD",
     "PROV_BASICBLOCK",
@@ -23,6 +25,7 @@ __all__ = [
     "ReplayEngine",
     "ReplayResult",
     "ReplayStats",
+    "SpanSummary",
     "Taint",
     "ThreadReplay",
     "WindowReplayer",

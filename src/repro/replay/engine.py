@@ -21,11 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..isa.lowering import lowered
 from ..isa.program import Program
 from ..parallel import parallel_map
 from ..ptdecode.decoder import AlignedSample, DecodedPath, align_samples, decode_all
 from ..tracing.bundle import TraceBundle
 from .program_map import Known
+from .summary import BlockSummaryCache
 from .window import (
     PROV_BACKWARD,
     PROV_BASICBLOCK,
@@ -78,6 +80,14 @@ class ReplayStats:
     #: Replay windows cut short at PT gap boundaries: state must not be
     #: carried across a resynchronization point (degradation metric).
     windows_aborted: int = 0
+    #: Steps actually stepped across all forward passes (summary-cache
+    #: hits skip their spans, so this measures real replay work).
+    executed_steps: int = 0
+    #: Effect-summary cache hits and the steps those hits skipped.
+    summary_hits: int = 0
+    summary_steps: int = 0
+    #: Whole windows served from the window memo (no passes run).
+    window_hits: int = 0
 
     def merge(self, other: "ReplayStats") -> None:
         """Fold another (per-thread) tally into this one."""
@@ -88,6 +98,10 @@ class ReplayStats:
         self.windows += other.windows
         self.iterations += other.iterations
         self.windows_aborted += other.windows_aborted
+        self.executed_steps += other.executed_steps
+        self.summary_hits += other.summary_hits
+        self.summary_steps += other.summary_steps
+        self.window_hits += other.window_hits
 
     @property
     def recovered(self) -> int:
@@ -152,6 +166,8 @@ class ReplayEngine:
         poisoned: Optional[FrozenSet[int]] = None,
         jobs: int = 1,
         executor: str = "thread",
+        jit: bool = True,
+        summary_cache: Optional[BlockSummaryCache] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}: {mode!r}")
@@ -163,6 +179,14 @@ class ReplayEngine:
         #: replays are independent (§7.6).
         self.jobs = max(1, jobs)
         self.executor = executor
+        #: Replay windows through the pre-lowered micro-op executor.  The
+        #: compiled form itself is never stored here: engines are pickled
+        #: into process-executor workers and the bound ALU callables
+        #: don't pickle, so workers re-derive it via ``lowered()`` (a
+        #: per-process memoized lookup).
+        self.jit = jit
+        #: Shared block effect-summary cache (micro-op path only).
+        self.summary_cache = summary_cache if jit else None
 
     # ------------------------------------------------------------------
 
@@ -227,9 +251,9 @@ class ReplayEngine:
         # would have spanned it (the degradation report's metric).
         stats.windows_aborted += len(path.segment_starts)
         if self.mode == "basicblock":
-            accesses, touched = self._replay_basicblock(path, aligned)
+            accesses, touched = self._replay_basicblock(path, aligned, stats)
         else:
-            accesses, touched = self._replay_windows(path, aligned)
+            accesses, touched = self._replay_windows(path, aligned, stats)
         # The sampled instructions' own accesses come from the PEBS
         # records (authoritative address straight from hardware).
         sample_steps = {a.step_index: a.sample for a in aligned}
@@ -272,8 +296,23 @@ class ReplayEngine:
 
     # ------------------------------------------------------------------
 
+    def _fold_window(self, stats: Optional[ReplayStats],
+                     replayer: WindowReplayer) -> None:
+        """Fold one window replayer's tallies into the thread stats."""
+        if stats is None:
+            return
+        stats.windows += 1
+        stats.iterations += replayer.stats.iterations
+        stats.executed_steps += replayer.stats.steps_executed
+        stats.summary_hits += replayer.stats.summary_hits
+        stats.summary_steps += replayer.stats.summary_steps
+        stats.window_hits += replayer.stats.window_hit
+
     def _replay_windows(
-        self, path: DecodedPath, aligned: Sequence[AlignedSample]
+        self,
+        path: DecodedPath,
+        aligned: Sequence[AlignedSample],
+        stats: Optional[ReplayStats] = None,
     ) -> Tuple[List[RecoveredAccess], set]:
         """Full/forward-only mode: windows between consecutive samples.
 
@@ -285,7 +324,7 @@ class ReplayEngine:
         """
         if not path.segment_starts:
             return self._replay_windows_segment(
-                path, aligned, 0, len(path.steps)
+                path, aligned, 0, len(path.steps), stats
             )
         accesses: List[RecoveredAccess] = []
         touched: set = set()
@@ -297,7 +336,7 @@ class ReplayEngine:
                 a for a in aligned if seg_lo <= a.step_index < seg_hi
             ]
             seg_accesses, seg_touched = self._replay_windows_segment(
-                path, seg_aligned, seg_lo, seg_hi
+                path, seg_aligned, seg_lo, seg_hi, stats
             )
             accesses.extend(seg_accesses)
             touched |= seg_touched
@@ -309,6 +348,7 @@ class ReplayEngine:
         aligned: Sequence[AlignedSample],
         seg_lo: int,
         seg_hi: int,
+        stats: Optional[ReplayStats] = None,
     ) -> Tuple[List[RecoveredAccess], set]:
         """Replay one contiguous decode segment ``[seg_lo, seg_hi)``."""
         accesses: List[RecoveredAccess] = []
@@ -317,6 +357,8 @@ class ReplayEngine:
         contexts = [a.sample.registers for a in aligned]
         memory: Dict[int, Known] = {}
         backward = self.mode == "full"
+        compiled = lowered(self.program) if self.jit else None
+        cache = self.summary_cache
 
         # Head window: segment start up to the first sample — backward-
         # replay territory (plus PC-relative forward recovery).
@@ -327,9 +369,11 @@ class ReplayEngine:
                 exit_registers=contexts[0] if backward else None,
                 poisoned=self.poisoned,
                 max_iterations=self.max_iterations if backward else 1,
+                compiled=compiled, summary_cache=cache,
             )
             accesses.extend(replayer.run())
             touched |= replayer.touched
+            self._fold_window(stats, replayer)
 
         if not boundaries:
             # No samples at all: only PC-relative forward recovery applies.
@@ -337,8 +381,10 @@ class ReplayEngine:
                 self.program, path.steps, seg_lo, seg_hi, path.tid,
                 entry_registers=None, exit_registers=None,
                 poisoned=self.poisoned, max_iterations=1,
+                compiled=compiled, summary_cache=cache,
             )
             accesses = replayer.run()
+            self._fold_window(stats, replayer)
             return accesses, replayer.touched
 
         for i, start in enumerate(boundaries):
@@ -358,20 +404,27 @@ class ReplayEngine:
                 entry_memory=memory,
                 poisoned=self.poisoned,
                 max_iterations=self.max_iterations if backward else 1,
+                compiled=compiled, summary_cache=cache,
             )
             accesses.extend(replayer.run())
             touched |= replayer.touched
+            self._fold_window(stats, replayer)
             memory = replayer.exit_memory
         return accesses, touched
 
     # ------------------------------------------------------------------
 
     def _replay_basicblock(
-        self, path: DecodedPath, aligned: Sequence[AlignedSample]
+        self,
+        path: DecodedPath,
+        aligned: Sequence[AlignedSample],
+        stats: Optional[ReplayStats] = None,
     ) -> Tuple[List[RecoveredAccess], set]:
         """RaceZ baseline: recovery confined to each sample's basic block."""
         accesses: List[RecoveredAccess] = []
         touched: set = set()
+        compiled = lowered(self.program) if self.jit else None
+        cache = self.summary_cache
         for item in aligned:
             lo, hi = self._block_bounds(path, item.step_index)
             # Forward within the block, from the sample.
@@ -380,9 +433,11 @@ class ReplayEngine:
                 entry_registers=item.sample.registers,
                 exit_registers=None,
                 poisoned=self.poisoned, max_iterations=1,
+                compiled=compiled, summary_cache=cache,
             )
             accesses.extend(fwd.run())
             touched |= fwd.touched
+            self._fold_window(stats, fwd)
             # Trivial backward propagation within the block.
             if lo < item.step_index:
                 bwd = WindowReplayer(
@@ -390,9 +445,11 @@ class ReplayEngine:
                     entry_registers=None,
                     exit_registers=item.sample.registers,
                     poisoned=self.poisoned, max_iterations=2,
+                    compiled=compiled, summary_cache=cache,
                 )
                 accesses.extend(bwd.run())
                 touched |= bwd.touched
+                self._fold_window(stats, bwd)
         renamed = [
             RecoveredAccess(
                 tid=a.tid, step_index=a.step_index, ip=a.ip,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
-from ..isa.registers import MASK64
+from ..isa.registers import MASK64, NUM_SLOTS, REG_SLOT, SLOT_NAMES
 
 #: Taint: emulated-memory addresses a value depends on (None = clean).
 Taint = Optional[FrozenSet[int]]
@@ -46,13 +46,18 @@ class ProgramMap:
     an available value is stored through a known address — the *memory
     emulation* of §5.1, which :meth:`invalidate_memory` conservatively
     clears at system calls or unknown-address stores.
+
+    Registers are stored in a flat list indexed by the dense slot indices
+    of :data:`~repro.isa.registers.REG_SLOT` (None = unavailable).  The
+    micro-op replay loop reads ``_slots`` directly; the name-keyed methods
+    below remain the public API.
     """
 
-    __slots__ = ("_regs", "_memory", "memory_invalidations", "poisoned",
+    __slots__ = ("_slots", "_memory", "memory_invalidations", "poisoned",
                  "emulated_touched")
 
     def __init__(self, poisoned: Optional[Iterable[int]] = None) -> None:
-        self._regs: Dict[str, Known] = {}
+        self._slots: list = [None] * NUM_SLOTS
         self._memory: Dict[int, Known] = {}
         self.memory_invalidations = 0
         #: Addresses whose emulated values must never be used (the
@@ -71,30 +76,39 @@ class ProgramMap:
 
     def restore_registers(self, snapshot: Mapping[str, int]) -> None:
         """Make the whole register file available (a PEBS context)."""
-        self._regs = {
-            name: Known(value & MASK64) for name, value in snapshot.items()
-        }
+        slots = [None] * NUM_SLOTS
+        for name, value in snapshot.items():
+            slots[REG_SLOT[name]] = Known(value & MASK64)
+        self._slots = slots
 
     def get_register(self, name: str) -> Optional[Known]:
-        return self._regs.get(name)
+        return self._slots[REG_SLOT[name]]
 
     def set_register(self, name: str, known: Optional[Known]) -> None:
         """Set a register value; None marks it unavailable."""
         if known is None:
-            self._regs.pop(name, None)
+            self._slots[REG_SLOT[name]] = None
         else:
-            self._regs[name] = Known(known.value & MASK64, known.taint)
+            self._slots[REG_SLOT[name]] = Known(known.value & MASK64,
+                                                known.taint)
 
     def registers_view(self) -> Dict[str, int]:
         """Plain name->value mapping of available registers (for
         :func:`~repro.isa.semantics.effective_address`)."""
-        return {name: k.value for name, k in self._regs.items()}
+        return {
+            SLOT_NAMES[i]: k.value
+            for i, k in enumerate(self._slots) if k is not None
+        }
 
     def available_registers(self) -> FrozenSet[str]:
-        return frozenset(self._regs)
+        return frozenset(
+            SLOT_NAMES[i] for i, k in enumerate(self._slots)
+            if k is not None
+        )
 
     def all_registers_known(self, names: Iterable[str]) -> bool:
-        return all(name in self._regs for name in names)
+        slots = self._slots
+        return all(slots[REG_SLOT[name]] is not None for name in names)
 
     # -- memory ------------------------------------------------------------
 

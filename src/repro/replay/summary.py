@@ -1,0 +1,226 @@
+"""Memoized replay effects: span summaries and whole-window results.
+
+The §5.2.2 fixed point re-runs the forward pass over a window once per
+iteration, and trace-regeneration rounds (§5.1) re-replay whole threads;
+most of that work re-executes instruction runs whose inputs have not
+changed since the previous pass.  This module caches replay effects at
+two granularities:
+
+* **Span summaries** serve repeats *within* one replay: the fixed-point
+  iterations re-enter instruction runs whose register signature has not
+  changed, and a matching summary replays the recorded effect instead of
+  stepping every micro-op.
+* **Window memos** (:class:`WindowSummary`) serve repeats *across*
+  replays: a window's entire fixed-point result is determined by its
+  identity and entry state, so re-analyzing the same bundle (the
+  analysis-service scenario) skips the forward and backward passes
+  outright.
+
+A span is a maximal stretch of a window's decoded path with no system
+op, capped at backward-fact steps.
+
+A summary is recorded the first time a span executes and is keyed by
+
+``(path, input_signature)``
+
+where *path* is the exact instruction-address tuple the span followed
+(so spans may cross basic-block boundaries — a summary can never be
+applied to a window that took a different branch) and the signature is
+the exact contents (value *and* taint, or None for unavailable) of every
+register slot the span reads before writing.  The span's memory loads
+cannot be folded into a practical key, so they are *validated* instead:
+the summary stores each ``(address, entry)`` pair it loaded, and a hit
+requires the current emulated memory to hold identical entries.  Path,
+signature and validated reads fully determine every effect of a span, so
+applying the recorded register outputs, memory events, recovered-access
+templates and blocked/missed bookkeeping is bit-identical to
+re-execution.
+
+Loads of addresses the span itself already stored or evicted — and any
+load after an in-span memory invalidation — observe span-internal state
+that the signature and earlier validated reads fully determine, so they
+are *not* validated; invalidations are recorded as explicit events and
+replayed as clears.  The only steps excluded from summarization are
+system ops and kernel clobbers (excluded at lowering time, via
+``CompiledProgram.summarizable``), whose effects reach beyond the
+emulated machine state.
+
+Poison-set changes (race regeneration) invalidate automatically: entries
+live in per-poison-set scopes, so a new regeneration round starts cold
+rather than replaying stores that the new poison set would refuse.
+Decode-segment boundaries need no explicit invalidation — windows never
+span segments, and the signature + read validation make stale reuse
+impossible — but :meth:`BlockSummaryCache.invalidate` exists for callers
+that want to drop warmth explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: Spans shorter than this are stepped directly: the signature/validation
+#: overhead only pays off once a few micro-ops are skipped.
+MIN_SPAN = 4
+
+
+class SpanRecord:
+    """Mutable recording state for one span execution (see
+    ``WindowReplayer._exec_uops``).
+
+    Only loads that observe *entry* state are recorded for validation:
+    a load of an address the span itself already stored (or any load
+    after a memory invalidation) returns a value fully determined by the
+    signature plus the earlier validated reads, so it needs none.  An
+    invalidation itself is recorded as a ``(None, None)`` marker in the
+    event stream and replayed as a clear."""
+
+    __slots__ = ("reads", "writes", "written", "cleared")
+
+    def __init__(self) -> None:
+        #: (address, raw memory entry or None) per entry-state load.
+        self.reads: list = []
+        #: Ordered memory events: (address, Known or None) per emulated
+        #: store/evict, or (None, None) for a full invalidation.
+        self.writes: list = []
+        #: Addresses stored/evicted so far (entry-state read guard).
+        self.written: set = set()
+        #: True once an invalidation wiped emulated memory; later loads
+        #: observe span-internal state only.
+        self.cleared: bool = False
+
+
+class SpanSummary:
+    """The recorded effect of one span execution."""
+
+    __slots__ = ("reads", "writes", "reg_out", "accesses", "blocked",
+                 "missed")
+
+    def __init__(self, reads: tuple, writes: tuple, reg_out: tuple,
+                 accesses: tuple, blocked: tuple, missed: int) -> None:
+        self.reads = reads
+        #: Replayed in order on a hit with the executor's own store
+        #: semantics (poison refusal, eviction, touched-set tracking);
+        #: a ``(None, None)`` event replays a memory invalidation.
+        self.writes = writes
+        #: (slot, Known or None) final value per span-defined register.
+        self.reg_out = reg_out
+        #: (step_offset, ip, address, is_store, taint) templates; the
+        #: pass's provenance is stamped on at application time.
+        self.accesses = accesses
+        #: Step offsets the span reported as blocked.
+        self.blocked = blocked
+        #: How many address misses the span charged to the stats.
+        self.missed = missed
+
+
+class WindowSummary:
+    """The recorded result of one window's entire fixed-point replay.
+
+    A window's output is fully determined by its identity and entry
+    state — ``(tid, start, path, entry_registers, exit_registers,
+    entry_memory, max_iterations)`` — all of which fit in a hashable
+    key, so re-replaying the same bundle (analysis-service requests,
+    §5.2.2 re-runs) skips the forward *and* backward passes outright.
+    Stored objects are immutable (frozen accesses, copied dicts,
+    frozensets); hits hand out fresh copies of the mutable outputs.
+    """
+
+    __slots__ = ("accesses", "exit_memory", "touched", "stats")
+
+    def __init__(self, accesses: tuple, exit_memory: dict,
+                 touched: frozenset, stats) -> None:
+        self.accesses = accesses
+        self.exit_memory = exit_memory
+        self.touched = touched
+        #: A WindowStats snapshot of the recorded run.
+        self.stats = stats
+
+
+class BlockSummaryCache:
+    """Process-wide span-summary store, owned by the analysis context.
+
+    Entries are grouped into *scopes* keyed by the active poison set:
+    regeneration rounds grow the poison set monotonically, so each round
+    gets a cold scope while the §5.2.2 iterations and the per-thread
+    window chain within a round share a warm one.  With a thread-pool
+    executor all workers share this object; a process-pool worker gets a
+    pickled copy, so cross-process warmth does not flow back (documented
+    in docs/performance.md).
+    """
+
+    __slots__ = ("_by_poison", "_windows_by_poison", "hits", "misses",
+                 "stores", "validation_failures", "steps_saved",
+                 "window_hits", "window_misses", "window_stores")
+
+    def __init__(self) -> None:
+        self._by_poison: Dict[FrozenSet[int], Dict[tuple, SpanSummary]] = {}
+        self._windows_by_poison: Dict[
+            FrozenSet[int], Dict[tuple, WindowSummary]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.validation_failures = 0
+        #: Steps applied from summaries instead of being stepped.
+        self.steps_saved = 0
+        self.window_hits = 0
+        self.window_misses = 0
+        self.window_stores = 0
+
+    def scope(self, poisoned: FrozenSet[int]) -> Dict[tuple, SpanSummary]:
+        """The summary table for one poison set (created on first use)."""
+        table = self._by_poison.get(poisoned)
+        if table is None:
+            table = {}
+            self._by_poison[poisoned] = table
+        return table
+
+    def window_scope(
+            self, poisoned: FrozenSet[int]) -> Dict[tuple, WindowSummary]:
+        """The window-memo table for one poison set."""
+        table = self._windows_by_poison.get(poisoned)
+        if table is None:
+            table = {}
+            self._windows_by_poison[poisoned] = table
+        return table
+
+    def invalidate(self,
+                   poisoned: Optional[FrozenSet[int]] = None) -> None:
+        """Drop every summary (or just one poison scope's)."""
+        if poisoned is None:
+            self._by_poison.clear()
+            self._windows_by_poison.clear()
+        else:
+            self._by_poison.pop(poisoned, None)
+            self._windows_by_poison.pop(poisoned, None)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._by_poison.values())
+
+    def window_entries(self) -> int:
+        return sum(len(t) for t in self._windows_by_poison.values())
+
+    def stats_dict(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "validation_failures": self.validation_failures,
+            "steps_saved": self.steps_saved,
+            "window_entries": self.window_entries(),
+            "window_hits": self.window_hits,
+            "window_misses": self.window_misses,
+            "window_stores": self.window_stores,
+        }
+
+    def merge_counters(self, other: "BlockSummaryCache") -> None:
+        """Fold another cache's counters into this one (used to surface
+        per-process-worker stats; entries themselves are not merged)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.validation_failures += other.validation_failures
+        self.steps_saved += other.steps_saved
+        self.window_hits += other.window_hits
+        self.window_misses += other.window_misses
+        self.window_stores += other.window_stores

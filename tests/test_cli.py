@@ -198,3 +198,41 @@ class TestSweep:
     def test_unknown_sweep_target(self, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "overhead", "--target", "nope"])
+
+
+class TestJitFlags:
+    def _trace(self, capsys, racy_source, tmp_path):
+        trace_path = str(tmp_path / "out.prtr")
+        run_cli(capsys, "trace", "-", "--source", racy_source,
+                "--period", "5", "-o", trace_path, "--seed", "3")
+        return trace_path
+
+    def test_no_jit_identical_analysis(self, capsys, racy_source, tmp_path):
+        trace_path = self._trace(capsys, racy_source, tmp_path)
+        code_jit, out_jit = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--json",
+        )
+        code_nojit, out_nojit = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--json", "--no-jit",
+        )
+        assert code_jit == code_nojit
+        jit, nojit = json.loads(out_jit), json.loads(out_nojit)
+        assert jit["races"] == nojit["races"]
+        assert jit["stats"] == nojit["stats"]
+        # The interpreter fallback never consults summaries.
+        assert nojit["replay_speed"]["summary_hits"] == 0
+
+    def test_profile_writes_pstats(self, capsys, racy_source, tmp_path):
+        import pstats
+
+        trace_path = self._trace(capsys, racy_source, tmp_path)
+        profile_path = str(tmp_path / "analyze.pstats")
+        code, out = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--profile", profile_path,
+        )
+        assert code == 1  # profiling must not change the verdict
+        stats = pstats.Stats(profile_path)
+        assert stats.total_calls > 0

@@ -1,0 +1,120 @@
+"""Units for the detector micro-optimizations.
+
+Copy-on-write vector clocks and the allocation-free same-epoch fast
+paths in FastTrack are throughput work; these tests pin down the
+sharing/splitting behavior and that the fast paths return without
+touching shadow state.  Semantic coverage (races found/not found) lives
+in test_detector_fasttrack*.py and the property suites.
+"""
+
+from repro.detector.events import Access, AccessKind
+from repro.detector.fasttrack import FastTrack
+from repro.detector.vectorclock import VectorClock
+
+
+def _access(tid, kind, var=(0x100, 0), ip=1):
+    return Access(tid=tid, var=var, kind=kind, ip=ip, tsc=0.0,
+                  provenance="test")
+
+
+class TestVectorClockCOW:
+    def test_copy_shares_storage_until_mutation(self):
+        vc = VectorClock({1: 3, 2: 5})
+        clone = vc.copy()
+        assert clone._clocks is vc._clocks
+        clone.increment(1)
+        assert clone._clocks is not vc._clocks
+        assert vc.get(1) == 3
+        assert clone.get(1) == 4
+
+    def test_mutating_original_does_not_leak_into_copy(self):
+        vc = VectorClock({1: 3})
+        clone = vc.copy()
+        vc.set(2, 9)
+        assert vc.get(2) == 9
+        assert clone.get(2) == 0
+
+    def test_increment_after_copy_isolates_both_ways(self):
+        vc = VectorClock({1: 1})
+        clone = vc.copy()
+        vc.increment(1)
+        clone.increment(1)
+        vc.increment(1)
+        assert vc.get(1) == 3
+        assert clone.get(1) == 2
+
+    def test_noop_join_keeps_sharing(self):
+        vc = VectorClock({1: 5})
+        clone = vc.copy()
+        clone.join(VectorClock({1: 2}))
+        assert clone._clocks is vc._clocks
+        clone.join(VectorClock({3: 1}))
+        assert clone._clocks is not vc._clocks
+        assert clone.get(3) == 1
+        assert vc.get(3) == 0
+
+    def test_chained_copies(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        c = b.copy()
+        c.set(2, 7)
+        assert a.get(2) == 0
+        assert b.get(2) == 0
+        assert c.get(2) == 7
+        b.set(3, 4)
+        assert a.get(3) == 0
+        assert c.get(3) == 0
+
+
+class TestFastTrackSameEpochFastPath:
+    def test_repeated_read_leaves_state_untouched(self):
+        ft = FastTrack()
+        read = _access(1, AccessKind.READ)
+        ft.access(read)
+        state = ft._vars[read.var]
+        epoch = state.read_epoch
+        ft.access(read)
+        ft.access(read)
+        assert ft._vars[read.var] is state
+        assert state.read_epoch is epoch
+        assert state.read_vc is None
+        assert ft.accesses_processed == 3
+        assert ft.races == []
+
+    def test_repeated_write_leaves_state_untouched(self):
+        ft = FastTrack()
+        write = _access(1, AccessKind.WRITE)
+        ft.access(write)
+        state = ft._vars[write.var]
+        epoch = state.write_epoch
+        ft.access(write)
+        assert ft._vars[write.var] is state
+        assert state.write_epoch is epoch
+        assert ft.accesses_processed == 2
+
+    def test_shared_read_fast_path(self):
+        """Once reads inflate to a vector clock, a same-epoch re-read by
+        either thread is still a fast-path return."""
+        ft = FastTrack()
+        write = _access(1, AccessKind.WRITE)
+        ft.access(write)  # racy with t2's read: forces the report path
+        ft.access(_access(1, AccessKind.READ))
+        ft.access(_access(2, AccessKind.READ))
+        state = ft._vars[write.var]
+        assert state.read_vc is not None
+        snapshot = dict(state.read_vc.items())
+        ft.access(_access(1, AccessKind.READ))
+        ft.access(_access(2, AccessKind.READ))
+        assert dict(state.read_vc.items()) == snapshot
+
+    def test_fast_path_does_not_swallow_new_epochs(self):
+        """After the accessor's clock advances, the same access misses
+        the fast path and updates shadow state."""
+        ft = FastTrack()
+        read = _access(1, AccessKind.READ)
+        ft.access(read)
+        first = ft._vars[read.var].read_epoch
+        ft._threads[1].increment(1)
+        ft.access(read)
+        second = ft._vars[read.var].read_epoch
+        assert second.clock == first.clock + 1

@@ -80,3 +80,40 @@ class TestLocateSyncs:
             assert len(located) == len(records)
             for record, step in located:
                 assert path.steps[step] == record.ip
+
+
+class TestLazyLocateIndices:
+    """The bisect-backed query indices must behave exactly like the old
+    linear window scan, ambiguity accounting included."""
+
+    def test_locate_equals_naive_scan(self):
+        path = DecodedPath(
+            tid=0,
+            steps=[10, 11, 10, 12, 10, 11, 13],
+            anchors=[(0, 100), (3, 200), (6, 300)],
+        )
+        for tsc in (50, 100, 150, 200, 250, 300, 400):
+            lo, hi = path.segment_for_tsc(tsc)
+            for ip in (10, 11, 12, 13, 99):
+                naive = [
+                    j for j in range(max(lo, 0),
+                                     min(hi, len(path.steps) - 1) + 1)
+                    if path.steps[j] == ip
+                ]
+                expected = naive[0] if naive else None
+                assert path.locate(ip, tsc) == expected
+
+    def test_ambiguous_window_counted_once(self):
+        path = DecodedPath(
+            tid=0, steps=[10, 10, 10], anchors=[(0, 100), (2, 200)],
+        )
+        assert path.locate(10, 150) == 0
+        assert path.ambiguous == 1
+
+    def test_gap_still_refuses_placement(self):
+        path = DecodedPath(
+            tid=0, steps=[10, 11], anchors=[(0, 100), (1, 200)],
+            gap_ranges=[(120, 180)],
+        )
+        assert path.locate(10, 150) is None
+        assert path.locate(11, 200) == 1
