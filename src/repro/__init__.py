@@ -35,10 +35,24 @@ from .analysis import (
     trace_rate_mb_per_s,
 )
 from .detector import FastTrack, RaceReport
+from .errors import (
+    CheckpointError,
+    DeadlineExceeded,
+    DecodeError,
+    QuarantinedWork,
+    ReplayError,
+    ReproError,
+    TraceError,
+    UsageError,
+    WorkerCrash,
+    WorkerError,
+    exit_code_for,
+)
 from .isa import Imm, Mem, Op, Program, ProgramBuilder, Reg, assemble
 from .machine import Machine, MachineError, RunResult
 from .pmu import PEBSConfig, PRORACE_DRIVER, PTConfig, VANILLA_DRIVER
 from .replay import ReplayEngine
+from .supervise import RunLedger, SupervisorConfig, supervised_map
 from .tracing import TraceBundle, trace_run
 from .workloads import (
     ALL_WORKLOADS,
@@ -53,6 +67,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_WORKLOADS",
     "APP_WORKLOADS",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "DecodeError",
     "DetectionResult",
     "FastTrack",
     "Imm",
@@ -67,17 +84,28 @@ __all__ = [
     "PTConfig",
     "Program",
     "ProgramBuilder",
+    "QuarantinedWork",
     "RACE_BUGS",
     "RaceReport",
     "Reg",
     "ReplayEngine",
+    "ReplayError",
+    "ReproError",
+    "RunLedger",
     "RunResult",
+    "SupervisorConfig",
     "TraceBundle",
+    "TraceError",
+    "UsageError",
     "VANILLA_DRIVER",
+    "WorkerCrash",
+    "WorkerError",
     "WorkloadScale",
     "assemble",
     "estimate_overhead",
+    "exit_code_for",
     "measure_detection_probability",
+    "supervised_map",
     "trace_rate_mb_per_s",
     "trace_run",
     "__version__",

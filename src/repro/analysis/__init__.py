@@ -35,6 +35,7 @@ from .pipeline import (
 from .report import (
     FleetSummary,
     render_degradation,
+    render_ledger,
     render_race,
     render_report,
     to_json,
@@ -79,6 +80,7 @@ __all__ = [
     "geometric_mean",
     "measure_detection_probability",
     "render_degradation",
+    "render_ledger",
     "render_race",
     "render_report",
     "to_json",

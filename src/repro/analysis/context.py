@@ -56,12 +56,16 @@ construction and the k-way merge is valid.
 from __future__ import annotations
 
 import heapq
+import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from operator import itemgetter
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..detector.events import Access, AccessKind, SyncOp
+from ..errors import CheckpointError, UsageError
 from ..faults import MAX_TSC_JITTER
 from ..isa.program import Program
 from ..pmu.records import SyncRecord
@@ -148,6 +152,7 @@ class AnalysisContext:
         max_iterations: int = 4,
         round_cache: bool = True,
         jit: bool = True,
+        supervisor=None,
     ) -> None:
         self.program = program
         self.bundle = bundle
@@ -158,6 +163,15 @@ class AnalysisContext:
         self.max_iterations = max_iterations
         self.round_cache = round_cache
         self.jit = jit
+        #: Optional :class:`~repro.supervise.SupervisorConfig` for the
+        #: replay fan-outs; :attr:`run_ledger` then accumulates one
+        #: merged ledger across all regeneration rounds.
+        self.supervisor = supervisor
+        self.run_ledger = None
+        if supervisor is not None:
+            from ..supervise import RunLedger
+
+            self.run_ledger = RunLedger()
         #: Block effect-summary cache, shared by the §5.2.2 fixed-point
         #: iterations, the per-thread replay fan-out and every §5.1
         #: regeneration round of this context (poison-set changes select
@@ -401,6 +415,7 @@ class AnalysisContext:
             max_iterations=self.max_iterations, poisoned=poisoned,
             jobs=self.jobs, executor=self.executor,
             jit=self.jit, summary_cache=self.summary_cache,
+            supervisor=self.supervisor,
         )
         changed = False
         for replay in engine.replay_threads(paths, aligned, tids,
@@ -423,6 +438,8 @@ class AnalysisContext:
                 changed = True
                 self._access_events.pop(replay.tid, None)
             self._threads[replay.tid] = replay
+        if self.run_ledger is not None and engine.last_ledger is not None:
+            self.run_ledger.merge(engine.last_ledger)
         self.stats.threads_replayed += len(tids)
         self.stats.threads_reused += len(paths) - len(tids)
         self._last_poisoned = poisoned
@@ -494,7 +511,7 @@ class AnalysisContext:
         lost edge must degrade detection power, never fabricate a race.
         """
         if self.stats.replay_rounds == 0:
-            raise RuntimeError("call replay() before merged_events()")
+            raise UsageError("call replay() before merged_events()")
         streams = [self.sync_events]
         for tid in sorted(self._threads):
             streams.append(self.access_events(tid))
@@ -532,6 +549,74 @@ class AnalysisContext:
                     self.suppressed_accesses += 1
                     continue
             yield key, event
+
+    # ------------------------------------------------------------------
+    # Checkpoint: snapshot/restore the round-variant state
+    # ------------------------------------------------------------------
+
+    def _snapshot_key(self) -> str:
+        """Identity of the (bundle, analysis parameters) pair a snapshot
+        belongs to.  Deliberately *excludes* the round-invariant caches —
+        those are recomputed deterministically on restore — and the
+        execution knobs (jobs/executor/jit), which never change results."""
+        return "|".join(str(part) for part in (
+            self.program.name, self.mode, self.max_iterations,
+            len(self.bundle.samples), len(self.bundle.sync_records),
+            len(self.bundle.alloc_records),
+            sorted(self.bundle.pt_traces),
+        ))
+
+    def save_snapshot(self, path: Path | str,
+                      poisoned: FrozenSet[int] = frozenset(),
+                      rounds: int = 0) -> None:
+        """Persist the per-thread replay state between §5.1 regeneration
+        rounds, so an interrupted ``analyze`` resumes mid-fixed-point.
+
+        Only the round-variant state travels: cached
+        :class:`~repro.replay.engine.ThreadReplay` objects, the poison
+        set, the fixed-point round counter, and the failure/ledger
+        bookkeeping.  The write is atomic (tmp + ``os.replace``) so a
+        crash mid-checkpoint leaves the previous snapshot intact.
+        """
+        payload = {
+            "key": self._snapshot_key(),
+            "threads": self._threads,
+            "last_poisoned": self._last_poisoned,
+            "poisoned": frozenset(poisoned),
+            "rounds": rounds,
+            "replay_failures": dict(self.replay_failures),
+            "replay_rounds": self.stats.replay_rounds,
+        }
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as out:
+            pickle.dump(payload, out, protocol=pickle.HIGHEST_PROTOCOL)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+
+    def load_snapshot(self, path: Path | str) -> Tuple[FrozenSet[int], int]:
+        """Restore a :meth:`save_snapshot` state; returns the saved
+        ``(poisoned, rounds)`` pair for the caller's fixed-point loop.
+
+        Raises :class:`~repro.errors.CheckpointError` when the snapshot
+        was written for different work (program, mode, or bundle shape).
+        """
+        with open(Path(path), "rb") as stream:
+            payload = pickle.load(stream)
+        if payload.get("key") != self._snapshot_key():
+            raise CheckpointError(
+                f"snapshot {path} was written for different analysis "
+                "parameters; refusing to resume from it"
+            )
+        self._threads = payload["threads"]
+        self._last_poisoned = payload["last_poisoned"]
+        self.replay_failures = payload["replay_failures"]
+        self.stats.replay_rounds = payload["replay_rounds"]
+        # Lowered event streams depend on timelines/alloc-index identity;
+        # cheap to relower, unsafe to splice.
+        self._access_events.clear()
+        return payload["poisoned"], payload["rounds"]
 
     @property
     def skipped_threads(self) -> Tuple[int, ...]:

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..isa.program import Program
 from ..parallel import parallel_map
 from ..pmu.drivers import DriverModel, PRORACE_DRIVER
+from ..supervise import RunLedger, SupervisorConfig, open_journal, supervised_map
 from ..tracing.bundle import TraceBundle, trace_run
 from .costs import SIMULATED_CLOCK_HZ
 from .pipeline import DetectionResult, OfflinePipeline
@@ -57,6 +59,8 @@ class DetectionProbability:
     """Detection probability over many seeded runs (one Table 2 cell)."""
 
     trials: List[DetectionTrial] = field(default_factory=list)
+    #: Supervised-runtime accounting (None for an unsupervised measure).
+    ledger: Optional[RunLedger] = None
 
     @property
     def runs(self) -> int:
@@ -117,6 +121,10 @@ def measure_detection_probability(
     entry: str = "main",
     jobs: int = 1,
     executor: str = "process",
+    supervisor: Optional[SupervisorConfig] = None,
+    fault_plan=None,
+    checkpoint_dir: Optional[Path | str] = None,
+    resume: bool = False,
 ) -> DetectionProbability:
     """Run *runs* seeded traces and count those whose analysis reports a
     race on any of *racy_addresses* — the Table 2 methodology ("collected
@@ -126,6 +134,11 @@ def measure_detection_probability(
     With *jobs* > 1 the seeded trials fan out over the executor; results
     are folded back in seed order, so the returned trial list is
     bit-identical to the serial one.
+
+    With *supervisor* (or *fault_plan*/*checkpoint_dir*) the trials run
+    under the supervised runtime: failed/crashed/hung trials retry per
+    the config, completed trials journal to *checkpoint_dir*, and
+    *resume* restores journaled trials instead of re-running them.
     """
     targets = frozenset(racy_addresses)
     work = [
@@ -133,6 +146,24 @@ def measure_detection_probability(
          num_cores, entry)
         for i in range(runs)
     ]
+    supervised = (supervisor is not None or fault_plan is not None
+                  or checkpoint_dir is not None)
+    if supervised:
+        key = "|".join(str(part) for part in (
+            program.name, sorted(targets), period, runs, mode,
+            driver.name, seed_base, num_cores, entry,
+        ))
+        journal = open_journal(checkpoint_dir, "probability", key, resume)
+        try:
+            trials, ledger = supervised_map(
+                _run_probability_trial, work, jobs=jobs,
+                executor=executor, config=supervisor,
+                fault_plan=fault_plan, journal=journal,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        return DetectionProbability(trials=list(trials), ledger=ledger)
     trials = parallel_map(_run_probability_trial, work, jobs=jobs,
                           executor=executor)
     return DetectionProbability(trials=list(trials))

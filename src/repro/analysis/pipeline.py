@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..detector.events import RaceReport, SyncOp
 from ..detector.fasttrack import FastTrack
 from ..isa.program import Program
 from ..replay.engine import ReplayResult
+from ..supervise import RunLedger
 from ..tracing.bundle import TraceBundle, TraceDefects
 from .context import AnalysisContext
 
@@ -113,6 +115,9 @@ class DetectionResult:
     timings: OfflineTimings
     events_processed: int
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    #: Supervised-runtime accounting (None when the analysis ran
+    #: unsupervised); rendered in reports next to the degradation.
+    ledger: Optional[RunLedger] = None
 
     def races_on(self, address: int) -> List[RaceReport]:
         return [r for r in self.races if r.address == address]
@@ -156,6 +161,7 @@ class OfflinePipeline:
         executor: str = "thread",
         round_cache: bool = True,
         jit: bool = True,
+        supervisor=None,
     ) -> None:
         self.program = program
         self.mode = mode
@@ -164,6 +170,10 @@ class OfflinePipeline:
         self.executor = executor
         self.round_cache = round_cache
         self.jit = jit
+        #: Optional :class:`~repro.supervise.SupervisorConfig`: replay
+        #: fan-outs then run under the supervised runtime and every
+        #: :class:`DetectionResult` carries a merged ``ledger``.
+        self.supervisor = supervisor
 
     # ------------------------------------------------------------------
 
@@ -172,7 +182,7 @@ class OfflinePipeline:
         return AnalysisContext(
             self.program, bundle, mode=self.mode, jobs=self.jobs,
             executor=self.executor, round_cache=self.round_cache,
-            jit=self.jit,
+            jit=self.jit, supervisor=self.supervisor,
         )
 
     def decode(self, bundle: TraceBundle):
@@ -195,11 +205,46 @@ class OfflinePipeline:
         events = list(context.merged_events())
         return events, replay_result
 
-    def analyze(self, bundle: TraceBundle) -> DetectionResult:
+    def _snapshot_path(self, context: AnalysisContext,
+                       checkpoint_dir: Path | str) -> Path:
+        """Content-addressed snapshot file for this (bundle, parameters)
+        pair inside *checkpoint_dir*."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            context._snapshot_key().encode()
+        ).hexdigest()[:12]
+        return Path(checkpoint_dir) / f"analyze-{digest}.ckpt"
+
+    def analyze(self, bundle: TraceBundle,
+                checkpoint_dir: Optional[Path | str] = None,
+                resume: bool = False) -> DetectionResult:
+        """Run the full offline analysis over *bundle*.
+
+        With *checkpoint_dir*, the per-thread replay state is snapshotted
+        after every continuing §5.1 regeneration round; *resume* restores
+        such a snapshot and re-enters the fixed-point mid-flight, with a
+        final result bit-identical to the uninterrupted run.
+        """
         context = self.context_for(bundle)
         detection_seconds = 0.0
         poisoned: FrozenSet[int] = frozenset()
         rounds = 0
+        # After a resume, the first loop iteration replays incrementally
+        # from the restored cache, typically changing nothing — but the
+        # detector state of the interrupted process is gone, so the
+        # early unchanged-stream break must not fire until one detection
+        # pass has rebuilt it.
+        resume_floor = 0
+        snapshot: Optional[Path] = None
+        if checkpoint_dir is not None:
+            Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+            snapshot = self._snapshot_path(context, checkpoint_dir)
+            if resume and snapshot.exists():
+                poisoned, rounds = context.load_snapshot(snapshot)
+                resume_floor = rounds
+            elif snapshot.exists():
+                snapshot.unlink()
         detector = FastTrack()
         replay_result: ReplayResult | None = None
         events_processed = 0
@@ -207,7 +252,7 @@ class OfflinePipeline:
         while True:
             rounds += 1
             replay_result = context.replay(poisoned)
-            if rounds > 1 and not context.last_replay_changed:
+            if rounds > resume_floor + 1 and not context.last_replay_changed:
                 # The regenerated extended trace is bit-identical to the
                 # previous round's, so every verdict over it is too: the
                 # previous detector state stands and this round's poison
@@ -241,6 +286,11 @@ class OfflinePipeline:
             ):
                 break
             poisoned = poisoned | frozenset(poison_hits)
+            if snapshot is not None:
+                # Checkpoint the state a resumed process needs to redo
+                # exactly this loop's next iteration: the grown poison
+                # set and the cached replays it will extend.
+                context.save_snapshot(snapshot, poisoned, rounds)
 
         assert replay_result is not None
         timings = OfflineTimings(
@@ -258,6 +308,7 @@ class OfflinePipeline:
             degradation=self.degradation_report(
                 bundle, context, replay_result
             ),
+            ledger=context.run_ledger,
         )
 
     def degradation_report(

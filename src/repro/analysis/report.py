@@ -112,6 +112,14 @@ def render_degradation(result: DetectionResult) -> List[str]:
     return lines
 
 
+def render_ledger(result: DetectionResult) -> List[str]:
+    """Supervised-runtime summary lines (empty when the analysis ran
+    unsupervised or nothing eventful happened)."""
+    if result.ledger is None or not result.ledger.eventful:
+        return []
+    return result.ledger.render().splitlines()
+
+
 def render_report(program: Program, result: DetectionResult) -> str:
     """The full per-run report text."""
     stats = result.replay.stats
@@ -130,6 +138,7 @@ def render_report(program: Program, result: DetectionResult) -> str:
         f"distinct races: {len(result.races)}",
     ]
     header.extend(render_degradation(result))
+    header.extend(render_ledger(result))
     header.append("")
     body = []
     for index, race in enumerate(result.races, start=1):
@@ -204,6 +213,10 @@ def to_json(program: Program, result: DetectionResult) -> str:
                 "corrupted_sections":
                     list(result.degradation.corrupted_sections),
             },
+            "run_ledger": (
+                result.ledger.to_dict() if result.ledger is not None
+                else None
+            ),
         },
         indent=2,
     )

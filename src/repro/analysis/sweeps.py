@@ -9,11 +9,13 @@ period (Figures 8–9), and detection-probability-vs-period (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..isa.program import Program
 from ..parallel import parallel_map
 from ..pmu.drivers import DriverModel, PRORACE_DRIVER
+from ..supervise import RunLedger, SupervisorConfig, open_journal, supervised_map
 from ..tracing.bundle import trace_run
 from ..workloads.common import Workload, WorkloadScale
 from ..workloads.racebugs import RaceBug
@@ -121,11 +123,31 @@ class DetectionSweepResult:
     periods: Tuple[int, ...]
     #: bug name -> period -> detections.
     cells: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    #: Supervised-runtime accounting (None for an unsupervised sweep).
+    ledger: Optional[RunLedger] = None
 
     def totals(self) -> Dict[int, int]:
         return {
             period: sum(row[period] for row in self.cells.values())
             for period in self.periods
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready form.  ``cells``/``totals`` are the deterministic
+        payload (what the resume smoke compares); the ledger is runtime
+        accounting and varies with the faults met."""
+        return {
+            "detector": self.detector,
+            "runs": self.runs,
+            "periods": list(self.periods),
+            "cells": {
+                name: {str(p): row[p] for p in self.periods}
+                for name, row in self.cells.items()
+            },
+            "totals": {str(p): t for p, t in self.totals().items()},
+            "run_ledger": (
+                self.ledger.to_dict() if self.ledger is not None else None
+            ),
         }
 
     def render(self) -> str:
@@ -146,6 +168,8 @@ class DetectionSweepResult:
             f"{'total':18s}"
             + "".join(f"{totals[p]:10d}" for p in self.periods)
         )
+        if self.ledger is not None and self.ledger.eventful:
+            lines.append(self.ledger.render())
         return "\n".join(lines)
 
 
@@ -172,6 +196,10 @@ def detection_sweep(
     detector_name: Optional[str] = None,
     jobs: int = 1,
     executor: str = "process",
+    supervisor: Optional[SupervisorConfig] = None,
+    fault_plan=None,
+    checkpoint_dir: Optional[Path | str] = None,
+    resume: bool = False,
 ) -> DetectionSweepResult:
     """Table 2's methodology over an arbitrary bug set.
 
@@ -180,6 +208,12 @@ def detection_sweep(
     flattened grid fans out over the executor at once — processes by
     default, since trials are pure-Python CPU-bound work.  Results fold
     back in grid order, making the sweep bit-identical to the serial one.
+
+    With *supervisor* (or *fault_plan*/*checkpoint_dir*) the grid runs
+    under the supervised runtime: crashed/hung/failed trials are retried
+    per the config, completed trials are journaled to *checkpoint_dir*,
+    and *resume* restores journaled trials instead of re-running them.
+    The returned result then carries the :class:`RunLedger`.
     """
     result = DetectionSweepResult(
         detector=detector_name or f"{driver.name}/{mode}",
@@ -192,8 +226,25 @@ def detection_sweep(
         for period in periods:
             for seed in range(runs):
                 work.append((program, bug, period, seed, mode, driver))
-    hits = parallel_map(_run_detection_trial, work, jobs=jobs,
-                        executor=executor)
+    supervised = (supervisor is not None or fault_plan is not None
+                  or checkpoint_dir is not None)
+    if supervised:
+        key = "|".join(str(part) for part in (
+            sorted(bugs), scale, tuple(periods), runs, mode, driver.name,
+        ))
+        journal = open_journal(checkpoint_dir, "sweep", key, resume)
+        try:
+            hits, ledger = supervised_map(
+                _run_detection_trial, work, jobs=jobs, executor=executor,
+                config=supervisor, fault_plan=fault_plan, journal=journal,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        result.ledger = ledger
+    else:
+        hits = parallel_map(_run_detection_trial, work, jobs=jobs,
+                            executor=executor)
     cursor = 0
     for name in bugs:
         row = {}

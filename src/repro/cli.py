@@ -31,11 +31,20 @@ from .analysis import (
     render_report,
     to_json,
 )
+from .errors import (
+    DeadlineExceeded,
+    QuarantinedWork,
+    TraceError,
+    UsageError,
+    WorkerCrash,
+    exit_code_for,
+)
 from .isa.assembler import assemble
 from .isa.program import Program
 from .machine import Machine
 from .parallel import parallel_map
 from .pmu import PRORACE_DRIVER, VANILLA_DRIVER
+from .supervise import SupervisorConfig
 from .tracing import TraceFormatError, read_trace, trace_run, write_trace
 from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
 
@@ -60,6 +69,51 @@ def _resolve_program(name: str, scale: WorkloadScale,
 
 def _scale_from(args: argparse.Namespace) -> WorkloadScale:
     return WorkloadScale(iterations=args.iterations, threads=args.threads)
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """The supervised-runtime knobs shared by the long-running commands
+    (see docs/robustness.md, "Supervised runtime")."""
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="per-item retry budget under the supervised runtime "
+             "(enables supervision; an item runs at most N+1 times)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-item wall-clock limit; a worker exceeding it is "
+             "killed and the item retried (enables supervision)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="whole-command wall-clock budget; exceeding it exits "
+             "with code 3 (enables supervision)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="journal completed work to DIR so an interrupted command "
+             "can --resume with bit-identical final output",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journals/snapshots in --checkpoint-dir",
+    )
+
+
+def _supervisor_from(args: argparse.Namespace) -> Optional[SupervisorConfig]:
+    """A SupervisorConfig when any supervision flag was given, else None
+    (the command then runs on the plain executor, exactly as before)."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("repro: --resume requires --checkpoint-dir")
+    if (args.retries is None and args.task_timeout is None
+            and args.deadline is None):
+        return None
+    return SupervisorConfig(
+        retries=args.retries if args.retries is not None else 2,
+        task_timeout=args.task_timeout,
+        deadline=args.deadline,
+        seed=getattr(args, "seed", 0),
+    )
 
 
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
@@ -125,14 +179,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
-                               jit=not args.no_jit)
+                               jit=not args.no_jit,
+                               supervisor=_supervisor_from(args))
     if args.profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            result = pipeline.analyze(bundle)
+            result = pipeline.analyze(bundle,
+                                      checkpoint_dir=args.checkpoint_dir,
+                                      resume=args.resume)
         finally:
             profiler.disable()
             profiler.dump_stats(args.profile)
@@ -140,7 +197,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               f"(see docs/performance.md for how to read it)",
               file=sys.stderr)
     else:
-        result = pipeline.analyze(bundle)
+        result = pipeline.analyze(bundle,
+                                  checkpoint_dir=args.checkpoint_dir,
+                                  resume=args.resume)
     if args.json:
         print(to_json(program, result))
     else:
@@ -158,14 +217,18 @@ def _detect_one(work: tuple):
 
 def cmd_detect(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
+    supervisor = _supervisor_from(args)
     summary = FleetSummary()
     if args.runs == 1:
         # One run: spend the job budget inside the pipeline (per-thread
         # decode/replay fan-out).
         bundle = trace_run(program, period=args.period,
                            driver=_DRIVERS[args.driver], seed=args.seed)
-        pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs)
-        result = pipeline.analyze(bundle)
+        pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
+                                   supervisor=supervisor)
+        result = pipeline.analyze(bundle,
+                                  checkpoint_dir=args.checkpoint_dir,
+                                  resume=args.resume)
         summary.add(result)
         print(render_report(program, result))
         return 1 if summary.race_sites else 0
@@ -176,6 +239,29 @@ def cmd_detect(args: argparse.Namespace) -> int:
          args.seed + run_index)
         for run_index in range(args.runs)
     ]
+    if supervisor is not None or args.checkpoint_dir is not None:
+        from .supervise import open_journal, supervised_map
+
+        key = "|".join(str(part) for part in (
+            program.name, args.mode, args.period, args.driver,
+            args.seed, args.runs,
+        ))
+        journal = open_journal(args.checkpoint_dir, "detect", key,
+                               args.resume)
+        try:
+            results, ledger = supervised_map(
+                _detect_one, work, jobs=args.jobs, executor="process",
+                config=supervisor, journal=journal,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        for result in results:
+            summary.add(result)
+        print(summary.render(program))
+        if ledger.eventful:
+            print(ledger.render())
+        return 1 if summary.race_sites else 0
     for result in parallel_map(_detect_one, work, jobs=args.jobs,
                                executor="process"):
         summary.add(result)
@@ -197,8 +283,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         result = detection_sweep(
             bugs, scale, periods=periods, runs=args.runs, mode=args.mode,
             driver=_DRIVERS[args.driver], jobs=args.jobs,
+            supervisor=_supervisor_from(args),
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
-        print(result.render())
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
         return 0
     workloads = ALL_WORKLOADS
     if args.target:
@@ -219,6 +312,59 @@ def _chaos_one(work: tuple):
     return OfflinePipeline(program, mode=mode).analyze(degraded)
 
 
+def _cmd_chaos_runtime(args: argparse.Namespace) -> int:
+    """Runtime chaos: a supervised detection sweep whose *workers* are
+    killed/hung/failed on schedule (``--kill-workers`` and friends).
+
+    The demonstration the supervised runtime exists for: injected worker
+    SIGKILLs, hangs and failures must cost retries, never results — the
+    sweep's cells are bit-identical to a fault-free serial run, and the
+    run ledger accounts for every respawn.
+    """
+    from .analysis import detection_sweep
+    from .faults import WorkerFaultPlan
+
+    if args.program not in RACE_BUGS:
+        raise SystemExit(
+            f"repro chaos: worker-fault mode needs a race bug name "
+            f"(one of {', '.join(RACE_BUGS)}), got {args.program!r}"
+        )
+    supervisor = _supervisor_from(args)
+    if supervisor is None:
+        supervisor = SupervisorConfig(seed=args.seed)
+    if args.hang_workers > 0 and supervisor.task_timeout is None:
+        # A hung worker is only recoverable if something times it out.
+        supervisor = SupervisorConfig(
+            retries=supervisor.retries, task_timeout=10.0,
+            deadline=supervisor.deadline, seed=supervisor.seed,
+        )
+    plan = WorkerFaultPlan(
+        seed=args.seed, kill=args.kill_workers, hang=args.hang_workers,
+        fail=args.fail_workers, max_faulty_attempts=args.fault_attempts,
+        hang_seconds=args.hang_seconds,
+    )
+    result = detection_sweep(
+        {args.program: RACE_BUGS[args.program]}, _scale_from(args),
+        periods=[args.period], runs=args.runs, mode=args.mode,
+        driver=_DRIVERS[args.driver], jobs=args.jobs, executor="process",
+        supervisor=supervisor, fault_plan=plan,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(f"runtime chaos: {args.program}  period {args.period}  "
+              f"{args.runs} runs  plan kill={plan.kill} "
+              f"hang={plan.hang} fail={plan.fail}")
+        print(result.render())
+        if result.ledger is not None and not result.ledger.eventful:
+            print("run ledger: nothing eventful (no faults fired)")
+        print("runtime chaos complete: all trials accounted for.")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection sweep: detection probability vs fault intensity.
 
@@ -227,9 +373,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     runs in which at least one race was still detected.  The analysis
     must *complete* on every degraded bundle — any exception fails the
     sweep — so this doubles as the chaos smoke test in CI.
+
+    With ``--kill-workers``/``--hang-workers``/``--fail-workers`` the
+    command instead exercises the *runtime* layer: a supervised
+    detection sweep under a :class:`~repro.faults.WorkerFaultPlan`.
     """
     from .faults import BUILTIN_PLAN_NAMES, builtin_plans
 
+    if args.kill_workers or args.hang_workers or args.fail_workers:
+        return _cmd_chaos_runtime(args)
     program = _resolve_program(args.program, _scale_from(args), args.source)
     intensities = [float(x) for x in args.intensities.split(",")]
     plan_names = (
@@ -333,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PATH",
         help="dump a cProfile pstats file for the offline stage to PATH",
     )
+    _add_supervision_args(analyze_parser)
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")
     _add_program_args(detect_parser)
@@ -347,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect_parser.add_argument("--jobs", type=int, default=1,
                                help="workers: across runs when --runs > 1, "
                                     "inside the pipeline otherwise")
+    _add_supervision_args(detect_parser)
 
     overhead_parser = sub.add_parser(
         "overhead", help="sweep sampling periods for a workload"
@@ -377,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--iterations", type=int, default=40)
     sweep_parser.add_argument("--threads", type=int, default=4)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="print the detection sweep as JSON")
+    _add_supervision_args(sweep_parser)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -396,6 +553,32 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: all built-ins)")
     chaos_parser.add_argument("--intensities", default="0.05,0.1,0.2",
                               help="comma-separated fault intensities")
+    chaos_parser.add_argument(
+        "--kill-workers", type=float, default=0.0, metavar="P",
+        help="runtime chaos: per-trial probability a worker is SIGKILLed",
+    )
+    chaos_parser.add_argument(
+        "--hang-workers", type=float, default=0.0, metavar="P",
+        help="runtime chaos: per-trial probability a worker hangs",
+    )
+    chaos_parser.add_argument(
+        "--fail-workers", type=float, default=0.0, metavar="P",
+        help="runtime chaos: per-trial probability a worker raises",
+    )
+    chaos_parser.add_argument(
+        "--fault-attempts", type=int, default=1, metavar="N",
+        help="attempts of each trial eligible for worker faults "
+             "(large N makes faulty trials permanent: quarantine)",
+    )
+    chaos_parser.add_argument(
+        "--hang-seconds", type=float, default=30.0, metavar="SECONDS",
+        help="how long a hung worker sleeps",
+    )
+    chaos_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker slots for runtime chaos")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="print the runtime-chaos sweep as JSON")
+    _add_supervision_args(chaos_parser)
 
     return parser
 
@@ -413,8 +596,20 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
 
 
 def main(argv: Optional[list] = None) -> int:
+    """Dispatch a command and map structured runtime errors onto the
+    documented exit codes (see :mod:`repro.errors`): 2 unusable input,
+    3 deadline exceeded, 4 quarantine/worker crash, 5 usage bug."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (DeadlineExceeded, QuarantinedWork) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        if error.ledger is not None:
+            print(error.ledger.render(), file=sys.stderr)
+        return exit_code_for(error)
+    except (WorkerCrash, UsageError, TraceError) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

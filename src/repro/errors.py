@@ -1,0 +1,152 @@
+"""Structured error taxonomy for the offline analysis runtime.
+
+The offline service runs unattended on dedicated machines (§7.6), so
+"something went wrong" must be machine-readable: an operator's retry
+wrapper needs to distinguish *bad input* (a rotted trace file — retrying
+is pointless) from *runtime misfortune* (a worker OOM-killed mid-sweep —
+retrying is exactly right) from *caller bugs* (an API used out of
+order).  Every failure the runtime can surface derives from
+:class:`ReproError` and maps to a documented CLI exit code:
+
+====  =======================================================
+code  meaning
+====  =======================================================
+0     success, no races found
+1     success, data races reported
+2     unusable input: :class:`TraceError` / :class:`DecodeError`
+      (missing, corrupted, or undecodable trace data)
+3     :class:`DeadlineExceeded` — the supervised run's whole-call
+      wall-clock budget ran out
+4     :class:`QuarantinedWork` / :class:`WorkerCrash` — work items
+      exhausted their retry budget or a worker death escaped the
+      supervisor
+5     :class:`UsageError` — an API/CLI invocation bug, not a fault
+====  =======================================================
+
+Exit codes 2–4 are deliberately distinct: a fleet scheduler requeues a
+code-3 job with a longer deadline, quarantines the *inputs* of a code-4
+job for inspection, and discards a code-2 job's trace file outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+EXIT_OK = 0
+EXIT_RACES = 1
+EXIT_TRACE_ERROR = 2
+EXIT_DEADLINE = 3
+EXIT_QUARANTINE = 4
+EXIT_USAGE = 5
+
+
+class ReproError(Exception):
+    """Base of every structured runtime error; carries its CLI exit
+    code so ``repro`` commands never have to pattern-match messages."""
+
+    exit_code = EXIT_TRACE_ERROR
+
+
+class TraceError(ReproError):
+    """The trace input is unusable: missing, malformed, or corrupted.
+
+    :class:`repro.tracing.TraceFormatError` derives from this, so
+    callers that only care about the coarse taxonomy can catch
+    ``TraceError`` without importing the serializer.
+    """
+
+    exit_code = EXIT_TRACE_ERROR
+
+
+class CheckpointError(TraceError):
+    """A checkpoint journal or snapshot does not match the work it is
+    being resumed against (different parameters, damaged header)."""
+
+
+class DecodeError(TraceError):
+    """A PT packet stream is inconsistent with the traced binary and
+    cannot be decoded even with gap resynchronization."""
+
+
+class ReplayError(ReproError):
+    """Memory reconstruction failed for reasons the trace declared no
+    excuse for (as opposed to a tolerated per-thread skip)."""
+
+    exit_code = EXIT_TRACE_ERROR
+
+
+class UsageError(ReproError):
+    """The caller broke an API contract (e.g. consuming merged events
+    before any replay round ran).  A bug in the calling code, never a
+    property of the input."""
+
+    exit_code = EXIT_USAGE
+
+
+class WorkerCrash(ReproError):
+    """A worker process died without reporting a result (SIGKILL, OOM,
+    segfault).  Under supervision this fails only the in-flight item;
+    escaping to the CLI means the crash was unrecoverable."""
+
+    exit_code = EXIT_QUARANTINE
+
+    def __init__(self, message: str, index: Optional[int] = None,
+                 exitcode: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.exitcode = exitcode
+
+
+class WorkerError(ReproError):
+    """An item of a parallel fan-out raised.
+
+    Unlike a bare ``pool.map`` exception, this names *which* input index
+    failed and keeps every result completed before the failure, so a
+    supervisor can retry exactly the failed item.
+    """
+
+    def __init__(self, index: int, message: str,
+                 completed: Optional[Dict[int, object]] = None) -> None:
+        super().__init__(f"item {index} failed: {message}")
+        self.index = index
+        self.message = message
+        self.completed: Dict[int, object] = dict(completed or {})
+
+
+class DeadlineExceeded(ReproError):
+    """The whole-call deadline of a supervised run expired before every
+    item finished.  Carries the run ledger and the partial results (by
+    input index, ``None`` where unfinished) so completed work survives."""
+
+    exit_code = EXIT_DEADLINE
+
+    def __init__(self, message: str, ledger=None,
+                 partial: Optional[Sequence] = None) -> None:
+        super().__init__(message)
+        self.ledger = ledger
+        self.partial = list(partial) if partial is not None else None
+
+
+class QuarantinedWork(ReproError):
+    """One or more items exhausted their retry budget and were
+    quarantined.  Carries the offending input indices, the run ledger,
+    and the partial results of everything that did succeed."""
+
+    exit_code = EXIT_QUARANTINE
+
+    def __init__(self, indices: Sequence[int], ledger=None,
+                 partial: Optional[Sequence] = None) -> None:
+        indices = tuple(sorted(indices))
+        super().__init__(
+            f"{len(indices)} work item(s) exhausted their retry budget: "
+            f"indices {list(indices)}"
+        )
+        self.indices = indices
+        self.ledger = ledger
+        self.partial = list(partial) if partial is not None else None
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The documented CLI exit code for *error* (2 for any unclassified
+    trace-shaped failure)."""
+    return getattr(error, "exit_code", EXIT_TRACE_ERROR)

@@ -252,6 +252,106 @@ class FaultPlan:
         return result
 
 
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """A seeded recipe for misbehaving *workers* (the runtime layer,
+    where :class:`FaultPlan` is the trace layer): kill, hang, or fail
+    analysis workers on a deterministic schedule so the supervisor in
+    :mod:`repro.supervise` can be tested — and demonstrated — under the
+    machine failures §7.6's dedicated analysis fleet actually meets.
+
+    Each probability is per *work item*; the decision for a given
+    (index, attempt) is a pure function of the seed, so two runs of the
+    same chaos scenario perturb exactly the same items.  By default only
+    the first ``max_faulty_attempts`` attempts of an item can be
+    perturbed — retries then converge, which is what makes the
+    bit-identical-to-serial property hold under any plan.
+
+    Args:
+        seed: drives every decision.
+        kill: probability an item's worker is SIGKILLed (process
+            executor) or crashes with
+            :class:`~repro.errors.WorkerCrash` (thread/inline, where a
+            real SIGKILL would take the supervisor down too).
+        hang: probability an item's worker sleeps ``hang_seconds``
+            before working — paired with a per-item timeout this
+            exercises the kill-and-retry path.
+        fail: probability an item's worker raises
+            :class:`~repro.errors.ReplayError`.
+        max_faulty_attempts: attempts of each item eligible for
+            perturbation (0 disables all faults; large values can make
+            an item permanently faulty, exercising quarantine).
+        hang_seconds: how long a hung worker sleeps.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    fail: float = 0.0
+    max_faulty_attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill", "hang", "fail"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+    def action(self, index: int, attempt: int) -> Optional[str]:
+        """``"kill"`` / ``"hang"`` / ``"fail"`` / None for this item
+        attempt — deterministic given the seed.  Explicit integer
+        arithmetic (not ``hash``) so the decision is identical in every
+        worker process."""
+        if attempt > self.max_faulty_attempts:
+            return None
+        rng = random.Random(
+            (self.seed * 1_000_003 + index) * 8_191 + attempt
+        )
+        draw = rng.random()
+        if draw < self.kill:
+            return "kill"
+        if draw < self.kill + self.hang:
+            return "hang"
+        if draw < self.kill + self.hang + self.fail:
+            return "fail"
+        return None
+
+    def perturb(self, index: int, attempt: int,
+                in_process: bool) -> None:
+        """Execute this attempt's scheduled fault (no-op when none).
+
+        Called from inside the worker.  *in_process* says the worker is
+        an isolated child process where a genuine SIGKILL is safe; in a
+        thread or inline worker the kill is simulated by raising
+        :class:`~repro.errors.WorkerCrash` instead.
+        """
+        act = self.action(index, attempt)
+        if act is None:
+            return
+        if act == "kill":
+            if in_process:
+                import os
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
+            from .errors import WorkerCrash
+
+            raise WorkerCrash(
+                f"simulated worker kill (item {index}, attempt {attempt})",
+                index=index,
+            )
+        if act == "hang":
+            import time
+
+            time.sleep(self.hang_seconds)
+            return
+        from .errors import ReplayError
+
+        raise ReplayError(
+            f"injected worker failure (item {index}, attempt {attempt})"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Built-in plans and on-disk corruption
 # ---------------------------------------------------------------------------

@@ -18,14 +18,14 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+# DecodeError lives in the shared taxonomy now (so the CLI can map it to
+# its documented exit code without importing the decoder) but remains
+# importable from here, its historical home.
+from ..errors import DecodeError
 from ..isa.instructions import Op
 from ..isa.program import Program
 from ..pmu.pt import PTConfig, PTThreadTrace, PacketKind
 from ..pmu.records import PEBSSample, SyncRecord
-
-
-class DecodeError(Exception):
-    """Raised when a packet stream is inconsistent with the binary."""
 
 
 def _needs_packet(ins) -> bool:

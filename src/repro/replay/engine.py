@@ -168,6 +168,7 @@ class ReplayEngine:
         executor: str = "thread",
         jit: bool = True,
         summary_cache: Optional[BlockSummaryCache] = None,
+        supervisor=None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}: {mode!r}")
@@ -187,6 +188,13 @@ class ReplayEngine:
         self.jit = jit
         #: Shared block effect-summary cache (micro-op path only).
         self.summary_cache = summary_cache if jit else None
+        #: Optional :class:`~repro.supervise.SupervisorConfig`: the
+        #: per-thread fan-out then runs under the supervised runtime
+        #: (retries, timeouts, crash isolation) instead of the plain
+        #: pool.  The config pickles with the engine; the resulting
+        #: ledger lands in :attr:`last_ledger` after each fan-out.
+        self.supervisor = supervisor
+        self.last_ledger = None
 
     # ------------------------------------------------------------------
 
@@ -236,6 +244,14 @@ class ReplayEngine:
         """
         work = [(self, paths[tid], aligned.get(tid, [])) for tid in tids]
         worker = _replay_one_tolerant if tolerant else _replay_one
+        if self.supervisor is not None:
+            from ..supervise import supervised_map
+
+            results, self.last_ledger = supervised_map(
+                worker, work, jobs=self.jobs, executor=self.executor,
+                config=self.supervisor,
+            )
+            return results
         return parallel_map(worker, work, jobs=self.jobs,
                             executor=self.executor)
 

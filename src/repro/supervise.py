@@ -1,0 +1,672 @@
+"""Supervised execution runtime: retries, deadlines, crash isolation,
+quarantine, and checkpointed fan-outs.
+
+:func:`repro.parallel.parallel_map` gives the offline service its
+*speed*; this module gives it *survival*.  A production analysis fleet
+(§7.6's dedicated machines) meets failures the plain executor turns
+into catastrophes: one OOM-killed worker raises ``BrokenProcessPool``
+and throws away a whole detection sweep, one hung replay stalls an
+analysis forever, and a multi-hour sweep interrupted at 99% restarts
+from zero.  :func:`supervised_map` keeps the exact calling convention
+(map a function over items, results in input order, bit-identical to
+the serial run) and adds the supervision a long-lived service needs:
+
+* **per-item retries** with seeded exponential backoff and jitter —
+  deterministic given the :class:`SupervisorConfig` seed, so a chaos
+  test can replay the exact schedule;
+* **per-item timeouts** and a **whole-call deadline** — a hung worker
+  is killed and its item retried; a blown deadline raises
+  :class:`~repro.errors.DeadlineExceeded` carrying the partial results;
+* **crash isolation** — process-executor items each run in their own
+  forked worker, so a SIGKILL/OOM fails only the in-flight item; every
+  completed result is kept and the dead worker slot is respawned;
+* **quarantine** — an item that exhausts its retry budget is recorded
+  and reported via :class:`~repro.errors.QuarantinedWork` instead of
+  silently poisoning the fold;
+* **checkpoint/resume** — completed results stream into an append-only
+  :class:`~repro.tracing.serialize.ResultJournal`; an interrupted run
+  resumes from the journal and produces bit-identical final output;
+* a structured :class:`RunLedger` accounting for every attempt, retry,
+  timeout, crash, respawn, resumed item, and quarantined index.
+
+Determinism: supervision never changes *what* is computed, only *how
+persistently*.  Results are folded by input index, and work functions
+are deterministic per item, so a supervised run under any fault plan
+that retries to success is bit-identical to the serial no-fault run —
+the property test in ``tests/test_property_faults.py`` pins this.
+
+Executor semantics mirror :mod:`repro.parallel`, with one addition:
+per-item *process* isolation uses one forked worker per in-flight item
+(a worker-slot model rather than a shared pool), which is what makes a
+SIGKILL attributable to exactly one item.  Thread workers cannot be
+killed, so a timed-out thread item is abandoned (daemon thread) and
+retried; true kill faults on the thread executor are *simulated* by
+raising :class:`~repro.errors.WorkerCrash`.  The inline path (serial
+executor, or one job with nothing to isolate) applies retries, backoff
+and the deadline but cannot enforce per-item timeouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from .errors import DeadlineExceeded, QuarantinedWork, WorkerCrash
+from .parallel import EXECUTORS, resolve_jobs
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Sentinel for a result slot not yet produced.
+_UNSET = object()
+
+#: Poll interval of the supervision loop (seconds).  Coarse on purpose:
+#: supervised work items are whole trials/replays, not micro-tasks.
+_TICK = 0.01
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/deadline policy for one supervised fan-out.
+
+    Args:
+        retries: per-item retry budget (an item runs at most
+            ``retries + 1`` times before quarantine).
+        task_timeout: per-item wall-clock limit in seconds; a worker
+            exceeding it is killed (process) or abandoned (thread) and
+            the item retried.  ``None`` disables.
+        deadline: whole-call wall-clock budget in seconds; when it
+            expires the run aborts with
+            :class:`~repro.errors.DeadlineExceeded`.  ``None`` disables.
+        backoff_base: first-retry delay in seconds (0 disables backoff).
+        backoff_factor: exponential growth per further retry.
+        backoff_jitter: multiplicative jitter fraction, seeded.
+        seed: drives the jitter; one seed fully determines every delay.
+    """
+
+    retries: int = 2
+    task_timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    seed: int = 0
+
+    def backoff(self, index: int, attempt: int) -> float:
+        """Delay before *attempt* (1-based) of item *index* — zero for
+        the first attempt, then seeded exponential backoff with jitter.
+        Deterministic: the same (seed, index, attempt) always yields the
+        same delay."""
+        if attempt <= 1 or self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        if self.backoff_jitter > 0:
+            rng = random.Random(
+                (self.seed * 1_000_003 + index) * 8_191 + attempt
+            )
+            delay *= 1.0 + self.backoff_jitter * rng.random()
+        return delay
+
+
+@dataclass
+class ItemRecord:
+    """One work item's supervision history."""
+
+    index: int
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    failures: int = 0
+    wall_seconds: float = 0.0
+    #: ``pending`` | ``ok`` | ``resumed`` (from a checkpoint journal) |
+    #: ``quarantined``.
+    outcome: str = "pending"
+    error: Optional[str] = None
+
+    @property
+    def eventful(self) -> bool:
+        return bool(
+            self.retries or self.timeouts or self.crashes or self.failures
+            or self.outcome in ("quarantined", "resumed")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "failures": self.failures,
+            "wall_seconds": self.wall_seconds,
+            "outcome": self.outcome,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunLedger:
+    """Structured account of one supervised run: what ran, what was
+    retried, what crashed, what was resumed, what was given up on."""
+
+    items: List[ItemRecord] = field(default_factory=list)
+    #: Worker slots replaced after a kill/timeout (process isolation).
+    respawns: int = 0
+    #: Items restored from a checkpoint journal instead of re-run.
+    resumed: int = 0
+    wall_seconds: float = 0.0
+    deadline_hit: bool = False
+
+    @property
+    def attempts(self) -> int:
+        return sum(r.attempts for r in self.items)
+
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.items)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(r.timeouts for r in self.items)
+
+    @property
+    def crashes(self) -> int:
+        return sum(r.crashes for r in self.items)
+
+    @property
+    def failures(self) -> int:
+        return sum(r.failures for r in self.items)
+
+    @property
+    def quarantined(self) -> Tuple[int, ...]:
+        return tuple(sorted(
+            r.index for r in self.items if r.outcome == "quarantined"
+        ))
+
+    @property
+    def eventful(self) -> bool:
+        """False for a perfectly boring run (every item succeeded first
+        try, nothing resumed) — reports omit the ledger then."""
+        return bool(
+            self.retries or self.timeouts or self.crashes or self.failures
+            or self.respawns or self.resumed or self.quarantined
+            or self.deadline_hit
+        )
+
+    def merge(self, other: "RunLedger") -> None:
+        """Fold another supervised call's ledger into this one (e.g.
+        one ledger per regeneration round of an analysis)."""
+        self.items.extend(other.items)
+        self.respawns += other.respawns
+        self.resumed += other.resumed
+        self.wall_seconds += other.wall_seconds
+        self.deadline_hit = self.deadline_hit or other.deadline_hit
+
+    def to_dict(self) -> dict:
+        return {
+            "items": len(self.items),
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "failures": self.failures,
+            "respawns": self.respawns,
+            "resumed": self.resumed,
+            "quarantined": list(self.quarantined),
+            "deadline_hit": self.deadline_hit,
+            "wall_seconds": self.wall_seconds,
+            "eventful_items": [
+                r.to_dict() for r in self.items if r.eventful
+            ],
+        }
+
+    def render(self, max_items: int = 10) -> str:
+        lines = [
+            f"run ledger: {len(self.items)} items, "
+            f"{self.attempts} attempts ({self.retries} retries, "
+            f"{self.failures} failures, {self.crashes} crashes, "
+            f"{self.timeouts} timeouts, {self.respawns} respawns), "
+            f"{self.resumed} resumed from checkpoint",
+        ]
+        if self.quarantined:
+            lines.append(
+                f"  quarantined items: {list(self.quarantined)}"
+            )
+        if self.deadline_hit:
+            lines.append("  deadline exceeded before completion")
+        eventful = [r for r in self.items if r.eventful
+                    and r.outcome != "resumed"]
+        for record in eventful[:max_items]:
+            lines.append(
+                f"  item {record.index}: {record.attempts} attempts "
+                f"({record.crashes} crashes, {record.timeouts} timeouts, "
+                f"{record.failures} failures) -> {record.outcome}"
+                + (f" [{record.error}]" if record.error else "")
+            )
+        if len(eventful) > max_items:
+            lines.append(f"  ... and {len(eventful) - max_items} more")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker slots
+# ---------------------------------------------------------------------------
+
+
+def _run_in_child(conn, fn, item, index, attempt, fault_plan) -> None:
+    """Process-worker body: run the item, ship ('ok', result) or
+    ('err', message) back over the pipe.  A kill fault (or a real
+    SIGKILL/OOM) simply never sends — the parent sees EOF."""
+    try:
+        if fault_plan is not None:
+            fault_plan.perturb(index, attempt, in_process=True)
+        payload = ("ok", fn(item))
+    except BaseException as error:  # noqa: BLE001 - isolation boundary
+        payload = ("err", f"{type(error).__name__}: {error}")
+    try:
+        conn.send(payload)
+    except Exception:
+        pass
+    finally:
+        conn.close()
+
+
+def _run_in_thread(box, fn, item, index, attempt, fault_plan) -> None:
+    """Thread-worker body: same protocol, results into a shared box."""
+    try:
+        if fault_plan is not None:
+            fault_plan.perturb(index, attempt, in_process=False)
+        box.append(("ok", fn(item)))
+    except WorkerCrash as error:
+        box.append(("crash", str(error)))
+    except BaseException as error:  # noqa: BLE001 - isolation boundary
+        box.append(("err", f"{type(error).__name__}: {error}"))
+
+
+class _ProcessSlot:
+    """One in-flight item in its own forked worker process.
+
+    Process-per-item is what makes crash isolation *attributable*: a
+    SIGKILL takes down exactly this item's worker, the supervisor sees
+    EOF on this pipe, and no sibling result is lost (the shared-pool
+    alternative, ``BrokenProcessPool``, fails every pending future)."""
+
+    isolation = "process"
+
+    def __init__(self, ctx, fn, item, index, attempt, fault_plan):
+        self.index = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.proc = ctx.Process(
+            target=_run_in_child,
+            args=(child_conn, fn, item, index, attempt, fault_plan),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def finished(self) -> bool:
+        # A dead child closes (or never writes) its pipe end, which
+        # also makes poll() return True (EOF is readable).
+        return self.conn.poll(0) or not self.proc.is_alive()
+
+    def outcome(self) -> Tuple[str, object]:
+        try:
+            if self.conn.poll(0):
+                return self.conn.recv()
+        except (EOFError, OSError):
+            pass
+        code = self.proc.exitcode
+        return ("crash", f"worker died without a result (exit {code})")
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except Exception:
+            pass
+        self.close()
+
+    def close(self) -> None:
+        self.proc.join(timeout=5)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+class _ThreadSlot:
+    """One in-flight item on a daemon thread.  Threads cannot be
+    killed: a timed-out item is abandoned (the daemon thread keeps
+    running to completion but its result is discarded) and retried."""
+
+    isolation = "thread"
+
+    def __init__(self, fn, item, index, attempt, fault_plan):
+        self.index = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.box: List[Tuple[str, object]] = []
+        self.thread = threading.Thread(
+            target=_run_in_thread,
+            args=(self.box, fn, item, index, attempt, fault_plan),
+            daemon=True,
+        )
+        self.thread.start()
+
+    def finished(self) -> bool:
+        return bool(self.box) or not self.thread.is_alive()
+
+    def outcome(self) -> Tuple[str, object]:
+        if self.box:
+            return self.box[0]
+        return ("crash", "worker thread died without a result")
+
+    def kill(self) -> None:  # abandoned, not killed
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+
+def supervised_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    executor: str = "process",
+    config: Optional[SupervisorConfig] = None,
+    fault_plan=None,
+    journal=None,
+) -> Tuple[List[R], RunLedger]:
+    """Map *fn* over *items* under supervision.
+
+    Same contract as :func:`repro.parallel.parallel_map` — results come
+    back in input order, bit-identical to the serial run — plus the
+    retry/timeout/deadline/quarantine semantics of *config*.
+
+    Args:
+        fn: deterministic per-item work function (module-level and
+            picklable for the process executor).
+        items: the work list.
+        jobs: worker-slot count.
+        executor: ``"serial"``, ``"thread"``, or ``"process"`` (see
+            module docstring for isolation semantics).
+        config: retry/deadline policy; defaults to
+            ``SupervisorConfig()``.
+        fault_plan: optional :class:`~repro.faults.WorkerFaultPlan`
+            injected into workers (chaos testing).
+        journal: optional
+            :class:`~repro.tracing.serialize.ResultJournal`; completed
+            results are appended as they land and pre-existing entries
+            are restored instead of re-run.
+
+    Returns:
+        ``(results, ledger)``.
+
+    Raises:
+        DeadlineExceeded: the whole-call budget expired (partial
+            results and the ledger ride on the exception).
+        QuarantinedWork: one or more items exhausted their retries.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}: {executor!r}")
+    work: Sequence[T] = items if isinstance(items, list) else list(items)
+    config = config or SupervisorConfig()
+    jobs = resolve_jobs(jobs)
+    n = len(work)
+    records = [ItemRecord(index=i) for i in range(n)]
+    ledger = RunLedger(items=records)
+    results: List[object] = [_UNSET] * n
+
+    if journal is not None:
+        for index, value in journal.entries.items():
+            if 0 <= index < n:
+                results[index] = value
+                records[index].outcome = "resumed"
+                ledger.resumed += 1
+
+    todo = [i for i in range(n) if results[i] is _UNSET]
+    start = time.monotonic()
+    # Process isolation is mandatory whenever faults must not take the
+    # supervisor down with them (kill plans) or hung workers must be
+    # killable (task timeouts) — even with a single worker slot.
+    needs_isolation = executor == "process" and (
+        fault_plan is not None or config.task_timeout is not None
+    )
+    try:
+        if not todo:
+            pass
+        elif (executor == "serial"
+                or (jobs <= 1 or len(todo) <= 1) and not needs_isolation):
+            _run_inline(fn, work, todo, results, records, ledger,
+                        config, fault_plan, journal, start)
+        else:
+            _run_slots(fn, work, todo, results, records, ledger,
+                       config, fault_plan, journal, start,
+                       workers=min(jobs, len(todo)), executor=executor)
+    finally:
+        ledger.wall_seconds = time.monotonic() - start
+
+    quarantined = ledger.quarantined
+    if quarantined:
+        raise QuarantinedWork(quarantined, ledger=ledger,
+                              partial=_partial(results))
+    return [r if r is not _UNSET else None for r in results], ledger
+
+
+def _partial(results: List[object]) -> List[object]:
+    return [None if r is _UNSET else r for r in results]
+
+
+def _check_deadline(config: SupervisorConfig, start: float,
+                    results: List[object], ledger: RunLedger) -> None:
+    if config.deadline is None:
+        return
+    if time.monotonic() - start > config.deadline:
+        ledger.deadline_hit = True
+        unfinished = sum(1 for r in results if r is _UNSET)
+        raise DeadlineExceeded(
+            f"deadline of {config.deadline}s exceeded with "
+            f"{unfinished} item(s) unfinished",
+            ledger=ledger, partial=_partial(results),
+        )
+
+
+def _note_success(index: int, value: object, elapsed: float,
+                  results: List[object], records: List[ItemRecord],
+                  journal) -> None:
+    results[index] = value
+    record = records[index]
+    record.outcome = "ok"
+    record.wall_seconds += elapsed
+    if journal is not None:
+        journal.append(index, value)
+
+
+def _note_failure(index: int, attempt: int, kind: str, message: str,
+                  elapsed: float, records: List[ItemRecord],
+                  ledger: RunLedger, config: SupervisorConfig,
+                  requeue: Optional[Callable[[int, int], None]]) -> bool:
+    """Account one failed attempt; requeue if budget remains.  Returns
+    True when the item was requeued, False when quarantined."""
+    record = records[index]
+    record.wall_seconds += elapsed
+    record.error = message
+    if kind == "timeout":
+        record.timeouts += 1
+    elif kind == "crash":
+        record.crashes += 1
+    else:
+        record.failures += 1
+    if kind in ("timeout", "crash"):
+        ledger.respawns += 1
+    if attempt > config.retries:
+        record.outcome = "quarantined"
+        return False
+    record.retries += 1
+    if requeue is not None:
+        requeue(index, attempt + 1)
+    return True
+
+
+def _run_inline(fn, work, todo, results, records, ledger, config,
+                fault_plan, journal, start) -> None:
+    """Serial supervision: retries, backoff and the deadline apply;
+    per-item timeouts cannot be enforced without an isolating worker."""
+    for index in todo:
+        attempt = 0
+        while True:
+            attempt += 1
+            _check_deadline(config, start, results, ledger)
+            delay = config.backoff(index, attempt)
+            if delay:
+                time.sleep(delay)
+            records[index].attempts += 1
+            began = time.monotonic()
+            try:
+                if fault_plan is not None:
+                    fault_plan.perturb(index, attempt, in_process=False)
+                value = fn(work[index])
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except WorkerCrash as error:
+                kind, message = "crash", str(error)
+            except Exception as error:  # noqa: BLE001 - supervision boundary
+                kind, message = (
+                    "failure", f"{type(error).__name__}: {error}"
+                )
+            else:
+                _note_success(index, value, time.monotonic() - began,
+                              results, records, journal)
+                break
+            if not _note_failure(index, attempt, kind, message,
+                                 time.monotonic() - began, records,
+                                 ledger, config, requeue=None):
+                break
+
+
+def _run_slots(fn, work, todo, results, records, ledger, config,
+               fault_plan, journal, start, workers, executor) -> None:
+    """Slot-based supervision for the thread and process executors."""
+    if executor == "process":
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+        def spawn(index, attempt):
+            return _ProcessSlot(ctx, fn, work[index], index, attempt,
+                                fault_plan)
+    else:
+        def spawn(index, attempt):
+            return _ThreadSlot(fn, work[index], index, attempt, fault_plan)
+
+    # (not_before, index, attempt) — index tiebreak keeps launch order
+    # deterministic when several items share a ready time.
+    queue: List[Tuple[float, int, int]] = [(0.0, i, 1) for i in todo]
+    heapq.heapify(queue)
+    slots: List[object] = []
+
+    def requeue(index: int, attempt: int) -> None:
+        not_before = time.monotonic() + config.backoff(index, attempt)
+        heapq.heappush(queue, (not_before, index, attempt))
+
+    try:
+        while queue or slots:
+            now = time.monotonic()
+            _check_deadline(config, start, results, ledger)
+            progressed = False
+            while (len(slots) < workers and queue
+                   and queue[0][0] <= now):
+                _, index, attempt = heapq.heappop(queue)
+                records[index].attempts += 1
+                slots.append(spawn(index, attempt))
+                progressed = True
+            for slot in list(slots):
+                now = time.monotonic()
+                if slot.finished():
+                    kind, payload = slot.outcome()
+                    slots.remove(slot)
+                    slot.close()
+                    elapsed = now - slot.started
+                    if kind == "ok":
+                        _note_success(slot.index, payload, elapsed,
+                                      results, records, journal)
+                    else:
+                        _note_failure(
+                            slot.index, slot.attempt,
+                            "crash" if kind == "crash" else "failure",
+                            str(payload), elapsed, records, ledger,
+                            config, requeue,
+                        )
+                    progressed = True
+                elif (config.task_timeout is not None
+                        and now - slot.started > config.task_timeout):
+                    slots.remove(slot)
+                    slot.kill()
+                    _note_failure(
+                        slot.index, slot.attempt, "timeout",
+                        f"task timeout after {config.task_timeout}s",
+                        now - slot.started, records, ledger, config,
+                        requeue,
+                    )
+                    progressed = True
+            if not progressed:
+                time.sleep(_TICK)
+    finally:
+        for slot in slots:
+            slot.kill()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint plumbing
+# ---------------------------------------------------------------------------
+
+
+def journal_path(checkpoint_dir: Path | str, kind: str, key: str) -> Path:
+    """The journal file for one (kind, parameter-key) work unit inside
+    *checkpoint_dir* — content-addressed, so ``--resume`` finds the
+    right journal without the caller naming files."""
+    digest = hashlib.sha256(key.encode()).hexdigest()[:12]
+    return Path(checkpoint_dir) / f"{kind}-{digest}.prjl"
+
+
+def open_journal(checkpoint_dir: Optional[Path | str], kind: str,
+                 key: str, resume: bool):
+    """A :class:`~repro.tracing.serialize.ResultJournal` for this work
+    unit, or None when checkpointing is off.  Without *resume*, any
+    stale journal is discarded and a fresh one started."""
+    if checkpoint_dir is None:
+        return None
+    from .tracing.serialize import ResultJournal
+
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = journal_path(directory, kind, key)
+    if not resume and path.exists():
+        path.unlink()
+    return ResultJournal(path, key=key)

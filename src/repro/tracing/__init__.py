@@ -1,11 +1,17 @@
 """Online-phase tracing: PMU wiring, sync/alloc logs, trace bundle."""
 
 from .bundle import TraceBundle, TraceDefects, trace_run
-from .serialize import TraceFormatError, read_trace, write_trace
+from .serialize import (
+    ResultJournal,
+    TraceFormatError,
+    read_trace,
+    write_trace,
+)
 from .tracers import GroundTruthRecorder, SyncTracer
 
 __all__ = [
     "GroundTruthRecorder",
+    "ResultJournal",
     "SyncTracer",
     "TraceBundle",
     "TraceDefects",

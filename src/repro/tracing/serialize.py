@@ -30,12 +30,16 @@ salvaged — damage there is unlocalizable by design of the v1 format).
 
 from __future__ import annotations
 
+import hashlib
 import io
+import os
+import pickle
 import struct
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import CheckpointError, TraceError
 from ..isa.registers import ALL_REGISTERS
 from ..machine.machine import RunResult
 from ..pmu.drivers import DriverAccounting, PRORACE_DRIVER, VANILLA_DRIVER
@@ -91,7 +95,7 @@ _PACKET_KINDS = (PacketKind.TIP, PacketKind.TNT, PacketKind.END,
                  PacketKind.OVF)
 
 
-class TraceFormatError(Exception):
+class TraceFormatError(TraceError):
     """Raised on malformed or corrupted trace files."""
 
 
@@ -429,3 +433,109 @@ def read_trace(path: Path | str, program=None,
         defects=defects,
     )
     return bundle
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+
+_JOURNAL_MAGIC = b"PRJL"
+_JOURNAL_VERSION = 1
+#: magic, version, key-digest length.
+_JOURNAL_HEADER = struct.Struct("<4sHH")
+#: index, payload length, payload crc32.
+_JOURNAL_RECORD = struct.Struct("<III")
+
+
+class ResultJournal:
+    """Append-only on-disk journal of completed work-item results.
+
+    The checkpoint format behind ``--checkpoint-dir``/``--resume``: a
+    supervised fan-out appends each ``(index, result)`` as it lands, and
+    a resumed run replays the journal instead of re-running those items.
+    Designed for the failure it must survive — the writer dying
+    mid-append:
+
+    * records are self-delimiting (index, length, crc32, pickled
+      payload), so a torn tail is detected by CRC/length and truncated
+      away on open rather than poisoning the resume;
+    * the header carries a SHA-256 digest of the caller's *key* (the
+      sweep/analysis parameters); resuming against a journal written
+      for different work raises
+      :class:`~repro.errors.CheckpointError` instead of silently
+      splicing mismatched results.
+
+    Appends flush+fsync per record: a journal exists precisely to
+    survive the crash that loses buffered state.
+    """
+
+    def __init__(self, path: Path | str, key: str) -> None:
+        self.path = Path(path)
+        self.key = key
+        self._digest = hashlib.sha256(key.encode()).digest()
+        #: index -> unpickled result, from any pre-existing journal.
+        self.entries: Dict[int, object] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+        else:
+            with open(self.path, "wb") as out:
+                out.write(_JOURNAL_HEADER.pack(
+                    _JOURNAL_MAGIC, _JOURNAL_VERSION, len(self._digest)
+                ))
+                out.write(self._digest)
+        self._out = open(self.path, "ab")
+
+    def _load(self) -> None:
+        blob = self.path.read_bytes()
+        if len(blob) < _JOURNAL_HEADER.size:
+            raise CheckpointError(f"journal too short: {self.path}")
+        magic, version, digest_len = _JOURNAL_HEADER.unpack_from(blob, 0)
+        if magic != _JOURNAL_MAGIC:
+            raise CheckpointError(f"not a result journal: {self.path}")
+        if version != _JOURNAL_VERSION:
+            raise CheckpointError(
+                f"unsupported journal version {version}: {self.path}"
+            )
+        offset = _JOURNAL_HEADER.size
+        if blob[offset:offset + digest_len] != self._digest:
+            raise CheckpointError(
+                f"journal {self.path} was written for different work "
+                "parameters; refusing to resume from it"
+            )
+        offset += digest_len
+        good_end = offset
+        while offset + _JOURNAL_RECORD.size <= len(blob):
+            index, length, crc = _JOURNAL_RECORD.unpack_from(blob, offset)
+            start = offset + _JOURNAL_RECORD.size
+            payload = blob[start:start + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # torn tail: the writer died mid-append
+            self.entries[index] = pickle.loads(payload)
+            offset = start + length
+            good_end = offset
+        if good_end < len(blob):
+            with open(self.path, "r+b") as out:
+                out.truncate(good_end)
+
+    def append(self, index: int, result: object) -> None:
+        """Durably record one completed item."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._out.write(_JOURNAL_RECORD.pack(
+            index, len(payload), zlib.crc32(payload)
+        ))
+        self._out.write(payload)
+        self._out.flush()
+        os.fsync(self._out.fileno())
+        self.entries[index] = result
+
+    def close(self) -> None:
+        try:
+            self._out.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -17,6 +17,7 @@ import pytest
 
 import repro.analysis.context as context_mod
 from repro.analysis import AnalysisContext, OfflinePipeline
+from repro.errors import UsageError
 from repro.isa import assemble
 from repro.tracing import trace_run
 
@@ -176,7 +177,9 @@ class TestMergedStream:
     def test_merged_events_requires_replay(self, regen_case):
         program, bundle = regen_case
         context = OfflinePipeline(program).context_for(bundle)
-        with pytest.raises(RuntimeError):
+        # A usage bug, not a runtime fault: the typed taxonomy keeps the
+        # two distinguishable for callers.
+        with pytest.raises(UsageError):
             list(context.merged_events())
 
     def test_events_for_matches_context_stream(self, regen_case):

@@ -140,6 +140,71 @@ class TestChaos:
                   "--plans", "nonsense"])
 
 
+class TestSupervisedExitCodes:
+    """The documented exit-code taxonomy: 2 = bad input (covered by
+    TestAnalyzeErrors), 3 = deadline, 4 = quarantine — each distinct so
+    a fleet scheduler can requeue/quarantine/discard without parsing
+    messages."""
+
+    def test_deadline_exits_3(self, capsys):
+        code = main([
+            "sweep", "detection", "--target", "aget-bug2",
+            "--periods", "100", "--runs", "2", "--iterations", "8",
+            "--deadline", "0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "deadline" in captured.err
+
+    def test_quarantine_exits_4(self, capsys):
+        # Every attempt of every trial raises: the retry budget drains
+        # and the items land in quarantine.
+        code = main([
+            "chaos", "aget-bug2", "--iterations", "8", "--runs", "2",
+            "--period", "100", "--fail-workers", "1.0",
+            "--retries", "1", "--fault-attempts", "99",
+        ])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "quarantined" in captured.err
+
+    def test_chaos_needs_known_bug(self):
+        with pytest.raises(SystemExit, match="race bug"):
+            main(["chaos", "swaptions", "--kill-workers", "0.5"])
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            main([
+                "sweep", "detection", "--target", "aget-bug2",
+                "--periods", "100", "--runs", "2", "--iterations", "8",
+                "--resume",
+            ])
+
+
+class TestSweepCheckpointResume:
+    def test_resume_bit_identical(self, capsys, tmp_path):
+        args = [
+            "sweep", "detection", "--target", "aget-bug2",
+            "--periods", "100", "--runs", "2", "--iterations", "8",
+            "--json",
+        ]
+        code, baseline = run_cli(capsys, *args)
+        assert code == 0
+        checkpoint = str(tmp_path / "ck")
+        code, _ = run_cli(capsys, *args, "--checkpoint-dir", checkpoint)
+        assert code == 0
+        code, resumed = run_cli(capsys, *args, "--checkpoint-dir",
+                                checkpoint, "--resume")
+        assert code == 0
+        base, res = json.loads(baseline), json.loads(resumed)
+        # The deterministic payload is identical to the unsupervised
+        # run; the ledger records that nothing was recomputed.
+        assert base["cells"] == res["cells"]
+        assert base["totals"] == res["totals"]
+        assert res["run_ledger"]["resumed"] == 2
+        assert res["run_ledger"]["attempts"] == 0
+
+
 class TestDetect:
     def test_single_run_report(self, capsys, racy_source):
         code, out = run_cli(

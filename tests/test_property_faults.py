@@ -7,14 +7,19 @@ verdict set (lost data costs detection power) but never to grow it, and
 the analysis must always run to completion and account for what it
 skipped."""
 
+import tempfile
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import OfflinePipeline
-from repro.faults import FaultPlan
+from repro.analysis.sweeps import detection_sweep
+from repro.faults import FaultPlan, WorkerFaultPlan
 from repro.isa import assemble
+from repro.supervise import SupervisorConfig
 from repro.tracing import trace_run
-from repro.workloads import GeneratorConfig, generate_racy_program
+from repro.workloads import RACE_BUGS, GeneratorConfig, WorkloadScale, \
+    generate_racy_program
 
 from tests.helpers import CLEAN_COUNTER_ASM
 
@@ -69,3 +74,61 @@ def test_fault_application_is_deterministic(plan):
     assert first_defects == second_defects
     assert first.samples == second.samples
     assert first.sync_records == second.sync_records
+
+
+# ---------------------------------------------------------------------------
+# Supervised-runtime transparency (worker faults, not trace faults)
+# ---------------------------------------------------------------------------
+
+_SWEEP_BUGS = {"aget-bug2": RACE_BUGS["aget-bug2"]}
+_SWEEP_SCALE = WorkloadScale(iterations=8)
+_SWEEP_PERIODS = (100,)
+_SWEEP_RUNS = 2
+
+# One serial, fault-free baseline shared by every Hypothesis example.
+_SWEEP_BASELINE = detection_sweep(
+    _SWEEP_BUGS, _SWEEP_SCALE, periods=_SWEEP_PERIODS, runs=_SWEEP_RUNS,
+    jobs=1, executor="serial",
+).to_dict()
+
+worker_plans = st.builds(
+    WorkerFaultPlan,
+    seed=st.integers(min_value=0, max_value=10_000),
+    kill=st.floats(min_value=0.0, max_value=0.8,
+                   allow_nan=False, allow_infinity=False),
+    fail=st.floats(min_value=0.0, max_value=0.2,
+                   allow_nan=False, allow_infinity=False),
+)
+
+
+@given(plan=worker_plans)
+@settings(max_examples=5, deadline=None, derandomize=True)
+def test_supervised_sweep_transparent_to_worker_faults(plan):
+    """Whatever workers a seeded fault plan kills or fails, a supervised
+    sweep with retries — interrupted and resumed from its checkpoint —
+    produces the deterministic payload of the serial no-fault run,
+    bit-identical.  (max_faulty_attempts=1, the default, guarantees the
+    retries converge.)"""
+    config = SupervisorConfig(retries=3, backoff_base=0.0, seed=plan.seed)
+    with tempfile.TemporaryDirectory() as checkpoint:
+        first = detection_sweep(
+            _SWEEP_BUGS, _SWEEP_SCALE, periods=_SWEEP_PERIODS,
+            runs=_SWEEP_RUNS, jobs=2, executor="process",
+            supervisor=config, fault_plan=plan, checkpoint_dir=checkpoint,
+        )
+        resumed = detection_sweep(
+            _SWEEP_BUGS, _SWEEP_SCALE, periods=_SWEEP_PERIODS,
+            runs=_SWEEP_RUNS, jobs=2, executor="process",
+            supervisor=config, checkpoint_dir=checkpoint, resume=True,
+        )
+    for result in (first, resumed):
+        payload = result.to_dict()
+        assert payload["cells"] == _SWEEP_BASELINE["cells"]
+        assert payload["totals"] == _SWEEP_BASELINE["totals"]
+    assert resumed.ledger.resumed == len(_SWEEP_PERIODS) * _SWEEP_RUNS
+    # Every perturbed attempt is visible in the ledger, none fatal.
+    faulted = sum(
+        1 for index in range(len(_SWEEP_PERIODS) * _SWEEP_RUNS)
+        if plan.action(index, 1) is not None
+    )
+    assert first.ledger.retries == faulted

@@ -1,0 +1,365 @@
+"""Supervised runtime: retries, crash isolation, timeouts, deadlines,
+quarantine, and checkpoint/resume (the §7.6 fleet's survival kit).
+
+The headline contract: supervision changes *how persistently* work
+runs, never *what* it computes — every scenario here checks the final
+results against the plain serial run bit-for-bit.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import (
+    EXIT_DEADLINE,
+    EXIT_QUARANTINE,
+    CheckpointError,
+    DeadlineExceeded,
+    QuarantinedWork,
+    WorkerError,
+    exit_code_for,
+)
+from repro.faults import WorkerFaultPlan
+from repro.parallel import parallel_map
+from repro.supervise import (
+    RunLedger,
+    SupervisorConfig,
+    journal_path,
+    open_journal,
+    supervised_map,
+)
+from repro.tracing.serialize import ResultJournal
+
+# Fast config for tests: no backoff sleeps.
+FAST = SupervisorConfig(retries=3, backoff_base=0.0)
+
+
+def _square(x):
+    """Module-level so the process executor can pickle it."""
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"no good: {x}")
+
+
+def _slow_square(x):
+    time.sleep(5.0)
+    return x * x
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_matches_serial(self, executor, jobs):
+        items = list(range(9))
+        results, ledger = supervised_map(_square, items, jobs=jobs,
+                                         executor=executor, config=FAST)
+        assert results == [x * x for x in items]
+        assert ledger.attempts == len(items)
+        assert not ledger.eventful
+
+    def test_empty(self):
+        results, ledger = supervised_map(_square, [], jobs=4, config=FAST)
+        assert results == []
+        assert ledger.attempts == 0
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            supervised_map(_square, [1], executor="gpu")
+
+
+class TestFaultRecovery:
+    def test_process_kill_isolated_and_retried(self):
+        """A SIGKILLed worker fails only its item; the retry converges
+        and results are bit-identical to the no-fault serial run."""
+        plan = WorkerFaultPlan(seed=3, kill=0.6)
+        items = list(range(8))
+        results, ledger = supervised_map(_square, items, jobs=4,
+                                         executor="process", config=FAST,
+                                         fault_plan=plan)
+        assert results == [x * x for x in items]
+        assert ledger.crashes > 0
+        assert ledger.respawns == ledger.crashes
+        assert ledger.retries == ledger.crashes
+        assert all(r.outcome == "ok" for r in ledger.items)
+
+    def test_thread_kill_simulated(self):
+        """Thread workers simulate the kill via WorkerCrash — same
+        accounting, same recovery."""
+        plan = WorkerFaultPlan(seed=3, kill=0.6)
+        items = list(range(8))
+        results, ledger = supervised_map(_square, items, jobs=4,
+                                         executor="thread", config=FAST,
+                                         fault_plan=plan)
+        assert results == [x * x for x in items]
+        assert ledger.crashes > 0
+
+    def test_fail_fault_counts_as_failure(self):
+        plan = WorkerFaultPlan(seed=5, fail=0.7)
+        items = list(range(6))
+        results, ledger = supervised_map(_square, items, jobs=2,
+                                         executor="thread", config=FAST,
+                                         fault_plan=plan)
+        assert results == [x * x for x in items]
+        assert ledger.failures > 0
+        assert ledger.crashes == 0
+
+    def test_hung_worker_killed_and_retried(self):
+        """A hung process worker is killed at task_timeout and the item
+        retried (the retry attempt is past max_faulty_attempts, so it
+        runs clean)."""
+        plan = WorkerFaultPlan(seed=1, hang=1.0, hang_seconds=30.0)
+        config = SupervisorConfig(retries=2, task_timeout=0.5,
+                                  backoff_base=0.0)
+        items = [2, 3]
+        results, ledger = supervised_map(_square, items, jobs=2,
+                                         executor="process", config=config,
+                                         fault_plan=plan)
+        assert results == [4, 9]
+        assert ledger.timeouts == len(items)
+        assert ledger.respawns == len(items)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_identical_across_executors_and_jobs(self, executor, jobs):
+        """Acceptance criterion: determinism holds across jobs 1/4 and
+        thread/process under the same fault plan."""
+        plan = WorkerFaultPlan(seed=7, kill=0.3, fail=0.3)
+        items = list(range(10))
+        results, _ = supervised_map(_square, items, jobs=jobs,
+                                    executor=executor, config=FAST,
+                                    fault_plan=plan)
+        assert results == [x * x for x in items]
+
+
+class TestQuarantine:
+    def test_exhausted_budget_quarantines(self):
+        """A permanently faulty item ends in QuarantinedWork naming the
+        exact indices, with the survivors' results on the exception."""
+        plan = WorkerFaultPlan(seed=5, fail=0.7, max_faulty_attempts=99)
+        config = SupervisorConfig(retries=1, backoff_base=0.0)
+        items = list(range(6))
+        faulty = [i for i in items
+                  if plan.action(i, 1) == "fail"]
+        assert faulty, "seed must schedule at least one fault"
+        with pytest.raises(QuarantinedWork) as excinfo:
+            supervised_map(_square, items, jobs=2, executor="thread",
+                           config=config, fault_plan=plan)
+        error = excinfo.value
+        assert list(error.indices) == faulty
+        assert exit_code_for(error) == EXIT_QUARANTINE
+        for i in items:
+            expected = None if i in faulty else i * i
+            assert error.partial[i] == expected
+        assert error.ledger.quarantined == tuple(faulty)
+
+    def test_plain_exceptions_quarantine_too(self):
+        with pytest.raises(QuarantinedWork) as excinfo:
+            supervised_map(_boom, [1], config=FAST)
+        record = excinfo.value.ledger.items[0]
+        assert record.attempts == FAST.retries + 1
+        assert "ValueError" in record.error
+
+
+class TestDeadline:
+    def test_deadline_carries_partial_results(self):
+        config = SupervisorConfig(retries=0, deadline=0.3,
+                                  task_timeout=10.0, backoff_base=0.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            supervised_map(_slow_square, [1, 2, 3], jobs=1,
+                           executor="process", config=config)
+        error = excinfo.value
+        assert exit_code_for(error) == EXIT_DEADLINE
+        assert error.ledger.deadline_hit
+        assert error.partial == [None, None, None]
+
+    def test_inline_deadline(self):
+        config = SupervisorConfig(retries=0, deadline=0.2,
+                                  backoff_base=0.0)
+        with pytest.raises(DeadlineExceeded):
+            supervised_map(_slow_square, [1, 2], jobs=1,
+                           executor="serial", config=config)
+
+
+class TestBackoff:
+    def test_deterministic_and_exponential(self):
+        config = SupervisorConfig(seed=11, backoff_base=0.05,
+                                  backoff_factor=2.0, backoff_jitter=0.1)
+        again = SupervisorConfig(seed=11, backoff_base=0.05,
+                                 backoff_factor=2.0, backoff_jitter=0.1)
+        assert config.backoff(3, 1) == 0.0
+        for attempt in (2, 3, 4):
+            delay = config.backoff(3, attempt)
+            base = 0.05 * 2.0 ** (attempt - 2)
+            assert base <= delay <= base * 1.1
+            assert delay == again.backoff(3, attempt)
+
+    def test_different_seeds_different_jitter(self):
+        a = SupervisorConfig(seed=1).backoff(0, 3)
+        b = SupervisorConfig(seed=2).backoff(0, 3)
+        assert a != b
+
+    def test_zero_base_disables(self):
+        assert FAST.backoff(0, 5) == 0.0
+
+
+class TestJournal:
+    def test_resume_restores_entries(self, tmp_path):
+        path = tmp_path / "trial.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            supervised_map(_square, list(range(6)), config=FAST,
+                           journal=journal)
+        with ResultJournal(path, key="k1") as journal:
+            assert len(journal.entries) == 6
+            results, ledger = supervised_map(_square, list(range(6)),
+                                             config=FAST, journal=journal)
+        assert results == [x * x for x in range(6)]
+        assert ledger.resumed == 6
+        assert ledger.attempts == 0
+        assert all(r.outcome == "resumed" for r in ledger.items)
+
+    def test_partial_journal_runs_only_missing(self, tmp_path):
+        path = tmp_path / "trial.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            journal.append(0, 0)
+            journal.append(2, 4)
+        with ResultJournal(path, key="k1") as journal:
+            results, ledger = supervised_map(_square, list(range(4)),
+                                             config=FAST, journal=journal)
+        assert results == [0, 1, 4, 9]
+        assert ledger.resumed == 2
+        assert ledger.attempts == 2
+
+    def test_torn_tail_truncated(self, tmp_path):
+        """A crash mid-append leaves a torn record; reopening keeps the
+        good prefix and drops the tail."""
+        path = tmp_path / "trial.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            journal.append(0, "a")
+            journal.append(1, "b")
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-3])
+        with ResultJournal(path, key="k1") as journal:
+            assert journal.entries == {0: "a"}
+            # And the truncated journal is append-consistent again.
+            journal.append(1, "b")
+        with ResultJournal(path, key="k1") as journal:
+            assert journal.entries == {0: "a", 1: "b"}
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "trial.prjl"
+        ResultJournal(path, key="sweep period=50").close()
+        with pytest.raises(CheckpointError):
+            ResultJournal(path, key="sweep period=100")
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "trial.prjl"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(CheckpointError):
+            ResultJournal(path, key="k1")
+
+    def test_payloads_pickled_faithfully(self, tmp_path):
+        path = tmp_path / "trial.prjl"
+        value = {"cells": [(1, 2), (3, 4)], "nested": {"deep": None}}
+        with ResultJournal(path, key="k") as journal:
+            journal.append(5, value)
+        with ResultJournal(path, key="k") as journal:
+            assert journal.entries[5] == value
+            assert pickle.dumps(journal.entries[5]) == pickle.dumps(value)
+
+
+class TestJournalPaths:
+    def test_content_addressed(self, tmp_path):
+        a = journal_path(tmp_path, "sweep", "key-one")
+        b = journal_path(tmp_path, "sweep", "key-two")
+        assert a != b
+        assert a.name.startswith("sweep-") and a.suffix == ".prjl"
+
+    def test_open_journal_none_without_dir(self):
+        assert open_journal(None, "sweep", "k", resume=True) is None
+
+    def test_open_journal_fresh_discards_stale(self, tmp_path):
+        journal = open_journal(tmp_path, "sweep", "k", resume=False)
+        journal.append(0, "stale")
+        journal.close()
+        journal = open_journal(tmp_path, "sweep", "k", resume=False)
+        try:
+            assert journal.entries == {}
+        finally:
+            journal.close()
+
+    def test_open_journal_resume_keeps(self, tmp_path):
+        journal = open_journal(tmp_path, "sweep", "k", resume=False)
+        journal.append(0, "kept")
+        journal.close()
+        journal = open_journal(tmp_path, "sweep", "k", resume=True)
+        try:
+            assert journal.entries == {0: "kept"}
+        finally:
+            journal.close()
+
+
+class TestLedger:
+    def test_merge_accumulates(self):
+        a = RunLedger()
+        b = RunLedger(respawns=2, resumed=1, deadline_hit=True)
+        a.merge(b)
+        assert a.respawns == 2 and a.resumed == 1 and a.deadline_hit
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        _, ledger = supervised_map(_square, [1, 2], config=FAST)
+        blob = json.dumps(ledger.to_dict())
+        assert json.loads(blob)["items"] == 2
+
+    def test_render_mentions_quarantine(self):
+        plan = WorkerFaultPlan(seed=5, fail=1.0, max_faulty_attempts=99)
+        config = SupervisorConfig(retries=0, backoff_base=0.0)
+        with pytest.raises(QuarantinedWork) as excinfo:
+            supervised_map(_square, [1], config=config, fault_plan=plan)
+        text = excinfo.value.ledger.render()
+        assert "quarantined" in text
+
+
+class TestParallelMapErrors:
+    def test_worker_error_names_index(self):
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_boom, [1], jobs=1)
+        assert excinfo.value.index == 0
+        assert "ValueError" in str(excinfo.value)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_worker_error_keeps_completed(self, executor):
+        def fails_on_two(x):
+            if x == 2:
+                raise ValueError("two")
+            return x * x
+
+        fn = _fails_on_two if executor == "process" else fails_on_two
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(fn, [0, 1, 2, 3], jobs=2, executor=executor)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.completed.get(0) == 0
+        assert error.completed.get(1) == 1
+        assert 2 not in error.completed
+
+    def test_inline_error_carries_prefix(self):
+        def fails_on_one(x):
+            if x == 1:
+                raise ValueError("one")
+            return x
+
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(fails_on_one, [0, 1, 2], jobs=1)
+        assert excinfo.value.index == 1
+        assert excinfo.value.completed == {0: 0}
+
+
+def _fails_on_two(x):
+    if x == 2:
+        raise ValueError("two")
+    return x * x
