@@ -50,7 +50,15 @@ from .errors import (
 )
 from .isa import Imm, Mem, Op, Program, ProgramBuilder, Reg, assemble
 from .machine import Machine, MachineError, RunResult
-from .pmu import PEBSConfig, PRORACE_DRIVER, PTConfig, VANILLA_DRIVER
+from .pmu import (
+    GovernorConfig,
+    GovernorReport,
+    PEBSConfig,
+    PRORACE_DRIVER,
+    PTConfig,
+    PeriodEpoch,
+    VANILLA_DRIVER,
+)
 from .replay import ReplayEngine
 from .supervise import RunLedger, SupervisorConfig, supervised_map
 from .tracing import TraceBundle, trace_run
@@ -72,6 +80,8 @@ __all__ = [
     "DecodeError",
     "DetectionResult",
     "FastTrack",
+    "GovernorConfig",
+    "GovernorReport",
     "Imm",
     "Machine",
     "MachineError",
@@ -82,6 +92,7 @@ __all__ = [
     "PEBSConfig",
     "PRORACE_DRIVER",
     "PTConfig",
+    "PeriodEpoch",
     "Program",
     "ProgramBuilder",
     "QuarantinedWork",

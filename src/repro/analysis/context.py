@@ -306,12 +306,14 @@ class AnalysisContext:
             syncs = self.located_syncs
             allocs = self.located_allocs
             begin = time.perf_counter()
+            epochs = tuple(self.bundle.period_epochs)
             self._timelines = {
                 tid: build_timeline(
                     paths[tid],
                     aligned.get(tid, []),
                     syncs.get(tid, []),
                     allocs.get(tid, []),
+                    epochs=epochs,
                 )
                 for tid in paths
             }

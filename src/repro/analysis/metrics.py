@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..isa.program import Program
 from ..parallel import parallel_map
 from ..pmu.drivers import DriverModel, PRORACE_DRIVER
+from ..pmu.governor import GovernorConfig, effective_period
 from ..supervise import RunLedger, SupervisorConfig, open_journal, supervised_map
 from ..tracing.bundle import TraceBundle, trace_run
 from .costs import SIMULATED_CLOCK_HZ
@@ -31,6 +32,10 @@ class DetectionTrial:
     detected: bool
     races: int
     samples: int
+    #: Harmonic-mean sampling period actually in force over the run.
+    #: Equals the configured period for ungoverned runs; under a
+    #: governor it reflects the piecewise-variable period epochs.
+    effective_period: float = 0.0
 
 
 def wilson_interval(hits: int, runs: int,
@@ -95,10 +100,12 @@ def _run_probability_trial(work: tuple) -> DetectionTrial:
     pipeline run.  Workers keep pipeline ``jobs=1`` — the parallelism
     budget is spent at the trial level, not nested inside it.
     """
-    program, targets, period, mode, driver, seed, num_cores, entry = work
+    (program, targets, period, mode, driver, seed, num_cores, entry,
+     governor, load_bursts) = work
     bundle = trace_run(
         program, period=period, driver=driver, seed=seed,
         num_cores=num_cores, entry=entry,
+        governor=governor, load_bursts=load_bursts,
     )
     analysis = OfflinePipeline(program, mode=mode).analyze(bundle)
     return DetectionTrial(
@@ -106,6 +113,9 @@ def _run_probability_trial(work: tuple) -> DetectionTrial:
         detected=bool(targets & analysis.racy_addresses),
         races=len(analysis.races),
         samples=len(bundle.samples),
+        effective_period=effective_period(
+            bundle.period_epochs, bundle.run.tsc, period,
+        ),
     )
 
 
@@ -125,6 +135,8 @@ def measure_detection_probability(
     fault_plan=None,
     checkpoint_dir: Optional[Path | str] = None,
     resume: bool = False,
+    governor: Optional[GovernorConfig] = None,
+    load_bursts=None,
 ) -> DetectionProbability:
     """Run *runs* seeded traces and count those whose analysis reports a
     race on any of *racy_addresses* — the Table 2 methodology ("collected
@@ -139,20 +151,34 @@ def measure_detection_probability(
     under the supervised runtime: failed/crashed/hung trials retry per
     the config, completed trials journal to *checkpoint_dir*, and
     *resume* restores journaled trials instead of re-running them.
+
+    With *governor* each trace runs under the closed-loop overhead
+    governor (the trial's ``effective_period`` then reports the
+    harmonic-mean period across its epochs); *load_bursts* injects
+    seeded access-weight bursts so governed and fixed-period runs can
+    be compared under the same contention chaos.
     """
     targets = frozenset(racy_addresses)
     work = [
         (program, targets, period, mode, driver, seed_base + i,
-         num_cores, entry)
+         num_cores, entry, governor, load_bursts)
         for i in range(runs)
     ]
     supervised = (supervisor is not None or fault_plan is not None
                   or checkpoint_dir is not None)
     if supervised:
-        key = "|".join(str(part) for part in (
+        key_parts = [
             program.name, sorted(targets), period, runs, mode,
             driver.name, seed_base, num_cores, entry,
-        ))
+        ]
+        # Governed/chaotic measures journal under a distinct key; the
+        # plain-measure key stays byte-identical to previous releases
+        # so existing checkpoints still resume.
+        if governor is not None:
+            key_parts.append(governor)
+        if load_bursts is not None:
+            key_parts.append(load_bursts)
+        key = "|".join(str(part) for part in key_parts)
         journal = open_journal(checkpoint_dir, "probability", key, resume)
         try:
             trials, ledger = supervised_map(

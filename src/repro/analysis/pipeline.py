@@ -74,12 +74,28 @@ class DegradationReport:
     # Declared losses (from TraceDefects).
     samples_dropped: int = 0
     drop_bursts: int = 0
+    pt_gaps: int = 0
     pt_packets_lost: int = 0
     sync_records_lost: int = 0
     alloc_records_lost: int = 0
     tsc_perturbed: int = 0
     log_truncated_at_tsc: Optional[int] = None
     corrupted_sections: Tuple[str, ...] = ()
+    # Declared governor actions (from the bundle's GovernorReport; all
+    # zero/False for ungoverned runs).  These are *intentional* losses —
+    # backpressure the governor chose and accounted — and they must
+    # reconcile against the observed fields below: every shed PT span
+    # surfaces as a decoder gap, every hard-dropped buffer as declared
+    # sample drops.
+    governor_active: bool = False
+    governor_epochs: int = 0
+    governor_tier_transitions: int = 0
+    governor_pt_sheds: int = 0
+    governor_pt_bytes_shed: int = 0
+    governor_hard_drop_bursts: int = 0
+    governor_hard_dropped_samples: int = 0
+    governor_watchdog_trips: int = 0
+    governor_sync_stalls: int = 0
     # Observed degradation (measured by the consumers).
     gaps_crossed: int = 0
     windows_aborted: int = 0
@@ -102,6 +118,26 @@ class DegradationReport:
             or self.samples_unaligned or self.suppressed_accesses
             or self.threads_skipped or self.incomplete_paths
         )
+
+    @property
+    def governor_reconciles(self) -> Optional[bool]:
+        """Whether every loss the governor declared was observed, and
+        nothing beyond it.  ``None`` for ungoverned runs.
+
+        Under a governed run with no *other* fault source, the governor
+        is the sole author of degradation, so the accounting must close
+        exactly: each shed PT span surfaces as exactly one decoder gap,
+        and declared sample drops are exactly the hard-drop total.
+        Runs that mix the governor with an external fault plan legally
+        observe *more* loss than the governor declared — this property
+        then checks the governor's share is covered (declared ≤
+        observed), which is the strongest claim available.
+        """
+        if not self.governor_active:
+            return None
+        return (self.governor_pt_sheds <= self.gaps_crossed
+                and self.governor_hard_dropped_samples
+                <= self.samples_dropped)
 
 
 @dataclass
@@ -320,15 +356,36 @@ class OfflinePipeline:
         """Reconcile declared trace defects with observed degradation."""
         defects = bundle.defects or TraceDefects()
         paths = context.paths
+        governor = bundle.governor
         return DegradationReport(
             samples_dropped=defects.samples_dropped,
             drop_bursts=defects.drop_bursts,
+            pt_gaps=defects.pt_gaps,
             pt_packets_lost=defects.pt_packets_lost,
             sync_records_lost=defects.sync_records_lost,
             alloc_records_lost=defects.alloc_records_lost,
             tsc_perturbed=defects.tsc_perturbed,
             log_truncated_at_tsc=defects.log_truncated_at_tsc,
             corrupted_sections=defects.corrupted_sections,
+            governor_active=governor is not None,
+            governor_epochs=len(governor.epochs) if governor else 0,
+            governor_tier_transitions=(
+                governor.tier_transitions if governor else 0
+            ),
+            governor_pt_sheds=governor.pt_sheds if governor else 0,
+            governor_pt_bytes_shed=(
+                governor.pt_bytes_shed if governor else 0
+            ),
+            governor_hard_drop_bursts=(
+                governor.hard_drop_bursts if governor else 0
+            ),
+            governor_hard_dropped_samples=(
+                governor.hard_dropped_samples if governor else 0
+            ),
+            governor_watchdog_trips=(
+                governor.watchdog_trips if governor else 0
+            ),
+            governor_sync_stalls=governor.sync_stalls if governor else 0,
             gaps_crossed=sum(p.ovf_gaps for p in paths.values()),
             windows_aborted=replay_result.stats.windows_aborted,
             samples_unaligned=context.samples_unaligned,

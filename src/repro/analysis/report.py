@@ -112,6 +112,47 @@ def render_degradation(result: DetectionResult) -> List[str]:
     return lines
 
 
+def render_governor(result: DetectionResult) -> List[str]:
+    """Governor accounting lines (empty for ungoverned runs)."""
+    deg = result.degradation
+    if not deg.governor_active:
+        return []
+    lines = [
+        "tracing governor:",
+        f"  period epochs: {deg.governor_epochs}   "
+        f"tier transitions: {deg.governor_tier_transitions}",
+    ]
+    if deg.governor_pt_sheds:
+        lines.append(
+            f"  pt shed: {deg.governor_pt_sheds} spans "
+            f"({deg.governor_pt_bytes_shed} bytes)"
+        )
+    if deg.governor_hard_drop_bursts:
+        lines.append(
+            f"  hard drops: {deg.governor_hard_dropped_samples} samples "
+            f"in {deg.governor_hard_drop_bursts} bursts"
+        )
+    if deg.governor_watchdog_trips:
+        lines.append(
+            f"  watchdog trips: {deg.governor_watchdog_trips} "
+            "(degraded to sync-only tracing)"
+        )
+    if deg.governor_sync_stalls:
+        lines.append(
+            f"  sync tracer stalls: {deg.governor_sync_stalls} "
+            "(log truncated at last good record)"
+        )
+    reconciles = deg.governor_reconciles
+    lines.append(
+        "  accounting: "
+        + ("declared losses reconcile with observed degradation"
+           if reconciles else
+           "DECLARED LOSSES DO NOT RECONCILE — trace may be damaged "
+           "beyond what the governor accounted")
+    )
+    return lines
+
+
 def render_ledger(result: DetectionResult) -> List[str]:
     """Supervised-runtime summary lines (empty when the analysis ran
     unsupervised or nothing eventful happened)."""
@@ -138,6 +179,7 @@ def render_report(program: Program, result: DetectionResult) -> str:
         f"distinct races: {len(result.races)}",
     ]
     header.extend(render_degradation(result))
+    header.extend(render_governor(result))
     header.extend(render_ledger(result))
     header.append("")
     body = []
@@ -171,8 +213,7 @@ def to_json(program: Program, result: DetectionResult) -> str:
         for race in result.races
     ]
     stats = result.replay.stats
-    return json.dumps(
-        {
+    payload = {
             "program": program.name,
             "races": races,
             "stats": {
@@ -217,9 +258,23 @@ def to_json(program: Program, result: DetectionResult) -> str:
                 result.ledger.to_dict() if result.ledger is not None
                 else None
             ),
-        },
-        indent=2,
-    )
+    }
+    deg = result.degradation
+    if deg.governor_active:
+        # Present only for governed runs, so ungoverned JSON stays
+        # byte-identical to previous releases.
+        payload["governor"] = {
+            "epochs": deg.governor_epochs,
+            "tier_transitions": deg.governor_tier_transitions,
+            "pt_sheds": deg.governor_pt_sheds,
+            "pt_bytes_shed": deg.governor_pt_bytes_shed,
+            "hard_drop_bursts": deg.governor_hard_drop_bursts,
+            "hard_dropped_samples": deg.governor_hard_dropped_samples,
+            "watchdog_trips": deg.governor_watchdog_trips,
+            "sync_stalls": deg.governor_sync_stalls,
+            "reconciles": deg.governor_reconciles,
+        }
+    return json.dumps(payload, indent=2)
 
 
 @dataclass

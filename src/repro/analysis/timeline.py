@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..pmu.governor import PeriodEpoch, epoch_index_at
 from ..pmu.records import AllocRecord, SyncRecord
 from ..ptdecode.decoder import AlignedSample, DecodedPath
 
@@ -28,9 +29,37 @@ class ThreadTimeline:
     #: Sorted exact (step_index, tsc) points.
     points: List[Tuple[int, int]]
     total_steps: int
+    #: Period epochs of a governed run (empty for ungoverned traces):
+    #: lets consumers reason per sampling regime — which period was in
+    #: force around an access, and how densely each epoch is anchored.
+    epochs: Tuple[PeriodEpoch, ...] = ()
 
     def __post_init__(self) -> None:
         self._steps = [p[0] for p in self.points]
+
+    def epoch_at(self, step: int) -> Optional[PeriodEpoch]:
+        """The period epoch in force at *step*'s (possibly interpolated)
+        time, or None for an ungoverned trace."""
+        if not self.epochs:
+            return None
+        return self.epochs[epoch_index_at(self.epochs, self.tsc_of(step))]
+
+    def anchors_by_epoch(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Exact anchor points grouped by covering epoch index.
+
+        Epochs with no entry have *zero* exact anchors on this thread —
+        every access interpolated there leans on anchors from
+        neighbouring epochs, exactly the spans a consumer should trust
+        least (a sync-only epoch contributes no PEBS anchors at all).
+        Empty for ungoverned traces.
+        """
+        grouped: Dict[int, List[Tuple[int, int]]] = {}
+        if not self.epochs:
+            return grouped
+        for step, tsc in self.points:
+            index = epoch_index_at(self.epochs, tsc)
+            grouped.setdefault(index, []).append((step, tsc))
+        return grouped
 
     def tsc_of(self, step: int) -> float:
         """TSC of *step*: exact at anchor points, interpolated between.
@@ -72,6 +101,7 @@ def build_timeline(
     aligned: Sequence[AlignedSample],
     syncs: Sequence[Tuple[SyncRecord, int]],
     allocs: Sequence[Tuple[AllocRecord, int]] = (),
+    epochs: Sequence[PeriodEpoch] = (),
 ) -> ThreadTimeline:
     """Assemble one thread's timeline from all exact-TSC sources.
 
@@ -81,6 +111,8 @@ def build_timeline(
         syncs: (sync record, step index) pairs from
             :func:`repro.ptdecode.decoder.locate_syncs`.
         allocs: (alloc record, step index) pairs, same idea.
+        epochs: period epochs of a governed run, carried on the timeline
+            for per-epoch consumers.
     """
     # Anchor sources are tiered by trustworthiness: the thread's own
     # software logs (sync/alloc records) are authoritative — an access
@@ -116,5 +148,6 @@ def build_timeline(
     if not accepted:
         accepted = [(0, 0)]
     return ThreadTimeline(
-        tid=path.tid, points=accepted, total_steps=len(path.steps)
+        tid=path.tid, points=accepted, total_steps=len(path.steps),
+        epochs=tuple(epochs),
     )

@@ -32,6 +32,7 @@ from .analysis import (
     to_json,
 )
 from .errors import (
+    EXIT_DEGRADED,
     DeadlineExceeded,
     QuarantinedWork,
     TraceError,
@@ -43,7 +44,7 @@ from .isa.assembler import assemble
 from .isa.program import Program
 from .machine import Machine
 from .parallel import parallel_map
-from .pmu import PRORACE_DRIVER, VANILLA_DRIVER
+from .pmu import GovernorConfig, PRORACE_DRIVER, VANILLA_DRIVER
 from .supervise import SupervisorConfig
 from .tracing import TraceFormatError, read_trace, trace_run, write_trace
 from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
@@ -116,6 +117,64 @@ def _supervisor_from(args: argparse.Namespace) -> Optional[SupervisorConfig]:
     )
 
 
+def _add_governor_args(parser: argparse.ArgumentParser) -> None:
+    """The closed-loop tracing-governor knobs (docs/robustness.md,
+    "Online robustness: the tracing governor")."""
+    parser.add_argument(
+        "--governor", action=argparse.BooleanOptionalAction, default=False,
+        help="run the online overhead governor: adapt the PEBS period "
+             "within its bounds to hold --overhead-budget, shedding PT "
+             "bytes and then whole sample buffers under pressure "
+             "(default: off — open-loop tracing, byte-identical to "
+             "previous releases)",
+    )
+    parser.add_argument(
+        "--overhead-budget", type=float, default=0.02, metavar="FRACTION",
+        help="tracing overhead fraction the governor holds the run "
+             "under (default 0.02 = 2%%)",
+    )
+    parser.add_argument(
+        "--k-min", type=int, default=None, metavar="PERIOD",
+        help="lower bound of the governor's period adaptation range "
+             "(default: the base --period)",
+    )
+    parser.add_argument(
+        "--k-max", type=int, default=None, metavar="PERIOD",
+        help="upper bound of the governor's period adaptation range "
+             "(default: 1024x the base --period; raise it when the base "
+             "period is aggressive enough that no in-range period can "
+             "meet the budget)",
+    )
+
+
+def _governor_from(args: argparse.Namespace) -> Optional[GovernorConfig]:
+    """A GovernorConfig when --governor was given, else None (open-loop
+    tracing, bit-identical to an ungoverned build)."""
+    if not getattr(args, "governor", False):
+        return None
+    return GovernorConfig(overhead_budget=args.overhead_budget,
+                          k_min=getattr(args, "k_min", None),
+                          k_max=getattr(args, "k_max", None),
+                          seed=getattr(args, "seed", 0))
+
+
+def _burst_plan_from(args: argparse.Namespace):
+    """A LoadBurstPlan when any online-chaos flag was given, else None."""
+    multiplier = getattr(args, "load_bursts", 0) or 0
+    stall_pebs = getattr(args, "stall_pebs_at", None)
+    stall_sync = getattr(args, "stall_sync_at", None)
+    if not multiplier and stall_pebs is None and stall_sync is None:
+        return None
+    from .faults import LoadBurstPlan
+
+    return LoadBurstPlan(
+        seed=getattr(args, "seed", 0),
+        multiplier=int(multiplier) if multiplier else 1,
+        stall_pebs_at=stall_pebs,
+        stall_sync_at=stall_sync,
+    )
+
+
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="workload/bug name, or - with "
                                         "--source")
@@ -153,7 +212,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     bundle = trace_run(program, period=args.period,
-                       driver=_DRIVERS[args.driver], seed=args.seed)
+                       driver=_DRIVERS[args.driver], seed=args.seed,
+                       governor=_governor_from(args),
+                       load_bursts=_burst_plan_from(args))
     size = write_trace(bundle, args.output)
     estimate = estimate_overhead(bundle)
     print(f"traced {program.name} at period {args.period} "
@@ -162,6 +223,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"sync records: {len(bundle.sync_records)}")
     print(f"  estimated runtime overhead: {100 * estimate.overhead:.2f}%")
     print(f"  wrote {size} bytes to {args.output}")
+    gov = bundle.governor
+    if gov is not None:
+        print(f"  governor: {len(gov.epochs)} epochs  "
+              f"final period {gov.final_period}  measured overhead "
+              f"{100 * gov.final_overhead:.2f}% "
+              f"(budget {100 * gov.overhead_budget:.2f}%)")
+        if gov.watchdog_trips or gov.sync_stalls:
+            print("repro trace: governor watchdog tripped — trace "
+                  "degraded to sync-only / truncated logs (exit code "
+                  f"{EXIT_DEGRADED})", file=sys.stderr)
+            return EXIT_DEGRADED
     return 0
 
 
@@ -210,20 +282,23 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def _detect_one(work: tuple):
     """Module-level detect worker (picklable for the process executor):
     one seeded trace + analysis."""
-    program, mode, period, driver, seed = work
-    bundle = trace_run(program, period=period, driver=driver, seed=seed)
+    program, mode, period, driver, seed, governor, load_bursts = work
+    bundle = trace_run(program, period=period, driver=driver, seed=seed,
+                       governor=governor, load_bursts=load_bursts)
     return OfflinePipeline(program, mode=mode).analyze(bundle)
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     supervisor = _supervisor_from(args)
+    governor = _governor_from(args)
     summary = FleetSummary()
     if args.runs == 1:
         # One run: spend the job budget inside the pipeline (per-thread
         # decode/replay fan-out).
         bundle = trace_run(program, period=args.period,
-                           driver=_DRIVERS[args.driver], seed=args.seed)
+                           driver=_DRIVERS[args.driver], seed=args.seed,
+                           governor=governor)
         pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
                                    supervisor=supervisor)
         result = pipeline.analyze(bundle,
@@ -236,16 +311,21 @@ def cmd_detect(args: argparse.Namespace) -> int:
     # and fold the results back in seed order.
     work = [
         (program, args.mode, args.period, _DRIVERS[args.driver],
-         args.seed + run_index)
+         args.seed + run_index, governor, None)
         for run_index in range(args.runs)
     ]
     if supervisor is not None or args.checkpoint_dir is not None:
         from .supervise import open_journal, supervised_map
 
-        key = "|".join(str(part) for part in (
+        key_parts = [
             program.name, args.mode, args.period, args.driver,
             args.seed, args.runs,
-        ))
+        ]
+        # Governed runs journal under a distinct key; the ungoverned key
+        # stays identical so existing checkpoints still resume.
+        if governor is not None:
+            key_parts.append(governor)
+        key = "|".join(str(part) for part in key_parts)
         journal = open_journal(args.checkpoint_dir, "detect", key,
                                args.resume)
         try:
@@ -365,6 +445,120 @@ def _cmd_chaos_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _loadburst_one(work: tuple) -> dict:
+    """Module-level load-burst worker (picklable): one seeded governed
+    or fixed-period trace under burst chaos, analyzed."""
+    program, mode, period, driver, seed, governor, plan = work
+    bundle = trace_run(program, period=period, driver=driver, seed=seed,
+                       governor=governor, load_bursts=plan)
+    result = OfflinePipeline(program, mode=mode).analyze(bundle)
+    accounting = bundle.pebs_accounting.summary()
+    row = {
+        "seed": seed,
+        "detected": bool(result.races),
+        "samples": len(bundle.samples),
+        "samples_dropped": int(accounting["samples_dropped"]),
+        "dropped_interrupts": int(accounting["dropped_interrupts"]),
+        "estimated_overhead": estimate_overhead(bundle).overhead,
+    }
+    gov = bundle.governor
+    if gov is not None:
+        from .pmu.governor import effective_period
+
+        row["governor"] = {
+            "measured_overhead": gov.final_overhead,
+            "budget": gov.overhead_budget,
+            "within_budget": gov.final_overhead <= gov.overhead_budget,
+            "epochs": len(gov.epochs),
+            "tier_transitions": gov.tier_transitions,
+            "pt_sheds": gov.pt_sheds,
+            "hard_dropped_samples": gov.hard_dropped_samples,
+            "watchdog_trips": gov.watchdog_trips,
+            "effective_period": effective_period(
+                bundle.period_epochs, bundle.run.tsc, period
+            ),
+        }
+    return row
+
+
+def _cmd_chaos_loadbursts(args: argparse.Namespace) -> int:
+    """Online load-burst chaos: governed vs fixed-period tracing under
+    identical seeded event-weight bursts.
+
+    For each seed the same program runs twice — once open-loop at the
+    configured period (the §7.3 inversion: bursts fill DS segments and
+    the kernel throttle silently bleeds samples) and once under the
+    closed-loop governor with ``--overhead-budget``.  The JSON output is
+    the CI contract: every governed run must report
+    ``within_budget: true``, and the summary compares detections.
+    """
+    from .faults import LoadBurstPlan
+
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    governor = GovernorConfig(overhead_budget=args.overhead_budget,
+                              k_min=getattr(args, "k_min", None),
+                              k_max=getattr(args, "k_max", None),
+                              seed=args.seed)
+    rows = []
+    for run_index in range(args.runs):
+        seed = args.seed + run_index
+        plan = LoadBurstPlan(seed=seed, multiplier=args.load_bursts)
+        fixed = _loadburst_one((program, args.mode, args.period,
+                                _DRIVERS[args.driver], seed, None, plan))
+        governed = _loadburst_one((program, args.mode, args.period,
+                                   _DRIVERS[args.driver], seed,
+                                   governor, plan))
+        rows.append({"seed": seed, "fixed": fixed, "governed": governed})
+    governed_detections = sum(1 for r in rows if r["governed"]["detected"])
+    fixed_detections = sum(1 for r in rows if r["fixed"]["detected"])
+    budget_respected = all(
+        r["governed"]["governor"]["within_budget"] for r in rows
+    )
+    throttle_tripped = any(
+        r["fixed"]["samples_dropped"] > 0 for r in rows
+    )
+    payload = {
+        "mode": "load-bursts",
+        "program": program.name,
+        "period": args.period,
+        "runs": args.runs,
+        "multiplier": args.load_bursts,
+        "overhead_budget": args.overhead_budget,
+        "rows": rows,
+        "summary": {
+            "governed_detections": governed_detections,
+            "fixed_detections": fixed_detections,
+            "budget_respected": budget_respected,
+            "throttle_tripped": throttle_tripped,
+            "governed_beats_fixed":
+                governed_detections > fixed_detections,
+        },
+    }
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"load-burst chaos: {program.name}  period {args.period}  "
+          f"multiplier {args.load_bursts}  {args.runs} runs  "
+          f"budget {100 * args.overhead_budget:.1f}%")
+    print(f"{'seed':>6s} {'fixed det':>10s} {'drop':>6s} "
+          f"{'gov det':>8s} {'gov ovh':>8s} {'eff period':>11s}")
+    for row in rows:
+        gov = row["governed"]["governor"]
+        print(f"{row['seed']:6d} "
+              f"{str(row['fixed']['detected']):>10s} "
+              f"{row['fixed']['samples_dropped']:6d} "
+              f"{str(row['governed']['detected']):>8s} "
+              f"{100 * gov['measured_overhead']:7.2f}% "
+              f"{gov['effective_period']:11.1f}")
+    print(f"detections: governed {governed_detections}/{args.runs}  "
+          f"fixed {fixed_detections}/{args.runs}")
+    print("governor budget respected on every run: "
+          + ("yes" if budget_respected else "NO"))
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection sweep: detection probability vs fault intensity.
 
@@ -377,11 +571,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     With ``--kill-workers``/``--hang-workers``/``--fail-workers`` the
     command instead exercises the *runtime* layer: a supervised
     detection sweep under a :class:`~repro.faults.WorkerFaultPlan`.
+
+    With ``--load-bursts MULT`` it exercises the *online* layer:
+    governed vs fixed-period tracing under seeded event-weight bursts
+    (:class:`~repro.faults.LoadBurstPlan`).
     """
     from .faults import BUILTIN_PLAN_NAMES, builtin_plans
 
     if args.kill_workers or args.hang_workers or args.fail_workers:
         return _cmd_chaos_runtime(args)
+    if args.load_bursts:
+        return _cmd_chaos_loadbursts(args)
     program = _resolve_program(args.program, _scale_from(args), args.source)
     intensities = [float(x) for x in args.intensities.split(",")]
     plan_names = (
@@ -460,6 +660,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--driver", choices=sorted(_DRIVERS),
                               default="prorace")
     trace_parser.add_argument("-o", "--output", default="trace.prtr")
+    _add_governor_args(trace_parser)
+    trace_parser.add_argument(
+        "--load-bursts", type=int, default=0, metavar="MULT",
+        help="online chaos: monitored-event weight multiplier during "
+             "seeded burst windows (0 = off)",
+    )
+    trace_parser.add_argument(
+        "--stall-pebs-at", type=int, default=None, metavar="TSC",
+        help="online chaos: wedge the PEBS engine at this TSC (with "
+             "--governor the watchdog degrades to sync-only and the "
+             "command exits with code 6)",
+    )
+    trace_parser.add_argument(
+        "--stall-sync-at", type=int, default=None, metavar="TSC",
+        help="online chaos: wedge the sync tracer at this TSC",
+    )
 
     analyze_parser = sub.add_parser("analyze",
                                     help="offline-analyze a trace file")
@@ -500,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect_parser.add_argument("--jobs", type=int, default=1,
                                help="workers: across runs when --runs > 1, "
                                     "inside the pipeline otherwise")
+    _add_governor_args(detect_parser)
     _add_supervision_args(detect_parser)
 
     overhead_parser = sub.add_parser(
@@ -574,10 +791,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--hang-seconds", type=float, default=30.0, metavar="SECONDS",
         help="how long a hung worker sleeps",
     )
+    chaos_parser.add_argument(
+        "--load-bursts", type=int, default=0, metavar="MULT",
+        help="online chaos: compare governed vs fixed-period tracing "
+             "under seeded event-weight bursts of this multiplier",
+    )
     chaos_parser.add_argument("--jobs", type=int, default=1,
                               help="worker slots for runtime chaos")
     chaos_parser.add_argument("--json", action="store_true",
                               help="print the runtime-chaos sweep as JSON")
+    _add_governor_args(chaos_parser)
     _add_supervision_args(chaos_parser)
 
     return parser

@@ -21,11 +21,17 @@ code  meaning
       exhausted their retry budget or a worker death escaped the
       supervisor
 5     :class:`UsageError` — an API/CLI invocation bug, not a fault
+6     watchdog-degraded run: ``repro trace`` completed, but the
+      tracing governor's watchdog tripped (stalled PEBS engine or
+      sync tracer), so part of the trace is sync-only or truncated
 ====  =======================================================
 
 Exit codes 2–4 are deliberately distinct: a fleet scheduler requeues a
 code-3 job with a longer deadline, quarantines the *inputs* of a code-4
 job for inspection, and discards a code-2 job's trace file outright.
+Code 6 is a *success with an asterisk*: the trace file exists and is
+loadable, but a fleet scheduler should score its detection power lower
+and consider re-tracing the workload.
 """
 
 from __future__ import annotations
@@ -38,6 +44,10 @@ EXIT_TRACE_ERROR = 2
 EXIT_DEADLINE = 3
 EXIT_QUARANTINE = 4
 EXIT_USAGE = 5
+#: ``repro trace`` finished, but the governor watchdog degraded tracing
+#: mid-run (PEBS stall → sync-only epochs, or sync-tracer stall → log
+#: truncation).  The trace is usable yet weaker than requested.
+EXIT_DEGRADED = 6
 
 
 class ReproError(Exception):

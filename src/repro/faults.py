@@ -253,6 +253,76 @@ class FaultPlan:
 
 
 @dataclass(frozen=True)
+class LoadBurstPlan:
+    """A seeded recipe for bursty *load* on the online tracing path.
+
+    Where :class:`FaultPlan` degrades a finished bundle and
+    :class:`WorkerFaultPlan` perturbs analysis workers, this plan
+    stresses the **online stage while it runs**: during seeded burst
+    windows every retired memory access counts as ``multiplier``
+    monitored events, modelling an application phase that retires
+    monitored events that much faster — DS buffers fill in a fraction of
+    the wall-clock gap, the kernel throttle of
+    :meth:`~repro.pmu.drivers.DriverAccounting.on_buffer_full` starts
+    discarding whole segments (the §7.3 inversion), and a fixed-period
+    run silently bleeds samples.  It is the load pattern the tracing
+    governor (:mod:`repro.pmu.governor`) exists to absorb.
+
+    The plan is pure: ``weight(tsc)`` is a function of (seed, tsc) only,
+    and the plan never perturbs the application schedule — a run with
+    and without the plan executes identical instructions, so governed /
+    ungoverned / unloaded runs are directly comparable.
+
+    Args:
+        seed: drives the per-cycle burst placement.
+        multiplier: event weight inside a burst (1 = no burst).
+        burst_ticks: burst duration in TSC ticks.
+        gap_ticks: quiet span per cycle; each cycle is
+            ``burst_ticks + gap_ticks`` long and contains one burst.
+        jitter: fraction of the quiet span over which the burst's start
+            is randomly (seeded) displaced per cycle.
+        stall_pebs_at: optionally wedge the PEBS engine at this TSC
+            (it silently stops sampling) — the governor watchdog's prey.
+        stall_sync_at: optionally wedge the sync tracer at this TSC.
+    """
+
+    seed: int = 0
+    multiplier: int = 8
+    burst_ticks: int = 600
+    gap_ticks: int = 1400
+    jitter: float = 0.5
+    stall_pebs_at: Optional[int] = None
+    stall_sync_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.burst_ticks < 1 or self.gap_ticks < 0:
+            raise ValueError("need burst_ticks >= 1 and gap_ticks >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    @property
+    def cycle_ticks(self) -> int:
+        return self.burst_ticks + self.gap_ticks
+
+    def burst_range(self, cycle: int) -> Tuple[int, int]:
+        """The half-open TSC range of *cycle*'s burst (seeded jitter)."""
+        base = cycle * self.cycle_ticks
+        offset = 0
+        if self.jitter > 0.0 and self.gap_ticks > 0:
+            rng = random.Random((self.seed * 1_000_003 + cycle) * 8_191)
+            offset = int(rng.random() * self.jitter * self.gap_ticks)
+        return base + offset, base + offset + self.burst_ticks
+
+    def weight(self, tsc: int) -> int:
+        """Monitored-event weight of one retired access at *tsc* —
+        ``multiplier`` inside the covering cycle's burst, else 1."""
+        start, end = self.burst_range(tsc // self.cycle_ticks)
+        return self.multiplier if start <= tsc < end else 1
+
+
+@dataclass(frozen=True)
 class WorkerFaultPlan:
     """A seeded recipe for misbehaving *workers* (the runtime layer,
     where :class:`FaultPlan` is the trace layer): kill, hang, or fail

@@ -25,6 +25,7 @@ EXPERIMENTS.md for the calibration notes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from .records import DS_SEGMENT_BYTES, PERF_METADATA_BYTES, RAW_PEBS_RECORD_BYTES
 
@@ -115,7 +116,11 @@ class DriverAccounting:
     #: the application finished, so it never perturbs the run.
     exit_drain_cycles: int = 0
     hw_assist_total_cycles: int = 0
-    _last_interrupt_tsc: dict = field(default_factory=dict)
+    #: Whole buffers discarded pre-interrupt on the tracing governor's
+    #: orders (the hard-drop backpressure tier).
+    governor_sheds: int = 0
+    #: Per-core TSC of the last buffer-full interrupt (throttle state).
+    _last_interrupt_tsc: Dict[int, int] = field(default_factory=dict)
 
     def on_sample(self) -> None:
         self.samples_taken += 1
@@ -172,9 +177,47 @@ class DriverAccounting:
         self.samples_written = max(0, self.samples_written - n_records)
         self.handler_cycles += self.driver.per_interrupt_cycles
 
+    def record_governor_shed(self, n_records: int) -> None:
+        """Account one buffer hard-dropped by the tracing governor.
+
+        Unlike a throttle drop the buffer never reaches the interrupt
+        handler — the governor rearms the DS pointer before the overflow
+        interrupt fires — so no handler cycles are charged; the samples
+        (whose hardware-assist cost is already paid) simply vanish.
+        """
+        self.governor_sheds += 1
+        self.samples_dropped += n_records
+
     @property
     def trace_bytes(self) -> int:
         return self.samples_written * self.driver.record_bytes
+
+    def summary(self) -> Dict[str, float]:
+        """Cumulative live telemetry: what the governor's decision windows
+        difference against, and what the text report renders.
+
+        ``drop_rate`` is the fraction of taken samples lost to the kernel
+        throttle or governor sheds; ``segment_occupancy`` the mean fill
+        fraction of the DS segment at kept buffer-full interrupts.
+        """
+        kept = self.interrupts - self.dropped_interrupts
+        return {
+            "samples_taken": self.samples_taken,
+            "samples_written": self.samples_written,
+            "samples_dropped": self.samples_dropped,
+            "interrupts": self.interrupts,
+            "dropped_interrupts": self.dropped_interrupts,
+            "governor_sheds": self.governor_sheds,
+            "handler_cycles": self.handler_cycles,
+            "hw_assist_cycles": self.hw_assist_total_cycles,
+            "trace_bytes": self.trace_bytes,
+            "drop_rate": (self.samples_dropped / self.samples_taken
+                          if self.samples_taken else 0.0),
+            "segment_occupancy": (
+                self.samples_written
+                / max(kept, 1) / max(self.segment_records, 1)
+            ),
+        }
 
     #: Cache/TLB-pollution amplification: frequent interrupts evict the
     #: application's working set, so handler time costs more than its own

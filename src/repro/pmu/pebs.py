@@ -57,6 +57,24 @@ class PEBSEngine(MachineObserver):
     ) -> None:
         self.config = config
         self.driver = driver
+        #: Effective sampling period.  Starts at the configured period;
+        #: a :class:`~repro.pmu.governor.TracingGovernor` may retune it
+        #: live via :meth:`set_period` (the config itself stays frozen).
+        self.period = config.period
+        #: True once a governor watchdog disabled the engine (sync-only
+        #: degradation): no further counting, samples, or assist cost.
+        self.disabled = False
+        #: Fault injection: the engine silently stops producing samples
+        #: at this TSC while monitored events keep retiring — the wedged
+        #: hardware/driver state the governor's watchdog exists to catch.
+        self.stall_at: Optional[int] = None
+        #: Seeded load-burst plan (``faults.LoadBurstPlan``): inside a
+        #: burst every retired access counts as ``plan.weight(tsc)``
+        #: monitored events, modelling a phase that retires monitored
+        #: events that much faster without perturbing the schedule.
+        self.load_bursts = None
+        #: Attached by trace_run when a governor supervises this engine.
+        self.governor = None
         #: Records per DS segment.  The default scales the hardware's
         #: 64 KB segment down for simulation: our runs are orders of
         #: magnitude shorter than real ones, and what must be preserved is
@@ -76,10 +94,22 @@ class PEBSEngine(MachineObserver):
 
     # ------------------------------------------------------------------
 
+    def set_period(self, period: int) -> None:
+        """Retune the sampling period (takes effect at each counter's
+        next reload, like reprogramming the PMU reset value)."""
+        if period < 1:
+            raise ValueError(f"period must be >= 1: {period}")
+        self.period = period
+
     def _initial_count(self) -> int:
         if self.driver.randomize_first_period:
-            return self._rng.randint(1, self.config.period)
-        return self.config.period
+            return self._rng.randint(1, self.period)
+        return self.period
+
+    @property
+    def _max_weight(self) -> int:
+        plan = self.load_bursts
+        return plan.multiplier if plan is not None else 1
 
     def _counter(self, core: int) -> int:
         if core not in self._counters:
@@ -100,22 +130,32 @@ class PEBSEngine(MachineObserver):
         self._counter(core)  # materialize the counter
 
     def wants_register_snapshot(self, tid: int) -> bool:
+        if self.disabled:
+            return False
         core = self._core_of.get(tid)
         if core is None:
             return False
-        return self._counter(core) == 1
+        # Under a load-burst plan one access can decrement the counter by
+        # up to ``multiplier``, so any count within that reach may fire;
+        # with no plan this is exactly the classic ``count == 1`` (stored
+        # counts are always >= 1).
+        return self._counter(core) <= self._max_weight
 
     def on_memory_access(self, event: MemoryAccessEvent,
                          registers: Optional[Dict[str, int]]) -> None:
-        if not self._monitored(event):
+        if self.disabled or not self._monitored(event):
             return
+        if self.stall_at is not None and event.tsc >= self.stall_at:
+            return  # wedged: events retire, the engine records nothing
         core = event.core
-        count = self._counter(core) - 1
+        weight = (self.load_bursts.weight(event.tsc)
+                  if self.load_bursts is not None else 1)
+        count = self._counter(core) - weight
         if count > 0:
             self._counters[core] = count
             return
         # Counter overflow: the hardware writes a PEBS record.
-        self._counters[core] = self.config.period
+        self._counters[core] = self.period
         if registers is None:
             # The machine only builds snapshots when asked; reaching here
             # without one means wants_register_snapshot was not consulted
@@ -146,6 +186,17 @@ class PEBSEngine(MachineObserver):
         buffer = self._buffers.get(core)
         if not buffer:
             return
+        governor = self.governor
+        if governor is not None and not force and governor.hard_drop_active:
+            # Hard-drop backpressure: the governor rearms the DS pointer
+            # and the buffer never reaches the interrupt handler.
+            self.accounting.record_governor_shed(len(buffer))
+            governor.account_hard_drop(len(buffer))
+            self._buffers[core] = []
+            governor.on_drain(tsc)
+            return
         if self.accounting.on_buffer_full(core, len(buffer), tsc, force=force):
             self.samples.extend(buffer)
         self._buffers[core] = []
+        if governor is not None and not force:
+            governor.on_drain(tsc)

@@ -140,6 +140,66 @@ class PTPacketizer(MachineObserver):
         self._ret_stacks: Dict[int, List[int]] = {}
         self.branches_seen = 0
         self.packets_emitted = 0
+        #: True while the tracing governor sheds PT output (backpressure
+        #: tier 2).  Packets produced during a shed are counted, not
+        #: stored; each thread's shed span collapses into one OVF marker
+        #: — the exact artefact real PT emits on aux-buffer overflow, so
+        #: the decoder's existing gap handling applies unchanged.
+        self.shedding = False
+        #: tid -> [first_tsc, last_tsc, tnt_bits, other_packets].
+        self._shed_open: Dict[int, List[int]] = {}
+        self._shed_gaps = 0
+        self._shed_packets = 0
+        self._shed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Governor shedding
+    # ------------------------------------------------------------------
+
+    def begin_shed(self, tsc: int) -> None:
+        """Start discarding packets (one OVF marker per affected thread
+        when the shed ends or the thread exits)."""
+        if self.shedding:
+            return
+        self.shedding = True
+        self._shed_open = {}
+
+    def end_shed(self, tsc: int) -> Tuple[int, int, int]:
+        """Stop shedding; flush every open span.  Returns the interval's
+        accounting — ``(ovf_gaps, packets_shed, bytes_shed)`` — including
+        spans already flushed by thread exits during the interval."""
+        for tid in list(self._shed_open):
+            self._flush_shed_span(tid)
+        self.shedding = False
+        totals = (self._shed_gaps, self._shed_packets, self._shed_bytes)
+        self._shed_gaps = self._shed_packets = self._shed_bytes = 0
+        return totals
+
+    def _shed_packet(self, trace: PTThreadTrace, packet: PTPacket) -> None:
+        span = self._shed_open.setdefault(
+            trace.tid, [packet.tsc, packet.tsc, 0, 0]
+        )
+        span[1] = packet.tsc
+        if packet.kind == PacketKind.TNT:
+            span[2] += 1
+        else:
+            span[3] += 1
+        self._shed_packets += 1
+
+    def _flush_shed_span(self, tid: int) -> None:
+        span = self._shed_open.pop(tid, None)
+        if span is None:
+            return
+        first_tsc, last_tsc, tnt_bits, others = span
+        trace = self.traces[tid]
+        trace.packets.append(
+            PTPacket(PacketKind.OVF, first_tsc, target=last_tsc)
+        )
+        self.packets_emitted += 1
+        self._shed_gaps += 1
+        self._shed_bytes += (
+            -(-tnt_bits // TNT_BITS_PER_BYTE) + others * TIP_BYTES
+        )
 
     # ------------------------------------------------------------------
 
@@ -149,6 +209,9 @@ class PTPacketizer(MachineObserver):
 
     def on_thread_exit(self, tsc: int, tid: int) -> None:
         trace = self.traces[tid]
+        if self.shedding:
+            # The OVF marker must precede END in the stream.
+            self._flush_shed_span(tid)
         trace.packets.append(PTPacket(PacketKind.END, tsc))
         trace.end_tsc = tsc
         self.packets_emitted += 1
@@ -181,6 +244,9 @@ class PTPacketizer(MachineObserver):
                                    target=event.target))
 
     def _emit(self, trace: PTThreadTrace, packet: PTPacket) -> None:
+        if self.shedding:
+            self._shed_packet(trace, packet)
+            return
         trace.packets.append(packet)
         self.packets_emitted += 1
 

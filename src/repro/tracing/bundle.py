@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..isa.program import Program
 from ..machine.machine import Machine, RunResult
 from ..pmu.drivers import DriverAccounting, DriverModel, PRORACE_DRIVER
+from ..pmu.governor import GovernorConfig, GovernorReport, PeriodEpoch, TracingGovernor
 from ..pmu.pebs import PEBSConfig, PEBSEngine
 from ..pmu.pt import PTConfig, PTPacketizer, PTThreadTrace
 from ..pmu.records import AllocRecord, PEBSSample, SyncRecord
@@ -87,6 +88,13 @@ class TraceBundle:
     ground_truth: Optional[GroundTruthRecorder] = None
     #: Known damage (fault injection, salvage loading); None = pristine.
     defects: Optional[TraceDefects] = None
+    #: Period-epoch markers from a governed run: the piecewise-constant
+    #: effective PEBS period over time.  Empty for ungoverned runs.  The
+    #: offline stage anchors timelines per epoch and computes detection
+    #: probability against the variable period.
+    period_epochs: List[PeriodEpoch] = field(default_factory=list)
+    #: Full governor action record (None for ungoverned runs).
+    governor: Optional[GovernorReport] = None
     #: Lazy per-tid sample index behind :meth:`samples_of_thread` (the
     #: replay fan-out calls it once per thread; a linear rescan per call
     #: made that O(threads × samples)).
@@ -140,6 +148,8 @@ def trace_run(
     record_ground_truth: bool = False,
     machine: Optional[Machine] = None,
     entry: str = "main",
+    governor: Optional[GovernorConfig] = None,
+    load_bursts=None,
 ) -> TraceBundle:
     """Run *program* under full PMU tracing and return the trace bundle.
 
@@ -157,6 +167,15 @@ def trace_run(
         machine: pre-built machine (for custom scheduler parameters);
             must not have been run yet.
         entry: program entry label.
+        governor: attach a closed-loop tracing governor
+            (:class:`~repro.pmu.governor.TracingGovernor`) with this
+            configuration; the bundle then carries period epochs and the
+            governor report.  ``None`` (the default) traces open-loop,
+            byte-identical to an ungoverned build.
+        load_bursts: seeded online load chaos
+            (:class:`~repro.faults.LoadBurstPlan`): burst-weighted event
+            arrival plus optional tracer stalls.  Never perturbs the
+            application schedule.
     """
     if machine is None:
         machine = Machine(program, num_cores=num_cores, seed=seed)
@@ -165,6 +184,10 @@ def trace_run(
     )
     pt = PTPacketizer(pt_config or PTConfig())
     sync = SyncTracer()
+    if load_bursts is not None:
+        pebs.load_bursts = load_bursts
+        pebs.stall_at = load_bursts.stall_pebs_at
+        sync.stall_at = load_bursts.stall_sync_at
     machine.attach(pebs)
     machine.attach(pt)
     machine.attach(sync)
@@ -172,8 +195,19 @@ def trace_run(
     if record_ground_truth:
         ground_truth = GroundTruthRecorder()
         machine.attach(ground_truth)
+    gov = None
+    gov_defects = None
+    if governor is not None:
+        # Constructed here (not in pmu.governor) so the governor module
+        # never imports the tracing layer; attached last so its
+        # callbacks observe the state the tracers just updated.
+        gov_defects = TraceDefects()
+        gov = TracingGovernor(governor, engine=pebs, pt=pt, sync=sync,
+                              defects=gov_defects)
+        pebs.governor = gov
+        machine.attach(gov)
     run = machine.run(entry=entry)
-    return TraceBundle(
+    bundle = TraceBundle(
         program=program,
         run=run,
         samples=pebs.samples,
@@ -186,3 +220,9 @@ def trace_run(
         sync_size_bytes=sync.size_bytes,
         ground_truth=ground_truth,
     )
+    if gov is not None:
+        bundle.period_epochs = list(gov.report.epochs)
+        bundle.governor = gov.report
+        if gov_defects is not None and gov_defects.degraded:
+            bundle.defects = gov_defects
+    return bundle

@@ -17,7 +17,7 @@ Layout::
     trailer:  u32 crc32 of everything before it
 
 Section kinds: 1 = run metadata, 2 = PEBS samples, 3 = PT stream (one
-per thread), 4 = sync log, 5 = alloc log.
+per thread), 4 = sync log, 5 = alloc log, 6 = period epochs (v3).
 
 Version 2 adds a CRC32 per section so damage can be *localized*:
 ``read_trace(..., allow_partial=True)`` salvages every intact section of
@@ -26,6 +26,17 @@ checksum, recording what was dropped in the bundle's
 :class:`~repro.tracing.bundle.TraceDefects`.  Version-1 files remain
 fully readable (but carry no per-section CRCs, so they cannot be
 salvaged — damage there is unlocalizable by design of the v1 format).
+
+Version 3 adds the **period-epoch section**: the tracing governor's
+:class:`~repro.pmu.governor.GovernorReport` header followed by one
+record per :class:`~repro.pmu.governor.PeriodEpoch`, so the offline
+stage can anchor timelines per epoch and compute detection probability
+against the piecewise-variable sampling period.  The write version is
+chosen per bundle: a governed bundle writes v3, an ungoverned bundle
+keeps writing v2 — its files stay byte-identical to pre-governor builds
+and remain readable by older readers.  v1 and v2 files stay fully
+readable; a corrupted epoch section salvages away like any other (the
+bundle just loses its period history, never its data).
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from ..errors import CheckpointError, TraceError
 from ..isa.registers import ALL_REGISTERS
 from ..machine.machine import RunResult
 from ..pmu.drivers import DriverAccounting, PRORACE_DRIVER, VANILLA_DRIVER
+from ..pmu.governor import EPOCH_REASONS, GovernorReport, PeriodEpoch
 from ..pmu.pt import PTConfig, PTPacket, PTThreadTrace, PacketKind
 from ..pmu.records import (
     ALLOC_RECORD_BYTES,
@@ -54,19 +66,22 @@ from ..pmu.records import (
 from .bundle import TraceBundle, TraceDefects
 
 MAGIC = b"PRTR"
-#: Current write version: per-section CRC32s for salvage loading.
-VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+#: Current format version: v3 adds the period-epoch section.  Ungoverned
+#: bundles still *write* v2 (see :func:`write_trace`) so their files are
+#: byte-identical to pre-governor builds.
+VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 _SEC_META = 1
 _SEC_PEBS = 2
 _SEC_PT = 3
 _SEC_SYNC = 4
 _SEC_ALLOC = 5
+_SEC_EPOCHS = 6
 
 _SECTION_NAMES = {
     _SEC_META: "meta", _SEC_PEBS: "pebs", _SEC_PT: "pt",
-    _SEC_SYNC: "sync", _SEC_ALLOC: "alloc",
+    _SEC_SYNC: "sync", _SEC_ALLOC: "alloc", _SEC_EPOCHS: "epochs",
 }
 
 _HEADER = struct.Struct("<4sHHI")
@@ -85,6 +100,12 @@ _PACKET = struct.Struct("<BQQ")
 _PT_HEADER = struct.Struct("<IQQQBQ")
 #: Run metadata: the RunResult counters + driver id.
 _META = struct.Struct("<QQQQQIQQB")
+#: Governor report header (v3 epoch section): overhead_budget, then the
+#: counter block (base_period .. final_period), final_tier,
+#: final_overhead, epoch count.
+_GOV_HEADER = struct.Struct("<d" + "Q" * 15 + "Bd" + "Q")
+#: One period epoch: start_tsc, period, tier, reason id, overhead.
+_EPOCH = struct.Struct("<QQBBd")
 
 _SYNC_KINDS = ("lock", "unlock", "sem_post", "sem_wait",
                "cond_signal", "cond_wake", "fork", "join")
@@ -166,6 +187,29 @@ def _encode_alloc(records: List[AllocRecord]) -> bytes:
     )
 
 
+def _encode_epochs(bundle: TraceBundle) -> bytes:
+    report = bundle.governor or GovernorReport()
+    epochs = bundle.period_epochs
+    out = io.BytesIO()
+    out.write(_GOV_HEADER.pack(
+        report.overhead_budget, report.base_period, report.k_min,
+        report.k_max, report.decisions, report.widenings,
+        report.narrowings, report.tier_transitions, report.pt_sheds,
+        report.pt_bytes_shed, report.pt_packets_shed,
+        report.hard_drop_bursts, report.hard_dropped_samples,
+        report.watchdog_trips, report.sync_stalls, report.final_period,
+        report.final_tier, report.final_overhead, len(epochs),
+    ))
+    for epoch in epochs:
+        try:
+            reason_id = EPOCH_REASONS.index(epoch.reason)
+        except ValueError:
+            reason_id = 0
+        out.write(_EPOCH.pack(epoch.start_tsc, epoch.period, epoch.tier,
+                              reason_id, epoch.overhead))
+    return out.getvalue()
+
+
 def _encode_meta(bundle: TraceBundle) -> bytes:
     run = bundle.run
     driver_id = 1 if bundle.pebs_accounting.driver.name == "prorace" else 0
@@ -177,14 +221,21 @@ def _encode_meta(bundle: TraceBundle) -> bytes:
 
 
 def write_trace(bundle: TraceBundle, path: Path | str,
-                version: int = VERSION) -> int:
+                version: Optional[int] = None) -> int:
     """Serialize *bundle* to *path*; returns the bytes written.
 
     The ground-truth oracle (when present) is intentionally *not*
     serialized: a real trace file cannot contain it.  *version* selects
-    the container format (2 by default; 1 writes the legacy layout
-    without per-section CRCs, kept for compatibility tests).
+    the container format; the default picks per bundle — v3 when the
+    bundle carries period epochs or a governor report (they need the
+    epoch section), v2 otherwise, so ungoverned trace files stay
+    byte-identical to pre-governor builds.  Writing a governed bundle
+    as v1/v2 is allowed but drops its epoch section (those formats
+    cannot carry one).
     """
+    governed = bool(bundle.period_epochs) or bundle.governor is not None
+    if version is None:
+        version = 3 if governed else 2
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported write version {version}")
     body = io.BytesIO()
@@ -196,6 +247,8 @@ def write_trace(bundle: TraceBundle, path: Path | str,
     ]
     for tid in sorted(bundle.pt_traces):
         sections.append((_SEC_PT, _encode_pt(bundle.pt_traces[tid])))
+    if version >= 3 and governed:
+        sections.append((_SEC_EPOCHS, _encode_epochs(bundle)))
     body.write(_HEADER.pack(MAGIC, version, 0, len(sections)))
     for kind, payload in sections:
         _write_section(body, kind, payload, version=version)
@@ -298,6 +351,45 @@ def _decode_alloc(payload: bytes) -> List[AllocRecord]:
     return records
 
 
+def _decode_epochs(payload: bytes) -> GovernorReport:
+    if len(payload) < _GOV_HEADER.size:
+        raise TraceFormatError("truncated epoch section header")
+    fields = _GOV_HEADER.unpack_from(payload, 0)
+    (budget, base_period, k_min, k_max, decisions, widenings, narrowings,
+     tier_transitions, pt_sheds, pt_bytes_shed, pt_packets_shed,
+     hard_drop_bursts, hard_dropped_samples, watchdog_trips, sync_stalls,
+     final_period, final_tier, final_overhead, count) = fields
+    expected = _GOV_HEADER.size + count * _EPOCH.size
+    if len(payload) != expected:
+        raise TraceFormatError(
+            f"epoch section length mismatch: {len(payload)} != {expected}"
+        )
+    epochs: List[PeriodEpoch] = []
+    offset = _GOV_HEADER.size
+    for _ in range(count):
+        start_tsc, period, tier, reason_id, overhead = _EPOCH.unpack_from(
+            payload, offset
+        )
+        offset += _EPOCH.size
+        if reason_id >= len(EPOCH_REASONS):
+            raise TraceFormatError(f"bad epoch reason id {reason_id}")
+        epochs.append(PeriodEpoch(
+            start_tsc=start_tsc, period=period, tier=tier,
+            reason=EPOCH_REASONS[reason_id], overhead=overhead,
+        ))
+    return GovernorReport(
+        overhead_budget=budget, base_period=base_period, k_min=k_min,
+        k_max=k_max, decisions=decisions, widenings=widenings,
+        narrowings=narrowings, tier_transitions=tier_transitions,
+        pt_sheds=pt_sheds, pt_bytes_shed=pt_bytes_shed,
+        pt_packets_shed=pt_packets_shed, hard_drop_bursts=hard_drop_bursts,
+        hard_dropped_samples=hard_dropped_samples,
+        watchdog_trips=watchdog_trips, sync_stalls=sync_stalls,
+        final_period=final_period, final_tier=final_tier,
+        final_overhead=final_overhead, epochs=epochs,
+    )
+
+
 def _decode_meta(payload: bytes) -> Tuple[RunResult, str]:
     if len(payload) != _META.size:
         raise TraceFormatError("bad metadata section")
@@ -352,6 +444,7 @@ def read_trace(path: Path | str, program=None,
     pt_traces: Dict[int, PTThreadTrace] = {}
     sync_records: List[SyncRecord] = []
     alloc_records: List[AllocRecord] = []
+    governor: Optional[GovernorReport] = None
     corrupted: List[str] = []
 
     for index in range(section_count):
@@ -389,6 +482,8 @@ def read_trace(path: Path | str, program=None,
                 sync_records = _decode_sync(payload)
             elif kind == _SEC_ALLOC:
                 alloc_records = _decode_alloc(payload)
+            elif kind == _SEC_EPOCHS:
+                governor = _decode_epochs(payload)
             else:
                 raise TraceFormatError(f"unknown section kind {kind}")
         except TraceFormatError:
@@ -432,6 +527,9 @@ def read_trace(path: Path | str, program=None,
         ),
         defects=defects,
     )
+    if governor is not None:
+        bundle.governor = governor
+        bundle.period_epochs = list(governor.epochs)
     return bundle
 
 

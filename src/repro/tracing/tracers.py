@@ -35,8 +35,18 @@ class SyncTracer(MachineObserver):
     def __init__(self) -> None:
         self.sync_records: List[SyncRecord] = []
         self.alloc_records: List[AllocRecord] = []
+        #: Fault injection: the shim silently stops appending records at
+        #: this TSC (a wedged log writer / full log disk).  The tracing
+        #: governor's watchdog notices the handed-but-unrecorded event
+        #: and declares the log truncated.
+        self.stall_at: Optional[int] = None
+
+    def _stalled(self, tsc: int) -> bool:
+        return self.stall_at is not None and tsc >= self.stall_at
 
     def on_sync(self, event: SyncEvent) -> None:
+        if self._stalled(event.tsc):
+            return
         self.sync_records.append(
             SyncRecord(
                 tsc=event.tsc,
@@ -49,6 +59,8 @@ class SyncTracer(MachineObserver):
         )
 
     def on_alloc(self, event: AllocEvent) -> None:
+        if self._stalled(event.tsc):
+            return
         self.alloc_records.append(
             AllocRecord(
                 tsc=event.tsc,

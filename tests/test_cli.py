@@ -301,3 +301,77 @@ class TestJitFlags:
         assert code == 1  # profiling must not change the verdict
         stats = pstats.Stats(profile_path)
         assert stats.total_calls > 0
+
+
+class TestGovernorFlags:
+    def test_trace_governed_prints_summary(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "gov.prtr")
+        code, out = run_cli(
+            capsys, "trace", "pbzip2-0.9.4", "--iterations", "50",
+            "--period", "2", "--governor", "--overhead-budget", "0.02",
+            "--k-max", "16384", "--load-bursts", "16",
+            "-o", trace_path, "--seed", "1",
+        )
+        assert code == 0
+        assert "governor" in out
+        assert "wrote" in out
+
+    def test_ungoverned_trace_has_no_governor_line(self, capsys,
+                                                   racy_source, tmp_path):
+        trace_path = str(tmp_path / "plain.prtr")
+        code, out = run_cli(
+            capsys, "trace", "-", "--source", racy_source,
+            "--period", "5", "-o", trace_path,
+        )
+        assert code == 0
+        assert "governor" not in out
+
+    def test_watchdog_degraded_trace_exits_6(self, capsys, tmp_path):
+        """A stalled PEBS engine degrades the run to sync-only tracing:
+        the trace file is still written, but the exit code tells a fleet
+        scheduler to score it lower (exit code 6)."""
+        trace_path = str(tmp_path / "stalled.prtr")
+        code, out = run_cli(
+            capsys, "trace", "pbzip2-0.9.4", "--iterations", "50",
+            "--period", "100", "--governor", "--overhead-budget", "0.5",
+            "--stall-pebs-at", "3000", "-o", trace_path,
+        )
+        assert code == 6
+        assert "watchdog" in out.lower()
+        # The degraded trace is still loadable and analyzable.
+        code, _ = run_cli(
+            capsys, "analyze", "pbzip2-0.9.4", "--iterations", "50",
+            trace_path,
+        )
+        assert code in (0, 1)
+
+
+class TestChaosLoadBursts:
+    def test_json_contract(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "chaos", "-", "--source", racy_source,
+            "--load-bursts", "8", "--period", "2", "--runs", "2",
+            "--governor", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["mode"] == "load-bursts"
+        summary = payload["summary"]
+        for key in ("governed_detections", "fixed_detections",
+                    "budget_respected", "throttle_tripped",
+                    "governed_beats_fixed"):
+            assert key in summary
+        assert len(payload["rows"]) == 2
+        for row in payload["rows"]:
+            assert row["governed"]["governor"]["budget"] == 0.02
+            assert "within_budget" in row["governed"]["governor"]
+            assert "governor" not in row["fixed"]
+
+    def test_text_table(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "chaos", "-", "--source", racy_source,
+            "--load-bursts", "8", "--period", "2", "--runs", "2",
+        )
+        assert code == 0
+        assert "load-burst chaos" in out
+        assert "detections:" in out

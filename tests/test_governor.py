@@ -1,0 +1,458 @@
+"""Tracing-governor tests: the control loop (widening, hysteresis,
+tiered backpressure), the watchdogs, period epochs, and their offline
+consumers (timelines, effective period, degradation reconciliation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import OfflinePipeline
+from repro.analysis.timeline import build_timeline
+from repro.faults import LoadBurstPlan
+from repro.isa import assemble
+from repro.pmu.governor import (
+    EPOCH_REASONS,
+    GovernorConfig,
+    PeriodEpoch,
+    TIER_HARD_DROP,
+    TIER_NOMINAL,
+    TIER_SHED_PT,
+    TIER_SYNC_ONLY,
+    TIER_WIDEN,
+    TracingGovernor,
+    effective_period,
+    epoch_index_at,
+)
+from repro.tracing import trace_run
+from repro.tracing.bundle import TraceDefects
+from repro.workloads import RACE_BUGS, WorkloadScale
+
+from tests.helpers import RACY_ASM
+
+
+# ---------------------------------------------------------------------------
+# Control-loop unit tests against stub tracers
+# ---------------------------------------------------------------------------
+
+
+class FakeAccounting:
+    def __init__(self):
+        self.handler_cycles = 0
+        self.hw_assist_cycles = 0
+        self.dropped_interrupts = 0
+        self.samples_taken = 0
+        self.POLLUTION_GAIN = 8.0
+
+        class _Driver:
+            pollution_cap = 1.0
+            fixed_overhead_fraction = 0.0
+
+        self.driver = _Driver()
+
+    def summary(self):
+        return {
+            "handler_cycles": self.handler_cycles,
+            "hw_assist_cycles": self.hw_assist_cycles,
+            "dropped_interrupts": self.dropped_interrupts,
+        }
+
+
+class FakeEngine:
+    def __init__(self, period=100):
+        self.period = period
+        self.disabled = False
+        self.accounting = FakeAccounting()
+
+    def set_period(self, period):
+        self.period = period
+
+
+class FakePT:
+    def __init__(self):
+        self.shedding = False
+        self.sheds = 0
+
+    def begin_shed(self, tsc):
+        self.shedding = True
+        self.sheds += 1
+
+    def end_shed(self, tsc):
+        self.shedding = False
+        return (1, 5, 40)
+
+
+class FakeSync:
+    def __init__(self):
+        self.sync_records = []
+
+
+def make_governor(period=100, **config_kwargs):
+    config_kwargs.setdefault("perturb", 0.0)
+    config = GovernorConfig(**config_kwargs)
+    engine = FakeEngine(period)
+    gov = TracingGovernor(config, engine, FakePT(), FakeSync(),
+                          TraceDefects())
+    return gov, engine
+
+
+def step(gov, tsc, handler_cycles=0, drops=0):
+    """Advance the stub accounting and force one decision at *tsc*."""
+    gov.engine.accounting.handler_cycles += handler_cycles
+    gov.engine.accounting.dropped_interrupts += drops
+    gov._maybe_decide(tsc)
+
+
+class TestWidening:
+    def test_over_budget_window_widens_period(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100)
+        step(gov, 100, handler_cycles=50)  # 50% occupancy >> 2%
+        assert engine.period > 100
+        assert gov.report.widenings == 1
+        assert gov.tier == TIER_WIDEN
+        assert gov.epochs[-1].reason == "widen"
+
+    def test_widening_is_proportional_not_geometric(self):
+        """A window far above budget widens by overhead/budget (capped),
+        not by the minimum grow factor."""
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, grow=2.0)
+        step(gov, 100, handler_cycles=20)  # occupancy 0.2 → 10x budget
+        assert engine.period > 100 * 2  # more than one grow step
+        assert engine.period <= 100 * TracingGovernor.PROPORTIONAL_CAP
+
+    def test_proportional_factor_is_capped(self):
+        gov, engine = make_governor(period=100, overhead_budget=1e-9,
+                                    decision_ticks=100, k_max=10**9)
+        step(gov, 100, handler_cycles=1000)
+        assert engine.period == int(100 * TracingGovernor.PROPORTIONAL_CAP)
+
+    def test_period_clamped_to_k_max(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, k_max=150)
+        step(gov, 100, handler_cycles=50)
+        assert engine.period == 150
+
+    def test_under_budget_quiet_window_no_action(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, hysteresis=0.5)
+        # 1.5% occupancy: inside [budget*hysteresis, budget] dead band.
+        step(gov, 100, handler_cycles=1, drops=0)
+        assert engine.period == 100
+        assert gov.report.widenings == 0
+        assert gov.report.narrowings == 0
+
+
+class TestHysteresis:
+    def test_relax_only_below_hysteresis_threshold(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, hysteresis=0.5,
+                                    smoothing=1.0, k_min=10)
+        step(gov, 100, handler_cycles=50)  # widen
+        widened = engine.period
+        # 1.5% is below budget but above budget*hysteresis → hold.
+        step(gov, widened and 200, handler_cycles=int(0.015 * 100))
+        assert engine.period == widened
+        # Near-zero window → narrow back toward k_min.
+        step(gov, 300)
+        assert engine.period < widened
+        assert gov.report.narrowings == 1
+
+    def test_narrow_to_base_restores_nominal_tier(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, smoothing=1.0,
+                                    grow=2.0, shrink=0.5)
+        step(gov, 100, handler_cycles=5)  # 5% → widen (proportional ~2.5x)
+        assert gov.tier == TIER_WIDEN
+        tsc = 100
+        for _ in range(10):
+            tsc += 100
+            step(gov, tsc)  # quiet windows → narrow
+            if engine.period <= 100:
+                break
+        assert engine.period == 100
+        assert gov.tier == TIER_NOMINAL
+
+
+class TestBackpressureTiers:
+    def test_hot_windows_escalate_through_tiers_at_k_max(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, k_max=100,
+                                    smoothing=1.0)
+        step(gov, 100, handler_cycles=50, drops=1)
+        assert gov.tier == TIER_SHED_PT
+        assert gov.pt.shedding
+        step(gov, 200, handler_cycles=50, drops=1)
+        assert gov.tier == TIER_HARD_DROP
+        assert gov.hard_drop_active
+        # Terminal data tier: further hot windows change nothing.
+        step(gov, 300, handler_cycles=50, drops=1)
+        assert gov.tier == TIER_HARD_DROP
+
+    def test_lagging_ewma_alone_does_not_shed_data(self):
+        """Data-shedding tiers are gated on the *current* window being
+        hot; a stale smoothed estimate only keeps the period wide."""
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, k_max=200,
+                                    smoothing=0.5)
+        step(gov, 100, handler_cycles=80)  # poison the EWMA (80%)
+        assert gov.tier == TIER_WIDEN
+        assert engine.period == 200  # clamped to k_max
+        # Quiet current window, EWMA still 40%: escalate must not shed.
+        step(gov, 200, handler_cycles=0, drops=0)
+        assert gov.tier == TIER_WIDEN
+        assert not gov.pt.shedding
+        assert gov.report.pt_sheds == 0
+
+    def test_relax_unwinds_tiers_in_reverse_order(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, k_max=100,
+                                    smoothing=1.0)
+        step(gov, 100, handler_cycles=50, drops=1)
+        step(gov, 200, handler_cycles=50, drops=1)
+        assert gov.tier == TIER_HARD_DROP
+        step(gov, 300)  # quiet
+        assert gov.tier == TIER_SHED_PT
+        step(gov, 400)
+        assert gov.tier == TIER_WIDEN
+        assert not gov.pt.shedding
+        assert gov.report.pt_sheds == 1  # the closed shed span
+
+    def test_hard_drop_accounting(self):
+        gov, _ = make_governor(period=100)
+        gov.account_hard_drop(17)
+        assert gov.report.hard_drop_bursts == 1
+        assert gov.report.hard_dropped_samples == 17
+        assert gov.defects.samples_dropped == 17
+        assert gov.defects.drop_bursts == 1
+
+
+class TestEpochMarkers:
+    def test_init_epoch_at_origin(self):
+        gov, _ = make_governor(period=100)
+        assert gov.epochs[0] == PeriodEpoch(start_tsc=0, period=100,
+                                            tier=TIER_NOMINAL,
+                                            reason="init", overhead=0.0)
+
+    def test_every_reason_is_serializable(self):
+        gov, engine = make_governor(period=100, overhead_budget=0.02,
+                                    decision_ticks=100, k_max=100,
+                                    smoothing=1.0, k_min=50)
+        step(gov, 100, handler_cycles=50, drops=1)   # shed-pt (at k_max)
+        step(gov, 200, handler_cycles=50, drops=1)   # hard-drop
+        step(gov, 300)                                # resume-drop
+        step(gov, 400)                                # resume-pt
+        step(gov, 500)                                # narrow
+        for epoch in gov.epochs:
+            assert epoch.reason in EPOCH_REASONS
+
+    def test_epoch_index_at(self):
+        epochs = [PeriodEpoch(0, 100, 0, "init"),
+                  PeriodEpoch(500, 200, 1, "widen"),
+                  PeriodEpoch(900, 100, 1, "narrow")]
+        assert epoch_index_at(epochs, -5) == 0
+        assert epoch_index_at(epochs, 0) == 0
+        assert epoch_index_at(epochs, 499) == 0
+        assert epoch_index_at(epochs, 500) == 1
+        assert epoch_index_at(epochs, 899) == 1
+        assert epoch_index_at(epochs, 10**9) == 2
+
+    def test_epoch_index_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            epoch_index_at([], 0)
+
+
+class TestEffectivePeriod:
+    def test_ungoverned_run_keeps_configured_period(self):
+        assert effective_period([], 1000, 20) == 20.0
+
+    def test_single_epoch_is_its_period(self):
+        epochs = [PeriodEpoch(0, 100, 0, "init")]
+        assert effective_period(epochs, 1000, 20) == pytest.approx(100.0)
+
+    def test_piecewise_harmonic_mean(self):
+        # Half the run at period 100, half at period 400:
+        # expected samples = 500/100 + 500/400 = 6.25 → 1000/6.25 = 160.
+        epochs = [PeriodEpoch(0, 100, 0, "init"),
+                  PeriodEpoch(500, 400, 1, "widen")]
+        assert effective_period(epochs, 1000, 20) == pytest.approx(160.0)
+
+    def test_sync_only_epochs_contribute_no_samples(self):
+        epochs = [PeriodEpoch(0, 100, 0, "init"),
+                  PeriodEpoch(500, 0, TIER_SYNC_ONLY, "watchdog")]
+        # 500 ticks sampled at 100, 500 ticks unsampled → 1000/5 = 200.
+        assert effective_period(epochs, 1000, 20) == pytest.approx(200.0)
+
+    def test_never_sampled_is_infinite(self):
+        epochs = [PeriodEpoch(0, 0, TIER_SYNC_ONLY, "watchdog")]
+        assert effective_period(epochs, 1000, 20) == float("inf")
+
+
+class TestPerturbation:
+    def test_different_governor_seeds_diversify_periods(self):
+        periods = set()
+        for seed in range(4):
+            config = GovernorConfig(overhead_budget=0.02,
+                                    decision_ticks=100, seed=seed)
+            engine = FakeEngine(100)
+            gov = TracingGovernor(config, engine, FakePT(), FakeSync(),
+                                  TraceDefects())
+            step(gov, 100, handler_cycles=50)
+            periods.add(engine.period)
+        assert len(periods) > 1
+
+    def test_same_seed_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            config = GovernorConfig(overhead_budget=0.02,
+                                    decision_ticks=100, seed=3)
+            engine = FakeEngine(100)
+            gov = TracingGovernor(config, engine, FakePT(), FakeSync(),
+                                  TraceDefects())
+            step(gov, 100, handler_cycles=50)
+            results.append(engine.period)
+        assert results[0] == results[1]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"overhead_budget": 0.0},
+        {"overhead_budget": -0.1},
+        {"hysteresis": 1.5},
+        {"grow": 1.0},
+        {"shrink": 0.0},
+        {"shrink": 1.0},
+        {"perturb": 1.0},
+        {"smoothing": 0.0},
+        {"decision_ticks": 0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GovernorConfig(**kwargs)
+
+    def test_rejects_inverted_bounds(self):
+        config = GovernorConfig(k_min=100, k_max=50)
+        with pytest.raises(ValueError, match="k_min"):
+            TracingGovernor(config, FakeEngine(100), FakePT(), FakeSync(),
+                            TraceDefects())
+
+
+# ---------------------------------------------------------------------------
+# Integration: governed trace_run on real workloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bug_program():
+    return RACE_BUGS["pbzip2-0.9.4"].build(
+        WorkloadScale(iterations=50, threads=4))
+
+
+class TestGovernedRun:
+    def test_bursty_run_widens_and_holds_budget(self, bug_program):
+        plan = LoadBurstPlan(seed=0, multiplier=16)
+        bundle = trace_run(bug_program, period=2, seed=0,
+                           governor=GovernorConfig(overhead_budget=0.02,
+                                                   k_max=16384),
+                           load_bursts=plan)
+        gov = bundle.governor
+        assert gov is not None
+        assert gov.widenings > 0
+        assert gov.final_period > 2
+        assert gov.final_overhead <= 0.02
+        assert bundle.period_epochs == gov.epochs
+        starts = [e.start_tsc for e in gov.epochs]
+        assert starts == sorted(starts)
+
+    def test_governed_schedule_matches_ungoverned(self, bug_program):
+        """The governor is an observer: it must not perturb the traced
+        application, only what the tracers record."""
+        plain = trace_run(bug_program, period=2, seed=1)
+        governed = trace_run(bug_program, period=2, seed=1,
+                             governor=GovernorConfig(overhead_budget=0.02))
+        assert governed.run.tsc == plain.run.tsc
+        assert governed.run.instructions == plain.run.instructions
+        assert governed.sync_records == plain.sync_records
+
+    def test_ungoverned_run_has_no_epochs(self, bug_program):
+        bundle = trace_run(bug_program, period=100, seed=0)
+        assert bundle.governor is None
+        assert bundle.period_epochs == []
+
+
+class TestWatchdog:
+    def test_pebs_stall_degrades_to_sync_only(self, bug_program):
+        plan = LoadBurstPlan(seed=0, stall_pebs_at=3000)
+        bundle = trace_run(bug_program, period=100, seed=0,
+                           governor=GovernorConfig(overhead_budget=0.5),
+                           load_bursts=plan)
+        gov = bundle.governor
+        assert gov.watchdog_trips == 1
+        assert gov.final_tier == TIER_SYNC_ONLY
+        assert gov.final_period == 0  # PEBS off
+        assert gov.epochs[-1].reason == "watchdog"
+        assert gov.epochs[-1].period == 0
+        # No sample may postdate the stall by more than the threshold.
+        stall_tsc = max(s.tsc for s in bundle.samples)
+        assert stall_tsc < bundle.run.tsc
+        # The declared loss reconciles downstream.
+        result = OfflinePipeline(bug_program).analyze(bundle)
+        assert result.degradation.governor_active
+        assert result.degradation.governor_watchdog_trips == 1
+
+    def test_sync_stall_declares_truncation(self, bug_program):
+        plan = LoadBurstPlan(seed=0, stall_sync_at=3000)
+        bundle = trace_run(bug_program, period=100, seed=0,
+                           governor=GovernorConfig(overhead_budget=0.5),
+                           load_bursts=plan)
+        gov = bundle.governor
+        assert gov.sync_stalls == 1
+        assert any(e.reason == "sync-stall" for e in gov.epochs)
+        assert bundle.defects is not None
+        assert bundle.defects.log_truncated_at_tsc is not None
+        # Truncation point is the last record the tracer kept.
+        assert bundle.defects.log_truncated_at_tsc <= 3000
+
+
+# ---------------------------------------------------------------------------
+# Timeline epochs
+# ---------------------------------------------------------------------------
+
+
+class TestTimelineEpochs:
+    def _built(self, epochs):
+        from repro.ptdecode import align_samples, decode_all, locate_syncs
+
+        program = assemble(RACY_ASM, "racy-counter")
+        bundle = trace_run(program, period=5, seed=7)
+        tid, path = next(iter(
+            decode_all(program, bundle.pt_traces).items()))
+        aligned = align_samples(path, bundle.samples_of_thread(tid))
+        syncs = locate_syncs(
+            path, [r for r in bundle.sync_records if r.tid == tid])
+        return build_timeline(path, aligned, syncs, epochs=epochs)
+
+    def test_epoch_at_maps_steps_to_epochs(self):
+        epochs = (PeriodEpoch(0, 5, 0, "init"),
+                  PeriodEpoch(40, 20, 1, "widen"))
+        timeline = self._built(epochs)
+        assert timeline.epochs == tuple(epochs)
+        for step_index in range(timeline.total_steps):
+            expected = epochs[
+                epoch_index_at(epochs, timeline.tsc_of(step_index))]
+            assert timeline.epoch_at(step_index) == expected
+
+    def test_anchors_by_epoch_partitions_all_anchors(self):
+        epochs = (PeriodEpoch(0, 5, 0, "init"),
+                  PeriodEpoch(40, 20, 1, "widen"))
+        timeline = self._built(epochs)
+        by_epoch = timeline.anchors_by_epoch()
+        total = sum(len(v) for v in by_epoch.values())
+        assert total == len(timeline.points)
+        assert set(by_epoch) <= set(range(len(epochs)))
+
+    def test_no_epochs_means_single_bucket(self):
+        timeline = self._built(())
+        assert timeline.epochs == ()
+        assert timeline.epoch_at(0) is None
+        assert timeline.anchors_by_epoch() == {}

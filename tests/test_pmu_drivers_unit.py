@@ -56,6 +56,44 @@ class TestThrottle:
         assert acc.samples_written + acc.samples_dropped == 5 * 16
 
 
+class TestThrottleBoundary:
+    """The keep/drop decision at exactly cost == gap * f/(1-f)."""
+
+    def _driver(self):
+        # f = 0.5 makes the budget equal the gap itself; zero per-record
+        # cycles make the cost exactly per_interrupt_cycles.
+        from dataclasses import replace
+
+        return replace(PRORACE_DRIVER, throttle_fraction=0.5,
+                       per_interrupt_cycles=100, per_record_cycles=0)
+
+    def test_equality_is_kept(self):
+        acc = accounting(self._driver())
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000)
+        # gap == 100 → budget == 100 == cost: `<=` keeps the buffer.
+        assert acc.on_buffer_full(core=0, n_records=16, tsc_now=1_100)
+        assert acc.samples_dropped == 0
+
+    def test_one_tick_under_is_dropped(self):
+        acc = accounting(self._driver())
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000)
+        # gap == 99 → budget 99 < cost 100: dropped.
+        assert not acc.on_buffer_full(core=0, n_records=16, tsc_now=1_099)
+        assert acc.samples_dropped == 16
+
+    def test_dropped_interrupt_still_advances_throttle_state(self):
+        """A dropped buffer updates the per-core last-interrupt TSC, so
+        a sustained too-fast stream stays starved instead of admitting
+        every second buffer against a stale gap."""
+        acc = accounting(self._driver())
+        acc.on_buffer_full(core=0, n_records=16, tsc_now=1_000)
+        for i in range(1, 6):
+            kept = acc.on_buffer_full(core=0, n_records=16,
+                                      tsc_now=1_000 + i * 99)
+            assert not kept
+        assert acc.samples_dropped == 5 * 16
+
+
 class TestSteadyHandler:
     def test_scales_with_samples(self):
         acc = accounting()

@@ -1,0 +1,91 @@
+"""Governor properties: declared losses always reconcile downstream,
+and a disabled governor is invisible — ungoverned runs and their trace
+files are byte-identical to a build that never had one.
+
+These are the robustness contracts of the closed-loop online stage: the
+governor may shed data (that is its job under pressure), but every shed
+must be *declared*, and the declaration must survive the trip through
+serialization and the offline pipeline.  And because the governor ships
+default-off, turning it off must mean exactly that."""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OfflinePipeline
+from repro.analysis.report import to_json
+from repro.faults import LoadBurstPlan
+from repro.isa import assemble
+from repro.pmu.governor import GovernorConfig
+from repro.tracing import read_trace, trace_run, write_trace
+
+from tests.helpers import RACY_ASM
+
+_PROGRAM = assemble(RACY_ASM, "racy-counter")
+
+seeds = st.integers(min_value=0, max_value=500)
+
+
+@given(seed=seeds,
+       multiplier=st.integers(min_value=1, max_value=32),
+       period=st.integers(min_value=2, max_value=8))
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_governed_degradation_always_reconciles(seed, multiplier, period):
+    """Whatever the governor shed under seeded burst load, the offline
+    DegradationReport can match every declared loss against degradation
+    it actually observed."""
+    bundle = trace_run(
+        _PROGRAM, period=period, seed=seed,
+        governor=GovernorConfig(overhead_budget=0.02, decision_ticks=20),
+        load_bursts=LoadBurstPlan(seed=seed, multiplier=multiplier),
+    )
+    result = OfflinePipeline(_PROGRAM).analyze(bundle)
+    deg = result.degradation
+    assert deg.governor_active
+    assert deg.governor_reconciles is True
+    # The governor's own epoch count is what the report re-renders.
+    assert deg.governor_epochs == len(bundle.governor.epochs)
+
+
+@given(seed=seeds,
+       multiplier=st.integers(min_value=1, max_value=32))
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_governed_reconciliation_survives_serialization(
+        seed, multiplier, tmp_path_factory):
+    bundle = trace_run(
+        _PROGRAM, period=2, seed=seed,
+        governor=GovernorConfig(overhead_budget=0.02, decision_ticks=20),
+        load_bursts=LoadBurstPlan(seed=seed, multiplier=multiplier),
+    )
+    path = Path(tmp_path_factory.mktemp("gov")) / "t.prtr"
+    write_trace(bundle, path)
+    loaded = read_trace(path, program=_PROGRAM)
+    deg = OfflinePipeline(_PROGRAM).analyze(loaded).degradation
+    assert deg.governor_active
+    assert deg.governor_reconciles is True
+
+
+@given(seed=seeds, period=st.integers(min_value=2, max_value=50))
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_governor_off_is_bit_identical(seed, period, tmp_path_factory):
+    """An ungoverned run must produce a byte-identical trace file and an
+    identical report whether the build knows about governors or not:
+    passing governor=None is indistinguishable from the seed behavior
+    (no epochs, no v3 container, no governor JSON key)."""
+    plain = trace_run(_PROGRAM, period=period, seed=seed)
+    explicit = trace_run(_PROGRAM, period=period, seed=seed,
+                         governor=None, load_bursts=None)
+    tmp = Path(tmp_path_factory.mktemp("bit"))
+    write_trace(plain, tmp / "plain.prtr")
+    write_trace(explicit, tmp / "explicit.prtr")
+    assert (tmp / "plain.prtr").read_bytes() == \
+        (tmp / "explicit.prtr").read_bytes()
+    # The container stays v2: readable by pre-governor readers.
+    assert (tmp / "plain.prtr").read_bytes()[4] == 2
+    # And the analysis JSON carries no governor key at all.
+    result = OfflinePipeline(_PROGRAM).analyze(explicit)
+    payload = json.loads(to_json(_PROGRAM, result))
+    assert "governor" not in payload
+    assert plain.period_epochs == [] and explicit.period_epochs == []

@@ -128,7 +128,7 @@ class TestVersions:
     def test_unsupported_write_version(self, traced, tmp_path):
         _, bundle = traced
         with pytest.raises(ValueError, match="version"):
-            write_trace(bundle, tmp_path / "t.prtr", version=3)
+            write_trace(bundle, tmp_path / "t.prtr", version=4)
 
     def test_v1_has_no_salvage(self, clean_program, tmp_path):
         """allow_partial needs per-section CRCs; a corrupt v1 file is
@@ -215,3 +215,96 @@ class TestDriverTag:
         write_trace(bundle, path)
         loaded = read_trace(path)
         assert loaded.pebs_accounting.driver.name == "vanilla"
+
+
+@pytest.fixture
+def governed(racy_program):
+    from repro.faults import LoadBurstPlan
+    from repro.pmu.governor import GovernorConfig
+
+    bundle = trace_run(racy_program, period=2, seed=9,
+                       governor=GovernorConfig(overhead_budget=0.02,
+                                               decision_ticks=20),
+                       load_bursts=LoadBurstPlan(seed=9, multiplier=8))
+    assert bundle.governor is not None
+    return racy_program, bundle
+
+
+class TestGovernedContainer:
+    """v3: the period-epoch section of governed bundles."""
+
+    def test_governed_bundle_defaults_to_v3(self, governed, tmp_path):
+        _, bundle = governed
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        _, version, _, _ = struct.unpack_from("<4sHHI",
+                                              path.read_bytes(), 0)
+        assert version == 3
+
+    def test_epochs_and_report_round_trip(self, governed, tmp_path):
+        program, bundle = governed
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        assert loaded.period_epochs == bundle.period_epochs
+        assert loaded.samples == bundle.samples
+        report, original = loaded.governor, bundle.governor
+        assert report.overhead_budget == original.overhead_budget
+        assert report.base_period == original.base_period
+        assert report.widenings == original.widenings
+        assert report.tier_transitions == original.tier_transitions
+        assert report.final_period == original.final_period
+        assert report.final_tier == original.final_tier
+        assert report.final_overhead == pytest.approx(
+            original.final_overhead)
+        assert report.epochs == original.epochs
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_older_write_versions_drop_only_the_epochs(
+            self, governed, tmp_path, version):
+        program, bundle = governed
+        path = tmp_path / f"v{version}.prtr"
+        write_trace(bundle, path, version=version)
+        loaded = read_trace(path, program=program)
+        assert loaded.governor is None
+        assert loaded.period_epochs == []
+        assert loaded.samples == bundle.samples
+        assert loaded.sync_records == bundle.sync_records
+
+    def test_corrupt_epoch_section_salvages_the_data(
+            self, governed, tmp_path):
+        """Damage to the epoch section loses the period history, never
+        the trace data it annotates."""
+        from repro.faults import corrupt_trace_file
+
+        program, bundle = governed
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        # The epoch section is written last: meta, pebs, sync, alloc,
+        # one pt stream per thread, epochs.
+        epoch_index = 4 + len(bundle.pt_traces)
+        corrupt_trace_file(path, seed=3, section_index=epoch_index)
+        with pytest.raises(TraceFormatError):
+            read_trace(path, program=program)
+        loaded = read_trace(path, program=program, allow_partial=True)
+        assert any(name.startswith("epochs")
+                   for name in loaded.defects.corrupted_sections)
+        assert loaded.governor is None
+        assert loaded.period_epochs == []
+        assert loaded.samples == bundle.samples
+        assert loaded.sync_records == bundle.sync_records
+
+    def test_governed_v3_analysis_equivalent_after_round_trip(
+            self, governed, tmp_path):
+        program, bundle = governed
+        path = tmp_path / "t.prtr"
+        write_trace(bundle, path)
+        loaded = read_trace(path, program=program)
+        direct = OfflinePipeline(program).analyze(bundle)
+        reread = OfflinePipeline(program).analyze(loaded)
+        assert {r.pair for r in direct.races} == \
+            {r.pair for r in reread.races}
+        assert direct.degradation.governor_active
+        assert reread.degradation.governor_active
+        assert (reread.degradation.governor_epochs
+                == direct.degradation.governor_epochs)
