@@ -4,8 +4,11 @@ A deliberately small, fast guard (seconds, not minutes) run on every CI
 build; the full measurements live in ``benchmarks/test_replay_speed.py``
 and ``docs/performance.md``.  Fails loudly if the compiled replay path
 stops being faster than the instruction interpreter on the forward
-reconstruction hot loop, or if a warm summary cache stops beating a
-plain micro-op re-replay.
+reconstruction hot loop, if a warm summary cache stops beating a plain
+micro-op re-replay, or if the detector-backend registry's indirection
+makes the FastTrack fast path measurably slower than constructing
+FastTrack directly (the backend refactor's <5% contract against the
+BENCH_replay.json fast-path numbers).
 
 Run directly: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
@@ -14,6 +17,9 @@ import sys
 import time
 
 from repro.analysis import OfflinePipeline
+from repro.detector.events import Access, AccessKind
+from repro.detector.fasttrack import FastTrack
+from repro.detector.registry import create_backend
 from repro.replay import BlockSummaryCache, ReplayEngine
 from repro.tracing import trace_run
 from repro.workloads import PARSEC_WORKLOADS, WorkloadScale
@@ -22,6 +28,10 @@ from repro.workloads import PARSEC_WORKLOADS, WorkloadScale
 # trip on real regressions (measured locally: ~2x and ~1.8x).
 MIN_JIT_SPEEDUP = 1.15
 MIN_WARM_SPEEDUP = 1.05
+#: Registry indirection budget over direct FastTrack (the loops are
+#: identical after the pipeline's method pre-binding, so anything above
+#: this is a real protocol regression, not noise).
+MAX_REGISTRY_OVERHEAD = 0.05
 REPEATS = 3
 
 
@@ -48,6 +58,37 @@ def _replay_seconds(program, bundle, cache):
     return best
 
 
+def _detector_stream(events=40_000):
+    """The same read-heavy stream shape BENCH_replay's fast-path
+    measurement uses (most accesses hit the same-epoch fast paths)."""
+    accesses = []
+    for i in range(events):
+        tid = 1 + ((i >> 6) & 1)
+        var = (0x1000 + (i % 64) * 8, 0)
+        kind = AccessKind.WRITE if i % 16 == 0 else AccessKind.READ
+        accesses.append(Access(tid=tid, var=var, kind=kind,
+                               ip=i % 97, tsc=float(i),
+                               provenance="bench"))
+    return accesses
+
+
+def _detector_seconds(factory, accesses, repeats=5):
+    """Best-of-N seconds for one full detector pass, pre-bound access
+    method — the exact loop shape of the pipeline's single-backend fast
+    path."""
+    best = None
+    for _ in range(repeats):
+        detector = factory()
+        d_access = detector.access
+        t0 = time.perf_counter()
+        for access in accesses:
+            d_access(access)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
 def main():
     scale = WorkloadScale(iterations=150, data_words=64)
     program = PARSEC_WORKLOADS["blackscholes"].build(scale)
@@ -68,7 +109,22 @@ def main():
           f"warm cache {warm * 1e3:.1f} ms -> {warm_speedup:.2f}x "
           f"({cache.window_hits} window memo hits)")
 
+    accesses = _detector_stream()
+    direct = _detector_seconds(FastTrack, accesses)
+    registered = _detector_seconds(
+        lambda: create_backend("fasttrack"), accesses)
+    registry_overhead = registered / direct - 1.0
+    print(f"fasttrack fast path: direct {direct * 1e3:.1f} ms, "
+          f"via registry {registered * 1e3:.1f} ms -> "
+          f"{100 * registry_overhead:+.1f}% "
+          f"({len(accesses) / registered:,.0f} events/sec)")
+
     failures = []
+    if registry_overhead > MAX_REGISTRY_OVERHEAD:
+        failures.append(
+            f"registry indirection costs {100 * registry_overhead:.1f}% "
+            f"on the FastTrack fast path "
+            f"(budget {100 * MAX_REGISTRY_OVERHEAD:.0f}%)")
     if speedup < MIN_JIT_SPEEDUP:
         failures.append(
             f"micro-op replay only {speedup:.2f}x vs interpreter "

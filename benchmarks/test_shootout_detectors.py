@@ -1,0 +1,86 @@
+"""Detector shoot-out — precision/recall of every backend and baseline.
+
+The registry makes detectors interchangeable; this bench makes them
+*comparable*.  All four registry backends grade the same reconstructed
+event streams (one trace + one decode/replay per trial), the four
+whole-program baselines run the Table 2 corpus on their own terms, and
+everyone is ranked by F1 against the ``race_*``-labelled ground truth.
+
+Expected shapes, asserted below:
+
+* the HB backends over reconstructed traces (fasttrack, o1, predict)
+  out-rank every sampling baseline on F1 — reconstruction recovers far
+  more racy accesses than watchpoints or burst sampling observe;
+* predictive verification never *hurts* precision: every witnessed race
+  is a real reordering, so ``predict``'s precision is at least
+  fasttrack's;
+* lockset's precision is the worst of the registry backends (Eraser
+  warns on lock-discipline violations, not on real interleavings) —
+  the §4.3 motivation for the paper's happens-before choice.
+
+Writes ``benchmarks/results/BENCH_detectors.json`` (the ranked scores)
+and ``BENCH_detectors.txt`` (the rendered table).
+"""
+
+import json
+
+from repro.analysis import run_shootout
+from repro.analysis.shootout import (
+    DEFAULT_SHOOTOUT_BASELINES,
+    DEFAULT_SHOOTOUT_DETECTORS,
+)
+from repro.workloads import RACE_BUGS
+
+from conftest import write_table
+
+PERIOD = 100
+
+
+def measure(profile):
+    return run_shootout(
+        RACE_BUGS, profile.bug_scale, period=PERIOD,
+        runs=profile.recovery_runs,
+        detectors=DEFAULT_SHOOTOUT_DETECTORS,
+        baselines=DEFAULT_SHOOTOUT_BASELINES,
+    )
+
+
+def test_shootout_detectors(benchmark, profile, results_dir):
+    result = benchmark.pedantic(lambda: measure(profile), rounds=1,
+                                iterations=1)
+
+    (results_dir / "BENCH_detectors.json").write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n")
+    write_table(results_dir, "BENCH_detectors",
+                result.render().splitlines())
+
+    scores = result.scores
+    ranked = result.ranked()
+    assert all(score.trials == len(RACE_BUGS) * profile.recovery_runs
+               for score in scores.values())
+
+    # Reconstruction beats sampling: every HB registry backend out-ranks
+    # every baseline on F1.
+    best_baseline = max(scores[b].f1 for b in DEFAULT_SHOOTOUT_BASELINES)
+    for name in ("fasttrack", "o1", "predict"):
+        assert scores[name].f1 > best_baseline, (
+            f"{name} (f1 {scores[name].f1:.3f}) should out-rank the best "
+            f"baseline (f1 {best_baseline:.3f})")
+
+    # Witness search is a filter: it can drop candidates, never invent
+    # them, so precision cannot fall below fasttrack's.
+    assert scores["predict"].precision >= scores["fasttrack"].precision
+    # ... and sampling only loses recall, never precision.
+    assert scores["o1"].precision >= scores["fasttrack"].precision
+    assert scores["o1"].recall <= scores["fasttrack"].recall
+
+    # Eraser's lock-discipline warnings are the least precise registry
+    # verdicts (the paper's argument for happens-before).
+    registry_precisions = {
+        name: scores[name].precision for name in DEFAULT_SHOOTOUT_DETECTORS
+    }
+    assert registry_precisions["lockset"] == min(
+        registry_precisions.values())
+
+    # The winner is a registry backend, not a baseline.
+    assert ranked[0].kind == "backend"

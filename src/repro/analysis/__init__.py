@@ -34,11 +34,18 @@ from .pipeline import (
 )
 from .report import (
     FleetSummary,
+    backend_to_dict,
+    render_backend_section,
     render_degradation,
     render_ledger,
     render_race,
     render_report,
     to_json,
+)
+from .shootout import (
+    BackendScore,
+    ShootoutResult,
+    run_shootout,
 )
 from .sweeps import (
     DetectionSweepResult,
@@ -52,8 +59,13 @@ from .timeline import ThreadTimeline, build_timeline
 __all__ = [
     "AllocationIndex",
     "AnalysisContext",
+    "BackendScore",
     "ContextStats",
+    "ShootoutResult",
     "access_sort_key",
+    "backend_to_dict",
+    "render_backend_section",
+    "run_shootout",
     "sync_sort_key",
     "DegradationReport",
     "DetectionProbability",

@@ -64,11 +64,19 @@ from operator import itemgetter
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
-from ..detector.events import Access, AccessKind, SyncOp
+from ..detector.events import (
+    EVENT_KIND_ACCESS,
+    EVENT_KIND_SYNC,
+    Access,
+    AccessKind,
+    EventKey,
+    SyncOp,
+    access_sort_key,
+    sync_sort_key,
+)
 from ..errors import CheckpointError, UsageError
 from ..faults import MAX_TSC_JITTER
 from ..isa.program import Program
-from ..pmu.records import SyncRecord
 from ..ptdecode.decoder import (
     AlignedSample,
     DecodedPath,
@@ -89,26 +97,12 @@ from ..tracing.bundle import TraceBundle
 from .generations import AllocationIndex
 from .timeline import ThreadTimeline, build_timeline
 
-#: Kind ranks of the total event order (accesses first at equal TSC,
-#: matching the seed pipeline's ordering).
-EVENT_KIND_ACCESS = 0
-EVENT_KIND_SYNC = 1
-
-#: The total event sort key: (tsc, kind_rank, tid, seq).
-EventKey = Tuple[float, int, int, int]
-
-
-def access_sort_key(tsc: float, tid: int, step_index: int) -> EventKey:
-    """Sort key of one access event (seq slot = path step index)."""
-    return (tsc, EVENT_KIND_ACCESS, tid, step_index)
-
-
-def sync_sort_key(record: SyncRecord) -> EventKey:
-    """Sort key of one sync event.  The tid slot is zeroed so ``seq``
-    (the machine's global emission order) is authoritative for same-TSC
-    sync records — ordering them by tid could invert a release/acquire
-    pair and fabricate a race."""
-    return (float(record.tsc), EVENT_KIND_SYNC, 0, record.seq)
+# The total event order (EVENT_KIND_ACCESS/EVENT_KIND_SYNC, EventKey,
+# access_sort_key, sync_sort_key) lives in repro.detector.events — the
+# one shared definition every consumer of the merged stream (pipeline,
+# sweeps, tests) uses, so backends cannot drift on event ordering.  The
+# names are re-exported from this module (see the imports above) for
+# the analysis-layer callers.
 
 
 @dataclass

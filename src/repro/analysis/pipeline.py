@@ -20,10 +20,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..detector.base import DetectionFindings
 from ..detector.events import RaceReport, SyncOp
-from ..detector.fasttrack import FastTrack
+from ..detector.registry import DEFAULT_DETECTOR, create_backend, \
+    resolve_detectors
 from ..isa.program import Program
 from ..replay.engine import ReplayResult
 from ..supervise import RunLedger
@@ -142,7 +144,14 @@ class DegradationReport:
 
 @dataclass
 class DetectionResult:
-    """Outcome of one offline analysis."""
+    """Outcome of one offline analysis.
+
+    ``races``/``racy_addresses`` are the **primary** backend's findings
+    (the first ``--detector``; FastTrack by default) so every historical
+    consumer keeps working; ``findings`` carries the full per-backend
+    :class:`~repro.detector.base.DetectionFindings` of every backend
+    that rode the same event-stream pass.
+    """
 
     races: List[RaceReport]
     racy_addresses: FrozenSet[int]
@@ -154,6 +163,10 @@ class DetectionResult:
     #: Supervised-runtime accounting (None when the analysis ran
     #: unsupervised); rendered in reports next to the degradation.
     ledger: Optional[RunLedger] = None
+    #: The backends that ran, in request order (first = primary).
+    detectors: Tuple[str, ...] = (DEFAULT_DETECTOR,)
+    #: Per-backend findings, keyed by backend name in request order.
+    findings: Dict[str, DetectionFindings] = field(default_factory=dict)
 
     def races_on(self, address: int) -> List[RaceReport]:
         return [r for r in self.races if r.address == address]
@@ -186,6 +199,13 @@ class OfflinePipeline:
             block effect-summary cache; False (the ``--no-jit`` escape
             hatch) uses the instruction interpreter.  Results are
             bit-identical either way.
+        detectors: registry names of the detector backends to run over
+            the merged event stream — all of them side-by-side in one
+            decode/replay pass.  The first name is the *primary*
+            backend: its verdicts populate ``DetectionResult.races``,
+            drive the §5.1 regeneration loop, and head the report.
+            Unknown names raise
+            :class:`~repro.errors.UnknownDetectorError` immediately.
     """
 
     def __init__(
@@ -198,6 +218,7 @@ class OfflinePipeline:
         round_cache: bool = True,
         jit: bool = True,
         supervisor=None,
+        detectors: Sequence[str] = (DEFAULT_DETECTOR,),
     ) -> None:
         self.program = program
         self.mode = mode
@@ -210,6 +231,7 @@ class OfflinePipeline:
         #: fan-outs then run under the supervised runtime and every
         #: :class:`DetectionResult` carries a merged ``ledger``.
         self.supervisor = supervisor
+        self.detectors = resolve_detectors(detectors)
 
     # ------------------------------------------------------------------
 
@@ -281,7 +303,7 @@ class OfflinePipeline:
                 resume_floor = rounds
             elif snapshot.exists():
                 snapshot.unlink()
-        detector = FastTrack()
+        backends = tuple(create_backend(name) for name in self.detectors)
         replay_result: ReplayResult | None = None
         events_processed = 0
 
@@ -296,17 +318,39 @@ class OfflinePipeline:
                 break
 
             begin = time.perf_counter()
-            detector = FastTrack()
+            backends = tuple(create_backend(name) for name in self.detectors)
             events_processed = 0
-            for _, event in context.merged_events():
-                if isinstance(event, SyncOp):
-                    detector.sync(event)
-                else:
-                    detector.access(event)
-                events_processed += 1
+            if len(backends) == 1:
+                # Single-backend fast path: pre-bound methods, same loop
+                # shape as the historical FastTrack-only pipeline (the
+                # registry indirection perf gate measures this path).
+                d_sync = backends[0].sync
+                d_access = backends[0].access
+                for _, event in context.merged_events():
+                    if isinstance(event, SyncOp):
+                        d_sync(event)
+                    else:
+                        d_access(event)
+                    events_processed += 1
+            else:
+                # N backends side-by-side over the one merged pass.
+                for _, event in context.merged_events():
+                    if isinstance(event, SyncOp):
+                        for backend in backends:
+                            backend.sync(event)
+                    else:
+                        for backend in backends:
+                            backend.access(event)
+                    events_processed += 1
             detection_seconds += time.perf_counter() - begin
 
-            racy = detector.racy_addresses()
+            # §5.1 regeneration reacts to the primary backend's
+            # *streaming* verdicts.  (A buffering backend like
+            # ``predict`` reports only at finish() and so never grows
+            # the poison set when run as primary — pair it with a
+            # streaming backend, e.g. ``fasttrack,predict``, to keep
+            # regeneration driven.)
+            racy = backends[0].racy_addresses()
             # §5.1 regeneration: if a detected race lands on a location
             # whose *emulated* value fed some reconstructed address,
             # poison it and regenerate.
@@ -329,14 +373,23 @@ class OfflinePipeline:
                 context.save_snapshot(snapshot, poisoned, rounds)
 
         assert replay_result is not None
+        # finish() is part of detection: for streaming backends it only
+        # freezes accessors, but the predictive backend runs its whole
+        # witness search here.
+        begin = time.perf_counter()
+        findings: Dict[str, DetectionFindings] = {}
+        for backend in backends:
+            findings[backend.name] = backend.finish()
+        detection_seconds += time.perf_counter() - begin
+        primary = findings[self.detectors[0]]
         timings = OfflineTimings(
             decode_seconds=context.decode_seconds,
             reconstruction_seconds=context.reconstruction_seconds,
             detection_seconds=detection_seconds,
         )
         return DetectionResult(
-            races=detector.distinct_races(),
-            racy_addresses=detector.racy_addresses(),
+            races=list(primary.races),
+            racy_addresses=primary.racy_addresses,
             replay=replay_result,
             regeneration_rounds=rounds,
             timings=timings,
@@ -345,6 +398,8 @@ class OfflinePipeline:
                 bundle, context, replay_result
             ),
             ledger=context.run_ledger,
+            detectors=self.detectors,
+            findings=findings,
         )
 
     def degradation_report(

@@ -13,9 +13,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..detector.base import DetectionFindings
 from ..detector.events import RaceReport
+from ..detector.registry import DEFAULT_DETECTOR
 from ..isa.program import Program
 from .pipeline import DetectionResult
+
+#: Detector selections rendered exactly as the historical single-
+#: detector report (no backend sections, no extra keys): the default.
+_DEFAULT_SELECTION = (DEFAULT_DETECTOR,)
 
 
 def _symbol_for(program: Program, address: int) -> Optional[str]:
@@ -161,9 +167,45 @@ def render_ledger(result: DetectionResult) -> List[str]:
     return result.ledger.render().splitlines()
 
 
+def render_backend_section(program: Program,
+                           findings: DetectionFindings) -> List[str]:
+    """One non-primary backend's findings as a compact report section,
+    including backend-specific fields (witness schedules, sample
+    budgets) from ``findings.details``."""
+    lines = [
+        f"--- backend {findings.backend}: {len(findings.races)} "
+        f"distinct race(s) ---",
+    ]
+    if findings.details:
+        detail = "   ".join(
+            f"{key}: {value}" for key, value in findings.details.items()
+        )
+        lines.append(f"  {detail}")
+    for index, race in enumerate(findings.races, start=1):
+        symbol = _symbol_for(program, race.address)
+        where = f"{race.address:#x}" + (f" ({symbol})" if symbol else "")
+        lines.append(
+            f"  [{index}] race on {where}: "
+            f"T{race.first_tid} {race.first_kind.value} "
+            f"@ip={race.first_ip} vs T{race.second.tid} "
+            f"{race.second.kind.value} @ip={race.second.ip}"
+        )
+        if race.witness is not None:
+            lines.append(f"      witness: {race.witness.describe()}")
+    if not findings.races:
+        lines.append("  no races reported.")
+    return lines
+
+
 def render_report(program: Program, result: DetectionResult) -> str:
-    """The full per-run report text."""
+    """The full per-run report text.
+
+    The primary backend's findings form the main body, exactly as the
+    historical FastTrack-only report (bit-identical for the default
+    selection); additional backends get their own sections.
+    """
     stats = result.replay.stats
+    default_only = tuple(result.detectors) == _DEFAULT_SELECTION
     header = [
         f"=== ProRace report: {program.name} ===",
         f"samples: {stats.sampled}   reconstructed: {stats.recovered} "
@@ -176,8 +218,13 @@ def render_report(program: Program, result: DetectionResult) -> str:
         f"{stats.windows} windows ({stats.summary_hits} summary hits "
         f"skipped {stats.summary_steps} steps, "
         f"{stats.window_hits} whole-window memo hits)",
-        f"distinct races: {len(result.races)}",
     ]
+    if not default_only:
+        header.append(
+            "detectors: " + ", ".join(result.detectors)
+            + f" (primary: {result.detectors[0]})"
+        )
+    header.append(f"distinct races: {len(result.races)}")
     header.extend(render_degradation(result))
     header.extend(render_governor(result))
     header.extend(render_ledger(result))
@@ -188,7 +235,58 @@ def render_report(program: Program, result: DetectionResult) -> str:
         body.append("")
     if not result.races:
         body.append("no data races detected.")
+    if not default_only:
+        primary_witnesses = [
+            race for race in result.races if race.witness is not None
+        ]
+        for race in primary_witnesses:
+            body.append(f"witness for {race.address:#x} "
+                        f"{race.pair}: {race.witness.describe()}")
+        if primary_witnesses:
+            body.append("")
+        for name in result.detectors[1:]:
+            findings = result.findings.get(name)
+            if findings is None:
+                continue
+            body.extend(render_backend_section(program, findings))
+            body.append("")
     return "\n".join(header + body)
+
+
+def backend_to_dict(findings: DetectionFindings) -> Dict[str, object]:
+    """One backend's findings as a JSON-ready dict, races and
+    backend-specific fields (witnesses, sample budgets) included."""
+    data = findings.to_dict()
+    data["races"] = [
+        {
+            "address": race.address,
+            "generation": race.var[1],
+            "pair": list(race.pair),
+            "first": {
+                "tid": race.first_tid,
+                "kind": race.first_kind.value,
+                "ip": race.first_ip,
+            },
+            "second": {
+                "tid": race.second.tid,
+                "kind": race.second.kind.value,
+                "ip": race.second.ip,
+                "provenance": race.second.provenance,
+            },
+            "witness": (
+                {
+                    "total_steps": race.witness.total_steps,
+                    "nodes_explored": race.witness.nodes_explored,
+                    "steps": [
+                        step.describe() for step in race.witness.steps
+                    ],
+                }
+                if race.witness is not None else None
+            ),
+        }
+        for race in findings.races
+    ]
+    return data
 
 
 def to_json(program: Program, result: DetectionResult) -> str:
@@ -259,6 +357,15 @@ def to_json(program: Program, result: DetectionResult) -> str:
                 else None
             ),
     }
+    if tuple(result.detectors) != _DEFAULT_SELECTION:
+        # Present only for non-default detector selections, so default
+        # FastTrack JSON stays byte-identical to previous releases
+        # (same convention as the conditional "governor" key below).
+        payload["detectors"] = list(result.detectors)
+        payload["backends"] = {
+            name: backend_to_dict(findings)
+            for name, findings in result.findings.items()
+        }
     deg = result.degradation
     if deg.governor_active:
         # Present only for governed runs, so ungoverned JSON stays

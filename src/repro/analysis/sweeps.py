@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from ..detector.registry import DEFAULT_DETECTOR, resolve_detectors
 from ..isa.program import Program
 from ..parallel import parallel_map
 from ..pmu.drivers import DriverModel, PRORACE_DRIVER
@@ -180,9 +181,10 @@ def _run_detection_trial(work: tuple) -> int:
     whether the planted race was detected.  Workers keep the pipeline
     serial — the parallelism budget is spent across trials.
     """
-    program, bug, period, seed, mode, driver = work
+    program, bug, period, seed, mode, driver, detectors = work
     bundle = trace_run(program, period=period, driver=driver, seed=seed)
-    analysis = OfflinePipeline(program, mode=mode).analyze(bundle)
+    analysis = OfflinePipeline(program, mode=mode,
+                               detectors=detectors).analyze(bundle)
     return int(bug.detected(program, analysis))
 
 
@@ -200,8 +202,13 @@ def detection_sweep(
     fault_plan=None,
     checkpoint_dir: Optional[Path | str] = None,
     resume: bool = False,
+    detectors: Sequence[str] = (DEFAULT_DETECTOR,),
 ) -> DetectionSweepResult:
     """Table 2's methodology over an arbitrary bug set.
+
+    *detectors* selects the registry backends each trial's pipeline runs
+    (first = primary, whose verdicts score detection); names validate
+    eagerly, before any trial is traced.
 
     The bug × period × seed grid is embarrassingly parallel (every trial
     is an independent trace + analysis), so with *jobs* > 1 the whole
@@ -215,8 +222,12 @@ def detection_sweep(
     and *resume* restores journaled trials instead of re-running them.
     The returned result then carries the :class:`RunLedger`.
     """
+    detectors = resolve_detectors(detectors)
+    default_label = f"{driver.name}/{mode}"
+    if detectors != (DEFAULT_DETECTOR,):
+        default_label += "/" + "+".join(detectors)
     result = DetectionSweepResult(
-        detector=detector_name or f"{driver.name}/{mode}",
+        detector=detector_name or default_label,
         runs=runs,
         periods=tuple(periods),
     )
@@ -225,12 +236,15 @@ def detection_sweep(
         program = bug.build(scale)
         for period in periods:
             for seed in range(runs):
-                work.append((program, bug, period, seed, mode, driver))
+                work.append(
+                    (program, bug, period, seed, mode, driver, detectors)
+                )
     supervised = (supervisor is not None or fault_plan is not None
                   or checkpoint_dir is not None)
     if supervised:
         key = "|".join(str(part) for part in (
             sorted(bugs), scale, tuple(periods), runs, mode, driver.name,
+            detectors,
         ))
         journal = open_journal(checkpoint_dir, "sweep", key, resume)
         try:

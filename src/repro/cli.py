@@ -14,6 +14,8 @@ Commands:
   a fleet summary).
 * ``overhead`` — sweep sampling periods for a workload, printing the
   cost model's overhead estimates for both drivers.
+* ``shootout`` — precision/recall comparison of every detector backend
+  and baseline over the Table 2 race-bug corpus.
 * ``chaos`` — sweep fault-injection intensity over seeded runs and
   report the detection-probability curve under each fault plan.
 """
@@ -40,6 +42,8 @@ from .errors import (
     WorkerCrash,
     exit_code_for,
 )
+from .detector.registry import DEFAULT_DETECTOR, backend_names, \
+    resolve_detectors
 from .isa.assembler import assemble
 from .isa.program import Program
 from .machine import Machine
@@ -70,6 +74,25 @@ def _resolve_program(name: str, scale: WorkloadScale,
 
 def _scale_from(args: argparse.Namespace) -> WorkloadScale:
     return WorkloadScale(iterations=args.iterations, threads=args.threads)
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    """The backend-selection knob shared by every analyzing command."""
+    parser.add_argument(
+        "--detector", action="append", default=None, metavar="NAME",
+        help="detector backend to run (repeatable, or comma-separated; "
+             f"first named is primary; default {DEFAULT_DETECTOR}; "
+             f"available: {', '.join(backend_names())})",
+    )
+
+
+def _detectors_from(args: argparse.Namespace) -> tuple:
+    """The resolved backend tuple; unknown names raise the exit-2
+    :class:`~repro.errors.UnknownDetectorError` with a did-you-mean."""
+    names = getattr(args, "detector", None)
+    if not names:
+        return (DEFAULT_DETECTOR,)
+    return resolve_detectors(names)
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
@@ -252,7 +275,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
                                jit=not args.no_jit,
-                               supervisor=_supervisor_from(args))
+                               supervisor=_supervisor_from(args),
+                               detectors=_detectors_from(args))
     if args.profile:
         import cProfile
 
@@ -282,16 +306,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def _detect_one(work: tuple):
     """Module-level detect worker (picklable for the process executor):
     one seeded trace + analysis."""
-    program, mode, period, driver, seed, governor, load_bursts = work
+    program, mode, period, driver, seed, governor, load_bursts, \
+        detectors = work
     bundle = trace_run(program, period=period, driver=driver, seed=seed,
                        governor=governor, load_bursts=load_bursts)
-    return OfflinePipeline(program, mode=mode).analyze(bundle)
+    return OfflinePipeline(program, mode=mode,
+                           detectors=detectors).analyze(bundle)
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     supervisor = _supervisor_from(args)
     governor = _governor_from(args)
+    detectors = _detectors_from(args)
     summary = FleetSummary()
     if args.runs == 1:
         # One run: spend the job budget inside the pipeline (per-thread
@@ -300,7 +327,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
                            driver=_DRIVERS[args.driver], seed=args.seed,
                            governor=governor)
         pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
-                                   supervisor=supervisor)
+                                   supervisor=supervisor,
+                                   detectors=detectors)
         result = pipeline.analyze(bundle,
                                   checkpoint_dir=args.checkpoint_dir,
                                   resume=args.resume)
@@ -311,7 +339,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     # and fold the results back in seed order.
     work = [
         (program, args.mode, args.period, _DRIVERS[args.driver],
-         args.seed + run_index, governor, None)
+         args.seed + run_index, governor, None, detectors)
         for run_index in range(args.runs)
     ]
     if supervisor is not None or args.checkpoint_dir is not None:
@@ -321,6 +349,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
             program.name, args.mode, args.period, args.driver,
             args.seed, args.runs,
         ]
+        # Non-default backend selections journal under a distinct key;
+        # the default key stays identical so old checkpoints resume.
+        if detectors != (DEFAULT_DETECTOR,):
+            key_parts.append(detectors)
         # Governed runs journal under a distinct key; the ungoverned key
         # stays identical so existing checkpoints still resume.
         if governor is not None:
@@ -365,6 +397,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             driver=_DRIVERS[args.driver], jobs=args.jobs,
             supervisor=_supervisor_from(args),
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            detectors=_detectors_from(args),
         )
         if args.json:
             import json
@@ -627,6 +660,56 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shootout(args: argparse.Namespace) -> int:
+    """Precision/recall shoot-out over the Table 2 race-bug corpus.
+
+    One trace + one decode/replay per (bug, seed) feeds every registry
+    backend side by side; each baseline re-runs the programs under its
+    own observation model; everyone is ranked by F1 against the
+    ``race_*``-labelled ground truth.
+    """
+    from .analysis import run_shootout
+    from .analysis.shootout import (
+        DEFAULT_SHOOTOUT_BASELINES,
+        DEFAULT_SHOOTOUT_DETECTORS,
+    )
+
+    if args.bugs:
+        names = [b.strip() for b in args.bugs.split(",") if b.strip()]
+        unknown = [name for name in names if name not in RACE_BUGS]
+        if unknown:
+            raise SystemExit(
+                f"unknown race bugs {unknown}; see `repro workloads`"
+            )
+        bugs = {name: RACE_BUGS[name] for name in names}
+    else:
+        bugs = RACE_BUGS
+    detectors = (
+        resolve_detectors(args.detector) if args.detector
+        else DEFAULT_SHOOTOUT_DETECTORS
+    )
+    baselines = (
+        tuple(b.strip() for b in args.baselines.split(",") if b.strip())
+        if args.baselines is not None else DEFAULT_SHOOTOUT_BASELINES
+    )
+    result = run_shootout(
+        bugs, _scale_from(args), period=args.period, runs=args.runs,
+        detectors=detectors, baselines=baselines, mode=args.mode,
+        driver=_DRIVERS[args.driver], jobs=args.jobs,
+    )
+    if args.output:
+        result.write_json(args.output)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+        if args.output:
+            print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     program = _resolve_program(args.program, _scale_from(args), args.source)
     periods = [int(p) for p in args.periods.split(",")]
@@ -701,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PATH",
         help="dump a cProfile pstats file for the offline stage to PATH",
     )
+    _add_detector_args(analyze_parser)
     _add_supervision_args(analyze_parser)
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")
@@ -716,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect_parser.add_argument("--jobs", type=int, default=1,
                                help="workers: across runs when --runs > 1, "
                                     "inside the pipeline otherwise")
+    _add_detector_args(detect_parser)
     _add_governor_args(detect_parser)
     _add_supervision_args(detect_parser)
 
@@ -750,7 +835,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--json", action="store_true",
                               help="print the detection sweep as JSON")
+    _add_detector_args(sweep_parser)
     _add_supervision_args(sweep_parser)
+
+    shootout_parser = sub.add_parser(
+        "shootout",
+        help="precision/recall shoot-out: backends vs baselines over "
+             "the race-bug corpus",
+    )
+    shootout_parser.add_argument(
+        "--bugs", default="",
+        help="comma-separated bug names (default: all of Table 2)",
+    )
+    shootout_parser.add_argument("--period", type=int, default=100)
+    shootout_parser.add_argument("--runs", type=int, default=3,
+                                 help="seeded runs per bug")
+    shootout_parser.add_argument("--mode", default="full",
+                                 choices=("full", "forward", "basicblock",
+                                          "sampled"))
+    shootout_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                                 default="prorace")
+    shootout_parser.add_argument(
+        "--baselines", default=None, metavar="NAMES",
+        help="comma-separated baseline list (default: "
+             "racez,literace,datacollider,pacer; empty string = none)",
+    )
+    shootout_parser.add_argument("--jobs", type=int, default=1,
+                                 help="workers for the trial grid")
+    shootout_parser.add_argument("--iterations", type=int, default=40)
+    shootout_parser.add_argument("--threads", type=int, default=4)
+    shootout_parser.add_argument("--seed", type=int, default=0)
+    shootout_parser.add_argument("--json", action="store_true",
+                                 help="print the full result as JSON")
+    shootout_parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the JSON result (BENCH_detectors.json) to PATH",
+    )
+    _add_detector_args(shootout_parser)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -814,6 +935,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "detect": cmd_detect,
     "overhead": cmd_overhead,
     "sweep": cmd_sweep,
+    "shootout": cmd_shootout,
     "chaos": cmd_chaos,
 }
 

@@ -19,6 +19,47 @@ class AccessKind(enum.Enum):
     WRITE = "write"
 
 
+# ----------------------------------------------------------------------
+# Total event order
+# ----------------------------------------------------------------------
+#
+# Every consumer of the merged event stream — the pipeline's k-way
+# merge, sweeps, tests — sorts by the same total key so backends cannot
+# drift on event ordering:
+#
+# * accesses rank before sync records at equal TSC (the seed pipeline's
+#   behaviour);
+# * sync records carry a zero ``tid`` slot so that ``seq`` — the
+#   machine's exact global emission order — stays authoritative for
+#   same-TSC sync pairs (a blocked lock completing inside another
+#   thread's unlock must keep its release-before-acquire order;
+#   breaking ties by tid would invert the HB edge);
+# * accesses tie-break on ``(tid, step_index)``, giving same-TSC
+#   accesses from different threads a deterministic cross-thread order.
+
+#: Kind ranks of the total event order (accesses first at equal TSC).
+EVENT_KIND_ACCESS = 0
+EVENT_KIND_SYNC = 1
+
+#: The total event sort key: (tsc, kind_rank, tid, seq).
+EventKey = Tuple[float, int, int, int]
+
+
+def access_sort_key(tsc: float, tid: int, step_index: int) -> EventKey:
+    """Sort key of one access event (seq slot = path step index)."""
+    return (tsc, EVENT_KIND_ACCESS, tid, step_index)
+
+
+def sync_sort_key(record) -> EventKey:
+    """Sort key of one sync event (anything with ``tsc`` and ``seq``).
+
+    The tid slot is zeroed so ``seq`` (the machine's global emission
+    order) is authoritative for same-TSC sync records — ordering them by
+    tid could invert a release/acquire pair and fabricate a race.
+    """
+    return (float(record.tsc), EVENT_KIND_SYNC, 0, record.seq)
+
+
 @dataclass(frozen=True)
 class Access:
     """One memory access presented to the detector.
@@ -56,6 +97,46 @@ class SyncOp:
 
 
 @dataclass(frozen=True)
+class WitnessStep:
+    """One scheduled event of a predictive-race witness."""
+
+    tid: int
+    op: str  # read|write|lock|unlock|sem_post|sem_wait|...|fork|join
+    detail: int  # ip for accesses, lock/sem address or peer tid for sync
+
+    def describe(self) -> str:
+        if self.op in ("read", "write"):
+            return f"T{self.tid}:{self.op[0]}@ip={self.detail}"
+        return f"T{self.tid}:{self.op}@{self.detail:#x}"
+
+
+@dataclass(frozen=True)
+class WitnessSchedule:
+    """A feasible reordering that places the two racy accesses adjacent.
+
+    Produced by the predictive backend's witness search: a schedule of
+    the dependency-closed event prefix that respects per-thread program
+    order, lock mutual exclusion, fork/join and semaphore counting, and
+    ends with the candidate pair back-to-back.  ``steps`` keeps the tail
+    of the schedule (the interesting part — the reordering around the
+    pair); ``total_steps`` counts the whole feasible schedule.
+    """
+
+    steps: Tuple[WitnessStep, ...]
+    total_steps: int
+    nodes_explored: int
+
+    @property
+    def truncated(self) -> bool:
+        return self.total_steps > len(self.steps)
+
+    def describe(self) -> str:
+        head = "… " if self.truncated else ""
+        body = " ".join(step.describe() for step in self.steps)
+        return f"{self.total_steps} steps: {head}{body}"
+
+
+@dataclass(frozen=True)
 class RaceReport:
     """A detected data race between two accesses to one variable."""
 
@@ -64,6 +145,9 @@ class RaceReport:
     first_kind: AccessKind
     first_ip: Optional[int]
     second: Access
+    #: Reordering witness (predictive backend only): a feasible schedule
+    #: demonstrating the pair can execute back-to-back.
+    witness: Optional[WitnessSchedule] = None
 
     @property
     def address(self) -> int:

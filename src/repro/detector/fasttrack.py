@@ -13,9 +13,10 @@ pair it observes rather than stopping at the first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .events import Access, AccessKind, RaceReport, SyncOp
+from .base import HBDetectorBackend
+from .events import Access, AccessKind, RaceReport
 from .vectorclock import BOTTOM, Epoch, VectorClock
 
 
@@ -33,69 +34,21 @@ class _VarState:
     read_ips: Optional[Dict[int, int]] = None
 
 
-class FastTrack:
+class FastTrack(HBDetectorBackend):
     """Streaming FastTrack detector.
 
     Feed events via :meth:`sync` and :meth:`access` in a happens-before
     consistent order (every release/fork precedes the acquire/join it
     synchronizes with; per-thread program order preserved).  Reports
-    accumulate in :attr:`races`.
+    accumulate in :attr:`races`.  Vector-clock state and the sync
+    semantics live in :class:`~repro.detector.base.HBDetectorBackend`.
     """
 
+    name = "fasttrack"
+
     def __init__(self) -> None:
-        self._threads: Dict[int, VectorClock] = {}
-        self._locks: Dict[int, VectorClock] = {}
+        super().__init__()
         self._vars: Dict[Tuple[int, int], _VarState] = {}
-        self.races: List[RaceReport] = []
-        self.accesses_processed = 0
-        self.sync_processed = 0
-
-    # ------------------------------------------------------------------
-
-    def _clock(self, tid: int) -> VectorClock:
-        clock = self._threads.get(tid)
-        if clock is None:
-            clock = VectorClock({tid: 1})
-            self._threads[tid] = clock
-        return clock
-
-    def _lock_vc(self, address: int) -> VectorClock:
-        vc = self._locks.get(address)
-        if vc is None:
-            vc = VectorClock()
-            self._locks[address] = vc
-        return vc
-
-    # ------------------------------------------------------------------
-    # Synchronization
-    # ------------------------------------------------------------------
-
-    def sync(self, op: SyncOp) -> None:
-        self.sync_processed += 1
-        kind = op.kind
-        if kind in ("lock", "sem_wait", "cond_wake"):
-            self._clock(op.tid).join(self._lock_vc(op.target))
-        elif kind == "unlock":
-            clock = self._clock(op.tid)
-            self._locks[op.target] = clock.copy()
-            clock.increment(op.tid)
-        elif kind in ("sem_post", "cond_signal"):
-            # Semaphores accumulate: every later wait is ordered after
-            # every earlier post (conservative for counting semantics).
-            clock = self._clock(op.tid)
-            self._lock_vc(op.target).join(clock)
-            clock.increment(op.tid)
-        elif kind == "fork":
-            parent = self._clock(op.tid)
-            child = self._clock(op.target)
-            child.join(parent)
-            parent.increment(op.tid)
-        elif kind == "join":
-            child = self._clock(op.target)
-            self._clock(op.tid).join(child)
-            child.increment(op.target)
-        else:
-            raise ValueError(f"unknown sync kind: {kind!r}")
 
     # ------------------------------------------------------------------
     # Accesses
@@ -213,19 +166,3 @@ class FastTrack:
 
         state.write_epoch = epoch
         state.write_ip = access.ip
-
-    # ------------------------------------------------------------------
-
-    def distinct_races(self) -> List[RaceReport]:
-        """Races deduplicated by (variable address, instruction pair)."""
-        seen = set()
-        result = []
-        for report in self.races:
-            key = (report.address, report.pair)
-            if key not in seen:
-                seen.add(key)
-                result.append(report)
-        return result
-
-    def racy_addresses(self) -> frozenset:
-        return frozenset(r.address for r in self.races)

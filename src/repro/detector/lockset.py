@@ -21,7 +21,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from .events import Access, AccessKind, SyncOp
+from .base import DetectorBackend
+from .events import Access, AccessKind, RaceReport, SyncOp
 
 
 class _State(enum.Enum):
@@ -37,6 +38,9 @@ class _VarState:
     owner: Optional[int] = None
     lockset: Optional[FrozenSet[int]] = None  # None = all locks (⊤)
     first_ip: Optional[int] = None
+    # Prior accessor, so a warning can name both sides of the pair.
+    prior_tid: Optional[int] = None
+    prior_kind: Optional[AccessKind] = None
     reported: bool = False
 
 
@@ -55,10 +59,20 @@ class LocksetWarning:
         return self.var[0]
 
 
-class LocksetDetector:
-    """The Eraser algorithm over the same event stream FastTrack takes."""
+class LocksetDetector(DetectorBackend):
+    """The Eraser algorithm over the same event stream FastTrack takes.
+
+    As a conforming backend it reports each lockset violation both as a
+    :class:`LocksetWarning` (the historical surface) and as a
+    :class:`~repro.detector.events.RaceReport` pairing the triggering
+    access with the prior accessor, so reports/sweeps/the shoot-out can
+    treat it uniformly with the HB backends.
+    """
+
+    name = "lockset"
 
     def __init__(self) -> None:
+        super().__init__()
         self._held: Dict[int, Set[int]] = {}
         self._vars: Dict[Tuple[int, int], _VarState] = {}
         self.warnings: List[LocksetWarning] = []
@@ -67,6 +81,7 @@ class LocksetDetector:
         return self._held.setdefault(tid, set())
 
     def sync(self, op: SyncOp) -> None:
+        self.sync_processed += 1
         if op.kind == "lock":
             self._locks_of(op.tid).add(op.target)
         elif op.kind == "unlock":
@@ -75,17 +90,18 @@ class LocksetDetector:
         # imprecision the paper's HB choice avoids.
 
     def access(self, access: Access) -> None:
+        self.accesses_processed += 1
         state = self._vars.setdefault(access.var, _VarState())
         held = frozenset(self._locks_of(access.tid))
 
         if state.state == _State.VIRGIN:
             state.state = _State.EXCLUSIVE
             state.owner = access.tid
-            state.first_ip = access.ip
+            self._remember(state, access)
             return
         if state.state == _State.EXCLUSIVE:
             if access.tid == state.owner:
-                state.first_ip = access.ip
+                self._remember(state, access)
                 return
             # Second thread: initialize the candidate lockset.
             state.lockset = held
@@ -110,7 +126,22 @@ class LocksetDetector:
                     ip=access.ip, prior_ip=state.first_ip,
                 )
             )
-        state.first_ip = access.ip
+            self.races.append(
+                RaceReport(
+                    var=access.var,
+                    first_tid=(
+                        state.prior_tid
+                        if state.prior_tid is not None else access.tid
+                    ),
+                    first_kind=state.prior_kind or access.kind,
+                    first_ip=state.first_ip,
+                    second=access,
+                )
+            )
+        self._remember(state, access)
 
-    def racy_addresses(self) -> frozenset:
-        return frozenset(w.address for w in self.warnings)
+    @staticmethod
+    def _remember(state: _VarState, access: Access) -> None:
+        state.first_ip = access.ip
+        state.prior_tid = access.tid
+        state.prior_kind = access.kind

@@ -9,9 +9,10 @@ detector does (FastTrack's correctness theorem).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
-from .events import Access, AccessKind, RaceReport, SyncOp
+from .base import HBDetectorBackend
+from .events import Access, AccessKind, RaceReport
 from .vectorclock import VectorClock
 
 
@@ -23,52 +24,17 @@ class _VarState:
     write_ips: Dict[int, int] = field(default_factory=dict)
 
 
-class ReferenceDetector:
+class ReferenceDetector(HBDetectorBackend):
     """Full-vector-clock happens-before detector."""
 
+    name = "reference"
+
     def __init__(self) -> None:
-        self._threads: Dict[int, VectorClock] = {}
-        self._locks: Dict[int, VectorClock] = {}
+        super().__init__()
         self._vars: Dict[Tuple[int, int], _VarState] = {}
-        self.races: List[RaceReport] = []
-
-    def _clock(self, tid: int) -> VectorClock:
-        clock = self._threads.get(tid)
-        if clock is None:
-            clock = VectorClock({tid: 1})
-            self._threads[tid] = clock
-        return clock
-
-    def _lock_vc(self, address: int) -> VectorClock:
-        vc = self._locks.get(address)
-        if vc is None:
-            vc = VectorClock()
-            self._locks[address] = vc
-        return vc
-
-    def sync(self, op: SyncOp) -> None:
-        if op.kind in ("lock", "sem_wait", "cond_wake"):
-            self._clock(op.tid).join(self._lock_vc(op.target))
-        elif op.kind == "unlock":
-            clock = self._clock(op.tid)
-            self._locks[op.target] = clock.copy()
-            clock.increment(op.tid)
-        elif op.kind in ("sem_post", "cond_signal"):
-            clock = self._clock(op.tid)
-            self._lock_vc(op.target).join(clock)
-            clock.increment(op.tid)
-        elif op.kind == "fork":
-            parent = self._clock(op.tid)
-            self._clock(op.target).join(parent)
-            parent.increment(op.tid)
-        elif op.kind == "join":
-            child = self._clock(op.target)
-            self._clock(op.tid).join(child)
-            child.increment(op.target)
-        else:
-            raise ValueError(f"unknown sync kind: {op.kind!r}")
 
     def access(self, access: Access) -> None:
+        self.accesses_processed += 1
         clock = self._clock(access.tid)
         state = self._vars.setdefault(access.var, _VarState())
         # Conflicts with prior writes (any access races an unordered write).
@@ -98,6 +64,3 @@ class ReferenceDetector:
         else:
             state.reads.set(access.tid, clock.get(access.tid))
             state.read_ips[access.tid] = access.ip
-
-    def racy_addresses(self) -> frozenset:
-        return frozenset(r.address for r in self.races)

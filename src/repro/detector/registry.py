@@ -1,0 +1,76 @@
+"""The detector-backend registry.
+
+One name → factory table for every conforming
+:class:`~repro.detector.base.DetectorBackend`, so the analysis
+pipeline, sweeps, the CLI and the shoot-out harness select detectors by
+name instead of hard-wiring FastTrack.  Unknown names raise
+:class:`~repro.errors.UnknownDetectorError` (CLI exit code 2) with a
+did-you-mean suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import UnknownDetectorError
+from .base import DetectorBackend
+from .fasttrack import FastTrack
+from .lockset import LocksetDetector
+from .o1samples import O1SamplesDetector
+from .predictive import PredictiveDetector
+from .reference import ReferenceDetector
+
+#: The default backend — the paper's choice (§4.3).
+DEFAULT_DETECTOR = "fasttrack"
+
+_REGISTRY: Dict[str, Callable[[], DetectorBackend]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[], DetectorBackend]) -> None:
+    """Register *factory* under *name* (last registration wins)."""
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_detector(name: str) -> str:
+    """Normalize and validate one backend name."""
+    cleaned = name.strip().lower()
+    if cleaned in _REGISTRY:
+        return cleaned
+    close = difflib.get_close_matches(cleaned, backend_names(), n=1)
+    raise UnknownDetectorError(
+        name, backend_names(), suggestion=close[0] if close else None
+    )
+
+
+def resolve_detectors(names: Sequence[str] | None) -> Tuple[str, ...]:
+    """Validate a detector selection: splits comma-joined entries,
+    deduplicates preserving order, and defaults to the paper's
+    FastTrack when empty."""
+    flat = []
+    for entry in names or ():
+        flat.extend(part for part in entry.split(",") if part.strip())
+    resolved = []
+    for entry in flat:
+        name = resolve_detector(entry)
+        if name not in resolved:
+            resolved.append(name)
+    return tuple(resolved) or (DEFAULT_DETECTOR,)
+
+
+def create_backend(name: str) -> DetectorBackend:
+    """A fresh backend instance for *name* (validated)."""
+    return _REGISTRY[resolve_detector(name)]()
+
+
+register_backend("fasttrack", FastTrack)
+register_backend("reference", ReferenceDetector)
+register_backend("lockset", LocksetDetector)
+register_backend("o1", O1SamplesDetector)
+register_backend("predict", PredictiveDetector)

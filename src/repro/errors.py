@@ -14,7 +14,9 @@ code  meaning
 0     success, no races found
 1     success, data races reported
 2     unusable input: :class:`TraceError` / :class:`DecodeError`
-      (missing, corrupted, or undecodable trace data)
+      (missing, corrupted, or undecodable trace data), or an
+      :class:`UnknownDetectorError` — a ``--detector`` name not in
+      the backend registry (argparse's bad-argument convention)
 3     :class:`DeadlineExceeded` — the supervised run's whole-call
       wall-clock budget ran out
 4     :class:`QuarantinedWork` / :class:`WorkerCrash` — work items
@@ -91,6 +93,29 @@ class UsageError(ReproError):
     property of the input."""
 
     exit_code = EXIT_USAGE
+
+
+class UnknownDetectorError(UsageError):
+    """A detector backend name that is not in the registry.
+
+    Unlike other :class:`UsageError`\\ s (bugs in calling *code*), a bad
+    ``--detector`` name is bad *input* typed at the command line, so it
+    maps to exit code 2 — the same code argparse uses for unparseable
+    arguments — and carries a did-you-mean suggestion for the operator.
+    """
+
+    exit_code = EXIT_TRACE_ERROR
+
+    def __init__(self, name: str, available: Sequence[str],
+                 suggestion: Optional[str] = None) -> None:
+        message = f"unknown detector {name!r}"
+        if suggestion:
+            message += f"; did you mean {suggestion!r}?"
+        message += f" (available: {', '.join(available)})"
+        super().__init__(message)
+        self.name = name
+        self.available = tuple(available)
+        self.suggestion = suggestion
 
 
 class WorkerCrash(ReproError):

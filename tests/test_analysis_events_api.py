@@ -61,3 +61,40 @@ class TestEventStream:
         for _, event in events:
             if isinstance(event, Access) and event.provenance == "sampled":
                 assert float(event.tsc).is_integer()
+
+
+class TestSharedKeyHelpers:
+    """Satellite: the (tsc, kind, tid, seq) total-order key lives in one
+    place — repro.detector.events — and the stream's keys are exactly
+    what those helpers produce."""
+
+    def test_stream_keys_match_shared_helpers(self, events_and_replay):
+        from types import SimpleNamespace
+
+        from repro.detector.events import (
+            EVENT_KIND_ACCESS,
+            EVENT_KIND_SYNC,
+            access_sort_key,
+            sync_sort_key,
+        )
+
+        events, _ = events_and_replay
+        assert events
+        for key, event in events:
+            if isinstance(event, Access):
+                assert key == access_sort_key(event.tsc, event.tid, key[3])
+                assert key[1] == EVENT_KIND_ACCESS
+            else:
+                assert key == sync_sort_key(
+                    SimpleNamespace(tsc=event.tsc, seq=key[3])
+                )
+                assert key[1] == EVENT_KIND_SYNC
+
+    def test_access_sorts_before_sync_at_equal_tsc(self):
+        from types import SimpleNamespace
+
+        from repro.detector.events import access_sort_key, sync_sort_key
+
+        access_key = access_sort_key(5.0, 3, 9)
+        sync_key = sync_sort_key(SimpleNamespace(tsc=5.0, seq=0))
+        assert access_key < sync_key

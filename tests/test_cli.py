@@ -375,3 +375,90 @@ class TestChaosLoadBursts:
         assert code == 0
         assert "load-burst chaos" in out
         assert "detections:" in out
+
+
+class TestDetectorSelection:
+    def test_unknown_detector_exits_2_with_suggestion(self, capsys,
+                                                      racy_source):
+        code = main(["detect", "-", "--source", racy_source,
+                     "--period", "5", "--detector", "fastrack"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown detector 'fastrack'" in err
+        assert "did you mean 'fasttrack'" in err
+        assert "available:" in err
+
+    def test_unknown_detector_on_sweep(self, capsys):
+        code = main(["sweep", "detection", "--target", "pfscan",
+                     "--iterations", "5", "--runs", "1",
+                     "--periods", "100", "--detector", "locksets"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "did you mean 'lockset'" in err
+
+    def test_default_report_has_no_backend_sections(self, capsys,
+                                                    racy_source):
+        code, out = run_cli(capsys, "detect", "-", "--source", racy_source,
+                            "--period", "5", "--seed", "3")
+        assert code == 1
+        assert "detectors:" not in out
+        assert "--- backend" not in out
+
+    def test_multi_backend_report_sections(self, capsys, racy_source):
+        code, out = run_cli(
+            capsys, "detect", "-", "--source", racy_source,
+            "--period", "5", "--seed", "3",
+            "--detector", "fasttrack,lockset", "--detector", "o1",
+        )
+        assert code == 1
+        assert "detectors: fasttrack, lockset, o1 (primary: fasttrack)" \
+            in out
+        assert "--- backend lockset:" in out
+        assert "--- backend o1:" in out
+
+    def test_multi_backend_json(self, capsys, racy_source, tmp_path):
+        trace_path = str(tmp_path / "out.prtr")
+        run_cli(capsys, "trace", "-", "--source", racy_source,
+                "--period", "5", "-o", trace_path, "--seed", "3")
+        code, out = run_cli(
+            capsys, "analyze", "-", "--source", racy_source, trace_path,
+            "--json", "--detector", "fasttrack,predict",
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["detectors"] == ["fasttrack", "predict"]
+        backends = payload["backends"]
+        assert set(backends) == {"fasttrack", "predict"}
+        predict = backends["predict"]
+        assert "candidates" in predict["details"]
+        # Witnessed races carry their schedule.
+        for race in predict["races"]:
+            assert race["witness"] is not None
+
+
+class TestShootout:
+    def test_smoke_two_backends(self, capsys, tmp_path):
+        out_path = str(tmp_path / "BENCH_detectors.json")
+        code, out = run_cli(
+            capsys, "shootout", "--bugs", "pfscan,aget-bug2",
+            "--iterations", "8", "--runs", "1",
+            "--detector", "fasttrack,o1", "--baselines", "datacollider",
+            "-o", out_path,
+        )
+        assert code == 0
+        assert "shootout: 2 bugs x 1 runs" in out
+        assert "fasttrack" in out
+        payload = json.loads(open(out_path).read())
+        names = {row["name"] for row in payload["ranked"]}
+        assert names == {"fasttrack", "o1", "datacollider"}
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(SystemExit, match="unknown race bugs"):
+            main(["shootout", "--bugs", "nonsense"])
+
+    def test_unknown_detector_exits_2(self, capsys):
+        code = main(["shootout", "--bugs", "pfscan", "--iterations", "5",
+                     "--detector", "fastrack"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "did you mean 'fasttrack'" in err

@@ -1,0 +1,87 @@
+"""Differential detector testing over the Table 2 corpus.
+
+All backends consume the *same* merged event stream in one pipeline
+pass, so their verdicts are directly comparable:
+
+* FastTrack and the reference DJIT+ detector implement the same
+  happens-before relation — they must agree **bit-identically** on racy
+  addresses, on every bundle, including degraded ones;
+* lockset (Eraser) warns on every unprotected variable whether or not a
+  real interleaving exists — its verdict set must be a **superset**;
+* the O(1)-samples detector only ever checks a subset of what FastTrack
+  checks — its verdict set must be a **subset**.
+"""
+
+import pytest
+
+from repro.analysis import OfflinePipeline
+from repro.faults import builtin_plans
+from repro.tracing import trace_run
+from repro.workloads import RACE_BUGS, WorkloadScale
+
+SCALE = WorkloadScale(iterations=8, threads=4)
+DETECTORS = ("fasttrack", "reference", "lockset", "o1")
+
+#: One bug per Table 2 addressing class keeps the grid affordable.
+CORPUS = ("pfscan", "mysql-791", "apache-25520")
+
+
+def analyze(name, seed, plan=None):
+    bug = RACE_BUGS[name]
+    program = bug.build(SCALE)
+    bundle = trace_run(program, period=100, seed=seed)
+    if plan is not None:
+        bundle, _ = plan.apply(bundle)
+    return OfflinePipeline(program, detectors=DETECTORS).analyze(bundle)
+
+
+@pytest.mark.parametrize("name", CORPUS)
+@pytest.mark.parametrize("seed", [0, 3])
+class TestPristineBundles:
+    def test_hb_backends_bit_identical(self, name, seed):
+        result = analyze(name, seed)
+        fasttrack = result.findings["fasttrack"]
+        reference = result.findings["reference"]
+        assert fasttrack.racy_addresses == reference.racy_addresses
+        assert fasttrack.sorted_addresses() == reference.sorted_addresses()
+
+    def test_lockset_superset(self, name, seed):
+        result = analyze(name, seed)
+        fasttrack = result.findings["fasttrack"]
+        lockset = result.findings["lockset"]
+        assert fasttrack.racy_addresses <= lockset.racy_addresses
+
+    def test_o1_subset(self, name, seed):
+        result = analyze(name, seed)
+        fasttrack = result.findings["fasttrack"]
+        sampled = result.findings["o1"]
+        assert sampled.racy_addresses <= fasttrack.racy_addresses
+
+    def test_primary_matches_fasttrack_solo(self, name, seed):
+        """Running extra backends must not perturb the primary verdict:
+        a fasttrack-first multi-backend run reports exactly what a
+        fasttrack-only run reports."""
+        multi = analyze(name, seed)
+        bug = RACE_BUGS[name]
+        program = bug.build(SCALE)
+        bundle = trace_run(program, period=100, seed=seed)
+        solo = OfflinePipeline(program).analyze(bundle)
+        assert multi.racy_addresses == solo.racy_addresses
+        assert [r.pair for r in multi.races] == [r.pair for r in solo.races]
+        assert multi.regeneration_rounds == solo.regeneration_rounds
+
+
+@pytest.mark.parametrize("plan_name", ["pebs-overflow", "pt-gap"])
+def test_invariants_hold_on_degraded_bundles(plan_name):
+    """Seeded fault plans change *what* the stream contains, never the
+    cross-backend relationships."""
+    for seed in (0, 1):
+        plan = builtin_plans(0.2, seed=seed)[plan_name]
+        result = analyze("pfscan", seed, plan=plan)
+        fasttrack = result.findings["fasttrack"]
+        assert (fasttrack.racy_addresses
+                == result.findings["reference"].racy_addresses)
+        assert (fasttrack.racy_addresses
+                <= result.findings["lockset"].racy_addresses)
+        assert (result.findings["o1"].racy_addresses
+                <= fasttrack.racy_addresses)

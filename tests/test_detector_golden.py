@@ -1,0 +1,46 @@
+"""Golden bit-identity: the backend-registry refactor must not change a
+byte of the default FastTrack report.
+
+The files under ``tests/golden/`` were captured on the pre-registry
+pipeline (direct FastTrack, no backend indirection) with::
+
+    scale = WorkloadScale(iterations=10, threads=4)
+    bundle = trace_run(bug.build(scale), period=100, seed=3)
+    render_report(program, OfflinePipeline(program).analyze(bundle))
+
+Any diff here means the registry changed observable behaviour — the one
+thing a refactor must not do.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import OfflinePipeline, render_report
+from repro.tracing import trace_run
+from repro.workloads import RACE_BUGS, WorkloadScale
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SCALE = WorkloadScale(iterations=10, threads=4)
+
+
+@pytest.mark.parametrize("name", ["pfscan", "mysql-644", "apache-21287"])
+def test_default_report_bit_identical(name):
+    program = RACE_BUGS[name].build(SCALE)
+    bundle = trace_run(program, period=100, seed=3)
+    result = OfflinePipeline(program).analyze(bundle)
+    text = render_report(program, result)
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+    assert text == golden
+
+
+def test_explicit_fasttrack_matches_default():
+    """``--detector fasttrack`` must be the same thing as no flag."""
+    program = RACE_BUGS["pfscan"].build(SCALE)
+    bundle = trace_run(program, period=100, seed=3)
+    default = OfflinePipeline(program).analyze(bundle)
+    explicit = OfflinePipeline(
+        program, detectors=("fasttrack",)
+    ).analyze(bundle)
+    assert (render_report(program, explicit)
+            == render_report(program, default))

@@ -1,0 +1,130 @@
+"""O(1)-samples sampling detector: constant-size shadow state, seeded
+determinism, and the precision guarantee (its checks are a strict subset
+of FastTrack's, so reported addresses always are too)."""
+
+import random
+
+import pytest
+
+from repro.detector import (
+    Access,
+    AccessKind,
+    FastTrack,
+    O1SamplesDetector,
+    SyncOp,
+)
+
+LOCK = 0x900
+
+
+def access(tid, address, kind, ip, tsc):
+    return Access(tid=tid, var=(address, 0), kind=kind, ip=ip,
+                  tsc=float(tsc), provenance="test")
+
+
+def random_stream(seed, threads=4, addresses=8, length=400):
+    """A seeded mix of reads, writes and lock/unlock pairs."""
+    rng = random.Random(seed)
+    events = []
+    held = {tid: None for tid in range(threads)}
+    tsc = 0.0
+    for step in range(length):
+        tsc += 1.0
+        tid = rng.randrange(threads)
+        roll = rng.random()
+        if roll < 0.08 and held[tid] is None:
+            held[tid] = LOCK + rng.randrange(2)
+            events.append(SyncOp(tid=tid, kind="lock", target=held[tid],
+                                 tsc=tsc))
+        elif roll < 0.16 and held[tid] is not None:
+            events.append(SyncOp(tid=tid, kind="unlock", target=held[tid],
+                                 tsc=tsc))
+            held[tid] = None
+        else:
+            kind = (AccessKind.WRITE if rng.random() < 0.4
+                    else AccessKind.READ)
+            events.append(access(tid, 0x1000 + 8 * rng.randrange(addresses),
+                                 kind, ip=step, tsc=tsc))
+    return events
+
+
+def run(detector, events):
+    for event in events:
+        if isinstance(event, SyncOp):
+            detector.sync(event)
+        else:
+            detector.access(event)
+    return detector.finish()
+
+
+class TestBasics:
+    def test_write_write_race_found(self):
+        findings = run(O1SamplesDetector(), [
+            access(0, 0x1000, AccessKind.WRITE, ip=1, tsc=0),
+            access(1, 0x1000, AccessKind.WRITE, ip=2, tsc=1),
+        ])
+        assert 0x1000 in findings.racy_addresses
+
+    def test_write_read_race_found(self):
+        findings = run(O1SamplesDetector(), [
+            access(0, 0x1000, AccessKind.WRITE, ip=1, tsc=0),
+            access(1, 0x1000, AccessKind.READ, ip=2, tsc=1),
+        ])
+        assert 0x1000 in findings.racy_addresses
+
+    def test_locked_accesses_clean(self):
+        events = []
+        tsc = 0
+        for tid in (0, 1):
+            events += [
+                SyncOp(tid=tid, kind="lock", target=LOCK, tsc=tsc),
+                access(tid, 0x1000, AccessKind.WRITE, ip=1 + tid,
+                       tsc=tsc + 1),
+                SyncOp(tid=tid, kind="unlock", target=LOCK, tsc=tsc + 2),
+            ]
+            tsc += 3
+        findings = run(O1SamplesDetector(), events)
+        assert not findings.racy_addresses
+
+    def test_constant_space_details(self):
+        events = random_stream(seed=5)
+        findings = run(O1SamplesDetector(seed=1), events)
+        details = findings.details
+        assert details["slots_per_var"] == 2
+        assert details["sample_seed"] == 1
+        # Heavy read traffic must actually be sampled out, not tracked.
+        assert details["reads_sampled_out"] > 0
+
+
+class TestDeterminismAndPrecision:
+    def test_same_seed_same_findings(self):
+        events = random_stream(seed=11)
+        first = run(O1SamplesDetector(seed=3), list(events))
+        second = run(O1SamplesDetector(seed=3), list(events))
+        assert first.racy_addresses == second.racy_addresses
+        assert first.details == second.details
+
+    @pytest.mark.parametrize("stream_seed", range(6))
+    @pytest.mark.parametrize("sample_seed", [0, 1])
+    def test_subset_of_fasttrack(self, stream_seed, sample_seed):
+        """Sampling can only *miss* racy variables, never invent them:
+        both slots hold real accesses with exact epochs, so any race the
+        O(1) detector reports is a genuine unordered conflicting pair,
+        and FastTrack always reports at least the first race on each
+        such variable.  (Instruction *pairs* may legitimately differ:
+        the read reservoir can hold an older read than FastTrack's
+        current read state, naming the same race by another witness.)"""
+        events = random_stream(seed=stream_seed)
+        sampled = run(O1SamplesDetector(seed=sample_seed), list(events))
+        full = run(FastTrack(), list(events))
+        assert sampled.racy_addresses <= full.racy_addresses
+
+    def test_write_slot_always_current(self):
+        """The write slot is exact (not sampled), so write/write races
+        are found regardless of the read reservoir."""
+        events = [access(0, 0x1000, AccessKind.READ, ip=i, tsc=i)
+                  for i in range(50)]
+        events.append(access(0, 0x1000, AccessKind.WRITE, ip=100, tsc=100))
+        events.append(access(1, 0x1000, AccessKind.WRITE, ip=101, tsc=101))
+        findings = run(O1SamplesDetector(seed=9), events)
+        assert 0x1000 in findings.racy_addresses
