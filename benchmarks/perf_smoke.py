@@ -10,16 +10,24 @@ makes the FastTrack fast path measurably slower than constructing
 FastTrack directly (the backend refactor's <5% contract against the
 BENCH_replay.json fast-path numbers).
 
+Also guards the fleet race database: redelivered bundles must be
+refused on the cheap in-memory path (no append, no fsync), so the
+dedup path has to be decisively faster than first-time inserts, and
+inserts themselves must clear a generous absolute floor.
+
 Run directly: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
 
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 from repro.analysis import OfflinePipeline
 from repro.detector.events import Access, AccessKind
 from repro.detector.fasttrack import FastTrack
 from repro.detector.registry import create_backend
+from repro.fleet import RaceDatabase
 from repro.replay import BlockSummaryCache, ReplayEngine
 from repro.tracing import trace_run
 from repro.workloads import PARSEC_WORKLOADS, WorkloadScale
@@ -33,6 +41,13 @@ MIN_WARM_SPEEDUP = 1.05
 #: this is a real protocol regression, not noise).
 MAX_REGISTRY_OVERHEAD = 0.05
 REPEATS = 3
+#: Race-DB floors: dedup refusal skips the append+fsync entirely, so it
+#: must beat first-time inserts by a wide margin; the insert floor is
+#: set far below local numbers (fsync-per-append on CI disks is slow,
+#: but not *that* slow).
+MIN_DEDUP_SPEEDUP = 3.0
+MIN_RACEDB_INSERTS_PER_SEC = 100.0
+RACEDB_BUNDLES = 300
 
 
 def _recon_seconds(program, bundle, jit):
@@ -89,6 +104,34 @@ def _detector_seconds(factory, accesses, repeats=5):
     return best
 
 
+def _racedb_seconds(bundles=RACEDB_BUNDLES):
+    """Best-of-N (insert seconds, dedup-refusal seconds) for folding
+    *bundles* findings into a fresh on-disk race DB and then replaying
+    the exact same deliveries against it."""
+    sigs = [
+        {"workload": "bench", "variable": f"v{i % 32}",
+         "context": ["a", "b"], "pair": [i % 32, 1 + i % 32],
+         "key": f"k{i % 32}", "desc": "bench race"}
+        for i in range(bundles)
+    ]
+    best = None
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as tmp:
+            with RaceDatabase(Path(tmp) / "races.db") as db:
+                t0 = time.perf_counter()
+                for i, sig in enumerate(sigs):
+                    db.apply_bundle(f"b{i:05d}", [sig], probability=0.5)
+                insert = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                for i, sig in enumerate(sigs):
+                    db.apply_bundle(f"b{i:05d}", [sig], probability=0.5)
+                dedup = time.perf_counter() - t0
+                assert db.double_counted == 0
+        if best is None or insert < best[0]:
+            best = (insert, dedup)
+    return best
+
+
 def main():
     scale = WorkloadScale(iterations=150, data_words=64)
     program = PARSEC_WORKLOADS["blackscholes"].build(scale)
@@ -119,7 +162,23 @@ def main():
           f"{100 * registry_overhead:+.1f}% "
           f"({len(accesses) / registered:,.0f} events/sec)")
 
+    insert, dedup = _racedb_seconds()
+    insert_rate = RACEDB_BUNDLES / insert
+    dedup_speedup = insert / dedup
+    print(f"race DB: {RACEDB_BUNDLES} inserts in {insert * 1e3:.1f} ms "
+          f"({insert_rate:,.0f}/sec), redelivery refused in "
+          f"{dedup * 1e3:.1f} ms -> {dedup_speedup:.1f}x")
+
     failures = []
+    if insert_rate < MIN_RACEDB_INSERTS_PER_SEC:
+        failures.append(
+            f"race DB inserts only {insert_rate:,.0f}/sec "
+            f"(floor {MIN_RACEDB_INSERTS_PER_SEC:,.0f}/sec)")
+    if dedup_speedup < MIN_DEDUP_SPEEDUP:
+        failures.append(
+            f"race DB dedup refusal only {dedup_speedup:.1f}x faster "
+            f"than insert (floor {MIN_DEDUP_SPEEDUP}x) — is redelivery "
+            f"hitting the disk?")
     if registry_overhead > MAX_REGISTRY_OVERHEAD:
         failures.append(
             f"registry indirection costs {100 * registry_overhead:.1f}% "

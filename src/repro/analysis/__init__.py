@@ -40,6 +40,7 @@ from .report import (
     render_ledger,
     render_race,
     render_report,
+    render_triage,
     to_json,
 )
 from .shootout import (
@@ -65,6 +66,7 @@ __all__ = [
     "access_sort_key",
     "backend_to_dict",
     "render_backend_section",
+    "render_triage",
     "run_shootout",
     "sync_sort_key",
     "DegradationReport",

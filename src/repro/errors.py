@@ -26,14 +26,22 @@ code  meaning
 6     watchdog-degraded run: ``repro trace`` completed, but the
       tracing governor's watchdog tripped (stalled PEBS engine or
       sync tracer), so part of the trace is sync-only or truncated
+7     lossy fleet triage: ``repro fleet`` completed and the race
+      database is consistent, but bundles were quarantined as
+      poison or shed under backpressure, so the database is a
+      lower bound on the fleet's races
 ====  =======================================================
 
 Exit codes 2–4 are deliberately distinct: a fleet scheduler requeues a
 code-3 job with a longer deadline, quarantines the *inputs* of a code-4
 job for inspection, and discards a code-2 job's trace file outright.
-Code 6 is a *success with an asterisk*: the trace file exists and is
-loadable, but a fleet scheduler should score its detection power lower
-and consider re-tracing the workload.
+Codes 6 and 7 are *successes with an asterisk*: code 6 means the trace
+file exists and is loadable but a fleet scheduler should score its
+detection power lower and consider re-tracing the workload; code 7
+means the triage run itself is trustworthy (nothing double-counted,
+every bundle accounted for) but some evidence never made it into the
+race database — the operator should inspect the quarantine directory
+and consider raising the backlog budget.
 """
 
 from __future__ import annotations
@@ -50,6 +58,10 @@ EXIT_USAGE = 5
 #: mid-run (PEBS stall → sync-only epochs, or sync-tracer stall → log
 #: truncation).  The trace is usable yet weaker than requested.
 EXIT_DEGRADED = 6
+#: ``repro fleet`` finished and the race database is consistent, but
+#: some bundles were quarantined as poison or shed under backpressure —
+#: the database is a lower bound on what the fleet saw.
+EXIT_FLEET_LOSSY = 7
 
 
 class ReproError(Exception):

@@ -453,29 +453,28 @@ _SECTION = struct.Struct("<IQ")
 _SECTION_V2 = struct.Struct("<IQI")
 
 
-def corrupt_trace_file(
-    path: Path | str,
+def corrupt_trace_bytes(
+    blob: bytes,
     seed: int = 0,
     section_index: Optional[int] = None,
     flips: int = 8,
-) -> int:
-    """Flip bytes inside one section payload of an on-disk trace file.
+) -> Tuple[bytes, int]:
+    """Flip bytes inside one section payload of serialized trace bytes.
 
     Neither the section CRC nor the file trailer is repaired — that is
-    the point: a strict ``read_trace`` must reject the file, and salvage
+    the point: a strict ``read_trace`` must reject the blob, and salvage
     loading must recover everything *except* the damaged section.
-    Returns the index of the corrupted section.
+    Returns ``(corrupted_bytes, section_index)``.
     """
-    path = Path(path)
-    blob = bytearray(path.read_bytes())
-    magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
+    data = bytearray(blob)
+    magic, version, _flags, section_count = _HEADER.unpack_from(data, 0)
     section_struct = _SECTION_V2 if version >= 2 else _SECTION
     rng = random.Random(seed)
     if section_index is None:
         section_index = rng.randrange(section_count)
     offset = _HEADER.size
     for index in range(section_count):
-        fields = section_struct.unpack_from(blob, offset)
+        fields = section_struct.unpack_from(data, offset)
         length = fields[1]
         offset += section_struct.size
         if index == section_index:
@@ -483,8 +482,24 @@ def corrupt_trace_file(
                 raise ValueError(f"section {index} is empty")
             for _ in range(max(1, flips)):
                 position = offset + rng.randrange(length)
-                blob[position] ^= 0xFF
+                data[position] ^= 0xFF
             break
         offset += length
-    path.write_bytes(bytes(blob))
+    return bytes(data), section_index
+
+
+def corrupt_trace_file(
+    path: Path | str,
+    seed: int = 0,
+    section_index: Optional[int] = None,
+    flips: int = 8,
+) -> int:
+    """:func:`corrupt_trace_bytes` applied to an on-disk trace file;
+    returns the index of the corrupted section."""
+    path = Path(path)
+    blob, section_index = corrupt_trace_bytes(
+        path.read_bytes(), seed=seed, section_index=section_index,
+        flips=flips,
+    )
+    path.write_bytes(blob)
     return section_index

@@ -1,0 +1,60 @@
+"""Fleet-scale race triage: crash-tolerant ingestion, sharded analysis
+workers, and a deduplicating race database (ProRace §7.6 scaled out,
+with PACER-style fleet budget scheduling)."""
+
+from .chaos import DeliveryPlan
+from .ingest import AcceptedBundle, IngestResult, IngestStats, ingest
+from .nodes import NodeEpochSpec, ProducedBundle, build_program, produce_bundle
+from .queue import BundleSpool, SpoolEntry, decode_envelope, encode_envelope
+from .racedb import (
+    RaceDatabase,
+    RaceEntry,
+    RaceSignature,
+    signature_for,
+    variable_class,
+)
+from .scheduler import Assignment, FleetSchedule, POLICIES
+from .service import (
+    FleetConfig,
+    deliver_fleet,
+    fleet_specs,
+    produce_fleet,
+    run_fleet,
+    run_fleet_duel,
+)
+from .triage import TriageReport
+from .workers import analyze_bundles, apply_backpressure, shard_of
+
+__all__ = [
+    "AcceptedBundle",
+    "Assignment",
+    "BundleSpool",
+    "DeliveryPlan",
+    "FleetConfig",
+    "FleetSchedule",
+    "IngestResult",
+    "IngestStats",
+    "NodeEpochSpec",
+    "POLICIES",
+    "ProducedBundle",
+    "RaceDatabase",
+    "RaceEntry",
+    "RaceSignature",
+    "SpoolEntry",
+    "TriageReport",
+    "analyze_bundles",
+    "apply_backpressure",
+    "build_program",
+    "decode_envelope",
+    "deliver_fleet",
+    "encode_envelope",
+    "fleet_specs",
+    "ingest",
+    "produce_bundle",
+    "produce_fleet",
+    "run_fleet",
+    "run_fleet_duel",
+    "shard_of",
+    "signature_for",
+    "variable_class",
+]

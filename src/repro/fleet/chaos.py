@@ -1,0 +1,144 @@
+"""Transport-level fault injection for the fleet spool.
+
+The governor chaos suite (:mod:`repro.faults`) breaks *workers*; this
+plan breaks *delivery*.  Every fault is drawn deterministically per
+bundle id from a keyed hash — no shared RNG stream — so adding a fault
+class, reordering production, or resuming a run never changes which
+bundles another fault hits.  That decorrelation is what lets the chaos
+duel demand a bit-identical race database from the faulty run.
+
+Fault classes, chosen to exercise each ingestion guarantee:
+
+``torn``       node crashed mid-upload: a prefix of the wire payload,
+               followed by an intact redelivery (at-least-once transport
+               retries after the crash).  Recovered by **redelivery**.
+``corrupt``    transient link corruption of one trace section; an intact
+               copy follows.  Recovered by **redelivery**.
+``sticky``     the corruption happened *before* upload (bad DIMM on the
+               node), so every copy carries the same damaged section.
+               Recovered by **salvage** (``allow_partial``).
+``poison``     the bundle is garbage in every copy (smashed envelope).
+               Burns its bounded retries and lands in **quarantine**.
+``dup``        a plain duplicate of an intact copy.  Removed by
+               **dedupe**.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..faults import corrupt_trace_bytes
+
+
+def _unit(domain: str, seed: int, bundle_id: str) -> float:
+    """Deterministic uniform [0, 1) draw keyed by (domain, seed, id)."""
+    key = f"fleet-chaos|{domain}|{seed}|{bundle_id}"
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+def _derived_seed(domain: str, seed: int, bundle_id: str) -> int:
+    key = f"fleet-chaos|{domain}|{seed}|{bundle_id}"
+    digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _damage(trace: bytes, seed: int) -> bytes:
+    """Corrupt one non-empty section (retrying the seeded section pick —
+    an idle node's PEBS section can be legitimately empty)."""
+    for attempt in range(8):
+        try:
+            damaged, _ = corrupt_trace_bytes(trace, seed=seed + attempt)
+            return damaged
+        except ValueError:
+            continue
+    return trace  # every section empty: nothing to damage
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """Seeded at-least-once transport with injectable faults.
+
+    All rates are independent per-bundle probabilities in [0, 1].
+    """
+
+    seed: int = 0
+    #: Node crashes mid-upload: torn first copy + intact redelivery.
+    node_crash_rate: float = 0.0
+    #: Extra intact duplicate copy.
+    duplicate_rate: float = 0.0
+    #: Transient corruption: damaged copy + intact redelivery.
+    corrupt_rate: float = 0.0
+    #: Sticky corruption: the *same* damaged section in every copy.
+    sticky_corrupt_rate: float = 0.0
+    #: Unreadable in every copy — destined for quarantine.
+    poison_rate: float = 0.0
+    #: Shuffle arrival order across the whole spool.
+    reorder: bool = True
+
+    @property
+    def faulty(self) -> bool:
+        return any((self.node_crash_rate, self.duplicate_rate,
+                    self.corrupt_rate, self.sticky_corrupt_rate,
+                    self.poison_rate))
+
+    def copies(self, bundle_id: str, envelope: bytes,
+               trace: bytes) -> List[Tuple[str, bytes]]:
+        """The wire copies transport delivers for one bundle, in
+        transmission order, as ``(kind, payload)`` pairs."""
+        intact = envelope + trace
+
+        if _unit("poison", self.seed, bundle_id) < self.poison_rate:
+            # Smash the envelope so no parse — strict or salvage — can
+            # succeed; the retransmit re-reads the same rotten file, so
+            # both copies are identical garbage.
+            rot = random.Random(_derived_seed("rot", self.seed, bundle_id))
+            poisoned = bytes(rot.randrange(256)
+                             for _ in range(max(32, len(intact) // 4)))
+            return [("poison", poisoned), ("poison", poisoned)]
+
+        if _unit("sticky", self.seed, bundle_id) < self.sticky_corrupt_rate:
+            damaged = _damage(trace, _derived_seed("sticky-seed",
+                                                   self.seed, bundle_id))
+            wire = envelope + damaged
+            # The damage predates upload: every copy is equally damaged,
+            # so only section salvage can recover the bundle.
+            return [("sticky", wire), ("sticky", wire)]
+
+        out: List[Tuple[str, bytes]] = []
+        if _unit("crash", self.seed, bundle_id) < self.node_crash_rate:
+            frac = 0.05 + 0.90 * _unit("cut", self.seed, bundle_id)
+            cut = max(1, min(len(intact) - 1, int(len(intact) * frac)))
+            out.append(("torn", intact[:cut]))
+        if _unit("corrupt", self.seed, bundle_id) < self.corrupt_rate:
+            damaged = _damage(trace, _derived_seed("corrupt-seed",
+                                                   self.seed, bundle_id))
+            out.append(("corrupt", envelope + damaged))
+        out.append(("intact", intact))
+        if _unit("dup", self.seed, bundle_id) < self.duplicate_rate:
+            out.append(("dup", intact))
+        return out
+
+    def arrival_order(self, count: int) -> List[int]:
+        """Spool-wide arrival permutation (identity when reordering is
+        off)."""
+        order = list(range(count))
+        if self.reorder and count > 1:
+            rng = random.Random(_derived_seed("order", self.seed,
+                                              f"n={count}"))
+            rng.shuffle(order)
+        return order
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "node_crash_rate": self.node_crash_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "sticky_corrupt_rate": self.sticky_corrupt_rate,
+            "poison_rate": self.poison_rate,
+            "reorder": self.reorder,
+        }

@@ -1,0 +1,215 @@
+"""Crash-tolerant ingestion: dedupe, salvage, quarantine.
+
+The spool delivers *copies* — duplicates, torn prefixes, corrupted
+blobs, out of order — and ingestion's job is to reduce them to at most
+one accepted payload per bundle id:
+
+1. Drain the spool in sequence order.  The first copy that passes a
+   **strict** parse (envelope + full-CRC trace load) is accepted;
+   every later copy of the same id is a dedupe, whatever its state.
+2. Ids with no strict copy go through **supervised salvage**: under
+   :func:`repro.supervise.supervised_map` with a bounded retry budget,
+   each copy is retried with ``allow_partial`` section salvage.  A
+   damaged-on-the-node bundle recovers here (minus its bad section).
+3. Ids that exhaust the retry budget are **poison**: their payloads
+   move to the spool's quarantine directory and the bundle is reported,
+   not silently dropped.
+
+The accounting identity the triage report asserts::
+
+    deliveries == accepted + deduped + unreadable_copies
+
+(every spooled payload is exactly one of: the copy that won strict
+acceptance, a redundant copy of an accepted id, or an unreadable copy
+that salvage/quarantine dealt with at the *bundle* level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import QuarantinedWork, TraceError
+from ..supervise import RunLedger, SupervisorConfig, supervised_map
+from ..tracing import read_trace_bytes
+from .queue import BundleSpool, SpoolEntry, decode_envelope
+
+
+@dataclass
+class AcceptedBundle:
+    """One bundle that made it through ingestion."""
+
+    meta: dict
+    trace: bytes
+    #: True when the payload needed ``allow_partial`` section salvage —
+    #: the analysis worker must re-parse it the same way.
+    salvaged: bool = False
+
+    @property
+    def bundle_id(self) -> str:
+        return self.meta["bundle_id"]
+
+    @property
+    def node(self) -> int:
+        return int(self.meta.get("node", -1))
+
+    @property
+    def epoch(self) -> int:
+        return int(self.meta.get("epoch", -1))
+
+    @property
+    def period(self) -> int:
+        return int(self.meta.get("period", 0))
+
+    @property
+    def deep(self) -> bool:
+        return bool(self.meta.get("deep", False))
+
+
+@dataclass
+class QuarantineRecord:
+    """One poison bundle, with where its payloads went."""
+
+    bundle_id: str
+    copies: int
+    error: str
+    paths: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "copies": self.copies,
+            "error": self.error,
+            "paths": self.paths,
+        }
+
+
+@dataclass
+class IngestStats:
+    """Copy- and bundle-level ingestion accounting."""
+
+    deliveries: int = 0
+    accepted: int = 0
+    deduped: int = 0
+    unreadable_copies: int = 0
+    salvaged: int = 0
+    quarantined: int = 0
+    parse_retries: int = 0
+
+    @property
+    def reconciles(self) -> bool:
+        return (self.deliveries ==
+                self.accepted + self.deduped + self.unreadable_copies)
+
+    def to_dict(self) -> dict:
+        return {
+            "deliveries": self.deliveries,
+            "accepted": self.accepted,
+            "deduped": self.deduped,
+            "unreadable_copies": self.unreadable_copies,
+            "salvaged": self.salvaged,
+            "quarantined": self.quarantined,
+            "parse_retries": self.parse_retries,
+            "reconciles": self.reconciles,
+        }
+
+
+def _salvage_copies(copies: List[bytes]) -> Tuple[dict, bytes]:
+    """Salvage one bundle from its unreadable copies: first copy whose
+    envelope parses and whose trace loads under ``allow_partial`` wins.
+    Module-level so the supervisor can ship it to worker processes."""
+    last_error: Optional[Exception] = None
+    for payload in copies:
+        try:
+            meta, trace = decode_envelope(payload)
+            read_trace_bytes(trace, allow_partial=True)
+            return meta, trace
+        except TraceError as error:
+            last_error = error
+    raise TraceError(
+        f"no copy salvageable ({len(copies)} tried): {last_error}"
+    )
+
+
+@dataclass
+class IngestResult:
+    accepted: List[AcceptedBundle]
+    quarantined: List[QuarantineRecord]
+    stats: IngestStats
+    ledger: Optional[RunLedger] = None
+
+
+def ingest(spool: BundleSpool, retries: int = 1,
+           seed: int = 0) -> IngestResult:
+    """Drain the spool into at most one accepted payload per bundle."""
+    stats = IngestStats()
+    entries = spool.scan()
+    stats.deliveries = len(entries)
+
+    accepted: Dict[str, AcceptedBundle] = {}
+    failed: Dict[str, List[bytes]] = {}
+    failed_entries: Dict[str, List[SpoolEntry]] = {}
+
+    for entry in entries:
+        payload = entry.read()
+        if entry.bundle_id in accepted:
+            stats.deduped += 1
+            continue
+        try:
+            meta, trace = decode_envelope(payload)
+            if meta["bundle_id"] != entry.bundle_id:
+                raise TraceError(
+                    f"fleet bundle: envelope id {meta['bundle_id']!r} "
+                    f"does not match spool name {entry.bundle_id!r}"
+                )
+            read_trace_bytes(trace)  # strict: every section CRC checked
+        except TraceError:
+            stats.unreadable_copies += 1
+            failed.setdefault(entry.bundle_id, []).append(payload)
+            failed_entries.setdefault(entry.bundle_id, []).append(entry)
+            continue
+        accepted[entry.bundle_id] = AcceptedBundle(meta=meta, trace=trace)
+        stats.accepted += 1
+
+    # Unreadable copies of ids that a later intact copy rescued are
+    # recovered-by-redelivery; only ids with *no* strict copy anywhere
+    # go to salvage.
+    pending = [(bid, copies) for bid, copies in failed.items()
+               if bid not in accepted]
+
+    quarantined: List[QuarantineRecord] = []
+    ledger: Optional[RunLedger] = None
+    if pending:
+        config = SupervisorConfig(retries=retries, backoff_base=0.0,
+                                  seed=seed)
+        items = [copies for _, copies in pending]
+        try:
+            results, ledger = supervised_map(
+                _salvage_copies, items, jobs=1, executor="serial",
+                config=config,
+            )
+        except QuarantinedWork as poison:
+            results = poison.partial
+            ledger = poison.ledger
+        stats.parse_retries = ledger.retries if ledger else 0
+        for (bid, copies), result in zip(pending, results):
+            if result is None:
+                paths = [str(spool.quarantine(entry))
+                         for entry in failed_entries[bid]]
+                quarantined.append(QuarantineRecord(
+                    bundle_id=bid,
+                    copies=len(copies),
+                    error="unsalvageable after retry budget",
+                    paths=paths,
+                ))
+                stats.quarantined += 1
+                continue
+            meta, trace = result
+            accepted[bid] = AcceptedBundle(meta=meta, trace=trace,
+                                           salvaged=True)
+            stats.salvaged += 1
+
+    ordered = sorted(accepted.values(),
+                     key=lambda a: (a.epoch, a.node, a.bundle_id))
+    return IngestResult(accepted=ordered, quarantined=quarantined,
+                        stats=stats, ledger=ledger)

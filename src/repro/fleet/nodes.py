@@ -1,0 +1,136 @@
+"""Simulated production nodes: governed tracing epochs → trace bundles.
+
+Each (node, epoch) cell of the fleet runs its workload once under the
+schedule's tracing assignment and serializes the result into a **wire
+bundle**: the PRTR trace blob plus a JSON metadata envelope carrying
+everything the triage service needs without parsing the trace (bundle
+id, node, epoch, workload, scale, period, deep flag).
+
+Bundle ids are derived from the *coordinates* of the work — fleet seed,
+node, epoch, workload, period — never from the payload bytes.  That is
+what makes at-least-once delivery dedupable: a redelivered copy, a
+corrupted copy, and a torn copy of the same epoch all carry the same id,
+so the ingester can recognize them as one bundle in every disguise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pmu.governor import GovernorConfig
+from ..tracing import trace_run, trace_to_bytes
+from ..workloads import RACE_BUGS, ALL_WORKLOADS, WorkloadScale
+from ..errors import UsageError
+from ..isa.program import Program
+
+
+def build_program(workload: str, iterations: int, threads: int) -> Program:
+    """Instantiate *workload* at the fleet's scale (race-bug corpus
+    first, plain workload corpus second)."""
+    scale = WorkloadScale(iterations=iterations, threads=threads)
+    bug = RACE_BUGS.get(workload)
+    if bug is not None:
+        return bug.build(scale)
+    spec = ALL_WORKLOADS.get(workload)
+    if spec is not None:
+        return spec.instantiate(scale)
+    raise UsageError(
+        f"unknown workload {workload!r} "
+        f"(available: {', '.join(sorted(RACE_BUGS))})"
+    )
+
+
+def bundle_id_for(fleet_seed: int, node: int, epoch: int,
+                  workload: str, period: int) -> str:
+    """Stable, payload-independent bundle id."""
+    key = f"bundle|{fleet_seed}|{node}|{epoch}|{workload}|{period}"
+    return hashlib.blake2b(key.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class NodeEpochSpec:
+    """Everything needed to produce one (node, epoch) trace bundle.
+
+    Frozen and picklable so bundle production can fan out through
+    :func:`repro.parallel.parallel_map`.
+    """
+
+    fleet_seed: int
+    node: int
+    epoch: int
+    workload: str
+    iterations: int
+    threads: int
+    period: int
+    budget: float
+    deep: bool
+
+    @property
+    def bundle_id(self) -> str:
+        return bundle_id_for(self.fleet_seed, self.node, self.epoch,
+                             self.workload, self.period)
+
+    @property
+    def run_seed(self) -> int:
+        """Per-cell machine seed: distinct nodes and epochs schedule
+        differently, but the same cell always replays identically."""
+        key = f"node-seed|{self.fleet_seed}|{self.node}|{self.epoch}"
+        digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+        return int.from_bytes(digest, "big")
+
+    def meta(self) -> dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "node": self.node,
+            "epoch": self.epoch,
+            "workload": self.workload,
+            "iterations": self.iterations,
+            "threads": self.threads,
+            "period": self.period,
+            "budget": self.budget,
+            "deep": self.deep,
+        }
+
+
+@dataclass(frozen=True)
+class ProducedBundle:
+    """One node-epoch's output on the wire: metadata + trace blob."""
+
+    meta: dict
+    blob: bytes
+    samples: int
+    memory_ops: int
+    #: Total estimated tracing overhead (PEBS + PT + sync).
+    overhead: float
+    #: PEBS-attributable overhead fraction — the component the sampling
+    #: budget governs (PT/sync are fixed costs of having tracing on at
+    #: all, identical under every scheduling policy).
+    pebs_overhead: float
+
+    @property
+    def bundle_id(self) -> str:
+        return self.meta["bundle_id"]
+
+
+def produce_bundle(spec: NodeEpochSpec) -> ProducedBundle:
+    """Run one governed tracing epoch and serialize the bundle."""
+    program = build_program(spec.workload, spec.iterations, spec.threads)
+    governor: Optional[GovernorConfig] = None
+    if spec.budget > 0.0:
+        governor = GovernorConfig(overhead_budget=spec.budget,
+                                  seed=spec.run_seed)
+    bundle = trace_run(program, period=spec.period, seed=spec.run_seed,
+                       governor=governor)
+    from ..analysis.costs import estimate_overhead
+    estimate = estimate_overhead(bundle)
+    baseline = estimate.baseline_wall_cycles or 1
+    return ProducedBundle(
+        meta=spec.meta(),
+        blob=trace_to_bytes(bundle),
+        samples=len(bundle.samples),
+        memory_ops=bundle.run.memory_ops,
+        overhead=estimate.overhead,
+        pebs_overhead=estimate.pebs_cycles / baseline,
+    )

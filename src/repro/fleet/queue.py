@@ -1,0 +1,130 @@
+"""The durable bundle spool: a directory-backed at-least-once queue.
+
+Producers (node upload agents) drop wire payloads into a spool
+directory; the triage service drains it.  The contract is deliberately
+weak — it is what cheap fleet transport actually provides:
+
+* **at-least-once**: a payload stays spooled until the service acks it
+  *after* committing its findings to the race database, so a crash
+  between the two redelivers the bundle (the database's idempotent
+  apply makes that harmless);
+* **no atomicity**: writes are plain ``write_bytes`` — a producer dying
+  mid-upload leaves a torn file that the ingester must reject and
+  recover from a later redelivery;
+* **no ordering**: consumers see spool sequence numbers, which chaos
+  shuffles freely relative to production order.
+
+Wire format: one JSON metadata line (prefixed ``PRFB1``), then the raw
+PRTR trace blob::
+
+    PRFB1 {"bundle_id": ..., "node": ..., ...}\\n<trace bytes>
+
+The envelope repeats the bundle id so the ingester can dedupe and
+account for a bundle even when the trace payload behind it is damaged.
+Quarantined payloads move to ``<spool>/quarantine/`` for the operator.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import TraceError
+
+#: Envelope sentinel: PRoRace Fleet Bundle, wire version 1.
+ENVELOPE_SENTINEL = b"PRFB1"
+_NAME_RE = re.compile(r"^(\d{6})-([0-9a-f]+)\.bndl$")
+
+
+def encode_envelope(meta: dict) -> bytes:
+    """Serialize the metadata line (canonical key order, so identical
+    metadata always produces identical wire bytes)."""
+    line = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    return ENVELOPE_SENTINEL + b" " + line.encode() + b"\n"
+
+
+def decode_envelope(payload: bytes) -> Tuple[dict, bytes]:
+    """Split a wire payload into ``(meta, trace_blob)``.
+
+    Raises :class:`TraceError` for anything that is not a complete,
+    well-formed envelope — a torn upload, a poisoned payload, or a
+    foreign file that strayed into the spool.
+    """
+    newline = payload.find(b"\n")
+    if newline < 0:
+        raise TraceError("fleet bundle: no envelope line (torn upload?)")
+    line = payload[:newline]
+    if not line.startswith(ENVELOPE_SENTINEL + b" "):
+        raise TraceError("fleet bundle: bad envelope sentinel")
+    try:
+        meta = json.loads(line[len(ENVELOPE_SENTINEL) + 1:])
+    except ValueError as error:
+        raise TraceError(f"fleet bundle: unreadable envelope: {error}")
+    if not isinstance(meta, dict) or "bundle_id" not in meta:
+        raise TraceError("fleet bundle: envelope missing bundle_id")
+    return meta, payload[newline + 1:]
+
+
+@dataclass(frozen=True)
+class SpoolEntry:
+    """One delivered payload sitting in the spool."""
+
+    seq: int
+    bundle_id: str
+    path: Path
+
+    def read(self) -> bytes:
+        return self.path.read_bytes()
+
+
+class BundleSpool:
+    """Directory-backed spool with explicit ack and quarantine."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = self.directory / "quarantine"
+
+    def put(self, seq: int, bundle_id: str, payload: bytes) -> Path:
+        """Spool one wire payload (non-atomic, like the transport)."""
+        path = self.directory / f"{seq:06d}-{bundle_id}.bndl"
+        path.write_bytes(payload)
+        return path
+
+    def scan(self) -> List[SpoolEntry]:
+        """Pending deliveries in spool-sequence order."""
+        entries = []
+        for path in self.directory.iterdir():
+            match = _NAME_RE.match(path.name)
+            if match is None:
+                continue
+            entries.append(SpoolEntry(seq=int(match.group(1)),
+                                      bundle_id=match.group(2),
+                                      path=path))
+        return sorted(entries, key=lambda e: e.seq)
+
+    def ack(self, entry: SpoolEntry) -> None:
+        """Delete a payload whose findings are committed downstream."""
+        entry.path.unlink(missing_ok=True)
+
+    def quarantine(self, entry: SpoolEntry) -> Path:
+        """Move a poison payload aside for operator inspection."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / entry.path.name
+        if entry.path.exists():
+            entry.path.replace(target)
+        return target
+
+    def quarantined(self) -> Dict[str, List[Path]]:
+        """Quarantined payload paths grouped by bundle id."""
+        grouped: Dict[str, List[Path]] = {}
+        if not self.quarantine_dir.is_dir():
+            return grouped
+        for path in sorted(self.quarantine_dir.iterdir()):
+            match = _NAME_RE.match(path.name)
+            if match is not None:
+                grouped.setdefault(match.group(2), []).append(path)
+        return grouped

@@ -1,0 +1,345 @@
+"""The fleet race database: deduplicated, ranked, suppressible findings.
+
+A production triage service (§3's analysis machines, PACER/RaceMob's
+centralized aggregation) sees the *same* race thousands of times from
+thousands of nodes.  What an operator needs is not a stream of race
+reports but a **database**: one row per distinct race, how often the
+fleet has seen it, how trustworthy each sighting was, and a way to mute
+the rows already filed as bugs (or blessed as benign).
+
+Identity is the **race signature**: the racing instruction pair, the
+variable class (data symbol + heap/static class), and the stack context
+(the enclosing label of each racing instruction).  Two sightings with
+the same signature are the same race whatever node, epoch, or allocation
+generation produced them — addresses and TSCs never enter the key, so
+recurrence counting survives heap layout differences between runs.
+
+Persistence is a JSON-lines append-only log with an in-memory index,
+engineered for the ingestion layer's at-least-once delivery:
+
+* every applied bundle's id is logged and indexed, so re-applying a
+  redelivered bundle is a no-op — reprocessing **never double-counts**
+  (:meth:`RaceDatabase.double_counted` is the verifiable invariant);
+* appends are fsynced before the in-memory index is updated, and the
+  log replays idempotently on open, so a crash between "committed to
+  the DB" and "acked to the spool" costs a redelivery, never a lost or
+  doubled finding;
+* a torn final line (writer died mid-append) is dropped and accounted,
+  exactly like the :class:`~repro.tracing.serialize.ResultJournal`.
+
+Ranking is recurrence × detection probability: a race seen in many
+independently-sampled bundles, each of which had a real chance of
+seeing it, outranks both a one-off sighting and a race only ever seen
+by saturation tracing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..detector.events import RaceReport
+from ..errors import TraceError
+from ..isa.program import Program
+
+
+def variable_class(program: Program, race: RaceReport) -> str:
+    """The racing variable's *class*: its data symbol (plus offset) and
+    whether it lives on the heap — stable across runs, unlike raw
+    addresses or allocation generations."""
+    address = race.address
+    best: Optional[str] = None
+    best_base = -1
+    for name, base in program.symbols.items():
+        if base <= address and base > best_base:
+            best, best_base = name, base
+    if best is None:
+        where = "anon"
+    else:
+        offset = address - best_base
+        where = best if offset == 0 else f"{best}+{offset:#x}"
+    return f"heap:{where}" if race.var[1] else where
+
+
+def context_label(program: Program, ip: Optional[int]) -> str:
+    """The nearest label at or before *ip* — the "stack context" of a
+    racing instruction (this ISA has labels where a binary has function
+    symbols)."""
+    if ip is None or ip < 0 or ip >= len(program):
+        return "?"
+    best: Optional[str] = None
+    best_addr = -1
+    for label, addr in program.labels.items():
+        if addr <= ip and addr > best_addr:
+            best, best_addr = label, addr
+    return best if best is not None else "?"
+
+
+@dataclass(frozen=True)
+class RaceSignature:
+    """The fleet-wide identity of one data race."""
+
+    workload: str
+    variable: str
+    context: Tuple[str, str]
+    pair: Tuple[int, int]
+
+    @property
+    def key(self) -> str:
+        return (f"{self.workload}!{self.variable}"
+                f"!{self.context[0]}+{self.context[1]}"
+                f"!{self.pair[0]}-{self.pair[1]}")
+
+    @property
+    def digest(self) -> str:
+        """Short stable id for dashboards / suppression files."""
+        return hashlib.blake2b(self.key.encode(),
+                               digest_size=6).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "variable": self.variable,
+            "context": list(self.context),
+            "pair": list(self.pair),
+        }
+
+
+def signature_for(program: Program, workload: str,
+                  race: RaceReport) -> RaceSignature:
+    """The :class:`RaceSignature` of one race report."""
+    first_ctx = context_label(program, race.first_ip)
+    second_ctx = context_label(program, race.second.ip)
+    return RaceSignature(
+        workload=workload,
+        variable=variable_class(program, race),
+        context=tuple(sorted((first_ctx, second_ctx))),
+        pair=race.pair,
+    )
+
+
+@dataclass
+class RaceEntry:
+    """One distinct race as the database knows it."""
+
+    key: str
+    signature: dict
+    description: str
+    #: Sightings — exactly one per distinct applied bundle.
+    count: int = 0
+    #: Distinct bundle ids that observed this race, in apply order.
+    bundle_ids: List[str] = field(default_factory=list)
+    #: Distinct nodes that observed it.
+    nodes: List[int] = field(default_factory=list)
+    #: Sum of per-bundle detection probabilities (sampling densities).
+    probability_sum: float = 0.0
+
+    @property
+    def mean_probability(self) -> float:
+        return self.probability_sum / self.count if self.count else 0.0
+
+    @property
+    def score(self) -> float:
+        """Recurrence × detection probability."""
+        return self.count * self.mean_probability
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "signature": self.signature,
+            "description": self.description,
+            "count": self.count,
+            "nodes": sorted(self.nodes),
+            "bundles": len(self.bundle_ids),
+            "mean_probability": self.mean_probability,
+            "score": self.score,
+        }
+
+
+class RaceDatabase:
+    """Persistent JSON-lines race store with an in-memory index.
+
+    Log records (one JSON object per line)::
+
+        {"op": "bundle", "bundle": id, "node": n, "epoch": e,
+         "p": detection_probability, "races": [{sig..., "desc": ...}]}
+        {"op": "suppress", "key": sig_key, "reason": ...}
+
+    Replaying the log rebuilds the index; replaying it *twice* (or
+    applying a bundle the log already holds) changes nothing.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: sig key -> entry.
+        self.entries: Dict[str, RaceEntry] = {}
+        #: bundle ids already folded in.
+        self.applied: set = set()
+        #: suppressed sig keys -> reason.
+        self.suppressed: Dict[str, str] = {}
+        #: observations of suppressed signatures (they are counted into
+        #: their entries but excluded from ranking).
+        self.suppressed_hits = 0
+        #: torn-tail bytes dropped while opening (writer crash).
+        self.dropped_tail_bytes = 0
+        if self.path.exists():
+            self._replay()
+        self._out = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        blob = self.path.read_bytes()
+        good_end = 0
+        offset = 0
+        while offset < len(blob):
+            newline = blob.find(b"\n", offset)
+            if newline < 0:
+                break  # torn tail: writer died mid-append
+            line = blob[offset:newline]
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail with an embedded newline
+            self._fold(record)
+            offset = newline + 1
+            good_end = offset
+        if good_end < len(blob):
+            self.dropped_tail_bytes = len(blob) - good_end
+            with open(self.path, "r+b") as out:
+                out.truncate(good_end)
+
+    def _fold(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "suppress":
+            self.suppressed.setdefault(record["key"],
+                                       record.get("reason", ""))
+            return
+        if op != "bundle":
+            raise TraceError(
+                f"race database {self.path}: unknown record op {op!r}"
+            )
+        bundle_id = record["bundle"]
+        if bundle_id in self.applied:
+            return  # idempotent replay / redelivery
+        self.applied.add(bundle_id)
+        node = record.get("node")
+        probability = float(record.get("p", 0.0))
+        seen_in_bundle = set()
+        for race in record.get("races", ()):
+            key = race["key"]
+            if key in seen_in_bundle:
+                continue  # one sighting per bundle, whatever the report
+            seen_in_bundle.add(key)
+            entry = self.entries.get(key)
+            if entry is None:
+                entry = RaceEntry(
+                    key=key,
+                    signature={k: race[k] for k in
+                               ("workload", "variable", "context", "pair")},
+                    description=race.get("desc", ""),
+                )
+                self.entries[key] = entry
+            entry.count += 1
+            entry.bundle_ids.append(bundle_id)
+            if node is not None and node not in entry.nodes:
+                entry.nodes.append(node)
+            entry.probability_sum += probability
+            if key in self.suppressed:
+                self.suppressed_hits += 1
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")).encode() + b"\n"
+        self._out.write(line)
+        self._out.flush()
+        os.fsync(self._out.fileno())
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def apply_bundle(self, bundle_id: str, races: List[dict],
+                     node: Optional[int] = None,
+                     epoch: Optional[int] = None,
+                     probability: float = 0.0) -> bool:
+        """Fold one analyzed bundle's race observations in.
+
+        Idempotent by bundle id: a redelivered/reprocessed bundle
+        returns False and changes nothing — the log is only appended
+        for genuinely new bundles, so the on-disk database is
+        bit-identical however many times a bundle arrives.
+        """
+        if bundle_id in self.applied:
+            return False
+        record = {
+            "op": "bundle",
+            "bundle": bundle_id,
+            "node": node,
+            "epoch": epoch,
+            "p": probability,
+            "races": races,
+        }
+        self._append(record)  # write-ahead: fsync before indexing
+        self._fold(record)
+        return True
+
+    def suppress(self, key: str, reason: str = "") -> bool:
+        """Mute one signature key (known/benign race).  Idempotent:
+        suppressing an already-suppressed key appends nothing."""
+        if key in self.suppressed:
+            return False
+        self._append({"op": "suppress", "key": key, "reason": reason})
+        self.suppressed[key] = reason
+        return True
+
+    def close(self) -> None:
+        try:
+            self._out.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "RaceDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def double_counted(self) -> int:
+        """Sightings in excess of one per distinct bundle — the
+        invariant at-least-once ingestion must hold at zero."""
+        return sum(
+            entry.count - len(set(entry.bundle_ids))
+            for entry in self.entries.values()
+        )
+
+    def ranked(self, include_suppressed: bool = False) -> List[RaceEntry]:
+        """Entries by descending score (ties broken by key for a stable
+        order), suppressed ones excluded unless asked for."""
+        entries = [
+            e for e in self.entries.values()
+            if include_suppressed or e.key not in self.suppressed
+        ]
+        return sorted(entries, key=lambda e: (-e.score, e.key))
+
+    def split_new(self, known: Iterable[str]) -> Tuple[List[str], List[str]]:
+        """Partition current keys into (new, recurring) relative to a
+        prior snapshot of keys.  Suppressed signatures appear in neither
+        list: a suppression is a promise not to page on that race."""
+        known = set(known)
+        live = [k for k in self.entries if k not in self.suppressed]
+        new = sorted(k for k in live if k not in known)
+        recurring = sorted(k for k in live if k in known)
+        return new, recurring

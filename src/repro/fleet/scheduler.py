@@ -1,0 +1,131 @@
+"""PACER-style fleet budget scheduling.
+
+A fleet owner grants tracing a *fleet-wide* overhead budget ("at most
+0.5% of fleet cycles"), not a per-node one.  There are two honest ways
+to spend it:
+
+``uniform``
+    Every node samples all the time, each at the fleet budget.  Simple,
+    but the per-node sampling period is so sparse that the probability
+    of catching both halves of a race in one epoch collapses — the
+    detection-vs-period curve is sigmoid (ProRace §7.2), and uniform
+    thin sampling sits on its floor.
+
+``rotate``
+    Concentrate the budget: each epoch a small rotating subset of nodes
+    traces *deeply* (dense sampling, well past the sigmoid's knee) while
+    the rest idle at a near-zero background period.  The fleet-wide
+    average overhead is the same, but each deep node-epoch has a real
+    chance of detection — PACER's insight that detection probability
+    should scale with the budget *linearly* instead of vanishing.
+
+The scheduler is deliberately deterministic (round-robin rotation, no
+RNG): reproducibility is what makes the chaos duel in the tests able to
+demand bit-identical race databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..errors import UsageError
+
+POLICIES = ("rotate", "uniform")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """What one node should do for one epoch."""
+
+    #: Deep-tracing slot this epoch (rotate policy only).
+    deep: bool
+    #: Sampling period handed to the tracer / governor.
+    period: int
+    #: Per-node overhead budget for the governor (0 disables governing —
+    #: the node idles at a fixed background period).
+    budget: float
+
+    @property
+    def governed(self) -> bool:
+        return self.budget > 0.0
+
+
+@dataclass(frozen=True)
+class FleetSchedule:
+    """Deterministic epoch-by-epoch tracing assignments for a fleet."""
+
+    policy: str = "rotate"
+    nodes: int = 4
+    epochs: int = 3
+    #: Fleet-wide overhead budget (mean fraction of cycles across nodes).
+    fleet_budget: float = 0.005
+    #: Per-node budget while holding a deep slot.
+    deep_budget: float = 0.02
+    #: Sampling period for deep slots (dense — past the sigmoid knee).
+    deep_period: int = 160
+    #: Background period for idle nodes (near-zero overhead).
+    idle_period: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise UsageError(
+                f"unknown fleet policy {self.policy!r} "
+                f"(available: {', '.join(POLICIES)})"
+            )
+        if self.nodes < 1 or self.epochs < 1:
+            raise UsageError("fleet needs at least one node and one epoch")
+        if not 0.0 < self.fleet_budget <= self.deep_budget:
+            raise UsageError(
+                "fleet budget must be positive and no larger than the "
+                "deep per-node budget"
+            )
+        if self.deep_period < 1 or self.idle_period < 1:
+            raise UsageError("sampling periods must be >= 1")
+
+    @property
+    def deep_slots(self) -> int:
+        """Deep-tracing slots per epoch: the largest count whose summed
+        per-node budget stays within the fleet-wide budget (always at
+        least one — otherwise the budget buys nothing)."""
+        return max(1, int(self.nodes * self.fleet_budget / self.deep_budget))
+
+    @property
+    def uniform_period(self) -> int:
+        """The period every node gets under ``uniform``: the deep period
+        stretched by the budget ratio, so both policies spend the same
+        fleet-wide cycle budget."""
+        ratio = self.deep_budget / self.fleet_budget
+        return max(1, round(self.deep_period * ratio))
+
+    def deep_nodes(self, epoch: int) -> FrozenSet[int]:
+        """The rotating deep set for *epoch* (round-robin so every node
+        gets deep slots at the same long-run rate)."""
+        if self.policy != "rotate":
+            return frozenset()
+        k = self.deep_slots
+        return frozenset((epoch * k + j) % self.nodes for j in range(k))
+
+    def assignment(self, node: int, epoch: int) -> Assignment:
+        if not (0 <= node < self.nodes):
+            raise UsageError(f"node {node} outside fleet of {self.nodes}")
+        if self.policy == "uniform":
+            return Assignment(deep=False, period=self.uniform_period,
+                              budget=self.fleet_budget)
+        if node in self.deep_nodes(epoch):
+            return Assignment(deep=True, period=self.deep_period,
+                              budget=self.deep_budget)
+        return Assignment(deep=False, period=self.idle_period, budget=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "nodes": self.nodes,
+            "epochs": self.epochs,
+            "fleet_budget": self.fleet_budget,
+            "deep_budget": self.deep_budget,
+            "deep_period": self.deep_period,
+            "idle_period": self.idle_period,
+            "deep_slots": self.deep_slots,
+            "uniform_period": self.uniform_period,
+        }

@@ -1,0 +1,154 @@
+"""The triage report: one reconciled account of a fleet run.
+
+Robust pipelines fail quietly in the gap between stages — a bundle
+quarantined here, one shed there, and the summary still says "done".
+The triage report closes that gap with an explicit conservation law
+checked at both granularities:
+
+copies (ingestion)
+    ``deliveries == accepted + deduped + unreadable_copies``
+bundles (end to end)
+    ``produced == analyzed + salvaged_lost_to(shed/analysis-quarantine)
+    + quarantined + shed + analysis_quarantined`` — concretely,
+    ``produced == accepted_bundles + quarantined`` and
+    ``accepted_bundles == analyzed + shed + analysis_quarantined``.
+
+``reconciles`` is the conjunction; a triage run that cannot balance its
+own books refuses to call itself clean (the CLI still exits lossy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..supervise import RunLedger
+
+
+@dataclass
+class TriageReport:
+    """Everything one ``repro fleet`` run learned, reconciled."""
+
+    config: dict
+    schedule: dict
+    delivery: dict
+
+    # Bundle/copy accounting.
+    produced: int = 0
+    deliveries: int = 0
+    accepted: int = 0          # strict-parse acceptances (copies)
+    deduped: int = 0
+    unreadable_copies: int = 0
+    accepted_bundles: int = 0  # distinct bundles entering analysis queue
+    salvaged: int = 0
+    quarantined: int = 0
+    analyzed: int = 0
+    shed: int = 0
+    analysis_quarantined: int = 0
+    parse_retries: int = 0
+
+    # Race database deltas.
+    db_signatures: int = 0
+    db_new: List[str] = field(default_factory=list)
+    db_recurring: List[str] = field(default_factory=list)
+    db_suppressed: int = 0
+    db_suppressed_hits: int = 0
+    db_double_counted: int = 0
+    db_applied: int = 0
+    db_redundant: int = 0      # redelivered bundles the DB refused
+    db_dropped_tail_bytes: int = 0
+    top_races: List[dict] = field(default_factory=list)
+
+    # Scheduler outcome.
+    detections: int = 0
+    node_epochs: int = 0
+    mean_overhead: float = 0.0
+    budget_utilization: float = 0.0
+
+    # Detail lists for the operator.
+    quarantine_records: List[dict] = field(default_factory=list)
+    shed_records: List[dict] = field(default_factory=list)
+
+    ingest_ledger: Optional[RunLedger] = None
+    worker_ledger: Optional[RunLedger] = None
+
+    @property
+    def detection_probability(self) -> float:
+        """Fraction of node-epochs whose bundle detected its race."""
+        return self.detections / self.node_epochs if self.node_epochs else 0.0
+
+    @property
+    def copies_reconcile(self) -> bool:
+        return (self.deliveries ==
+                self.accepted + self.deduped + self.unreadable_copies)
+
+    @property
+    def bundles_reconcile(self) -> bool:
+        return (self.produced == self.accepted_bundles + self.quarantined
+                and self.accepted_bundles ==
+                self.analyzed + self.shed + self.analysis_quarantined)
+
+    @property
+    def reconciles(self) -> bool:
+        return self.copies_reconcile and self.bundles_reconcile
+
+    @property
+    def lossy(self) -> bool:
+        """Evidence failed to reach the database (or the books do not
+        balance — treated as loss, never as success)."""
+        return bool(self.quarantined or self.shed
+                    or self.analysis_quarantined or not self.reconciles)
+
+    @property
+    def races_found(self) -> bool:
+        return bool(self.db_new or self.db_recurring)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "schedule": self.schedule,
+            "delivery": self.delivery,
+            "bundles": {
+                "produced": self.produced,
+                "deliveries": self.deliveries,
+                "accepted_copies": self.accepted,
+                "deduped": self.deduped,
+                "unreadable_copies": self.unreadable_copies,
+                "accepted": self.accepted_bundles,
+                "salvaged": self.salvaged,
+                "quarantined": self.quarantined,
+                "analyzed": self.analyzed,
+                "shed": self.shed,
+                "analysis_quarantined": self.analysis_quarantined,
+                "parse_retries": self.parse_retries,
+                "reconciles": self.reconciles,
+            },
+            "db": {
+                "signatures": self.db_signatures,
+                "new": self.db_new,
+                "recurring": self.db_recurring,
+                "suppressed": self.db_suppressed,
+                "suppressed_hits": self.db_suppressed_hits,
+                "double_counted": self.db_double_counted,
+                "applied": self.db_applied,
+                "redundant": self.db_redundant,
+                "dropped_tail_bytes": self.db_dropped_tail_bytes,
+                "top": self.top_races,
+            },
+            "scheduler": {
+                "policy": self.schedule.get("policy"),
+                "detections": self.detections,
+                "node_epochs": self.node_epochs,
+                "detection_probability": self.detection_probability,
+                "mean_overhead": self.mean_overhead,
+                "budget_utilization": self.budget_utilization,
+            },
+            "quarantine": self.quarantine_records,
+            "shed_bundles": self.shed_records,
+            "ingest_ledger": (self.ingest_ledger.to_dict()
+                              if self.ingest_ledger else None),
+            "worker_ledger": (self.worker_ledger.to_dict()
+                              if self.worker_ledger else None),
+            "lossy": self.lossy,
+            "races_found": self.races_found,
+        }

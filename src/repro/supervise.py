@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -110,16 +109,26 @@ class SupervisorConfig:
     def backoff(self, index: int, attempt: int) -> float:
         """Delay before *attempt* (1-based) of item *index* — zero for
         the first attempt, then seeded exponential backoff with jitter.
-        Deterministic: the same (seed, index, attempt) always yields the
-        same delay."""
+
+        The jitter fraction is hash-derived from (seed, index, attempt)
+        with a ``backoff`` domain tag: a pure per-call function of those
+        three values (no shared RNG, no draw-order dependence), so the
+        retry schedule is identical whatever order a process pool
+        completes items in — and *decorrelated* from
+        :class:`~repro.faults.WorkerFaultPlan`'s fault draws even when
+        both run from the same seed (the two used to share one RNG-seed
+        formula, making jitter a pure function of the fault decision).
+        """
         if attempt <= 1 or self.backoff_base <= 0:
             return 0.0
         delay = self.backoff_base * self.backoff_factor ** (attempt - 2)
         if self.backoff_jitter > 0:
-            rng = random.Random(
-                (self.seed * 1_000_003 + index) * 8_191 + attempt
-            )
-            delay *= 1.0 + self.backoff_jitter * rng.random()
+            digest = hashlib.blake2b(
+                f"backoff|{self.seed}|{index}|{attempt}".encode(),
+                digest_size=8,
+            ).digest()
+            unit = int.from_bytes(digest, "big") / 2.0 ** 64
+            delay *= 1.0 + self.backoff_jitter * unit
         return delay
 
 
@@ -170,6 +179,9 @@ class RunLedger:
     respawns: int = 0
     #: Items restored from a checkpoint journal instead of re-run.
     resumed: int = 0
+    #: Torn-tail bytes the checkpoint journal dropped on open (a writer
+    #: died mid-append before this run; the affected items re-run).
+    journal_tail_dropped: int = 0
     wall_seconds: float = 0.0
     deadline_hit: bool = False
 
@@ -206,7 +218,7 @@ class RunLedger:
         return bool(
             self.retries or self.timeouts or self.crashes or self.failures
             or self.respawns or self.resumed or self.quarantined
-            or self.deadline_hit
+            or self.deadline_hit or self.journal_tail_dropped
         )
 
     def merge(self, other: "RunLedger") -> None:
@@ -215,6 +227,7 @@ class RunLedger:
         self.items.extend(other.items)
         self.respawns += other.respawns
         self.resumed += other.resumed
+        self.journal_tail_dropped += other.journal_tail_dropped
         self.wall_seconds += other.wall_seconds
         self.deadline_hit = self.deadline_hit or other.deadline_hit
 
@@ -228,6 +241,7 @@ class RunLedger:
             "failures": self.failures,
             "respawns": self.respawns,
             "resumed": self.resumed,
+            "journal_tail_dropped": self.journal_tail_dropped,
             "quarantined": list(self.quarantined),
             "deadline_hit": self.deadline_hit,
             "wall_seconds": self.wall_seconds,
@@ -247,6 +261,12 @@ class RunLedger:
         if self.quarantined:
             lines.append(
                 f"  quarantined items: {list(self.quarantined)}"
+            )
+        if self.journal_tail_dropped:
+            lines.append(
+                f"  checkpoint journal: dropped a "
+                f"{self.journal_tail_dropped}-byte torn tail "
+                "(writer died mid-append; affected items re-ran)"
             )
         if self.deadline_hit:
             lines.append("  deadline exceeded before completion")
@@ -441,6 +461,9 @@ def supervised_map(
     results: List[object] = [_UNSET] * n
 
     if journal is not None:
+        ledger.journal_tail_dropped = getattr(
+            journal, "dropped_tail_bytes", 0
+        )
         for index, value in journal.entries.items():
             if 0 <= index < n:
                 results[index] = value

@@ -5,6 +5,8 @@ from .serialize import (
     ResultJournal,
     TraceFormatError,
     read_trace,
+    read_trace_bytes,
+    trace_to_bytes,
     write_trace,
 )
 from .tracers import GroundTruthRecorder, SyncTracer
@@ -17,6 +19,8 @@ __all__ = [
     "TraceDefects",
     "TraceFormatError",
     "read_trace",
+    "read_trace_bytes",
     "trace_run",
+    "trace_to_bytes",
     "write_trace",
 ]

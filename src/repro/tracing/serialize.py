@@ -220,18 +220,14 @@ def _encode_meta(bundle: TraceBundle) -> bytes:
     )
 
 
-def write_trace(bundle: TraceBundle, path: Path | str,
-                version: Optional[int] = None) -> int:
-    """Serialize *bundle* to *path*; returns the bytes written.
+def trace_to_bytes(bundle: TraceBundle,
+                   version: Optional[int] = None) -> bytes:
+    """Serialize *bundle* to its on-disk container bytes.
 
-    The ground-truth oracle (when present) is intentionally *not*
-    serialized: a real trace file cannot contain it.  *version* selects
-    the container format; the default picks per bundle — v3 when the
-    bundle carries period epochs or a governor report (they need the
-    epoch section), v2 otherwise, so ungoverned trace files stay
-    byte-identical to pre-governor builds.  Writing a governed bundle
-    as v1/v2 is allowed but drops its epoch section (those formats
-    cannot carry one).
+    The exact bytes :func:`write_trace` would put on disk — exposed
+    separately so transports that ship trace bundles without touching
+    the filesystem (the fleet spool of :mod:`repro.fleet`) serialize
+    through the same single code path.
     """
     governed = bool(bundle.period_epochs) or bundle.governor is not None
     if version is None:
@@ -253,7 +249,23 @@ def write_trace(bundle: TraceBundle, path: Path | str,
     for kind, payload in sections:
         _write_section(body, kind, payload, version=version)
     blob = body.getvalue()
-    blob += struct.pack("<I", zlib.crc32(blob))
+    return blob + struct.pack("<I", zlib.crc32(blob))
+
+
+def write_trace(bundle: TraceBundle, path: Path | str,
+                version: Optional[int] = None) -> int:
+    """Serialize *bundle* to *path*; returns the bytes written.
+
+    The ground-truth oracle (when present) is intentionally *not*
+    serialized: a real trace file cannot contain it.  *version* selects
+    the container format; the default picks per bundle — v3 when the
+    bundle carries period epochs or a governor report (they need the
+    epoch section), v2 otherwise, so ungoverned trace files stay
+    byte-identical to pre-governor builds.  Writing a governed bundle
+    as v1/v2 is allowed but drops its epoch section (those formats
+    cannot carry one).
+    """
+    blob = trace_to_bytes(bundle, version=version)
     Path(path).write_bytes(blob)
     return len(blob)
 
@@ -422,7 +434,15 @@ def read_trace(path: Path | str, program=None,
     races.  Version-1 files have no per-section CRCs, so damage cannot
     be localized and *allow_partial* cannot help there.
     """
-    blob = Path(path).read_bytes()
+    return read_trace_bytes(Path(path).read_bytes(), program=program,
+                            allow_partial=allow_partial)
+
+
+def read_trace_bytes(blob: bytes, program=None,
+                     allow_partial: bool = False) -> TraceBundle:
+    """:func:`read_trace` over in-memory container bytes — the parse
+    path for transports that receive trace bundles off the wire (the
+    fleet ingester) rather than from a file."""
     if len(blob) < _HEADER.size + 4:
         raise TraceFormatError("file too short")
     magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
@@ -552,11 +572,19 @@ class ResultJournal:
     supervised fan-out appends each ``(index, result)`` as it lands, and
     a resumed run replays the journal instead of re-running those items.
     Designed for the failure it must survive — the writer dying
-    mid-append:
+    mid-append (or even mid-*creation*):
 
     * records are self-delimiting (index, length, crc32, pickled
-      payload), so a torn tail is detected by CRC/length and truncated
-      away on open rather than poisoning the resume;
+      payload), so a torn tail is detected by CRC/length — or by the
+      payload failing to unpickle despite a colliding CRC — and
+      truncated away on open rather than poisoning the resume; the
+      dropped byte count is kept in :attr:`dropped_tail_bytes` so the
+      supervisor's :class:`~repro.supervise.RunLedger` can account for
+      it;
+    * a file shorter than the header+digest is recognized as a crash
+      during journal *creation* (the partial bytes must be a prefix of
+      this key's fresh header) and restarted cleanly instead of
+      raising;
     * the header carries a SHA-256 digest of the caller's *key* (the
       sweep/analysis parameters); resuming against a journal written
       for different work raises
@@ -573,20 +601,31 @@ class ResultJournal:
         self._digest = hashlib.sha256(key.encode()).digest()
         #: index -> unpickled result, from any pre-existing journal.
         self.entries: Dict[int, object] = {}
+        #: Torn-tail bytes dropped while opening a pre-existing journal
+        #: (0 for a clean open) — surfaced in the RunLedger.
+        self.dropped_tail_bytes = 0
+        fresh = _JOURNAL_HEADER.pack(
+            _JOURNAL_MAGIC, _JOURNAL_VERSION, len(self._digest)
+        ) + self._digest
         if self.path.exists() and self.path.stat().st_size > 0:
-            self._load()
+            self._load(fresh)
         else:
             with open(self.path, "wb") as out:
-                out.write(_JOURNAL_HEADER.pack(
-                    _JOURNAL_MAGIC, _JOURNAL_VERSION, len(self._digest)
-                ))
-                out.write(self._digest)
+                out.write(fresh)
         self._out = open(self.path, "ab")
 
-    def _load(self) -> None:
+    def _load(self, fresh: bytes) -> None:
         blob = self.path.read_bytes()
-        if len(blob) < _JOURNAL_HEADER.size:
-            raise CheckpointError(f"journal too short: {self.path}")
+        if len(blob) < len(fresh):
+            # Shorter than header+digest: either the writer died during
+            # journal creation (the bytes are a prefix of this key's
+            # fresh header — drop them and start over) or this is some
+            # other file we must not clobber.
+            if blob != fresh[:len(blob)]:
+                raise CheckpointError(f"not a result journal: {self.path}")
+            self.dropped_tail_bytes = len(blob)
+            self.path.write_bytes(fresh)
+            return
         magic, version, digest_len = _JOURNAL_HEADER.unpack_from(blob, 0)
         if magic != _JOURNAL_MAGIC:
             raise CheckpointError(f"not a result journal: {self.path}")
@@ -608,10 +647,15 @@ class ResultJournal:
             payload = blob[start:start + length]
             if len(payload) < length or zlib.crc32(payload) != crc:
                 break  # torn tail: the writer died mid-append
-            self.entries[index] = pickle.loads(payload)
+            try:
+                value = pickle.loads(payload)
+            except Exception:
+                break  # CRC-colliding garbage tail: still torn
+            self.entries[index] = value
             offset = start + length
             good_end = offset
         if good_end < len(blob):
+            self.dropped_tail_bytes = len(blob) - good_end
             with open(self.path, "r+b") as out:
                 out.truncate(good_end)
 

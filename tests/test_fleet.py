@@ -1,0 +1,410 @@
+"""Fleet-scale triage: scheduler, spool, ingestion, workers, race DB.
+
+The two headline contracts, each pinned deterministically:
+
+* **Chaos duel** — a seeded fleet run under transport chaos (node
+  crashes, duplicate delivery, transiently corrupt copies, reordering)
+  commits a race database *bit-identical* to the fault-free run over
+  the same workload seeds, with every lost/extra copy reconciled in
+  the triage report.
+* **PACER rotation** — rotating deep-tracing epochs achieves strictly
+  higher fleet detection probability than uniform thin sampling at the
+  same fleet-wide overhead budget.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import TraceError, UsageError
+from repro.fleet import (
+    BundleSpool,
+    DeliveryPlan,
+    FleetConfig,
+    FleetSchedule,
+    RaceDatabase,
+    decode_envelope,
+    encode_envelope,
+    fleet_specs,
+    ingest,
+    produce_fleet,
+    run_fleet,
+    run_fleet_duel,
+    shard_of,
+)
+from repro.fleet.workers import analyze_bundles, apply_backpressure
+from repro.fleet.ingest import AcceptedBundle
+
+# Small but real: every cell traces + analyzes, so keep the grid tight.
+SMALL = dict(nodes=4, epochs=3, iterations=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def produced():
+    """One produced fleet, shared by every transport-level test."""
+    return produce_fleet(FleetConfig(**SMALL))
+
+
+def _deliver(spool, produced, plan):
+    wire = []
+    for bundle in produced:
+        envelope = encode_envelope(bundle.meta)
+        for _kind, payload in plan.copies(bundle.bundle_id, envelope,
+                                          bundle.blob):
+            wire.append((bundle.bundle_id, payload))
+    for seq, index in enumerate(plan.arrival_order(len(wire))):
+        bundle_id, payload = wire[index]
+        spool.put(seq, bundle_id, payload)
+
+
+class TestSchedule:
+    def test_rotation_covers_every_node(self):
+        schedule = FleetSchedule(policy="rotate", nodes=5, epochs=5)
+        seen = set()
+        for epoch in range(5):
+            deep = schedule.deep_nodes(epoch)
+            assert len(deep) == schedule.deep_slots
+            seen |= deep
+        assert seen == set(range(5))
+
+    def test_same_fleet_budget_both_policies(self):
+        """Nominal per-node budgets average to the fleet budget under
+        rotate (when slots divide evenly) and equal it under uniform."""
+        schedule = FleetSchedule(nodes=4, epochs=3, fleet_budget=0.005,
+                                 deep_budget=0.02)
+        rotate_mean = sum(
+            schedule.assignment(node, 0).budget for node in range(4)
+        ) / 4
+        assert rotate_mean == pytest.approx(0.005)
+        uniform = FleetSchedule(policy="uniform", nodes=4, epochs=3,
+                                fleet_budget=0.005, deep_budget=0.02)
+        assert all(uniform.assignment(n, 0).budget == 0.005
+                   for n in range(4))
+        # And the uniform period stretches by the budget ratio.
+        assert uniform.uniform_period == uniform.deep_period * 4
+
+    def test_deep_assignment_fields(self):
+        schedule = FleetSchedule(nodes=4, epochs=2)
+        deep_node = next(iter(schedule.deep_nodes(0)))
+        a = schedule.assignment(deep_node, 0)
+        assert a.deep and a.governed and a.period == schedule.deep_period
+        idle = schedule.assignment((deep_node + 1) % 4, 0)
+        assert not idle.deep and not idle.governed
+        assert idle.period == schedule.idle_period
+
+    def test_validation(self):
+        with pytest.raises(UsageError):
+            FleetSchedule(policy="nope")
+        with pytest.raises(UsageError):
+            FleetSchedule(fleet_budget=0.1, deep_budget=0.05)
+        with pytest.raises(UsageError):
+            FleetConfig(workloads=("not-a-bug",))
+
+    def test_specs_are_deterministic(self):
+        a = fleet_specs(FleetConfig(**SMALL))
+        b = fleet_specs(FleetConfig(**SMALL))
+        assert a == b
+        assert len({s.bundle_id for s in a}) == len(a)
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        meta = {"bundle_id": "abcd", "node": 1, "epoch": 2}
+        wire = encode_envelope(meta) + b"TRACE"
+        got, trace = decode_envelope(wire)
+        assert got == meta and trace == b"TRACE"
+
+    def test_torn_and_foreign_rejected(self):
+        with pytest.raises(TraceError):
+            decode_envelope(b"PRFB1 {\"bundle_id\": \"x\"")  # no newline
+        with pytest.raises(TraceError):
+            decode_envelope(b"garbage\nmore")
+        with pytest.raises(TraceError):
+            decode_envelope(b"PRFB1 {\"no_id\": 1}\npayload")
+
+
+class TestDeliveryPlan:
+    def test_deterministic(self, produced):
+        plan = DeliveryPlan(seed=5, node_crash_rate=0.5,
+                            duplicate_rate=0.5, corrupt_rate=0.5)
+        bundle = produced[0]
+        envelope = encode_envelope(bundle.meta)
+        a = plan.copies(bundle.bundle_id, envelope, bundle.blob)
+        b = plan.copies(bundle.bundle_id, envelope, bundle.blob)
+        assert a == b
+        assert plan.arrival_order(10) == plan.arrival_order(10)
+
+    def test_always_ends_with_intact_copy(self, produced):
+        plan = DeliveryPlan(seed=1, node_crash_rate=1.0,
+                            duplicate_rate=0.0, corrupt_rate=1.0)
+        bundle = produced[0]
+        envelope = encode_envelope(bundle.meta)
+        copies = plan.copies(bundle.bundle_id, envelope, bundle.blob)
+        kinds = [kind for kind, _ in copies]
+        assert kinds == ["torn", "corrupt", "intact"]
+        assert copies[-1][1] == envelope + bundle.blob
+
+    def test_poison_is_total(self, produced):
+        plan = DeliveryPlan(seed=1, poison_rate=1.0)
+        bundle = produced[0]
+        copies = plan.copies(bundle.bundle_id,
+                             encode_envelope(bundle.meta), bundle.blob)
+        assert [kind for kind, _ in copies] == ["poison", "poison"]
+        for _, payload in copies:
+            with pytest.raises(TraceError):
+                decode_envelope(payload)
+
+
+class TestIngest:
+    def test_clean_spool(self, produced, tmp_path):
+        spool = BundleSpool(tmp_path / "spool")
+        _deliver(spool, produced, DeliveryPlan(seed=0))
+        result = ingest(spool)
+        assert len(result.accepted) == len(produced)
+        assert result.stats.deduped == 0
+        assert result.stats.reconciles
+
+    def test_duplicates_deduped(self, produced, tmp_path):
+        spool = BundleSpool(tmp_path / "spool")
+        _deliver(spool, produced, DeliveryPlan(seed=0, duplicate_rate=1.0))
+        result = ingest(spool)
+        assert len(result.accepted) == len(produced)
+        assert result.stats.deduped == len(produced)
+        assert result.stats.reconciles
+
+    def test_torn_recovered_by_redelivery(self, produced, tmp_path):
+        spool = BundleSpool(tmp_path / "spool")
+        _deliver(spool, produced,
+                 DeliveryPlan(seed=0, node_crash_rate=1.0, reorder=False))
+        result = ingest(spool)
+        assert len(result.accepted) == len(produced)
+        assert not any(a.salvaged for a in result.accepted)
+        assert result.stats.unreadable_copies == len(produced)
+        assert result.stats.quarantined == 0
+        assert result.stats.reconciles
+
+    def test_sticky_corruption_salvaged(self, produced, tmp_path):
+        spool = BundleSpool(tmp_path / "spool")
+        _deliver(spool, produced,
+                 DeliveryPlan(seed=0, sticky_corrupt_rate=1.0))
+        result = ingest(spool)
+        assert len(result.accepted) == len(produced)
+        assert all(a.salvaged for a in result.accepted)
+        assert result.stats.salvaged == len(produced)
+        assert result.stats.reconciles
+
+    def test_poison_quarantined_with_payloads(self, produced, tmp_path):
+        spool = BundleSpool(tmp_path / "spool")
+        _deliver(spool, produced, DeliveryPlan(seed=0, poison_rate=1.0))
+        result = ingest(spool, retries=2)
+        assert result.accepted == []
+        assert result.stats.quarantined == len(produced)
+        # Bounded retries happened and are accounted.
+        assert result.ledger is not None
+        assert result.stats.parse_retries == 2 * len(produced)
+        # Payloads moved aside for the operator, grouped by bundle.
+        grouped = spool.quarantined()
+        assert set(grouped) == {p.bundle_id for p in produced}
+        assert all(len(paths) == 2 for paths in grouped.values())
+        # ... and off the live spool.
+        assert spool.scan() == []
+
+
+class TestBackpressure:
+    def _bundle(self, bundle_id, node, epoch, period, deep):
+        return AcceptedBundle(
+            meta={"bundle_id": bundle_id, "node": node, "epoch": epoch,
+                  "period": period, "deep": deep},
+            trace=b"",
+        )
+
+    def test_sheds_sparsest_first(self):
+        deep = self._bundle("aa", 0, 0, 160, True)
+        mid = self._bundle("bb", 1, 0, 640, False)
+        idle = self._bundle("cc", 2, 0, 50_000, False)
+        kept, shed = apply_backpressure([idle, mid, deep], 2)
+        assert {a.bundle_id for a in kept} == {"aa", "bb"}
+        assert [s.bundle_id for s in shed] == ["cc"]
+        assert shed[0].to_dict()["reason"] == "backpressure"
+
+    def test_no_budget_no_shedding(self):
+        bundles = [self._bundle("aa", 0, 0, 160, True)]
+        kept, shed = apply_backpressure(bundles, None)
+        assert kept == bundles and shed == []
+
+    def test_shard_stability(self):
+        assert shard_of("deadbeef00", 4) == shard_of("deadbeef00", 4)
+        assert 0 <= shard_of("deadbeef00", 4) < 4
+
+
+class TestRaceDatabase:
+    SIGS = [{"workload": "w", "variable": "v", "context": ["a", "b"],
+             "pair": [1, 2], "key": "k1", "desc": "race"}]
+
+    def test_apply_is_idempotent_on_disk(self, tmp_path):
+        path = tmp_path / "races.db"
+        with RaceDatabase(path) as db:
+            assert db.apply_bundle("b1", self.SIGS, node=0, epoch=0,
+                                   probability=0.5)
+            blob = path.read_bytes()
+            assert not db.apply_bundle("b1", self.SIGS, node=0, epoch=0,
+                                       probability=0.5)
+            assert path.read_bytes() == blob
+            assert db.entries["k1"].count == 1
+            assert db.double_counted == 0
+
+    def test_replay_idempotent(self, tmp_path):
+        path = tmp_path / "races.db"
+        with RaceDatabase(path) as db:
+            db.apply_bundle("b1", self.SIGS, probability=0.5)
+            db.apply_bundle("b2", self.SIGS, probability=0.7)
+        with RaceDatabase(path) as db:
+            assert db.entries["k1"].count == 2
+            assert db.entries["k1"].mean_probability == pytest.approx(0.6)
+            # Redelivery across process restarts is still refused.
+            assert not db.apply_bundle("b1", self.SIGS, probability=0.5)
+
+    def test_duplicate_sig_within_bundle_counts_once(self, tmp_path):
+        with RaceDatabase(tmp_path / "races.db") as db:
+            db.apply_bundle("b1", self.SIGS + self.SIGS)
+            assert db.entries["k1"].count == 1
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "races.db"
+        with RaceDatabase(path) as db:
+            db.apply_bundle("b1", self.SIGS)
+            db.apply_bundle("b2", self.SIGS)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-4])
+        with RaceDatabase(path) as db:
+            assert db.dropped_tail_bytes > 0
+            assert db.entries["k1"].count == 1
+            assert "b2" not in db.applied
+            # The torn record was truncated: a redelivered b2 applies
+            # cleanly and the file ends up exactly as it should be.
+            db.apply_bundle("b2", self.SIGS)
+        assert path.read_bytes() == whole
+
+    def test_suppression(self, tmp_path):
+        path = tmp_path / "races.db"
+        with RaceDatabase(path) as db:
+            assert db.suppress("k1", "filed as BUG-7")
+            size = path.stat().st_size
+            assert not db.suppress("k1", "again")  # idempotent: no append
+            assert path.stat().st_size == size
+            db.apply_bundle("b1", self.SIGS)
+            assert db.suppressed_hits == 1
+            assert db.ranked() == []
+            assert [e.key for e in db.ranked(include_suppressed=True)] \
+                == ["k1"]
+
+    def test_ranking_recurrence_times_probability(self, tmp_path):
+        rare_hot = [{**self.SIGS[0], "key": "hot"}]
+        common_cold = [{**self.SIGS[0], "key": "cold"}]
+        with RaceDatabase(tmp_path / "races.db") as db:
+            for i in range(2):
+                db.apply_bundle(f"h{i}", rare_hot, probability=0.9)
+            for i in range(3):
+                db.apply_bundle(f"c{i}", common_cold, probability=0.1)
+            ranked = db.ranked()
+            # 2 × 0.9 = 1.8 beats 3 × 0.1 = 0.3.
+            assert [e.key for e in ranked] == ["hot", "cold"]
+
+
+class TestFleetService:
+    def test_chaos_duel_bit_identical_database(self, tmp_path):
+        """THE acceptance test: crashes + duplicates + transiently
+        corrupt copies + reordering change nothing about the committed
+        race database — same bytes, same ranking."""
+        clean_cfg = FleetConfig(**SMALL)
+        clean = run_fleet(clean_cfg, tmp_path / "clean.db",
+                          tmp_path / "spool-clean")
+        chaos_cfg = replace(clean_cfg, node_crash_rate=0.6,
+                            duplicate_rate=0.6, corrupt_rate=0.5)
+        chaos = run_fleet(chaos_cfg, tmp_path / "chaos.db",
+                          tmp_path / "spool-chaos")
+        assert (tmp_path / "clean.db").read_bytes() == \
+            (tmp_path / "chaos.db").read_bytes()
+        assert clean.top_races == chaos.top_races
+        assert chaos.db_double_counted == 0
+        # The chaos run really was chaotic, and every copy reconciled.
+        assert chaos.deliveries > clean.deliveries
+        assert chaos.deduped > 0 and chaos.unreadable_copies > 0
+        assert chaos.reconciles and clean.reconciles
+        assert not chaos.lossy
+
+    def test_rotate_beats_uniform_at_same_budget(self, tmp_path):
+        """The PACER claim: concentrating the fleet budget into
+        rotating deep epochs strictly beats spreading it uniformly."""
+        duel = run_fleet_duel(FleetConfig(**SMALL), tmp_path)
+        assert duel["rotate_wins"]
+        assert duel["rotate_detection"] > duel["uniform_detection"]
+        # Same nominal fleet budget on both sides.
+        assert (duel["rotate"]["schedule"]["fleet_budget"]
+                == duel["uniform"]["schedule"]["fleet_budget"])
+
+    def test_poison_quarantine_is_lossy_but_consistent(self, tmp_path):
+        config = FleetConfig(**SMALL, poison_rate=0.3)
+        report = run_fleet(config, tmp_path / "races.db",
+                           tmp_path / "spool")
+        assert report.quarantined >= 1
+        assert report.lossy and report.reconciles
+        assert report.db_double_counted == 0
+        assert (tmp_path / "spool" / "quarantine").is_dir()
+        # Quarantine records point at real payload files.
+        for record in report.quarantine_records:
+            assert record["paths"]
+        assert report.to_dict()["lossy"] is True
+
+    def test_backpressure_shed_accounted(self, tmp_path):
+        config = FleetConfig(**SMALL, backlog_budget=5)
+        report = run_fleet(config, tmp_path / "races.db",
+                           tmp_path / "spool")
+        assert report.shed == 12 - 5 and report.analyzed == 5
+        assert report.lossy and report.reconciles
+        # Deep bundles survive: they are the highest priority.
+        analyzed_deep = sum(
+            1 for r in report.shed_records if r["deep"]
+        )
+        assert analyzed_deep == 0
+
+    def test_checkpoint_resume_skips_analysis(self, tmp_path):
+        config = FleetConfig(**SMALL)
+        first = run_fleet(config, tmp_path / "a.db", tmp_path / "spool-a",
+                          checkpoint_dir=tmp_path / "ckpt")
+        resumed = run_fleet(config, tmp_path / "b.db",
+                            tmp_path / "spool-b",
+                            checkpoint_dir=tmp_path / "ckpt", resume=True)
+        assert resumed.worker_ledger.resumed == first.analyzed
+        assert resumed.worker_ledger.attempts == 0
+        assert (tmp_path / "a.db").read_bytes() == \
+            (tmp_path / "b.db").read_bytes()
+
+    def test_redelivery_across_runs_refused_by_db(self, tmp_path):
+        """At-least-once across whole triage cycles: running the same
+        fleet twice against one database applies nothing the second
+        time (and the file does not grow)."""
+        config = FleetConfig(**SMALL)
+        db = tmp_path / "races.db"
+        first = run_fleet(config, db, tmp_path / "spool-1")
+        size = db.stat().st_size
+        second = run_fleet(config, db, tmp_path / "spool-2")
+        assert first.db_applied == first.analyzed
+        assert second.db_applied == 0
+        assert second.db_redundant == second.analyzed
+        assert db.stat().st_size == size
+        assert second.db_double_counted == 0
+        # Everything is recurring now, nothing new.
+        assert second.db_new == [] and len(second.db_recurring) >= 1
+
+    def test_suppression_workflow(self, tmp_path):
+        config = FleetConfig(**SMALL)
+        first = run_fleet(config, tmp_path / "races.db",
+                          tmp_path / "spool-1")
+        assert first.top_races
+        key = first.top_races[0]["key"]
+        second = run_fleet(config, tmp_path / "races.db",
+                           tmp_path / "spool-2", suppress=(key,))
+        assert second.db_suppressed == 1
+        assert all(entry["key"] != key for entry in second.top_races)

@@ -1,0 +1,131 @@
+"""CLI surface of the fleet triage service (plus subcommand hygiene)."""
+
+import json
+
+from repro.cli import main
+from repro.errors import (
+    EXIT_FLEET_LOSSY,
+    EXIT_OK,
+    EXIT_RACES,
+    EXIT_TRACE_ERROR,
+    EXIT_USAGE,
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+FAST = ("--nodes", "4", "--epochs", "3", "--iterations", "8",
+        "--seed", "0")
+
+
+class TestFleetCommand:
+    def test_clean_run_finds_races(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path),
+        )
+        assert code == EXIT_RACES
+        assert "fleet triage" in out
+        assert "books reconcile" in out
+        assert "apache-25520" in out
+
+    def test_chaos_run_stays_clean_exit(self, capsys, tmp_path):
+        """Transport chaos alone is recovered, not lossy: same exit as
+        the clean run."""
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path),
+            "--node-crash-rate", "0.6", "--duplicate-rate", "0.6",
+            "--corrupt-rate", "0.5",
+        )
+        assert code == EXIT_RACES
+        assert "deduped" in out
+
+    def test_poison_run_exits_lossy(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path),
+            "--poison-rate", "0.3",
+        )
+        assert code == EXIT_FLEET_LOSSY
+        assert "quarantined" in out
+        assert "LOSSY" in out
+
+    def test_json_report_structure(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path),
+            "--poison-rate", "0.3", "--json",
+        )
+        assert code == EXIT_FLEET_LOSSY
+        report = json.loads(out)
+        assert report["bundles"]["reconciles"] is True
+        assert report["bundles"]["quarantined"] >= 1
+        assert report["db"]["double_counted"] == 0
+        assert report["lossy"] is True
+        assert report["scheduler"]["node_epochs"] == 12
+
+    def test_duel_reports_verdict(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path), "--duel",
+        )
+        assert code == EXIT_RACES
+        assert "duel: rotate beats uniform" in out
+
+    def test_suppression_silences_exit(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path), "--json",
+        )
+        report = json.loads(out)
+        keys = [race["key"] for race in report["db"]["top"]]
+        assert code == EXIT_RACES and keys
+        argv = ["fleet", *FAST, "--workdir", str(tmp_path), "--json"]
+        for key in keys:
+            argv += ["--suppress", key]
+        code, out = run_cli(capsys, *argv)
+        report = json.loads(out)
+        assert code == EXIT_OK
+        assert report["db"]["suppressed"] == len(keys)
+        assert report["db"]["top"] == []
+
+    def test_bad_workload_is_usage_error(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "fleet", "--workloads", "not-a-bug",
+                            "--workdir", str(tmp_path))
+        assert code == EXIT_USAGE
+        assert "unknown fleet workload" in out
+
+
+class TestUnknownSubcommand:
+    def test_did_you_mean(self, capsys):
+        code, out = run_cli(capsys, "fleeet")
+        assert code == EXIT_TRACE_ERROR
+        assert "did you mean 'fleet'" in out
+
+    def test_no_suggestion_for_gibberish(self, capsys):
+        code, out = run_cli(capsys, "zzzzqqq")
+        assert code == EXIT_TRACE_ERROR
+        assert "unknown command" in out
+        assert "did you mean" not in out
+
+    def test_flags_still_reach_argparse(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["--definitely-not-a-flag"])
+
+
+class TestSharedFaultFlags:
+    def test_chaos_and_fleet_share_parent(self, capsys, tmp_path):
+        """Both subcommands accept the same seeded worker-fault flags
+        (one argparse parent, not copy-pasted options)."""
+        code, _ = run_cli(
+            capsys, "chaos", "aget-bug2", "--runs", "2", "--jobs", "2",
+            "--iterations", "8", "--kill-workers", "0.4", "--retries", "2",
+        )
+        assert code == EXIT_OK
+        code, out = run_cli(
+            capsys, "fleet", *FAST, "--workdir", str(tmp_path),
+            "--kill-workers", "0.3", "--retries", "3", "--jobs", "2",
+        )
+        # Worker kills are retried; the triage still completes.
+        assert code in (EXIT_RACES, EXIT_FLEET_LOSSY)
+        assert "fleet triage" in out

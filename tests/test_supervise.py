@@ -363,3 +363,147 @@ def _fails_on_two(x):
     if x == 2:
         raise ValueError("two")
     return x * x
+
+
+class TestBackoffDerivation:
+    """The per-attempt jitter is *derived* from (seed, item, attempt) —
+    no shared RNG stream — so retry timing is independent of scheduling
+    order, of other items' retries, and of anything else that consumes
+    randomness in the process."""
+
+    def test_pinned_derivation(self):
+        """The jitter is the keyed-hash unit draw, pinned so a change
+        to the derivation shows up as a test failure, not as silently
+        different fleet timing."""
+        import hashlib
+
+        config = SupervisorConfig(seed=7, backoff_base=0.05,
+                                  backoff_factor=2.0, backoff_jitter=0.1)
+        for index, attempt in [(0, 2), (3, 2), (3, 5), (1000, 3)]:
+            digest = hashlib.blake2b(
+                f"backoff|7|{index}|{attempt}".encode(),
+                digest_size=8).digest()
+            unit = int.from_bytes(digest, "big") / 2.0 ** 64
+            expected = (0.05 * 2.0 ** (attempt - 2)) * (1.0 + 0.1 * unit)
+            assert config.backoff(index, attempt) == expected
+
+    def test_order_independent(self):
+        config = SupervisorConfig(seed=3, backoff_base=0.01)
+        forward = [config.backoff(i, 2) for i in range(8)]
+        backward = [config.backoff(i, 2) for i in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_global_rng_independent(self):
+        import random
+
+        config = SupervisorConfig(seed=3, backoff_base=0.01)
+        random.seed(123)
+        a = config.backoff(5, 3)
+        random.seed(999)
+        for _ in range(17):
+            random.random()
+        assert config.backoff(5, 3) == a
+
+    def test_decorrelated_from_worker_fault_plan(self):
+        """The fault plan draws from random.Random((seed*1_000_003+i)*
+        8_191+attempt); the backoff must not reuse that stream, or
+        chaos tests would couple fault schedules to retry timing."""
+        import random as random_module
+
+        seed, index, attempt = 11, 3, 2
+        plan_rng = random_module.Random(
+            (seed * 1_000_003 + index) * 8_191 + attempt)
+        config = SupervisorConfig(seed=seed, backoff_base=1.0,
+                                  backoff_factor=1.0, backoff_jitter=1.0)
+        unit = config.backoff(index, attempt) - 1.0
+        assert abs(unit - plan_rng.random()) > 1e-12
+
+
+class TestJournalCrashConsistency:
+    """S1: a writer dying at ANY byte of the final record must leave a
+    journal that reopens to the good prefix (never an error, never a
+    phantom entry)."""
+
+    def test_truncation_at_every_byte_of_last_record(self, tmp_path):
+        path = tmp_path / "crash.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            journal.append(0, {"payload": "alpha"})
+            prefix_len = path.stat().st_size
+            journal.append(1, {"payload": "beta" * 7})
+        whole = path.read_bytes()
+        for cut in range(prefix_len, len(whole)):
+            path.write_bytes(whole[:cut])
+            with ResultJournal(path, key="k1") as journal:
+                assert journal.entries == {0: {"payload": "alpha"}}
+                expected_drop = cut - prefix_len
+                assert journal.dropped_tail_bytes == expected_drop
+            # The torn tail was truncated away on open: reopening again
+            # is clean.
+            with ResultJournal(path, key="k1") as journal:
+                assert journal.dropped_tail_bytes == 0
+            path.write_bytes(whole)  # restore for the next offset
+
+    def test_garbage_tail_dropped(self, tmp_path):
+        """A final record of CRC-valid garbage (arbitrary bytes whose
+        pickle payload is rot) is also a torn tail, not a crash."""
+        path = tmp_path / "crash.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            journal.append(0, "good")
+        import struct
+        import zlib
+
+        rot = b"this is not a pickle"
+        record = struct.pack("<III", 1, len(rot), zlib.crc32(rot)) + rot
+        with open(path, "ab") as out:
+            out.write(record)
+        with ResultJournal(path, key="k1") as journal:
+            assert journal.entries == {0: "good"}
+            assert journal.dropped_tail_bytes == len(record)
+
+    def test_torn_creation_recovers(self, tmp_path):
+        """Dying inside the header write of a brand-new journal leaves
+        a file shorter than the header; reopening rewrites it fresh."""
+        path = tmp_path / "crash.prjl"
+        ResultJournal(path, key="k1").close()
+        whole = path.read_bytes()
+        for cut in range(len(whole)):
+            path.write_bytes(whole[:cut])
+            with ResultJournal(path, key="k1") as journal:
+                assert journal.entries == {}
+                assert journal.dropped_tail_bytes == cut
+            path.write_bytes(whole)
+
+    def test_torn_creation_of_other_key_still_rejected(self, tmp_path):
+        """A truncated header that does NOT match this key's fresh bytes
+        is a foreign/corrupt file, not our torn creation."""
+        path = tmp_path / "crash.prjl"
+        ResultJournal(path, key="other-key").close()
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) - 2])
+        with pytest.raises(CheckpointError):
+            ResultJournal(path, key="k1")
+
+    def test_ledger_accounts_dropped_tail(self, tmp_path):
+        """supervised_map surfaces the dropped tail in its RunLedger, so
+        an operator sees WHY some items re-ran on resume."""
+        path = tmp_path / "crash.prjl"
+        with ResultJournal(path, key="k1") as journal:
+            supervised_map(_square, [2, 3], config=FAST, journal=journal)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-2])
+        with ResultJournal(path, key="k1") as journal:
+            results, ledger = supervised_map(_square, [2, 3], config=FAST,
+                                             journal=journal)
+        assert results == [4, 9]
+        # The whole torn record is dropped, not just the 2 missing
+        # bytes: everything after the last intact record.
+        dropped = ledger.journal_tail_dropped
+        assert dropped > 0
+        assert ledger.resumed == 1
+        assert "torn tail" in ledger.render()
+        assert ledger.to_dict()["journal_tail_dropped"] == dropped
+
+    def test_merge_sums_dropped_tails(self):
+        a = RunLedger(journal_tail_dropped=3)
+        a.merge(RunLedger(journal_tail_dropped=4))
+        assert a.journal_tail_dropped == 7
