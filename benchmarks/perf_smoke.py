@@ -23,6 +23,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from detect_stream import locality_stream, warm
 from repro.analysis import OfflinePipeline
 from repro.detector.events import Access, AccessKind
 from repro.detector.fasttrack import FastTrack
@@ -48,6 +49,13 @@ REPEATS = 3
 MIN_DEDUP_SPEEDUP = 3.0
 MIN_RACEDB_INSERTS_PER_SEC = 100.0
 RACEDB_BUNDLES = 300
+#: The columnar feed_batch fast path must decisively beat the scalar
+#: access() loop on the replay-shaped locality stream (measured locally
+#: ~3.3x; BENCH_detect.json tracks the full number) — and, being the
+#: pipeline default, it must never be *slower*.  The floor leaves room
+#: for noisy CI runners while still catching any real regression.
+MIN_BATCH_SPEEDUP = 1.5
+BATCH_STREAM_EVENTS = 30_000
 
 
 def _recon_seconds(program, bundle, jit):
@@ -102,6 +110,37 @@ def _detector_seconds(factory, accesses, repeats=5):
         if best is None or elapsed < best:
             best = elapsed
     return best
+
+
+def _batch_gate_seconds(repeats=5):
+    """Best-of-N (scalar seconds, batched seconds) for one FastTrack
+    pass over the shared replay-shaped locality stream — the batched
+    pass runs the exact ``feed_batch`` spans the pipeline's splice
+    merge emits, and both passes must agree report-for-report."""
+    accesses, chunks = locality_stream(events=BATCH_STREAM_EVENTS)
+    warm(chunks)
+    best_scalar = best_batched = None
+    for _ in range(repeats):
+        scalar = FastTrack()
+        d_access = scalar.access
+        t0 = time.perf_counter()
+        for access in accesses:
+            d_access(access)
+        elapsed = time.perf_counter() - t0
+        if best_scalar is None or elapsed < best_scalar:
+            best_scalar = elapsed
+
+        batched = FastTrack()
+        d_feed = batched.feed_batch
+        t0 = time.perf_counter()
+        for batch, base in chunks:
+            d_feed(batch, 0, len(batch), base)
+        elapsed = time.perf_counter() - t0
+        if best_batched is None or elapsed < best_batched:
+            best_batched = elapsed
+        assert batched.races == scalar.races, "batched verdicts diverged"
+        assert batched.accesses_processed == scalar.accesses_processed
+    return len(accesses), best_scalar, best_batched
 
 
 def _racedb_seconds(bundles=RACEDB_BUNDLES):
@@ -162,6 +201,12 @@ def main():
           f"{100 * registry_overhead:+.1f}% "
           f"({len(accesses) / registered:,.0f} events/sec)")
 
+    events, scalar_s, batched_s = _batch_gate_seconds()
+    batch_speedup = scalar_s / batched_s
+    print(f"columnar feed_batch: scalar {scalar_s * 1e3:.1f} ms, "
+          f"batched {batched_s * 1e3:.1f} ms -> {batch_speedup:.2f}x "
+          f"({events / batched_s:,.0f} events/sec)")
+
     insert, dedup = _racedb_seconds()
     insert_rate = RACEDB_BUNDLES / insert
     dedup_speedup = insert / dedup
@@ -179,6 +224,11 @@ def main():
             f"race DB dedup refusal only {dedup_speedup:.1f}x faster "
             f"than insert (floor {MIN_DEDUP_SPEEDUP}x) — is redelivery "
             f"hitting the disk?")
+    if batch_speedup < MIN_BATCH_SPEEDUP:
+        failures.append(
+            f"columnar feed_batch only {batch_speedup:.2f}x vs the "
+            f"scalar access loop (floor {MIN_BATCH_SPEEDUP}x) — the "
+            f"pipeline default is supposed to be the fast path")
     if registry_overhead > MAX_REGISTRY_OVERHEAD:
         failures.append(
             f"registry indirection costs {100 * registry_overhead:.1f}% "

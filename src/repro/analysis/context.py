@@ -59,11 +59,13 @@ import heapq
 import os
 import pickle
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from operator import itemgetter
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from ..detector.batch import BATCH_RUN, BATCH_SYNC, EventBatch
 from ..detector.events import (
     EVENT_KIND_ACCESS,
     EVENT_KIND_SYNC,
@@ -201,6 +203,7 @@ class AnalysisContext:
         self._sync_events: Optional[List[Tuple[EventKey, SyncOp]]] = None
         self._threads: Dict[int, ThreadReplay] = {}
         self._access_events: Dict[int, List[Tuple[EventKey, Access]]] = {}
+        self._access_batches: Dict[int, EventBatch] = {}
         self._last_poisoned: Optional[FrozenSet[int]] = None
 
     # ------------------------------------------------------------------
@@ -406,6 +409,7 @@ class AnalysisContext:
             tids = sorted(paths)
             self._threads.clear()
             self._access_events.clear()
+            self._access_batches.clear()
         engine = ReplayEngine(
             self.program, mode=self.replay_mode,
             max_iterations=self.max_iterations, poisoned=poisoned,
@@ -422,6 +426,7 @@ class AnalysisContext:
                 self.replay_failures[replay.tid] = replay.error
                 self._threads.pop(replay.tid, None)
                 self._access_events.pop(replay.tid, None)
+                self._access_batches.pop(replay.tid, None)
                 changed = True
                 continue
             old = self._threads.get(replay.tid)
@@ -433,6 +438,7 @@ class AnalysisContext:
             if old is None or old.accesses != replay.accesses:
                 changed = True
                 self._access_events.pop(replay.tid, None)
+                self._access_batches.pop(replay.tid, None)
             self._threads[replay.tid] = replay
         if self.run_ledger is not None and engine.last_ledger is not None:
             self.run_ledger.merge(engine.last_ledger)
@@ -513,15 +519,121 @@ class AnalysisContext:
             streams.append(self.access_events(tid))
         merged = heapq.merge(*streams, key=itemgetter(0))
         self.suppressed_accesses = 0
-        cutoff = self.truncation_cutoff
+        cutoff = self._effective_cutoff()
         if cutoff is None:
             return merged
+        return self._suppress_after(merged, cutoff)
+
+    # ------------------------------------------------------------------
+    # Columnar batch merge
+    # ------------------------------------------------------------------
+
+    def access_batch(self, tid: int) -> EventBatch:
+        """One thread's access events as a columnar
+        :class:`~repro.detector.batch.EventBatch` — lowered straight
+        from the replayed accesses (no intermediate ``Access`` objects),
+        with truncation suppression baked into the columns at build
+        time.  Cached and invalidated alongside :meth:`access_events`.
+        """
+        cached = self._access_batches.get(tid)
+        if cached is not None:
+            return cached
+        batch = EventBatch.build(
+            tid,
+            self._threads[tid].accesses,
+            self.timelines[tid],
+            self.alloc_index.generation,
+            cutoff=self._effective_cutoff(),
+        )
+        self._access_batches[tid] = batch
+        return batch
+
+    def merged_batches(self) -> Iterator[tuple]:
+        """The batched twin of :meth:`merged_events`: the same totally
+        ordered event stream, delivered as spliced runs instead of
+        single events.  Yields ``(BATCH_SYNC, sync_op, gindex)`` and
+        ``(BATCH_RUN, batch, start, stop, gindex_base)`` items, where
+        the global index numbers events exactly as the scalar merge
+        would enumerate them.
+
+        Instead of heap-popping every event, the merge pops only stream
+        *heads*: the minimum head's stream emits its entire contiguous
+        run up to the next-smallest head (found by bisection on the tsc
+        column), so per-event merge cost vanishes for the long
+        single-thread stretches sampled traces are made of.  Correctness
+        rests on the same strict total order the scalar merge uses —
+        keys never collide across streams, so the run boundary is
+        unambiguous.  Truncation suppression is applied at batch build;
+        this pass refreshes :attr:`suppressed_accesses` to the same
+        total the scalar pass would count.
+        """
+        if self.stats.replay_rounds == 0:
+            raise UsageError("call replay() before merged_batches()")
+        sync_events = self.sync_events
+        batches = [self.access_batch(tid) for tid in sorted(self._threads)]
+        self.suppressed_accesses = sum(b.suppressed for b in batches)
+        return self._splice_merge(sync_events, batches)
+
+    @staticmethod
+    def _splice_merge(
+        sync_events: List[Tuple[EventKey, SyncOp]],
+        batches: List[EventBatch],
+    ) -> Iterator[tuple]:
+        # Stream 0 is the sync stream; streams 1.. are the batches.
+        heads: List[Tuple[EventKey, int]] = []
+        if sync_events:
+            heads.append((sync_events[0][0], 0))
+        for index, batch in enumerate(batches, start=1):
+            if len(batch):
+                heads.append((batch.key_at(0), index))
+        heapq.heapify(heads)
+        positions = [0] * (len(batches) + 1)
+        sync_keys: Optional[List[EventKey]] = None
+        nsync = len(sync_events)
+        gindex = 0
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heads:
+            _key, sidx = pop(heads)
+            bound = heads[0][0] if heads else None
+            if sidx == 0:
+                start = positions[0]
+                if bound is None:
+                    end = nsync
+                else:
+                    if sync_keys is None:
+                        sync_keys = [key for key, _ in sync_events]
+                    end = bisect_left(sync_keys, bound, start)
+                for j in range(start, end):
+                    yield (BATCH_SYNC, sync_events[j][1], gindex)
+                    gindex += 1
+                positions[0] = end
+                if end < nsync:
+                    push(heads, (sync_events[end][0], 0))
+            else:
+                batch = batches[sidx - 1]
+                start = positions[sidx]
+                end = (batch.run_end(start, bound)
+                       if bound is not None else len(batch))
+                yield (BATCH_RUN, batch, start, end, gindex)
+                gindex += end - start
+                positions[sidx] = end
+                if end < len(batch):
+                    push(heads, (batch.key_at(end), sidx))
+
+    def _effective_cutoff(self) -> Optional[int]:
+        """The truncation cutoff after jitter widening, or None for a
+        complete log — one definition shared by the scalar suppression
+        pass and the batch builder."""
+        cutoff = self.truncation_cutoff
+        if cutoff is None:
+            return None
         defects = self.bundle.defects
         if defects is not None and defects.tsc_perturbed:
             # Jittered sample anchors can understate a true time by up
             # to the jitter bound; widen the distrusted region to match.
             cutoff -= MAX_TSC_JITTER
-        return self._suppress_after(merged, cutoff)
+        return cutoff
 
     @property
     def truncation_cutoff(self) -> Optional[int]:
@@ -612,6 +724,7 @@ class AnalysisContext:
         # Lowered event streams depend on timelines/alloc-index identity;
         # cheap to relower, unsafe to splice.
         self._access_events.clear()
+        self._access_batches.clear()
         return payload["poisoned"], payload["rounds"]
 
     @property

@@ -328,6 +328,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
                                jit=not args.no_jit,
+                               batch=not args.no_batch,
                                supervisor=_supervisor_from(args),
                                detectors=_detectors_from(args))
     if args.profile:
@@ -360,10 +361,10 @@ def _detect_one(work: tuple):
     """Module-level detect worker (picklable for the process executor):
     one seeded trace + analysis."""
     program, mode, period, driver, seed, governor, load_bursts, \
-        detectors = work
+        detectors, batch = work
     bundle = trace_run(program, period=period, driver=driver, seed=seed,
                        governor=governor, load_bursts=load_bursts)
-    return OfflinePipeline(program, mode=mode,
+    return OfflinePipeline(program, mode=mode, batch=batch,
                            detectors=detectors).analyze(bundle)
 
 
@@ -375,24 +376,46 @@ def cmd_detect(args: argparse.Namespace) -> int:
     summary = FleetSummary()
     if args.runs == 1:
         # One run: spend the job budget inside the pipeline (per-thread
-        # decode/replay fan-out).
+        # decode/replay fan-out plus address-sharded detection).
         bundle = trace_run(program, period=args.period,
                            driver=_DRIVERS[args.driver], seed=args.seed,
                            governor=governor)
         pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
+                                   batch=not args.no_batch,
+                                   detect_shards=args.jobs,
                                    supervisor=supervisor,
                                    detectors=detectors)
-        result = pipeline.analyze(bundle,
-                                  checkpoint_dir=args.checkpoint_dir,
-                                  resume=args.resume)
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = pipeline.analyze(bundle,
+                                          checkpoint_dir=args.checkpoint_dir,
+                                          resume=args.resume)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
+            print(f"wrote offline-stage profile to {args.profile} "
+                  f"(see docs/performance.md for how to read it)",
+                  file=sys.stderr)
+        else:
+            result = pipeline.analyze(bundle,
+                                      checkpoint_dir=args.checkpoint_dir,
+                                      resume=args.resume)
         summary.add(result)
         print(render_report(program, result))
         return 1 if summary.race_sites else 0
+    if args.profile:
+        print("repro detect: --profile applies to single-run detection "
+              "(--runs 1); ignoring it for a fan-out", file=sys.stderr)
     # Many runs: fan the independent seeded trials out across processes
     # and fold the results back in seed order.
     work = [
         (program, args.mode, args.period, _DRIVERS[args.driver],
-         args.seed + run_index, governor, None, detectors)
+         args.seed + run_index, governor, None, detectors,
+         not args.no_batch)
         for run_index in range(args.runs)
     ]
     if supervisor is not None or args.checkpoint_dir is not None:
@@ -807,7 +830,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         sticky_corrupt_rate=args.sticky_corrupt_rate,
         poison_rate=args.poison_rate, reorder=args.reorder,
         retries=retries, backlog_budget=args.backlog_budget,
-        jobs=args.jobs,
+        jobs=args.jobs, detect_shards=args.detect_shards,
         # Worker faults need real process isolation (a simulated SIGKILL
         # must not take the triage service down with it).
         executor="process" if (args.jobs > 1 or args.kill_workers
@@ -929,6 +952,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PATH",
         help="dump a cProfile pstats file for the offline stage to PATH",
     )
+    analyze_parser.add_argument(
+        "--no-batch", action="store_true",
+        help="feed detectors one scalar event at a time instead of "
+             "columnar batches (bit-identical, slower)",
+    )
     _add_detector_args(analyze_parser)
     _add_supervision_args(analyze_parser)
 
@@ -943,8 +971,18 @@ def build_parser() -> argparse.ArgumentParser:
     detect_parser.add_argument("--runs", type=int, default=1,
                                help="seeded runs to aggregate")
     detect_parser.add_argument("--jobs", type=int, default=1,
-                               help="workers: across runs when --runs > 1, "
-                                    "inside the pipeline otherwise")
+                               help="workers: across runs when --runs > 1; "
+                                    "otherwise pipeline fan-out plus "
+                                    "address-sharded parallel FastTrack")
+    detect_parser.add_argument(
+        "--no-batch", action="store_true",
+        help="feed detectors one scalar event at a time instead of "
+             "columnar batches (bit-identical, slower)",
+    )
+    detect_parser.add_argument(
+        "--profile", metavar="PATH",
+        help="dump a cProfile pstats file for the offline stage to PATH",
+    )
     _add_detector_args(detect_parser)
     _add_governor_args(detect_parser)
     _add_supervision_args(detect_parser)
@@ -1131,6 +1169,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_parser.add_argument("--jobs", type=int, default=1,
                               help="analysis worker slots")
+    fleet_parser.add_argument(
+        "--detect-shards", type=int, default=1, metavar="N",
+        help="address shards for the FastTrack pass inside each "
+             "analysis worker (results identical at any shard count)",
+    )
     fleet_parser.add_argument("--json", action="store_true",
                               help="print the triage report as JSON")
     _add_supervision_args(fleet_parser)

@@ -115,6 +115,29 @@ class DetectorBackend:
     def access(self, access: Access) -> None:
         raise NotImplementedError
 
+    def feed_batch(self, batch, start: int = 0,
+                   stop: int | None = None, base: int = 0) -> None:
+        """Consume one pre-sorted access run of a columnar
+        :class:`~repro.detector.batch.EventBatch` —
+        events ``[start, stop)``, all from ``batch.tid`` with no
+        intervening sync operation.
+
+        The default materializes each event and delegates to
+        :meth:`access`, so every backend accepts batches with verdicts
+        bit-identical to the scalar stream; backends with a columnar
+        fast path (FastTrack) override this.  *base* is the global
+        merged-stream index of the run's **first** event, so batch
+        position ``i`` has global index ``base + i - start`` — used by
+        the sharded runner to restore stream order when merging
+        per-shard reports.
+        """
+        if stop is None:
+            stop = len(batch)
+        access = self.access
+        access_at = batch.access_at
+        for i in range(start, stop):
+            access(access_at(i))
+
     def finish(self) -> DetectionFindings:
         """Finalize the pass and return immutable findings.
 

@@ -19,6 +19,15 @@ class AccessKind(enum.Enum):
     WRITE = "write"
 
 
+#: Integer access-kind codes of the columnar batch layout
+#: (:mod:`repro.detector.batch`).  ``ACCESS_KINDS[code]`` recovers the
+#: enum; writes deliberately code to 1 so the batch hot loops can branch
+#: on the raw truthiness of the kinds column.
+ACCESS_READ = 0
+ACCESS_WRITE = 1
+ACCESS_KINDS = (AccessKind.READ, AccessKind.WRITE)
+
+
 # ----------------------------------------------------------------------
 # Total event order
 # ----------------------------------------------------------------------

@@ -90,6 +90,15 @@ class VectorClock:
             return True
         return epoch.clock <= self.get(epoch.tid)
 
+    def covers_raw(self, clock: int, tid: int) -> bool:
+        """:meth:`covers_epoch` over a raw ``(clock, tid)`` integer pair
+        — the epoch-compact per-variable representation FastTrack's
+        shadow state stores (``tid == -1`` encodes ⊥e).  The hot paths
+        inline this check; it lives here as the one documented
+        definition the inlined copies (and the batch-parity tests) are
+        held to."""
+        return tid < 0 or clock <= self.get(tid)
+
     def covers(self, other: "VectorClock") -> bool:
         """V' ⊑ V (pointwise)."""
         return all(c <= self.get(t) for t, c in other._clocks.items())

@@ -74,6 +74,9 @@ class FleetConfig:
     backlog_budget: Optional[int] = None
     jobs: int = 1
     executor: str = "serial"
+    #: Address shards for the FastTrack pass inside each worker (1 =
+    #: serial detection; results are bit-identical either way).
+    detect_shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.workloads:
@@ -137,6 +140,11 @@ class FleetConfig:
             "backlog_budget": self.backlog_budget,
             "jobs": self.jobs,
             "executor": self.executor,
+            # Only recorded when sharding is on: detection results are
+            # identical at any shard count, so the default key (and with
+            # it existing checkpoint journals) stays stable.
+            **({"detect_shards": self.detect_shards}
+               if self.detect_shards != 1 else {}),
         }
 
 
@@ -218,6 +226,7 @@ def run_fleet(
             ),
             fault_plan=worker_fault_plan,
             journal=journal,
+            detect_shards=config.detect_shards,
         )
     finally:
         if journal is not None:

@@ -49,7 +49,12 @@ def _analyze_one(item: dict) -> dict:
                             item["threads"])
     bundle = read_trace_bytes(item["trace"], program=program,
                               allow_partial=item["salvaged"])
-    result = OfflinePipeline(program).analyze(bundle)
+    # Workers already live in the fleet's process pool; shard detection
+    # over threads to avoid nesting pools (bit-identical either way).
+    result = OfflinePipeline(
+        program, detect_shards=item.get("detect_shards", 1),
+        detect_executor="thread",
+    ).analyze(bundle)
     bug = RACE_BUGS.get(item["workload"])
     detected = (bug.detected(program, result) if bug is not None
                 else bool(result.races))
@@ -139,8 +144,14 @@ def analyze_bundles(
     supervisor: Optional[SupervisorConfig] = None,
     fault_plan: Optional[WorkerFaultPlan] = None,
     journal=None,
+    detect_shards: int = 1,
 ) -> AnalysisOutcome:
-    """Run the sharded analysis stage over the ingested backlog."""
+    """Run the sharded analysis stage over the ingested backlog.
+
+    *detect_shards* > 1 additionally shards the FastTrack pass inside
+    each worker by variable address (see
+    :mod:`repro.detector.sharded`) — orthogonal to the bundle-level
+    fan-out across workers."""
     kept, shed = apply_backpressure(accepted, backlog_budget)
     kept = sorted(kept, key=lambda a: (a.epoch, a.node, a.bundle_id))
     shard_count = shards if shards is not None else max(1, jobs)
@@ -157,6 +168,7 @@ def analyze_bundles(
             "salvaged": a.salvaged,
             "shard": shard_of(a.bundle_id, shard_count),
             "trace": a.trace,
+            "detect_shards": detect_shards,
         }
         for a in kept
     ]

@@ -93,6 +93,12 @@ PROV_FORWARD = "forward"
 PROV_BACKWARD = "backward"
 PROV_BASICBLOCK = "basicblock"
 
+#: Every provenance the replay layers emit, in a stable order — the
+#: columnar event batches (:mod:`repro.detector.batch`) intern
+#: provenance strings against this table so the hot path carries one
+#: byte per access instead of a string reference.
+PROVENANCES = (PROV_SAMPLED, PROV_FORWARD, PROV_BACKWARD, PROV_BASICBLOCK)
+
 _UNARY_INVERSE = {Op.INC: Op.DEC, Op.DEC: Op.INC, Op.NEG: Op.NEG,
                   Op.NOT: Op.NOT}
 

@@ -4,6 +4,8 @@ from .bundle import TraceBundle, TraceDefects, trace_run
 from .serialize import (
     ResultJournal,
     TraceFormatError,
+    TraceReader,
+    open_trace,
     read_trace,
     read_trace_bytes,
     trace_to_bytes,
@@ -18,6 +20,8 @@ __all__ = [
     "TraceBundle",
     "TraceDefects",
     "TraceFormatError",
+    "TraceReader",
+    "open_trace",
     "read_trace",
     "read_trace_bytes",
     "trace_run",

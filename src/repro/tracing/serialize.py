@@ -415,8 +415,251 @@ def _decode_meta(payload: bytes) -> Tuple[RunResult, str]:
     return run, ("prorace" if driver_id else "vanilla")
 
 
+class SectionEntry:
+    """One row of a container's section table: where a payload lives,
+    not what it contains.  ``offset``/``length`` index into the blob;
+    the payload itself is *not* decoded (or even sliced) until asked."""
+
+    __slots__ = ("index", "kind", "name", "offset", "length", "crc")
+
+    def __init__(self, index: int, kind: int, offset: int, length: int,
+                 crc: Optional[int]) -> None:
+        self.index = index
+        self.kind = kind
+        self.name = _SECTION_NAMES.get(kind, f"kind{kind}")
+        self.offset = offset
+        self.length = length
+        self.crc = crc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SectionEntry({self.name}#{self.index} "
+                f"@{self.offset}+{self.length})")
+
+
+class TraceReader:
+    """Offset-indexed lazy view of one trace container.
+
+    Construction validates the header and trailer CRC and walks the
+    section *table* only — recording each section's kind, offset and
+    length without slicing or decoding its payload.  Payloads are
+    handed out as :class:`memoryview` slices over the original blob
+    (zero-copy; the old reader materialized a ``bytes`` copy of every
+    section, a full second copy of the file in aggregate) and decoded
+    on first access, so a consumer that needs two of ten sections pays
+    for two.  :attr:`sections_decoded` / :attr:`bytes_decoded` count
+    what was actually paid.
+
+    :meth:`bundle` reproduces exactly what the eager reader returned —
+    same salvage semantics, same defect bookkeeping — with an optional
+    *threads* filter that skips decoding PT sections of other threads
+    (the per-thread tid is peeked from the stream header in place).
+    """
+
+    def __init__(self, data, allow_partial: bool = False) -> None:
+        blob = data if isinstance(data, (bytes, bytearray)) else bytes(data)
+        if len(blob) < _HEADER.size + 4:
+            raise TraceFormatError("file too short")
+        magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceFormatError(f"unsupported version {version}")
+        crc_stored = struct.unpack_from("<I", blob, len(blob) - 4)[0]
+        self.blob = blob
+        self._view = memoryview(blob)
+        self.version = version
+        self.file_intact = zlib.crc32(self._view[:-4]) == crc_stored
+        self.salvage = allow_partial and version >= 2
+        if not self.file_intact and not self.salvage:
+            raise TraceFormatError("checksum mismatch (corrupted trace)")
+
+        section_struct = _SECTION_V2 if version >= 2 else _SECTION
+        offset = _HEADER.size
+        self.sections: List[SectionEntry] = []
+        for index in range(section_count):
+            if offset + section_struct.size > len(blob) - 4:
+                raise TraceFormatError("truncated section table")
+            if version >= 2:
+                kind, length, payload_crc = section_struct.unpack_from(
+                    blob, offset
+                )
+            else:
+                kind, length = section_struct.unpack_from(blob, offset)
+                payload_crc = None
+            offset += section_struct.size
+            if offset + length > len(blob):
+                raise TraceFormatError("truncated section payload")
+            self.sections.append(
+                SectionEntry(index, kind, offset, length, payload_crc)
+            )
+            offset += length
+
+        self._decoded: Dict[int, object] = {}
+        self.sections_decoded = 0
+        self.bytes_decoded = 0
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(entry.length for entry in self.sections)
+
+    def payload(self, entry: SectionEntry) -> memoryview:
+        """The raw payload of *entry* — a zero-copy view into the blob."""
+        return self._view[entry.offset:entry.offset + entry.length]
+
+    def verify(self, entry: SectionEntry) -> bool:
+        """Whether *entry*'s payload survives its CRC.  Free when the
+        whole-file trailer already verified (an intact file implies
+        intact sections); v1 sections carry no CRC and are only ever
+        trusted via the trailer."""
+        if self.file_intact or entry.crc is None:
+            return self.file_intact
+        return zlib.crc32(self.payload(entry)) == entry.crc
+
+    def pt_tid(self, entry: SectionEntry) -> Optional[int]:
+        """Peek a PT section's thread id from its stream header without
+        decoding the packet payload (the tid is the header's first
+        field)."""
+        if entry.kind != _SEC_PT or entry.length < _PT_HEADER.size:
+            return None
+        return _PT_HEADER.unpack_from(self._view, entry.offset)[0]
+
+    def decode(self, entry: SectionEntry):
+        """Decode *entry*'s payload (memoized; counted the first time).
+
+        Raises :class:`TraceFormatError` if the payload is inconsistent
+        — callers wanting salvage semantics catch it per section, as
+        :meth:`bundle` does.
+        """
+        if entry.index in self._decoded:
+            return self._decoded[entry.index]
+        payload = self.payload(entry)
+        kind = entry.kind
+        if kind == _SEC_META:
+            value = _decode_meta(payload)
+        elif kind == _SEC_PEBS:
+            value = _decode_samples(payload)
+        elif kind == _SEC_PT:
+            value = _decode_pt(payload)
+        elif kind == _SEC_SYNC:
+            value = _decode_sync(payload)
+        elif kind == _SEC_ALLOC:
+            value = _decode_alloc(payload)
+        elif kind == _SEC_EPOCHS:
+            value = _decode_epochs(payload)
+        else:
+            raise TraceFormatError(f"unknown section kind {kind}")
+        self._decoded[entry.index] = value
+        self.sections_decoded += 1
+        self.bytes_decoded += entry.length
+        return value
+
+    def bundle(self, program=None,
+               threads: Optional[frozenset] = None) -> TraceBundle:
+        """Assemble the :class:`TraceBundle` the eager reader produced.
+
+        With *threads*, PT sections of other threads are skipped without
+        decoding (their CRCs are still verified in salvage mode, so
+        defect bookkeeping for localizable damage is unchanged; a
+        CRC-passing-but-inconsistent foreign PT section is only
+        diagnosed by a full read).
+        """
+        run: Optional[RunResult] = None
+        driver_name = "prorace"
+        samples: List[PEBSSample] = []
+        pt_traces: Dict[int, PTThreadTrace] = {}
+        sync_records: List[SyncRecord] = []
+        alloc_records: List[AllocRecord] = []
+        governor: Optional[GovernorReport] = None
+        corrupted: List[str] = []
+
+        for entry in self.sections:
+            if not self.file_intact and entry.crc is not None \
+                    and not self.verify(entry):
+                if not self.salvage:
+                    raise TraceFormatError(
+                        f"section {entry.index} ({entry.name}) "
+                        "checksum mismatch"
+                    )
+                corrupted.append(f"{entry.name}#{entry.index}")
+                continue
+            if (threads is not None and entry.kind == _SEC_PT
+                    and self.pt_tid(entry) not in threads):
+                continue
+            try:
+                value = self.decode(entry)
+            except TraceFormatError:
+                # CRC passed but the payload is inconsistent (or the
+                # kind is unknown): recoverable only in salvage mode.
+                if not self.salvage:
+                    raise
+                corrupted.append(f"{entry.name}#{entry.index}")
+                continue
+            kind = entry.kind
+            if kind == _SEC_META:
+                run, driver_name = value
+            elif kind == _SEC_PEBS:
+                samples = value
+            elif kind == _SEC_PT:
+                pt_traces[value.tid] = value
+            elif kind == _SEC_SYNC:
+                sync_records = value
+            elif kind == _SEC_ALLOC:
+                alloc_records = value
+            elif kind == _SEC_EPOCHS:
+                governor = value
+
+        defects: Optional[TraceDefects] = None
+        if corrupted:
+            defects = TraceDefects(corrupted_sections=tuple(corrupted))
+            lost_kinds = {entry.split("#")[0] for entry in corrupted}
+            if "sync" in lost_kinds or "alloc" in lost_kinds:
+                # No trustworthy happens-before edges at all.
+                defects.log_truncated_at_tsc = -1
+        if run is None:
+            if not self.salvage:
+                raise TraceFormatError("missing metadata section")
+            run = RunResult(tsc=0, instructions=0, memory_ops=0,
+                            branches=0, sync_ops=0, threads=0,
+                            io_cycles=0, idle_cycles=0)
+        driver = (PRORACE_DRIVER if driver_name == "prorace"
+                  else VANILLA_DRIVER)
+        accounting = DriverAccounting(driver)
+        accounting.samples_taken = accounting.samples_written = len(samples)
+        pt_config = PTConfig()
+        bundle = TraceBundle(
+            program=program,
+            run=run,
+            samples=samples,
+            pt_traces=pt_traces,
+            pt_config=pt_config,
+            sync_records=sync_records,
+            alloc_records=alloc_records,
+            pebs_accounting=accounting,
+            pt_size_bytes=sum(
+                t.size_bytes(pt_config) for t in pt_traces.values()
+            ),
+            sync_size_bytes=(
+                len(sync_records) * SYNC_RECORD_BYTES
+                + len(alloc_records) * ALLOC_RECORD_BYTES
+            ),
+            defects=defects,
+        )
+        if governor is not None:
+            bundle.governor = governor
+            bundle.period_epochs = list(governor.epochs)
+        return bundle
+
+
+def open_trace(path: Path | str,
+               allow_partial: bool = False) -> TraceReader:
+    """Open a trace file as a lazy :class:`TraceReader` — header and
+    section table validated, no payload decoded yet."""
+    return TraceReader(Path(path).read_bytes(), allow_partial=allow_partial)
+
+
 def read_trace(path: Path | str, program=None,
-               allow_partial: bool = False) -> TraceBundle:
+               allow_partial: bool = False,
+               threads: Optional[frozenset] = None) -> TraceBundle:
     """Deserialize a trace file back into a :class:`TraceBundle`.
 
     Driver *accounting* is not stored (it is derived online); the
@@ -433,124 +676,26 @@ def read_trace(path: Path | str, program=None,
     trust, the pipeline suppresses all accesses rather than fabricate
     races.  Version-1 files have no per-section CRCs, so damage cannot
     be localized and *allow_partial* cannot help there.
+
+    With *threads*, PT streams of other threads are skipped without
+    decoding — workers that analyze a thread subset pay only for their
+    slice.  For finer control (single sections, decode accounting) use
+    :func:`open_trace`.
     """
-    return read_trace_bytes(Path(path).read_bytes(), program=program,
-                            allow_partial=allow_partial)
+    return TraceReader(
+        Path(path).read_bytes(), allow_partial=allow_partial
+    ).bundle(program=program, threads=threads)
 
 
 def read_trace_bytes(blob: bytes, program=None,
-                     allow_partial: bool = False) -> TraceBundle:
+                     allow_partial: bool = False,
+                     threads: Optional[frozenset] = None) -> TraceBundle:
     """:func:`read_trace` over in-memory container bytes — the parse
     path for transports that receive trace bundles off the wire (the
     fleet ingester) rather than from a file."""
-    if len(blob) < _HEADER.size + 4:
-        raise TraceFormatError("file too short")
-    magic, version, _flags, section_count = _HEADER.unpack_from(blob, 0)
-    if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r}")
-    if version not in SUPPORTED_VERSIONS:
-        raise TraceFormatError(f"unsupported version {version}")
-    crc_stored = struct.unpack("<I", blob[-4:])[0]
-    file_intact = zlib.crc32(blob[:-4]) == crc_stored
-    salvage = allow_partial and version >= 2
-    if not file_intact and not salvage:
-        raise TraceFormatError("checksum mismatch (corrupted trace)")
-
-    section_struct = _SECTION_V2 if version >= 2 else _SECTION
-    offset = _HEADER.size
-    run: Optional[RunResult] = None
-    driver_name = "prorace"
-    samples: List[PEBSSample] = []
-    pt_traces: Dict[int, PTThreadTrace] = {}
-    sync_records: List[SyncRecord] = []
-    alloc_records: List[AllocRecord] = []
-    governor: Optional[GovernorReport] = None
-    corrupted: List[str] = []
-
-    for index in range(section_count):
-        if offset + section_struct.size > len(blob) - 4:
-            raise TraceFormatError("truncated section table")
-        if version >= 2:
-            kind, length, payload_crc = section_struct.unpack_from(
-                blob, offset
-            )
-        else:
-            kind, length = section_struct.unpack_from(blob, offset)
-            payload_crc = None
-        offset += section_struct.size
-        payload = blob[offset:offset + length]
-        if len(payload) != length:
-            raise TraceFormatError("truncated section payload")
-        offset += length
-        name = _SECTION_NAMES.get(kind, f"kind{kind}")
-        if payload_crc is not None and zlib.crc32(payload) != payload_crc:
-            if not salvage:
-                raise TraceFormatError(
-                    f"section {index} ({name}) checksum mismatch"
-                )
-            corrupted.append(f"{name}#{index}")
-            continue
-        try:
-            if kind == _SEC_META:
-                run, driver_name = _decode_meta(payload)
-            elif kind == _SEC_PEBS:
-                samples = _decode_samples(payload)
-            elif kind == _SEC_PT:
-                trace = _decode_pt(payload)
-                pt_traces[trace.tid] = trace
-            elif kind == _SEC_SYNC:
-                sync_records = _decode_sync(payload)
-            elif kind == _SEC_ALLOC:
-                alloc_records = _decode_alloc(payload)
-            elif kind == _SEC_EPOCHS:
-                governor = _decode_epochs(payload)
-            else:
-                raise TraceFormatError(f"unknown section kind {kind}")
-        except TraceFormatError:
-            # CRC passed but the payload is inconsistent (or the kind is
-            # unknown): recoverable only in salvage mode.
-            if not salvage:
-                raise
-            corrupted.append(f"{name}#{index}")
-
-    defects: Optional[TraceDefects] = None
-    if corrupted:
-        defects = TraceDefects(corrupted_sections=tuple(corrupted))
-        lost_kinds = {entry.split("#")[0] for entry in corrupted}
-        if "sync" in lost_kinds or "alloc" in lost_kinds:
-            # No trustworthy happens-before edges at all.
-            defects.log_truncated_at_tsc = -1
-    if run is None:
-        if not salvage:
-            raise TraceFormatError("missing metadata section")
-        run = RunResult(tsc=0, instructions=0, memory_ops=0, branches=0,
-                        sync_ops=0, threads=0, io_cycles=0, idle_cycles=0)
-    driver = PRORACE_DRIVER if driver_name == "prorace" else VANILLA_DRIVER
-    accounting = DriverAccounting(driver)
-    accounting.samples_taken = accounting.samples_written = len(samples)
-    pt_config = PTConfig()
-    bundle = TraceBundle(
-        program=program,
-        run=run,
-        samples=samples,
-        pt_traces=pt_traces,
-        pt_config=pt_config,
-        sync_records=sync_records,
-        alloc_records=alloc_records,
-        pebs_accounting=accounting,
-        pt_size_bytes=sum(
-            t.size_bytes(pt_config) for t in pt_traces.values()
-        ),
-        sync_size_bytes=(
-            len(sync_records) * SYNC_RECORD_BYTES
-            + len(alloc_records) * ALLOC_RECORD_BYTES
-        ),
-        defects=defects,
+    return TraceReader(blob, allow_partial=allow_partial).bundle(
+        program=program, threads=threads
     )
-    if governor is not None:
-        bundle.governor = governor
-        bundle.period_epochs = list(governor.epochs)
-    return bundle
 
 
 # ---------------------------------------------------------------------------

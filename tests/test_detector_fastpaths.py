@@ -72,11 +72,11 @@ class TestFastTrackSameEpochFastPath:
         read = _access(1, AccessKind.READ)
         ft.access(read)
         state = ft._vars[read.var]
-        epoch = state.read_epoch
+        epoch = (state.read_clock, state.read_tid)
         ft.access(read)
         ft.access(read)
         assert ft._vars[read.var] is state
-        assert state.read_epoch is epoch
+        assert (state.read_clock, state.read_tid) == epoch
         assert state.read_vc is None
         assert ft.accesses_processed == 3
         assert ft.races == []
@@ -86,10 +86,10 @@ class TestFastTrackSameEpochFastPath:
         write = _access(1, AccessKind.WRITE)
         ft.access(write)
         state = ft._vars[write.var]
-        epoch = state.write_epoch
+        epoch = (state.write_clock, state.write_tid)
         ft.access(write)
         assert ft._vars[write.var] is state
-        assert state.write_epoch is epoch
+        assert (state.write_clock, state.write_tid) == epoch
         assert ft.accesses_processed == 2
 
     def test_shared_read_fast_path(self):
@@ -113,8 +113,8 @@ class TestFastTrackSameEpochFastPath:
         ft = FastTrack()
         read = _access(1, AccessKind.READ)
         ft.access(read)
-        first = ft._vars[read.var].read_epoch
+        first = ft._vars[read.var].read_clock
         ft._threads[1].increment(1)
         ft.access(read)
-        second = ft._vars[read.var].read_epoch
-        assert second.clock == first.clock + 1
+        second = ft._vars[read.var].read_clock
+        assert second == first + 1

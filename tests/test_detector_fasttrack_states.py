@@ -3,7 +3,6 @@ vector-clock representation the algorithm is named for)."""
 
 from repro.detector import Access, AccessKind, FastTrack, SyncOp
 from repro.detector.fasttrack import _VarState
-from repro.detector.vectorclock import BOTTOM
 
 VAR = (0x1000, 0)
 
@@ -29,7 +28,7 @@ class TestReadRepresentation:
         ft.access(read(0))
         state = ft._vars[VAR]
         assert state.read_vc is None
-        assert state.read_epoch.tid == 0
+        assert state.read_tid == 0
 
     def test_ordered_second_reader_stays_epoch(self):
         """A read that happens-after the previous read just replaces the
@@ -41,7 +40,7 @@ class TestReadRepresentation:
         ft.access(read(1))
         state = ft._vars[VAR]
         assert state.read_vc is None
-        assert state.read_epoch.tid == 1
+        assert state.read_tid == 1
 
     def test_concurrent_readers_inflate_to_vector(self):
         ft = FastTrack()
@@ -60,7 +59,8 @@ class TestReadRepresentation:
         ft.access(write(0))
         state = ft._vars[VAR]
         assert state.read_vc is None
-        assert state.read_epoch is BOTTOM
+        # Read epoch back to ⊥e (tid == -1 in the int representation).
+        assert state.read_tid == -1 and state.read_clock == 0
 
     def test_same_epoch_read_fast_path(self):
         ft = FastTrack()
@@ -77,12 +77,13 @@ class TestWriteRepresentation:
     def test_write_epoch_advances_with_thread_clock(self):
         ft = FastTrack()
         ft.access(write(0))
-        first = ft._vars[VAR].write_epoch
+        state = ft._vars[VAR]
+        first = (state.write_clock, state.write_tid)
         bump(ft, 0)
         ft.access(write(0))
-        second = ft._vars[VAR].write_epoch
-        assert second.tid == first.tid == 0
-        assert second.clock > first.clock
+        second = (state.write_clock, state.write_tid)
+        assert second[1] == first[1] == 0
+        assert second[0] > first[0]
 
     def test_same_epoch_write_fast_path_keeps_ip(self):
         ft = FastTrack()
