@@ -25,10 +25,11 @@ from pathlib import Path
 
 from detect_stream import locality_stream, warm
 from repro.analysis import OfflinePipeline
-from repro.detector.events import Access, AccessKind
+from repro.detector.events import Access, AccessKind, WitnessStep
 from repro.detector.fasttrack import FastTrack
 from repro.detector.registry import create_backend
 from repro.fleet import RaceDatabase
+from repro.machine import Machine, ScheduleController
 from repro.replay import BlockSummaryCache, ReplayEngine
 from repro.tracing import trace_run
 from repro.workloads import PARSEC_WORKLOADS, WorkloadScale
@@ -56,6 +57,11 @@ RACEDB_BUNDLES = 300
 #: for noisy CI runners while still catching any real regression.
 MIN_BATCH_SPEEDUP = 1.5
 BATCH_STREAM_EVENTS = 30_000
+#: Confirmation-replay tax: a ScheduleController that diverges early
+#: (the worst case — an unconfirmed replay pays the controller hooks
+#: and then free-runs the whole program) must cost <10% wall clock over
+#: an identical controller-free run.
+MAX_CONTROLLER_OVERHEAD = 0.10
 
 
 def _recon_seconds(program, bundle, jit):
@@ -143,6 +149,33 @@ def _batch_gate_seconds(repeats=5):
     return len(accesses), best_scalar, best_batched
 
 
+def _controller_seconds(program, repeats=REPEATS):
+    """Best-of-N (free-run seconds, diverging-controller seconds) for
+    one full machine execution — the confirmation service's unconfirmed
+    replay shape: the schedule never matches, the controller burns its
+    step budget, deactivates, and the machine free-runs the rest."""
+    best_free = best_driven = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        Machine(program, num_cores=4, seed=1).run()
+        elapsed = time.perf_counter() - t0
+        if best_free is None or elapsed < best_free:
+            best_free = elapsed
+
+        # A schedule step no instruction can ever match: the controller
+        # spends its whole budget, diverges, and hands the run back.
+        steps = [WitnessStep(tid=0, op="write", detail=10**9)]
+        controller = ScheduleController(steps, step_budget=64)
+        t0 = time.perf_counter()
+        Machine(program, num_cores=4, seed=1,
+                controller=controller).run()
+        elapsed = time.perf_counter() - t0
+        assert controller.diverged, "gate expects an unconfirmed replay"
+        if best_driven is None or elapsed < best_driven:
+            best_driven = elapsed
+    return best_free, best_driven
+
+
 def _racedb_seconds(bundles=RACEDB_BUNDLES):
     """Best-of-N (insert seconds, dedup-refusal seconds) for folding
     *bundles* findings into a fresh on-disk race DB and then replaying
@@ -214,7 +247,20 @@ def main():
           f"({insert_rate:,.0f}/sec), redelivery refused in "
           f"{dedup * 1e3:.1f} ms -> {dedup_speedup:.1f}x")
 
+    free_s, driven_s = _controller_seconds(program)
+    controller_overhead = driven_s / free_s - 1.0
+    print(f"schedule controller (diverging/unconfirmed replay): "
+          f"free {free_s * 1e3:.1f} ms, controlled {driven_s * 1e3:.1f} ms "
+          f"-> {100 * controller_overhead:+.1f}%")
+
     failures = []
+    if controller_overhead > MAX_CONTROLLER_OVERHEAD:
+        failures.append(
+            f"schedule controller costs {100 * controller_overhead:.1f}% "
+            f"on an unconfirmed replay "
+            f"(budget {100 * MAX_CONTROLLER_OVERHEAD:.0f}%) — the "
+            f"run loop's controller hooks are supposed to be free once "
+            f"the controller deactivates")
     if insert_rate < MIN_RACEDB_INSERTS_PER_SEC:
         failures.append(
             f"race DB inserts only {insert_rate:,.0f}/sec "

@@ -39,6 +39,7 @@ from .report import (
     render_degradation,
     render_ledger,
     render_race,
+    render_confirmation,
     render_report,
     render_triage,
     to_json,
@@ -66,6 +67,7 @@ __all__ = [
     "access_sort_key",
     "backend_to_dict",
     "render_backend_section",
+    "render_confirmation",
     "render_triage",
     "run_shootout",
     "sync_sort_key",

@@ -471,18 +471,32 @@ def render_triage(report: dict, title: str = "") -> str:
             f"  dropped a {db['dropped_tail_bytes']}-byte torn tail on "
             "open (writer died mid-append)"
         )
+    confirm = report.get("confirm", {})
+    if confirm.get("enabled"):
+        conserved = ("every ranked race carries a verdict"
+                     if confirm.get("conserved")
+                     else "VERDICTS MISSING for some ranked races")
+        lines.append(
+            f"  confirmation: confirmed {confirm.get('confirmed', 0)} / "
+            f"flaky {confirm.get('flaky', 0)} / "
+            f"unconfirmed {confirm.get('unconfirmed', 0)} / "
+            f"inapplicable {confirm.get('inapplicable', 0)}  "
+            f"({conserved})"
+        )
     top = db.get("top", [])
     if top:
         lines.append("  top-ranked races:")
         for rank, entry in enumerate(top[:5], start=1):
             signature = entry.get("signature", {})
+            verdict = entry.get("verdict")
+            verdict_tag = f"  [{verdict}]" if verdict else ""
             lines.append(
                 f"    #{rank} {signature.get('workload')} "
                 f"{signature.get('variable')} "
                 f"pair {tuple(signature.get('pair', ()))}  "
                 f"seen {entry.get('count', 0)}x on "
                 f"{len(entry.get('nodes', []))} node(s)  "
-                f"score {entry.get('score', 0.0):.3f}"
+                f"score {entry.get('score', 0.0):.3f}{verdict_tag}"
             )
     lines += [
         "",
@@ -517,5 +531,45 @@ def render_triage(report: dict, title: str = "") -> str:
         lines.append(
             "LOSSY: evidence missing from the database "
             "(quarantined/shed bundles above) — it is a lower bound."
+        )
+    return "\n".join(lines)
+
+
+def render_confirmation(confirmation) -> str:
+    """Render one confirmation pass (a
+    :class:`~repro.confirm.ConfirmationReport`): the verdict of every
+    reported race plus the conservation line.
+
+    Duck-typed so this module needs no import of :mod:`repro.confirm`
+    (report rendering stays dependency-light).
+    """
+    lines = [
+        "=== race confirmation ===",
+        f"races reported: {confirmation.races_reported}   "
+        f"replays: {confirmation.replays_total}   "
+        f"confirmed {confirmation.confirmed} / flaky {confirmation.flaky} "
+        f"/ unconfirmed {confirmation.unconfirmed} "
+        f"/ inapplicable {confirmation.inapplicable}",
+    ]
+    for verdict in confirmation.verdicts:
+        detail = ""
+        if verdict.fired_on is not None:
+            detail = f"  fired on replay {verdict.fired_on}"
+        elif verdict.verdict == "unconfirmed":
+            detail = f"  ({verdict.attempts} replays, none fired)"
+        if verdict.schedule_steps:
+            detail += f"  [schedule: {verdict.schedule_steps} steps]"
+        lines.append(f"  {verdict.race_key:24s} {verdict.label}{detail}")
+    lines.append(
+        "every reported race carries a verdict"
+        if confirmation.conserves
+        else "VERDICTS DO NOT CONSERVE: "
+             f"{len(confirmation.verdicts)} verdicts for "
+             f"{confirmation.races_reported} races"
+    )
+    if confirmation.races_reported and not confirmation.any_fired:
+        lines.append(
+            "no reported race could be made to fire: reports are "
+            "unverified leads (exit code 8)"
         )
     return "\n".join(lines)

@@ -11,7 +11,10 @@ Commands:
 * ``trace`` — run under PMU tracing and write a ``.prtr`` trace file.
 * ``analyze`` — offline-analyze a trace file and print the race report.
 * ``detect`` — trace + analyze in one step (optionally many seeds, with
-  a fleet summary).
+  a fleet summary); ``--confirm`` adds a verdict for every report.
+* ``confirm`` — trace + analyze + deterministic race confirmation:
+  schedule-controlled replay proves every reported race fires (exit 8
+  when races were reported but none could be made to fire).
 * ``overhead`` — sweep sampling periods for a workload, printing the
   cost model's overhead estimates for both drivers.
 * ``shootout`` — precision/recall comparison of every detector backend
@@ -33,15 +36,18 @@ from .analysis import (
     FleetSummary,
     OfflinePipeline,
     estimate_overhead,
+    render_confirmation,
     render_report,
     to_json,
 )
+from .confirm import ConfirmConfig, confirm_races
 from .errors import (
     EXIT_DEGRADED,
     EXIT_FLEET_LOSSY,
     EXIT_OK,
     EXIT_RACES,
     EXIT_TRACE_ERROR,
+    EXIT_UNCONFIRMED,
     DeadlineExceeded,
     QuarantinedWork,
     TraceError,
@@ -58,7 +64,12 @@ from .parallel import parallel_map
 from .pmu import GovernorConfig, PRORACE_DRIVER, VANILLA_DRIVER
 from .supervise import SupervisorConfig
 from .tracing import TraceFormatError, read_trace, trace_run, write_trace
-from .workloads import ALL_WORKLOADS, RACE_BUGS, WorkloadScale
+from .workloads import (
+    ALL_WORKLOADS,
+    RACE_BUGS,
+    WorkloadScale,
+    generate_server_program,
+)
 
 _DRIVERS = {"prorace": PRORACE_DRIVER, "vanilla": VANILLA_DRIVER}
 
@@ -73,9 +84,23 @@ def _resolve_program(name: str, scale: WorkloadScale,
         return ALL_WORKLOADS[name].instantiate(scale)
     if name in RACE_BUGS:
         return RACE_BUGS[name].build(scale)
+    if name.startswith("server:"):
+        # A generated server workload with one known injected race:
+        # seeded request traffic over a connection-pool/rwlock
+        # skeleton (``server:SEED``).
+        try:
+            seed = int(name.split(":", 1)[1])
+        except ValueError:
+            raise SystemExit(
+                f"bad generated-server spec {name!r}; expected "
+                "server:SEED with an integer seed"
+            )
+        program, _pair = generate_server_program(seed)
+        return program
     raise SystemExit(
         f"unknown program {name!r}; see `repro workloads` "
-        "(or pass --source FILE.s)"
+        "(or pass --source FILE.s, or server:SEED for a generated "
+        "server workload)"
     )
 
 
@@ -100,6 +125,43 @@ def _detectors_from(args: argparse.Namespace) -> tuple:
     if not names:
         return (DEFAULT_DETECTOR,)
     return resolve_detectors(names)
+
+
+def _add_confirm_args(parser: argparse.ArgumentParser) -> None:
+    """The race-confirmation knobs shared by ``repro confirm`` and
+    ``repro detect --confirm`` (docs/robustness.md, "Race
+    confirmation")."""
+    parser.add_argument(
+        "--confirm-retries", type=int, default=5, metavar="N",
+        help="total replays a race may consume before it is declared "
+             "unconfirmed: attempt 1 drives the exact witness "
+             "schedule, attempts 2-3 deterministic pair targeting, "
+             "the rest seeded perturbation (default 5)",
+    )
+    parser.add_argument(
+        "--suppress-schedules", action="store_true",
+        help="testing hook: skip witness planning, so every reported "
+             "race is inapplicable and a racy run exits with code 8",
+    )
+
+
+def _confirmation_for(program, pipeline, bundle, result,
+                      args: argparse.Namespace):
+    """Run the confirmation pass over one analyzed bundle: replay every
+    reported race under schedule control (see repro.confirm)."""
+    events, _replay = pipeline.events_for(bundle)
+    config = ConfirmConfig(
+        retries=args.confirm_retries,
+        seed=args.seed,
+        machine_seed=args.seed,
+        suppress_schedules=args.suppress_schedules,
+    )
+    return confirm_races(
+        program, result.races, events, config=config,
+        jobs=args.jobs,
+        executor="serial" if args.jobs <= 1 else "process",
+        supervisor=_supervisor_from(args),
+    )
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
@@ -357,6 +419,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if result.races else 0
 
 
+def cmd_confirm(args: argparse.Namespace) -> int:
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    bundle = trace_run(program, period=args.period,
+                       driver=_DRIVERS[args.driver], seed=args.seed)
+    pipeline = OfflinePipeline(program, mode=args.mode, jobs=args.jobs,
+                               supervisor=_supervisor_from(args),
+                               detectors=_detectors_from(args))
+    result = pipeline.analyze(bundle)
+    confirmation = _confirmation_for(program, pipeline, bundle, result,
+                                     args)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "program": program.name,
+                "races": len(result.races),
+                "confirmation": confirmation.to_dict(),
+            },
+            indent=2,
+        ))
+    else:
+        print(render_report(program, result))
+        print(render_confirmation(confirmation))
+    return confirmation.exit_code()
+
+
 def _detect_one(work: tuple):
     """Module-level detect worker (picklable for the process executor):
     one seeded trace + analysis."""
@@ -406,7 +495,16 @@ def cmd_detect(args: argparse.Namespace) -> int:
                                       resume=args.resume)
         summary.add(result)
         print(render_report(program, result))
+        if args.confirm:
+            confirmation = _confirmation_for(program, pipeline, bundle,
+                                             result, args)
+            print(render_confirmation(confirmation))
+            if confirmation.exit_code() == EXIT_UNCONFIRMED:
+                return EXIT_UNCONFIRMED
         return 1 if summary.race_sites else 0
+    if args.confirm:
+        print("repro detect: --confirm applies to single-run detection "
+              "(--runs 1); ignoring it for a fan-out", file=sys.stderr)
     if args.profile:
         print("repro detect: --profile applies to single-run detection "
               "(--runs 1); ignoring it for a fan-out", file=sys.stderr)
@@ -831,6 +929,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         poison_rate=args.poison_rate, reorder=args.reorder,
         retries=retries, backlog_budget=args.backlog_budget,
         jobs=args.jobs, detect_shards=args.detect_shards,
+        confirm=args.confirm, confirm_retries=args.confirm_retries,
         # Worker faults need real process isolation (a simulated SIGKILL
         # must not take the triage service down with it).
         executor="process" if (args.jobs > 1 or args.kill_workers
@@ -983,9 +1082,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PATH",
         help="dump a cProfile pstats file for the offline stage to PATH",
     )
+    detect_parser.add_argument(
+        "--confirm", action="store_true",
+        help="after detection, replay every reported race under "
+             "schedule control and attach a verdict (exit 8 when races "
+             "were reported but none fired; single-run only)",
+    )
+    _add_confirm_args(detect_parser)
     _add_detector_args(detect_parser)
     _add_governor_args(detect_parser)
     _add_supervision_args(detect_parser)
+
+    confirm_parser = sub.add_parser(
+        "confirm",
+        help="trace + analyze + deterministic confirmation: a "
+             "replay-backed verdict for every reported race",
+    )
+    _add_program_args(confirm_parser)
+    confirm_parser.add_argument(
+        "--period", type=int, default=100,
+        help="sampling period of the evidence trace (denser than "
+             "detect's default: the witness planner wants events)",
+    )
+    confirm_parser.add_argument("--driver", choices=sorted(_DRIVERS),
+                                default="prorace")
+    confirm_parser.add_argument("--mode", default="full",
+                                choices=("full", "forward", "basicblock",
+                                         "sampled"))
+    confirm_parser.add_argument("--jobs", type=int, default=1,
+                                help="replay worker slots (verdicts are "
+                                     "bit-identical at any value)")
+    confirm_parser.add_argument("--json", action="store_true")
+    _add_confirm_args(confirm_parser)
+    _add_detector_args(confirm_parser)
+    _add_supervision_args(confirm_parser)
 
     overhead_parser = sub.add_parser(
         "overhead", help="sweep sampling periods for a workload"
@@ -1174,6 +1304,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="address shards for the FastTrack pass inside each "
              "analysis worker (results identical at any shard count)",
     )
+    fleet_parser.add_argument(
+        "--confirm", action="store_true",
+        help="replay every reported race under schedule control inside "
+             "the analysis workers; ranked races carry verdict tiers",
+    )
+    fleet_parser.add_argument(
+        "--confirm-retries", type=int, default=5, metavar="N",
+        help="replays per race before it is declared unconfirmed "
+             "(with --confirm; default 5)",
+    )
     fleet_parser.add_argument("--json", action="store_true",
                               help="print the triage report as JSON")
     _add_supervision_args(fleet_parser)
@@ -1187,6 +1327,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": cmd_trace,
     "analyze": cmd_analyze,
     "detect": cmd_detect,
+    "confirm": cmd_confirm,
     "overhead": cmd_overhead,
     "sweep": cmd_sweep,
     "shootout": cmd_shootout,

@@ -36,6 +36,7 @@ from .registry import (
     resolve_detectors,
 )
 from .vectorclock import BOTTOM, Epoch, VectorClock
+from .witness import WITNESS_TAIL, WitnessPlanner, plan_witnesses
 
 __all__ = [
     "Access",
@@ -58,11 +59,14 @@ __all__ = [
     "ReferenceDetector",
     "SyncOp",
     "VectorClock",
+    "WITNESS_TAIL",
+    "WitnessPlanner",
     "WitnessSchedule",
     "WitnessStep",
     "access_sort_key",
     "backend_names",
     "create_backend",
+    "plan_witnesses",
     "register_backend",
     "resolve_detector",
     "resolve_detectors",

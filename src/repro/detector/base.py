@@ -204,6 +204,13 @@ class HBDetectorBackend(DetectorBackend):
         super().__init__()
         self._threads: Dict[int, VectorClock] = {}
         self._locks: Dict[int, VectorClock] = {}
+        #: Accumulated reader-release clocks per rwlock: a writer's
+        #: acquire must be ordered after *every* earlier reader.
+        self._rw_readers: Dict[int, VectorClock] = {}
+        #: (tid, rwlock address) -> "rd"/"wr" held mode, so the unlock
+        #: event (mode-less on the wire) releases with the right
+        #: semantics.
+        self._rw_held: Dict[Tuple[int, int], str] = {}
 
     def _clock(self, tid: int) -> VectorClock:
         clock = self._threads.get(tid)
@@ -234,6 +241,42 @@ class HBDetectorBackend(DetectorBackend):
             clock = self._clock(op.tid)
             self._lock_vc(op.target).join(clock)
             clock.increment(op.tid)
+        elif kind == "rwlock_rd":
+            # Readers are ordered after the last write release only.
+            self._clock(op.tid).join(self._lock_vc(op.target))
+            self._rw_held[(op.tid, op.target)] = "rd"
+        elif kind == "rwlock_wr":
+            # A writer is ordered after the last write release *and*
+            # after every reader release since.
+            clock = self._clock(op.tid)
+            clock.join(self._lock_vc(op.target))
+            readers = self._rw_readers.get(op.target)
+            if readers is not None:
+                clock.join(readers)
+            self._rw_held[(op.tid, op.target)] = "wr"
+        elif kind == "rwlock_unlock":
+            clock = self._clock(op.tid)
+            # Sampled streams can miss the acquire; defaulting the mode
+            # to "wr" creates (conservative) extra HB edges rather than
+            # false races.
+            mode = self._rw_held.pop((op.tid, op.target), "wr")
+            if mode == "wr":
+                self._locks[op.target] = clock.copy()
+            else:
+                readers = self._rw_readers.get(op.target)
+                if readers is None:
+                    readers = VectorClock()
+                    self._rw_readers[op.target] = readers
+                readers.join(clock)
+            clock.increment(op.tid)
+        elif kind == "barrier_arrive":
+            # Arrivals accumulate into the barrier clock (like posts).
+            clock = self._clock(op.tid)
+            self._lock_vc(op.target).join(clock)
+            clock.increment(op.tid)
+        elif kind == "barrier_wait":
+            # Releases join the accumulated arrivals: all-to-all order.
+            self._clock(op.tid).join(self._lock_vc(op.target))
         elif kind == "fork":
             parent = self._clock(op.tid)
             child = self._clock(op.target)

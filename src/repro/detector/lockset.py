@@ -74,25 +74,50 @@ class LocksetDetector(DetectorBackend):
     def __init__(self) -> None:
         super().__init__()
         self._held: Dict[int, Set[int]] = {}
+        #: Write-mode subset of ``_held``: mutexes and rwlocks held
+        #: exclusively.  A reader-held rwlock protects reads (no writer
+        #: can run concurrently) but not writes (other readers can) —
+        #: Eraser's read-shared/write-exclusive refinement.
+        self._held_write: Dict[int, Set[int]] = {}
         self._vars: Dict[Tuple[int, int], _VarState] = {}
         self.warnings: List[LocksetWarning] = []
 
     def _locks_of(self, tid: int) -> Set[int]:
         return self._held.setdefault(tid, set())
 
+    def _write_locks_of(self, tid: int) -> Set[int]:
+        return self._held_write.setdefault(tid, set())
+
     def sync(self, op: SyncOp) -> None:
         self.sync_processed += 1
-        if op.kind == "lock":
+        kind = op.kind
+        if kind == "lock":
             self._locks_of(op.tid).add(op.target)
-        elif op.kind == "unlock":
+            self._write_locks_of(op.tid).add(op.target)
+        elif kind == "unlock":
             self._locks_of(op.tid).discard(op.target)
-        # fork/join/semaphores carry no lockset information: this is the
-        # imprecision the paper's HB choice avoids.
+            self._write_locks_of(op.tid).discard(op.target)
+        elif kind == "rwlock_rd":
+            self._locks_of(op.tid).add(op.target)
+        elif kind == "rwlock_wr":
+            self._locks_of(op.tid).add(op.target)
+            self._write_locks_of(op.tid).add(op.target)
+        elif kind == "rwlock_unlock":
+            self._locks_of(op.tid).discard(op.target)
+            self._write_locks_of(op.tid).discard(op.target)
+        # fork/join/semaphores/barriers carry no lockset information:
+        # this is the imprecision the paper's HB choice avoids.
 
     def access(self, access: Access) -> None:
         self.accesses_processed += 1
         state = self._vars.setdefault(access.var, _VarState())
-        held = frozenset(self._locks_of(access.tid))
+        # Writes are protected only by write-mode locks; reads by any
+        # held lock (a read-held rwlock excludes all writers).
+        held = frozenset(
+            self._write_locks_of(access.tid)
+            if access.is_write
+            else self._locks_of(access.tid)
+        )
 
         if state.state == _State.VIRGIN:
             state.state = _State.EXCLUSIVE

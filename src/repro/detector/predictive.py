@@ -6,59 +6,29 @@ after the ``verifySC``/``generateWitness`` structure of predictive
 SC/race checkers: a cheap FastTrack pre-pass proposes *candidate*
 conflicting pairs, and each candidate is then confirmed by searching
 for a **reordering witness** — a feasible interleaving of the observed
-events that respects
+events ending with the two racy accesses scheduled back-to-back.  The
+search itself lives in :mod:`repro.detector.witness` (shared with the
+confirmation service, which plans schedules for *any* backend's
+reports); this backend buffers the stream, runs the pre-pass, and
+attaches the planned tail to each confirmed report.
 
-* per-thread program order,
-* lock mutual exclusion (an acquire needs the lock free),
-* fork/join (a thread runs only after its fork; a join needs the whole
-  child schedule complete),
-* semaphore/condvar counting (each wait consumes an earlier post),
-
-and ends with the two racy accesses scheduled **back-to-back**.  A
-candidate with a witness is reported with the schedule attached
+A candidate with a witness is reported with the schedule attached
 (:class:`~repro.detector.events.WitnessSchedule` on the RaceReport), so
 the report shows not just "these may race" but the exact interleaving
 that makes them collide.  A candidate whose search exhausts its node
 budget is dropped and counted as unverified — the backend trades recall
 for witness-backed evidence.
-
-The search is goal-directed: it only schedules events that are needed
-to bring the pair together (threads unrelated to the pair are left
-unscheduled unless a sync constraint pulls them in), explores moves
-favouring the pair's own threads, memoizes visited scheduler states,
-and is bounded per candidate.  Everything is deterministic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import replace
+from typing import Dict, List
 
 from .base import DetectorBackend
-from .events import (
-    Access,
-    RaceReport,
-    SyncOp,
-    WitnessSchedule,
-    WitnessStep,
-)
+from .events import Access, SyncOp
 from .fasttrack import FastTrack
-
-#: Witness steps kept on the report (the schedule tail — the part that
-#: shows the reordering around the pair).
-WITNESS_TAIL = 32
-
-
-def _step_of(event) -> WitnessStep:
-    if isinstance(event, SyncOp):
-        return WitnessStep(tid=event.tid, op=event.kind, detail=event.target)
-    return WitnessStep(tid=event.tid, op=event.kind.value, detail=event.ip)
-
-
-@dataclass
-class _SearchOutcome:
-    witness: Optional[WitnessSchedule]
-    nodes: int
+from .witness import WITNESS_TAIL, WitnessPlanner
 
 
 class PredictiveDetector(DetectorBackend):
@@ -101,29 +71,23 @@ class PredictiveDetector(DetectorBackend):
     def finish(self):
         self.races = []
         pre = FastTrack()
-        index_of: Dict[int, int] = {}
-        for index, event in enumerate(self._events):
-            index_of[id(event)] = index
+        for event in self._events:
             if isinstance(event, SyncOp):
                 pre.sync(event)
             else:
                 pre.access(event)
 
+        planner = WitnessPlanner(self._events, max_nodes=self.max_nodes,
+                                 tail=WITNESS_TAIL)
         for candidate in pre.distinct_races():
             self._candidates += 1
-            second_at = index_of.get(id(candidate.second))
-            first_at = self._locate_first(candidate, second_at)
-            if second_at is None or first_at is None:
-                self._unverified += 1
-                continue
-            outcome = self._search_witness(first_at, second_at)
-            self._nodes_total += outcome.nodes
-            if outcome.witness is None:
+            witness = planner.schedule_for(candidate)
+            if witness is None:
                 self._unverified += 1
             else:
                 self._witnessed += 1
-                self.races.append(replace(candidate,
-                                          witness=outcome.witness))
+                self.races.append(replace(candidate, witness=witness))
+        self._nodes_total = planner.nodes_total
         return super().finish()
 
     def _details(self) -> Dict[str, object]:
@@ -135,218 +99,3 @@ class PredictiveDetector(DetectorBackend):
             "node_budget": self.max_nodes,
             "events_dropped": self._dropped,
         }
-
-    def _locate_first(self, candidate: RaceReport,
-                      second_at: Optional[int]) -> Optional[int]:
-        """Buffer index of the candidate's first access: the latest
-        matching access before the second (exactly the access whose
-        shadow slot triggered the pre-pass report)."""
-        if second_at is None or candidate.first_ip is None:
-            return None
-        for index in range(second_at - 1, -1, -1):
-            event = self._events[index]
-            if (
-                isinstance(event, Access)
-                and event.tid == candidate.first_tid
-                and event.var == candidate.var
-                and event.kind == candidate.first_kind
-                and event.ip == candidate.first_ip
-            ):
-                return index
-        return None
-
-    # -- the witness search --------------------------------------------
-
-    def _search_witness(self, first_at: int,
-                        second_at: int) -> _SearchOutcome:
-        """Goal-directed DFS for a feasible schedule ending
-        ``…, events[first_at], events[second_at]``."""
-        events = self._events
-        first = events[first_at]
-        second = events[second_at]
-        tid_a, tid_b = first.tid, second.tid
-
-        # Per-thread event sequences over the horizon (arrival ≤ second),
-        # with the pair's threads capped *at* their racy access: events a
-        # thread would execute after its side of the pair can never be
-        # needed, and must never be scheduled before it.
-        sequences: Dict[int, List[int]] = {}
-        for index in range(second_at + 1):
-            event = events[index]
-            tid = event.tid
-            if tid == tid_a and index > first_at:
-                continue
-            sequences.setdefault(tid, []).append(index)
-        #: tid → index of the fork that starts it (threads with no
-        #: schedulable fork are runnable from the start — or, if their
-        #: fork fell outside the horizon, never runnable, which is the
-        #: conservative choice).
-        fork_of: Dict[int, int] = {}
-        for sequence in sequences.values():
-            for index in sequence:
-                event = events[index]
-                if (isinstance(event, SyncOp) and event.kind == "fork"
-                        and event.target in sequences):
-                    fork_of.setdefault(event.target, index)
-
-        tids = sorted(sequences)
-        ptr = {tid: 0 for tid in tids}
-        lock_owner: Dict[int, int] = {}
-        sem_count: Dict[int, int] = {}
-        forked: set = set()
-        schedule: List[int] = []
-        visited: set = set()
-
-        def state_key():
-            return (
-                tuple(ptr[tid] for tid in tids),
-                tuple(sorted(lock_owner.items())),
-                tuple(sorted(
-                    (t, c) for t, c in sem_count.items() if c
-                )),
-            )
-
-        def enabled(tid: int) -> Optional[int]:
-            """The thread's next schedulable event index, or None."""
-            at = ptr[tid]
-            if at >= len(sequences[tid]):
-                return None
-            if tid in fork_of and fork_of[tid] not in forked:
-                return None
-            index = sequences[tid][at]
-            event = events[index]
-            if isinstance(event, Access):
-                return index
-            kind = event.kind
-            if kind == "lock":
-                owner = lock_owner.get(event.target)
-                return index if owner is None or owner == tid else None
-            if kind in ("sem_wait", "cond_wake"):
-                return index if sem_count.get(event.target, 0) > 0 \
-                    else None
-            if kind == "join":
-                child = event.target
-                done = (child not in sequences
-                        or ptr[child] >= len(sequences[child]))
-                return index if done else None
-            return index  # unlock / sem_post / cond_signal / fork
-
-        def apply(index: int) -> None:
-            event = events[index]
-            ptr[event.tid] += 1
-            schedule.append(index)
-            if isinstance(event, SyncOp):
-                kind = event.kind
-                if kind == "lock":
-                    lock_owner[event.target] = event.tid
-                elif kind == "unlock":
-                    lock_owner.pop(event.target, None)
-                elif kind in ("sem_post", "cond_signal"):
-                    sem_count[event.target] = \
-                        sem_count.get(event.target, 0) + 1
-                elif kind in ("sem_wait", "cond_wake"):
-                    sem_count[event.target] -= 1
-                elif kind == "fork":
-                    forked.add(index)
-
-        def undo(index: int) -> None:
-            event = events[index]
-            ptr[event.tid] -= 1
-            schedule.pop()
-            if isinstance(event, SyncOp):
-                kind = event.kind
-                if kind == "lock":
-                    lock_owner.pop(event.target, None)
-                elif kind == "unlock":
-                    lock_owner[event.target] = event.tid
-                elif kind in ("sem_post", "cond_signal"):
-                    sem_count[event.target] -= 1
-                elif kind in ("sem_wait", "cond_wake"):
-                    sem_count[event.target] = \
-                        sem_count.get(event.target, 0) + 1
-                elif kind == "fork":
-                    forked.discard(index)
-
-        def at_goal() -> bool:
-            # Both threads parked right before their racy access (and
-            # actually runnable: their forks, if any, are scheduled).
-            return (
-                ptr[tid_a] == len(sequences[tid_a]) - 1
-                and ptr[tid_b] == len(sequences[tid_b]) - 1
-                and all(
-                    tid not in fork_of or fork_of[tid] in forked
-                    for tid in (tid_a, tid_b)
-                )
-            )
-
-        move_order = (tid_b, tid_a,
-                      *(t for t in tids if t not in (tid_a, tid_b)))
-
-        def next_moves() -> List[int]:
-            # Move order: pull the pair's own threads toward the goal
-            # first, then third parties (needed only when a sync
-            # constraint blocks the pair).  The racy accesses themselves
-            # are only ever scheduled by the goal step in the search
-            # loop, so a thread parked at its side of the pair offers
-            # no moves.
-            moves = []
-            for tid in move_order:
-                if (tid in (tid_a, tid_b)
-                        and ptr[tid] == len(sequences[tid]) - 1):
-                    continue
-                index = enabled(tid)
-                if index is not None:
-                    moves.append(index)
-            return moves
-
-        # Iterative DFS (schedules can be far deeper than the Python
-        # recursion limit).  Each stack frame is (move that entered the
-        # state, iterator over the state's moves); popping a frame
-        # undoes its move.
-        found = False
-        nodes = 1
-        if at_goal():
-            apply(first_at)
-            apply(second_at)
-            found = True
-        stack: List[Tuple[Optional[int], object]] = []
-        if not found:
-            visited.add(state_key())
-            stack.append((None, iter(next_moves())))
-        while stack and not found:
-            move = next(stack[-1][1], None)
-            if move is None:
-                entered_by, _ = stack.pop()
-                if entered_by is not None:
-                    undo(entered_by)
-                continue
-            apply(move)
-            nodes += 1
-            if nodes > self.max_nodes:
-                undo(move)
-                break
-            if at_goal():
-                apply(first_at)
-                apply(second_at)
-                found = True
-                break
-            key = state_key()
-            if key in visited:
-                undo(move)
-                continue
-            visited.add(key)
-            stack.append((move, iter(next_moves())))
-
-        if found:
-            steps = tuple(
-                _step_of(events[index])
-                for index in schedule[-WITNESS_TAIL:]
-            )
-            return _SearchOutcome(
-                witness=WitnessSchedule(
-                    steps=steps, total_steps=len(schedule),
-                    nodes_explored=nodes,
-                ),
-                nodes=nodes,
-            )
-        return _SearchOutcome(witness=None, nodes=nodes)

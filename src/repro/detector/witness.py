@@ -1,0 +1,413 @@
+"""Shared witness-schedule planner.
+
+The goal-directed reordering search originally private to the
+predictive backend, factored out so *any* race report — FastTrack,
+lockset, predictive — can be given a :class:`~repro.detector.events.
+WitnessSchedule`: a feasible interleaving of the observed events that
+ends with the racy pair scheduled back-to-back.  The confirmation
+service (:mod:`repro.confirm`) then drives the machine scheduler along
+that schedule to make the race actually fire.
+
+A feasible schedule respects
+
+* per-thread program order,
+* lock mutual exclusion (an acquire needs the lock free),
+* reader-writer exclusion (a read acquire needs no writer; a write
+  acquire needs no writer *and* no readers),
+* fork/join (a thread runs only after its fork; a join needs the whole
+  child schedule complete),
+* semaphore/condvar counting (each wait consumes an earlier post),
+* barrier generations (a ``barrier_wait`` needs at least as many
+  ``barrier_arrive`` events on its barrier as preceded it in the
+  original stream — the arrivals of its generation).
+
+The search is goal-directed: it only schedules events needed to bring
+the pair together, explores moves favouring the pair's own threads,
+memoizes visited scheduler states, and is bounded per candidate.
+Everything is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import (
+    Access,
+    RaceReport,
+    SyncOp,
+    WitnessSchedule,
+    WitnessStep,
+)
+
+#: Witness steps kept on a *report* schedule (the tail that shows the
+#: reordering around the pair).  Confirmation plans with ``tail=None``
+#: (the full schedule) — a truncated schedule cannot be driven.
+WITNESS_TAIL = 32
+
+
+def step_of(event) -> WitnessStep:
+    """The schedule step describing one buffered event."""
+    if isinstance(event, SyncOp):
+        return WitnessStep(tid=event.tid, op=event.kind, detail=event.target)
+    return WitnessStep(tid=event.tid, op=event.kind.value, detail=event.ip)
+
+
+class WitnessPlanner:
+    """Plans witness schedules over one buffered event stream.
+
+    Args:
+        events: the merged event stream (:class:`Access`/:class:`SyncOp`
+            instances) in happens-before consistent order.
+        max_nodes: DFS node budget per candidate pair.
+        tail: keep only the last *tail* steps of each schedule
+            (reporting mode), or ``None`` for the full schedule
+            (confirmation mode).
+    """
+
+    def __init__(self, events, max_nodes: int = 20_000,
+                 tail: Optional[int] = WITNESS_TAIL) -> None:
+        self.events: List[object] = list(events)
+        self.max_nodes = max_nodes
+        self.tail = tail
+        #: DFS nodes explored across all searches so far.
+        self.nodes_total = 0
+        self._index_of: Dict[int, int] = {
+            id(event): index for index, event in enumerate(self.events)
+        }
+        # Static per-event metadata the reordering rules need:
+        # the mode each rwlock_unlock releases (from its matching
+        # acquire in program order) and the arrive quota of each
+        # barrier_wait (the arrivals of its generation — everything
+        # that preceded it in the original stream).
+        self._unlock_mode: Dict[int, str] = {}
+        self._required_arrives: Dict[int, int] = {}
+        held_mode: Dict[Tuple[int, int], str] = {}
+        arrives: Dict[int, int] = {}
+        for index, event in enumerate(self.events):
+            if not isinstance(event, SyncOp):
+                continue
+            kind = event.kind
+            if kind == "rwlock_rd":
+                held_mode[(event.tid, event.target)] = "rd"
+            elif kind == "rwlock_wr":
+                held_mode[(event.tid, event.target)] = "wr"
+            elif kind == "rwlock_unlock":
+                self._unlock_mode[index] = held_mode.pop(
+                    (event.tid, event.target), "wr"
+                )
+            elif kind == "barrier_arrive":
+                arrives[event.target] = arrives.get(event.target, 0) + 1
+            elif kind == "barrier_wait":
+                self._required_arrives[index] = arrives.get(event.target, 0)
+
+    # -- pair location ---------------------------------------------------
+
+    def locate_pair(self, report: RaceReport) -> Optional[Tuple[int, int]]:
+        """Buffer indices of the report's racy pair, or None.
+
+        Matches the ``second`` access by identity when the report came
+        from this very stream, falling back to a by-value scan (latest
+        occurrence) so reports that crossed a process boundary still
+        resolve.
+        """
+        second_at = self._index_of.get(id(report.second))
+        if second_at is None:
+            for index in range(len(self.events) - 1, -1, -1):
+                event = self.events[index]
+                if (
+                    isinstance(event, Access)
+                    and event.tid == report.second.tid
+                    and event.var == report.var
+                    and event.kind == report.second.kind
+                    and event.ip == report.second.ip
+                ):
+                    second_at = index
+                    break
+        if second_at is None or report.first_ip is None:
+            return None
+        # The first access: the latest matching access before the
+        # second (exactly the access whose shadow slot triggered the
+        # detector's report).
+        for index in range(second_at - 1, -1, -1):
+            event = self.events[index]
+            if (
+                isinstance(event, Access)
+                and event.tid == report.first_tid
+                and event.var == report.var
+                and event.kind == report.first_kind
+                and event.ip == report.first_ip
+            ):
+                return (index, second_at)
+        return None
+
+    def schedule_for(self, report: RaceReport) -> Optional[WitnessSchedule]:
+        """Plan a witness schedule for one report, or None if the pair
+        cannot be located or no feasible reordering exists in budget."""
+        pair = self.locate_pair(report)
+        if pair is None:
+            return None
+        return self.search(*pair)
+
+    # -- the witness search ----------------------------------------------
+
+    def search(self, first_at: int,
+               second_at: int) -> Optional[WitnessSchedule]:
+        """Goal-directed DFS for a feasible schedule ending
+        ``…, events[first_at], events[second_at]``."""
+        events = self.events
+        first = events[first_at]
+        second = events[second_at]
+        tid_a, tid_b = first.tid, second.tid
+
+        # Per-thread event sequences over the horizon (arrival ≤ second),
+        # with the pair's threads capped *at* their racy access: events a
+        # thread would execute after its side of the pair can never be
+        # needed, and must never be scheduled before it.
+        sequences: Dict[int, List[int]] = {}
+        for index in range(second_at + 1):
+            event = events[index]
+            tid = event.tid
+            if tid == tid_a and index > first_at:
+                continue
+            sequences.setdefault(tid, []).append(index)
+        #: tid → index of the fork that starts it (threads with no
+        #: schedulable fork are runnable from the start — or, if their
+        #: fork fell outside the horizon, never runnable, which is the
+        #: conservative choice).
+        fork_of: Dict[int, int] = {}
+        for sequence in sequences.values():
+            for index in sequence:
+                event = events[index]
+                if (isinstance(event, SyncOp) and event.kind == "fork"
+                        and event.target in sequences):
+                    fork_of.setdefault(event.target, index)
+
+        tids = sorted(sequences)
+        ptr = {tid: 0 for tid in tids}
+        lock_owner: Dict[int, int] = {}
+        sem_count: Dict[int, int] = {}
+        rw_writer: Dict[int, int] = {}
+        rw_readers: Dict[int, int] = {}
+        arrive_count: Dict[int, int] = {}
+        forked: set = set()
+        schedule: List[int] = []
+        visited: set = set()
+        unlock_mode = self._unlock_mode
+        required_arrives = self._required_arrives
+
+        def state_key():
+            return (
+                tuple(ptr[tid] for tid in tids),
+                tuple(sorted(lock_owner.items())),
+                tuple(sorted(
+                    (t, c) for t, c in sem_count.items() if c
+                )),
+                tuple(sorted(rw_writer.items())),
+                tuple(sorted(
+                    (t, c) for t, c in rw_readers.items() if c
+                )),
+                tuple(sorted(
+                    (t, c) for t, c in arrive_count.items() if c
+                )),
+            )
+
+        def enabled(tid: int) -> Optional[int]:
+            """The thread's next schedulable event index, or None."""
+            at = ptr[tid]
+            if at >= len(sequences[tid]):
+                return None
+            if tid in fork_of and fork_of[tid] not in forked:
+                return None
+            index = sequences[tid][at]
+            event = events[index]
+            if isinstance(event, Access):
+                return index
+            kind = event.kind
+            if kind == "lock":
+                owner = lock_owner.get(event.target)
+                return index if owner is None or owner == tid else None
+            if kind in ("sem_wait", "cond_wake"):
+                return index if sem_count.get(event.target, 0) > 0 \
+                    else None
+            if kind == "join":
+                child = event.target
+                done = (child not in sequences
+                        or ptr[child] >= len(sequences[child]))
+                return index if done else None
+            if kind == "rwlock_rd":
+                return index if rw_writer.get(event.target) is None \
+                    else None
+            if kind == "rwlock_wr":
+                free = (rw_writer.get(event.target) is None
+                        and rw_readers.get(event.target, 0) == 0)
+                return index if free else None
+            if kind == "barrier_wait":
+                quota = required_arrives.get(index, 0)
+                return index if arrive_count.get(event.target, 0) >= quota \
+                    else None
+            # unlock / sem_post / cond_signal / fork / rwlock_unlock /
+            # barrier_arrive: always schedulable once reached.
+            return index
+
+        def apply(index: int) -> None:
+            event = events[index]
+            ptr[event.tid] += 1
+            schedule.append(index)
+            if isinstance(event, SyncOp):
+                kind = event.kind
+                target = event.target
+                if kind == "lock":
+                    lock_owner[target] = event.tid
+                elif kind == "unlock":
+                    lock_owner.pop(target, None)
+                elif kind in ("sem_post", "cond_signal"):
+                    sem_count[target] = sem_count.get(target, 0) + 1
+                elif kind in ("sem_wait", "cond_wake"):
+                    sem_count[target] -= 1
+                elif kind == "fork":
+                    forked.add(index)
+                elif kind == "rwlock_rd":
+                    rw_readers[target] = rw_readers.get(target, 0) + 1
+                elif kind == "rwlock_wr":
+                    rw_writer[target] = event.tid
+                elif kind == "rwlock_unlock":
+                    if unlock_mode.get(index, "wr") == "wr":
+                        rw_writer.pop(target, None)
+                    else:
+                        rw_readers[target] -= 1
+                elif kind == "barrier_arrive":
+                    arrive_count[target] = arrive_count.get(target, 0) + 1
+
+        def undo(index: int) -> None:
+            event = events[index]
+            ptr[event.tid] -= 1
+            schedule.pop()
+            if isinstance(event, SyncOp):
+                kind = event.kind
+                target = event.target
+                if kind == "lock":
+                    lock_owner.pop(target, None)
+                elif kind == "unlock":
+                    lock_owner[target] = event.tid
+                elif kind in ("sem_post", "cond_signal"):
+                    sem_count[target] -= 1
+                elif kind in ("sem_wait", "cond_wake"):
+                    sem_count[target] = sem_count.get(target, 0) + 1
+                elif kind == "fork":
+                    forked.discard(index)
+                elif kind == "rwlock_rd":
+                    rw_readers[target] -= 1
+                elif kind == "rwlock_wr":
+                    rw_writer.pop(target, None)
+                elif kind == "rwlock_unlock":
+                    if unlock_mode.get(index, "wr") == "wr":
+                        rw_writer[target] = event.tid
+                    else:
+                        rw_readers[target] = rw_readers.get(target, 0) + 1
+                elif kind == "barrier_arrive":
+                    arrive_count[target] -= 1
+
+        def at_goal() -> bool:
+            # Both threads parked right before their racy access (and
+            # actually runnable: their forks, if any, are scheduled).
+            return (
+                ptr[tid_a] == len(sequences[tid_a]) - 1
+                and ptr[tid_b] == len(sequences[tid_b]) - 1
+                and all(
+                    tid not in fork_of or fork_of[tid] in forked
+                    for tid in (tid_a, tid_b)
+                )
+            )
+
+        move_order = (tid_b, tid_a,
+                      *(t for t in tids if t not in (tid_a, tid_b)))
+
+        def next_moves() -> List[int]:
+            # Move order: pull the pair's own threads toward the goal
+            # first, then third parties (needed only when a sync
+            # constraint blocks the pair).  The racy accesses themselves
+            # are only ever scheduled by the goal step in the search
+            # loop, so a thread parked at its side of the pair offers
+            # no moves.
+            moves = []
+            for tid in move_order:
+                if (tid in (tid_a, tid_b)
+                        and ptr[tid] == len(sequences[tid]) - 1):
+                    continue
+                index = enabled(tid)
+                if index is not None:
+                    moves.append(index)
+            return moves
+
+        # Iterative DFS (schedules can be far deeper than the Python
+        # recursion limit).  Each stack frame is (move that entered the
+        # state, iterator over the state's moves); popping a frame
+        # undoes its move.
+        found = False
+        nodes = 1
+        if at_goal():
+            apply(first_at)
+            apply(second_at)
+            found = True
+        stack: List[Tuple[Optional[int], object]] = []
+        if not found:
+            visited.add(state_key())
+            stack.append((None, iter(next_moves())))
+        while stack and not found:
+            move = next(stack[-1][1], None)
+            if move is None:
+                entered_by, _ = stack.pop()
+                if entered_by is not None:
+                    undo(entered_by)
+                continue
+            apply(move)
+            nodes += 1
+            if nodes > self.max_nodes:
+                undo(move)
+                break
+            if at_goal():
+                apply(first_at)
+                apply(second_at)
+                found = True
+                break
+            key = state_key()
+            if key in visited:
+                undo(move)
+                continue
+            visited.add(key)
+            stack.append((move, iter(next_moves())))
+
+        self.nodes_total += nodes
+        if not found:
+            return None
+        kept = schedule if self.tail is None else schedule[-self.tail:]
+        return WitnessSchedule(
+            steps=tuple(step_of(events[index]) for index in kept),
+            total_steps=len(schedule),
+            nodes_explored=nodes,
+        )
+
+
+def plan_witnesses(
+    events,
+    reports,
+    max_nodes: int = 20_000,
+    tail: Optional[int] = None,
+) -> Dict[Tuple[int, Tuple[int, int]], WitnessSchedule]:
+    """Plan one witness schedule per distinct race.
+
+    Returns a dict keyed by ``(address, pair)`` — the race-dedup key —
+    mapping to the planned schedule; races with no feasible schedule in
+    budget are simply absent (the confirmation service classifies them
+    ``inapplicable``).
+    """
+    planner = WitnessPlanner(events, max_nodes=max_nodes, tail=tail)
+    plans: Dict[Tuple[int, Tuple[int, int]], WitnessSchedule] = {}
+    for report in reports:
+        key = (report.address, report.pair)
+        if key in plans:
+            continue
+        schedule = planner.schedule_for(report)
+        if schedule is not None:
+            plans[key] = schedule
+    return plans

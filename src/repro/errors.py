@@ -30,6 +30,10 @@ code  meaning
       database is consistent, but bundles were quarantined as
       poison or shed under backpressure, so the database is a
       lower bound on the fleet's races
+8     races reported but none confirmed: ``repro confirm`` (or
+      ``repro detect --confirm``) replayed every reported race
+      under schedule control and not one fired — the reports
+      stand as evidence but carry no re-execution proof
 ====  =======================================================
 
 Exit codes 2–4 are deliberately distinct: a fleet scheduler requeues a
@@ -41,7 +45,14 @@ detection power lower and consider re-tracing the workload; code 7
 means the triage run itself is trustworthy (nothing double-counted,
 every bundle accounted for) but some evidence never made it into the
 race database — the operator should inspect the quarantine directory
-and consider raising the backlog budget.
+and consider raising the backlog budget.  Code 8 is the inverse
+asterisk on code 1: races *were* reported, but deterministic
+confirmation could not make any of them fire, so a pager policy
+should treat them as unverified leads rather than proven bugs.
+
+Every concrete error class below declares its exit code explicitly
+(none inherit silently), and ``tests/test_errors.py`` asserts the full
+class → code mapping exhaustively.
 """
 
 from __future__ import annotations
@@ -62,6 +73,10 @@ EXIT_DEGRADED = 6
 #: some bundles were quarantined as poison or shed under backpressure —
 #: the database is a lower bound on what the fleet saw.
 EXIT_FLEET_LOSSY = 7
+#: Races were reported but schedule-controlled replay confirmed none of
+#: them: every verdict came back unconfirmed/inapplicable, so the
+#: reports carry no re-execution proof.
+EXIT_UNCONFIRMED = 8
 
 
 class ReproError(Exception):
@@ -86,10 +101,14 @@ class CheckpointError(TraceError):
     """A checkpoint journal or snapshot does not match the work it is
     being resumed against (different parameters, damaged header)."""
 
+    exit_code = EXIT_TRACE_ERROR
+
 
 class DecodeError(TraceError):
     """A PT packet stream is inconsistent with the traced binary and
     cannot be decoded even with gap resynchronization."""
+
+    exit_code = EXIT_TRACE_ERROR
 
 
 class ReplayError(ReproError):
@@ -149,8 +168,13 @@ class WorkerError(ReproError):
 
     Unlike a bare ``pool.map`` exception, this names *which* input index
     failed and keeps every result completed before the failure, so a
-    supervisor can retry exactly the failed item.
+    supervisor can retry exactly the failed item.  Escaping to the CLI
+    it is runtime misfortune, not bad input: the item is retry-worthy,
+    so it maps to the quarantine code (4), not the trace code (2) it
+    used to inherit silently.
     """
+
+    exit_code = EXIT_QUARANTINE
 
     def __init__(self, index: int, message: str,
                  completed: Optional[Dict[int, object]] = None) -> None:

@@ -49,6 +49,14 @@ def bundle_id_for(fleet_seed: int, node: int, epoch: int,
     return hashlib.blake2b(key.encode(), digest_size=8).hexdigest()
 
 
+def run_seed_for(fleet_seed: int, node: int, epoch: int) -> int:
+    """The machine seed one (node, epoch) cell traced under — also what
+    confirmation replays must free-run with to retrace its paths."""
+    key = f"node-seed|{fleet_seed}|{node}|{epoch}"
+    digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
 @dataclass(frozen=True)
 class NodeEpochSpec:
     """Everything needed to produce one (node, epoch) trace bundle.
@@ -76,9 +84,7 @@ class NodeEpochSpec:
     def run_seed(self) -> int:
         """Per-cell machine seed: distinct nodes and epochs schedule
         differently, but the same cell always replays identically."""
-        key = f"node-seed|{self.fleet_seed}|{self.node}|{self.epoch}"
-        digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
-        return int.from_bytes(digest, "big")
+        return run_seed_for(self.fleet_seed, self.node, self.epoch)
 
     def meta(self) -> dict:
         return {

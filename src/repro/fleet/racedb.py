@@ -42,9 +42,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..confirm import VERDICT_TIERS
 from ..detector.events import RaceReport
 from ..errors import TraceError
 from ..isa.program import Program
+
+#: Verdict tier -> rank (0 strongest).  Entries with no verdict rank
+#: below every tier, so an unconfirmed-but-replayed race still outranks
+#: a never-replayed one in the verdict-aware ordering.
+_VERDICT_RANK: Dict[str, int] = {v: i for i, v in enumerate(VERDICT_TIERS)}
 
 
 def variable_class(program: Program, race: RaceReport) -> str:
@@ -137,6 +143,12 @@ class RaceEntry:
     nodes: List[int] = field(default_factory=list)
     #: Sum of per-bundle detection probabilities (sampling densities).
     probability_sum: float = 0.0
+    #: Strongest confirmation tier any sighting earned (None until a
+    #: confirming run reports one).
+    verdict: Optional[str] = None
+    #: Fewest replays any sighting needed to reach that tier
+    #: (replays-to-confirm for fired races, replays spent otherwise).
+    replays: Optional[int] = None
 
     @property
     def mean_probability(self) -> float:
@@ -147,8 +159,30 @@ class RaceEntry:
         """Recurrence × detection probability."""
         return self.count * self.mean_probability
 
+    @property
+    def verdict_rank(self) -> int:
+        """Ordering rank of the verdict tier; uniform (weakest) when no
+        sighting has been replayed, so verdict-free databases keep their
+        historical pure-score order."""
+        if self.verdict is None:
+            return len(VERDICT_TIERS)
+        return _VERDICT_RANK.get(self.verdict, len(VERDICT_TIERS))
+
+    def note_verdict(self, verdict: Optional[str],
+                     replays: Optional[int] = None) -> None:
+        """Fold one sighting's confirmation outcome in: the entry keeps
+        the strongest tier and the fewest replays seen fleet-wide."""
+        if verdict is None or verdict not in _VERDICT_RANK:
+            return
+        if (self.verdict is None
+                or _VERDICT_RANK[verdict] < _VERDICT_RANK[self.verdict]):
+            self.verdict = verdict
+        if replays is not None:
+            self.replays = (int(replays) if self.replays is None
+                            else min(self.replays, int(replays)))
+
     def to_dict(self) -> dict:
-        return {
+        row = {
             "key": self.key,
             "signature": self.signature,
             "description": self.description,
@@ -158,6 +192,12 @@ class RaceEntry:
             "mean_probability": self.mean_probability,
             "score": self.score,
         }
+        # Additive: rows only carry verdict keys once a confirming run
+        # has replayed the race, so verdict-free output is unchanged.
+        if self.verdict is not None:
+            row["verdict"] = self.verdict
+            row["replays"] = self.replays
+        return row
 
 
 class RaceDatabase:
@@ -252,6 +292,7 @@ class RaceDatabase:
             if node is not None and node not in entry.nodes:
                 entry.nodes.append(node)
             entry.probability_sum += probability
+            entry.note_verdict(race.get("verdict"), race.get("replays"))
             if key in self.suppressed:
                 self.suppressed_hits += 1
 
@@ -326,13 +367,18 @@ class RaceDatabase:
         )
 
     def ranked(self, include_suppressed: bool = False) -> List[RaceEntry]:
-        """Entries by descending score (ties broken by key for a stable
-        order), suppressed ones excluded unless asked for."""
+        """Entries by verdict tier first (confirmed > flaky >
+        unconfirmed > inapplicable > never-replayed), then descending
+        score, ties broken by key for a stable order.  Databases with no
+        verdicts rank uniformly on the first component, so their order
+        is the historical pure-score one.  Suppressed entries are
+        excluded unless asked for."""
         entries = [
             e for e in self.entries.values()
             if include_suppressed or e.key not in self.suppressed
         ]
-        return sorted(entries, key=lambda e: (-e.score, e.key))
+        return sorted(entries,
+                      key=lambda e: (e.verdict_rank, -e.score, e.key))
 
     def split_new(self, known: Iterable[str]) -> Tuple[List[str], List[str]]:
         """Partition current keys into (new, recurring) relative to a

@@ -78,6 +78,10 @@ class FleetConfig:
     #: serial detection; results are bit-identical either way).
     detect_shards: int = 1
 
+    # Race confirmation (schedule-controlled replay verdicts).
+    confirm: bool = False
+    confirm_retries: int = 5
+
     def __post_init__(self) -> None:
         if not self.workloads:
             raise UsageError("fleet needs at least one workload")
@@ -145,6 +149,11 @@ class FleetConfig:
             # it existing checkpoint journals) stays stable.
             **({"detect_shards": self.detect_shards}
                if self.detect_shards != 1 else {}),
+            # Likewise only recorded when confirmation is on: it changes
+            # what the analysis stage computes, so it must enter the
+            # journal key — but non-confirming keys stay historical.
+            **({"confirm": True, "confirm_retries": self.confirm_retries}
+               if self.confirm else {}),
         }
 
 
@@ -227,6 +236,9 @@ def run_fleet(
             fault_plan=worker_fault_plan,
             journal=journal,
             detect_shards=config.detect_shards,
+            confirm=config.confirm,
+            confirm_retries=config.confirm_retries,
+            confirm_seed=config.seed,
         )
     finally:
         if journal is not None:
@@ -283,7 +295,18 @@ def run_fleet(
         report.db_suppressed = len(db.suppressed)
         report.db_suppressed_hits = db.suppressed_hits
         report.db_double_counted = db.double_counted
-        report.top_races = [e.to_dict() for e in db.ranked()[:10]]
+        ranked = db.ranked()
+        report.top_races = [e.to_dict() for e in ranked[:10]]
+        if config.confirm:
+            report.confirm_enabled = True
+            tiers = [e.verdict for e in ranked]
+            report.db_confirmed = tiers.count("confirmed")
+            report.db_flaky = tiers.count("flaky")
+            report.db_unconfirmed = tiers.count("unconfirmed")
+            report.db_inapplicable = tiers.count("inapplicable")
+            # The conservation law: a confirming run leaves no ranked
+            # race without a verdict tier.
+            report.verdicts_conserved = all(v is not None for v in tiers)
 
     # Findings are committed: ack everything except quarantined payloads
     # (already moved aside).  A crash before this point redelivers; the

@@ -59,6 +59,16 @@ class TriageReport:
     db_dropped_tail_bytes: int = 0
     top_races: List[dict] = field(default_factory=list)
 
+    # Confirmation verdicts (populated only when the run confirms).
+    confirm_enabled: bool = False
+    db_confirmed: int = 0
+    db_flaky: int = 0
+    db_unconfirmed: int = 0
+    db_inapplicable: int = 0
+    #: Conservation law of a confirming run: every ranked race carries
+    #: exactly one verdict tier (no race reaches triage unverdicted).
+    verdicts_conserved: bool = True
+
     # Scheduler outcome.
     detections: int = 0
     node_epochs: int = 0
@@ -103,6 +113,10 @@ class TriageReport:
     def races_found(self) -> bool:
         return bool(self.db_new or self.db_recurring)
 
+    @property
+    def any_confirmed(self) -> bool:
+        return bool(self.db_confirmed or self.db_flaky)
+
     def to_dict(self) -> dict:
         return {
             "config": self.config,
@@ -134,6 +148,14 @@ class TriageReport:
                 "redundant": self.db_redundant,
                 "dropped_tail_bytes": self.db_dropped_tail_bytes,
                 "top": self.top_races,
+            },
+            "confirm": {
+                "enabled": self.confirm_enabled,
+                "confirmed": self.db_confirmed,
+                "flaky": self.db_flaky,
+                "unconfirmed": self.db_unconfirmed,
+                "inapplicable": self.db_inapplicable,
+                "conserved": self.verdicts_conserved,
             },
             "scheduler": {
                 "policy": self.schedule.get("policy"),

@@ -24,13 +24,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..analysis.pipeline import OfflinePipeline
+from ..confirm import ConfirmConfig, confirm_races
 from ..errors import QuarantinedWork
 from ..faults import WorkerFaultPlan
 from ..supervise import RunLedger, SupervisorConfig, supervised_map
 from ..tracing import read_trace_bytes
 from ..workloads import RACE_BUGS
 from .ingest import AcceptedBundle
-from .nodes import build_program
+from .nodes import build_program, run_seed_for
 from .racedb import signature_for
 
 
@@ -51,23 +52,49 @@ def _analyze_one(item: dict) -> dict:
                               allow_partial=item["salvaged"])
     # Workers already live in the fleet's process pool; shard detection
     # over threads to avoid nesting pools (bit-identical either way).
-    result = OfflinePipeline(
+    pipeline = OfflinePipeline(
         program, detect_shards=item.get("detect_shards", 1),
         detect_executor="thread",
-    ).analyze(bundle)
+    )
+    result = pipeline.analyze(bundle)
     bug = RACE_BUGS.get(item["workload"])
     detected = (bug.detected(program, result) if bug is not None
                 else bool(result.races))
+    confirmation = None
+    if item.get("confirm") and result.races:
+        # Replays run inline (the worker already lives in the fleet's
+        # process pool); free-running stretches reuse the cell's traced
+        # machine seed so they take the paths the trace took.
+        events, _replay = pipeline.events_for(bundle)
+        confirmation = confirm_races(
+            program, result.races, events,
+            config=ConfirmConfig(
+                retries=int(item.get("confirm_retries", 5)),
+                seed=int(item.get("confirm_seed", 0)),
+                machine_seed=run_seed_for(
+                    int(item.get("confirm_seed", 0)),
+                    item["node"], item["epoch"],
+                ),
+            ),
+        )
     races = []
     for race in result.races:
         signature = signature_for(program, item["workload"], race)
-        races.append({**signature.to_dict(),
-                      "key": signature.key,
-                      "desc": race.describe()})
+        row = {**signature.to_dict(),
+               "key": signature.key,
+               "desc": race.describe()}
+        if confirmation is not None:
+            verdict = confirmation.verdict_for(race.address, race.pair)
+            if verdict is not None:
+                row["verdict"] = verdict.verdict
+                row["replays"] = (verdict.fired_on
+                                  if verdict.fired_on is not None
+                                  else verdict.attempts)
+        races.append(row)
     samples = len(bundle.samples)
     memory_ops = bundle.run.memory_ops
     probability = min(1.0, samples / memory_ops) if memory_ops else 0.0
-    return {
+    finding = {
         "bundle_id": item["bundle_id"],
         "node": item["node"],
         "epoch": item["epoch"],
@@ -82,6 +109,11 @@ def _analyze_one(item: dict) -> dict:
         "detected": detected,
         "races": races,
     }
+    # Additive key: non-confirming runs keep their historical shape, so
+    # existing checkpoint journals stay bit-identical.
+    if confirmation is not None:
+        finding["confirmation"] = confirmation.to_dict()
+    return finding
 
 
 @dataclass
@@ -145,18 +177,28 @@ def analyze_bundles(
     fault_plan: Optional[WorkerFaultPlan] = None,
     journal=None,
     detect_shards: int = 1,
+    confirm: bool = False,
+    confirm_retries: int = 5,
+    confirm_seed: int = 0,
 ) -> AnalysisOutcome:
     """Run the sharded analysis stage over the ingested backlog.
 
     *detect_shards* > 1 additionally shards the FastTrack pass inside
     each worker by variable address (see
     :mod:`repro.detector.sharded`) — orthogonal to the bundle-level
-    fan-out across workers."""
+    fan-out across workers.
+
+    *confirm* additionally replays every reported race under schedule
+    control (:mod:`repro.confirm`) inside the worker, so each race row
+    in a finding carries a ``verdict`` tier and its replays-to-confirm.
+    *confirm_seed* must be the fleet seed: the replay machine seed of a
+    cell is re-derived from it exactly as tracing derived it."""
     kept, shed = apply_backpressure(accepted, backlog_budget)
     kept = sorted(kept, key=lambda a: (a.epoch, a.node, a.bundle_id))
     shard_count = shards if shards is not None else max(1, jobs)
-    items = [
-        {
+    items = []
+    for a in kept:
+        item = {
             "bundle_id": a.bundle_id,
             "node": a.node,
             "epoch": a.epoch,
@@ -170,8 +212,12 @@ def analyze_bundles(
             "trace": a.trace,
             "detect_shards": detect_shards,
         }
-        for a in kept
-    ]
+        if confirm:
+            # Only confirming runs grow these keys, so non-confirming
+            # items (and their journal identities) stay unchanged.
+            item.update(confirm=True, confirm_retries=confirm_retries,
+                        confirm_seed=confirm_seed)
+        items.append(item)
     config = supervisor or SupervisorConfig(retries=1, backoff_base=0.0)
     try:
         results, ledger = supervised_map(

@@ -71,6 +71,10 @@ class Op(enum.Enum):
     COND_WAIT = "cond_wait"
     COND_SIGNAL = "cond_signal"
     COND_BROADCAST = "cond_broadcast"
+    RWLOCK_RD = "rwlock_rd"
+    RWLOCK_WR = "rwlock_wr"
+    RWLOCK_UNLOCK = "rwlock_unlock"
+    BARRIER_WAIT = "barrier_wait"
     MALLOC = "malloc"
     FREE = "free"
     IO = "io"
@@ -108,6 +112,10 @@ SYSTEM_OPS = frozenset(
         Op.COND_WAIT,
         Op.COND_SIGNAL,
         Op.COND_BROADCAST,
+        Op.RWLOCK_RD,
+        Op.RWLOCK_WR,
+        Op.RWLOCK_UNLOCK,
+        Op.BARRIER_WAIT,
         Op.MALLOC,
         Op.FREE,
         Op.IO,
@@ -124,6 +132,10 @@ SYNC_OPS = frozenset(
         Op.COND_WAIT,
         Op.COND_SIGNAL,
         Op.COND_BROADCAST,
+        Op.RWLOCK_RD,
+        Op.RWLOCK_WR,
+        Op.RWLOCK_UNLOCK,
+        Op.BARRIER_WAIT,
         Op.SPAWN,
         Op.JOIN,
     }

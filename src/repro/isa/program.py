@@ -431,6 +431,23 @@ class ProgramBuilder:
     def cond_broadcast(self, cv: Reg | Imm) -> "ProgramBuilder":
         return self._ins(Op.COND_BROADCAST, cv)
 
+    def rwlock_rd(self, addr: Reg | Imm) -> "ProgramBuilder":
+        """Acquire *addr* in shared (reader) mode."""
+        return self._ins(Op.RWLOCK_RD, addr)
+
+    def rwlock_wr(self, addr: Reg | Imm) -> "ProgramBuilder":
+        """Acquire *addr* in exclusive (writer) mode."""
+        return self._ins(Op.RWLOCK_WR, addr)
+
+    def rwlock_unlock(self, addr: Reg | Imm) -> "ProgramBuilder":
+        """Release *addr* from whichever mode the thread holds it in."""
+        return self._ins(Op.RWLOCK_UNLOCK, addr)
+
+    def barrier_wait(self, addr: Reg | Imm,
+                     parties: Imm) -> "ProgramBuilder":
+        """Wait at the barrier at *addr* until *parties* threads arrive."""
+        return self._ins(Op.BARRIER_WAIT, addr, parties)
+
     def malloc(self, size: Reg | Imm, dst: Reg = Reg("rax")) -> "ProgramBuilder":
         return self._ins(Op.MALLOC, size, dst)
 

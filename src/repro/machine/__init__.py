@@ -1,6 +1,7 @@
 """Simulated multicore machine substrate (stands in for the paper's
 Skylake testbed; see DESIGN.md §2)."""
 
+from .controller import PairTargetController, ScheduleController
 from .heap import Allocation, Heap, HeapError
 from .machine import Machine, MachineError, RETURN_SENTINEL, RunResult
 from .memory import Memory
@@ -11,12 +12,13 @@ from .observers import (
     MemoryAccessEvent,
     SyncEvent,
 )
-from .sync import Mutex, Semaphore, SyncError, SyncTable
+from .sync import Barrier, Mutex, RWLock, Semaphore, SyncError, SyncTable
 from .threads import BlockReason, ThreadState, ThreadStatus
 
 __all__ = [
     "AllocEvent",
     "Allocation",
+    "Barrier",
     "BlockReason",
     "BranchEvent",
     "Heap",
@@ -27,8 +29,11 @@ __all__ = [
     "Memory",
     "MemoryAccessEvent",
     "Mutex",
+    "PairTargetController",
     "RETURN_SENTINEL",
+    "RWLock",
     "RunResult",
+    "ScheduleController",
     "Semaphore",
     "SyncError",
     "SyncEvent",

@@ -83,6 +83,10 @@ class Machine:
         preempt_probability: chance of an early preemption at any
             instruction boundary (interleaving diversity).
         max_instructions: runaway guard.
+        controller: optional :class:`~repro.machine.controller.\
+ScheduleController` that overrides scheduling while active, driving
+            threads toward a witness interleaving; once it completes or
+            diverges the machine free-runs to completion.
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class Machine:
         quantum: int = 40,
         preempt_probability: float = 0.02,
         max_instructions: int = 20_000_000,
+        controller=None,
     ) -> None:
         self.program = program
         self.num_cores = num_cores
@@ -100,6 +105,7 @@ class Machine:
         self.preempt_probability = preempt_probability
         self.max_instructions = max_instructions
         self._rng = random.Random(seed)
+        self.controller = controller
         self.memory = Memory(program.data)
         self.heap = Heap()
         self.sync = SyncTable()
@@ -190,6 +196,27 @@ class Machine:
                     break
                 self._advance_past_io()
                 continue
+            controller = self.controller
+            if controller is not None and controller.active:
+                forced = controller.pick(runnable)
+                if forced is not None:
+                    # One instruction per forced slice: the controller
+                    # decides again at every boundary.
+                    current = forced
+                    self._step(current)
+                    if self._io_blocked and self._io_next_wake <= self.tsc:
+                        self._wake_io()
+                    continue
+                if controller.active:
+                    # Controller declined this slice but is still
+                    # watching (pair targeting): free-run one
+                    # instruction at a time so it sees every boundary.
+                    current = self._pick(runnable, current)
+                    self._step(current)
+                    if self._io_blocked and self._io_next_wake <= self.tsc:
+                        self._wake_io()
+                    continue
+                # Controller completed or diverged: free-run from here.
             current = self._pick(runnable, current)
             # Time-slice length: the quantum, cut short by a random
             # preemption point (geometric with the per-instruction
@@ -344,6 +371,8 @@ class Machine:
                 obs.on_memory_access(event, snapshot)
             else:
                 obs.on_memory_access(event, None)
+        if self.controller is not None and self.controller.active:
+            self.controller.observe_access(event)
 
     def _emit_branch(self, thread: ThreadState, ip: int, target: int,
                      taken: Optional[bool], conditional: bool,
@@ -373,6 +402,8 @@ class Machine:
         )
         for obs in self.observers:
             obs.on_sync(event)
+        if self.controller is not None and self.controller.active:
+            self.controller.observe_sync(event)
 
     def _emit_alloc(self, thread: ThreadState, ip: int, kind: str,
                     address: int, size: int) -> None:
@@ -612,6 +643,60 @@ class Machine:
         else:
             thread.block(BlockReason.SEMAPHORE, address)
 
+    def _op_rwlock_rd(self, thread: ThreadState, ip: int,
+                      ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        rwlock = self.sync.rwlock(address)
+        thread.ip = ip + 1
+        if rwlock.acquire_rd(thread.tid):
+            self._emit_sync(thread, ip, "rwlock_rd", address)
+        else:
+            thread.block(BlockReason.RWLOCK, address)
+
+    def _op_rwlock_wr(self, thread: ThreadState, ip: int,
+                      ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        rwlock = self.sync.rwlock(address)
+        thread.ip = ip + 1
+        if rwlock.acquire_wr(thread.tid):
+            self._emit_sync(thread, ip, "rwlock_wr", address)
+        else:
+            thread.block(BlockReason.RWLOCK, address)
+
+    def _op_rwlock_unlock(self, thread: ThreadState, ip: int,
+                          ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        rwlock = self.sync.rwlock(address)
+        self._emit_sync(thread, ip, "rwlock_unlock", address)
+        woken = rwlock.release(thread.tid)
+        thread.ip = ip + 1
+        for tid, mode in woken:
+            waiter = self.threads[tid]
+            waiter.unblock()
+            kind = "rwlock_wr" if mode == "wr" else "rwlock_rd"
+            # The waiter's acquisition completes now.
+            self._emit_sync(waiter, waiter.ip - 1, kind, address)
+
+    def _op_barrier_wait(self, thread: ThreadState, ip: int,
+                         ins: Instruction) -> None:
+        address = self._eval(thread, ip, ins.operands[0])
+        parties = self._eval(thread, ip, ins.operands[1])
+        barrier = self.sync.barrier(address)
+        self._emit_sync(thread, ip, "barrier_arrive", address)
+        thread.ip = ip + 1
+        released = barrier.arrive(thread.tid, parties)
+        if released is None:
+            thread.block(BlockReason.BARRIER, address)
+            return
+        for tid in released:
+            if tid == thread.tid:
+                self._emit_sync(thread, ip, "barrier_wait", address)
+            else:
+                waiter = self.threads[tid]
+                waiter.unblock()
+                self._emit_sync(waiter, waiter.ip - 1, "barrier_wait",
+                                address)
+
     def _op_malloc(self, thread: ThreadState, ip: int,
                    ins: Instruction) -> None:
         size, dst = ins.operands
@@ -675,6 +760,10 @@ _DISPATCH = {
     Op.COND_WAIT: Machine._op_cond_wait,
     Op.COND_SIGNAL: Machine._op_cond_signal,
     Op.COND_BROADCAST: Machine._op_cond_broadcast,
+    Op.RWLOCK_RD: Machine._op_rwlock_rd,
+    Op.RWLOCK_WR: Machine._op_rwlock_wr,
+    Op.RWLOCK_UNLOCK: Machine._op_rwlock_unlock,
+    Op.BARRIER_WAIT: Machine._op_barrier_wait,
     Op.MALLOC: Machine._op_malloc,
     Op.FREE: Machine._op_free,
     Op.IO: Machine._op_io,

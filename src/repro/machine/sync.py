@@ -80,6 +80,100 @@ class Semaphore:
 
 
 @dataclass
+class RWLock:
+    """A FIFO-fair reader-writer lock identified by its variable address.
+
+    Writers are exclusive; readers share.  Fairness is strict arrival
+    order: a reader arriving behind a queued writer waits, so writers
+    cannot starve and runs stay deterministic under a fixed seed.
+    """
+
+    address: int
+    writer: Optional[int] = None
+    readers: set = field(default_factory=set)
+    #: (tid, mode) of each blocked acquirer, FIFO; mode is "rd"/"wr".
+    waiters: Deque[tuple] = field(default_factory=deque)
+
+    def acquire_rd(self, tid: int) -> bool:
+        """Try shared acquire; returns False if the caller must block."""
+        if tid in self.readers or self.writer == tid:
+            raise SyncError(
+                f"thread {tid} re-acquiring rwlock {self.address:#x}"
+            )
+        if self.writer is None and not self.waiters:
+            self.readers.add(tid)
+            return True
+        self.waiters.append((tid, "rd"))
+        return False
+
+    def acquire_wr(self, tid: int) -> bool:
+        """Try exclusive acquire; returns False if the caller must block."""
+        if tid in self.readers or self.writer == tid:
+            raise SyncError(
+                f"thread {tid} re-acquiring rwlock {self.address:#x}"
+            )
+        if self.writer is None and not self.readers:
+            self.writer = tid
+            return True
+        self.waiters.append((tid, "wr"))
+        return False
+
+    def release(self, tid: int) -> list:
+        """Release; returns [(tid, mode), ...] of acquirers to hand to."""
+        if self.writer == tid:
+            self.writer = None
+        elif tid in self.readers:
+            self.readers.discard(tid)
+        else:
+            raise SyncError(
+                f"thread {tid} releasing rwlock {self.address:#x} it "
+                f"does not hold"
+            )
+        if self.writer is not None or self.readers:
+            return []
+        woken = []
+        while self.waiters:
+            next_tid, mode = self.waiters[0]
+            if mode == "wr":
+                if not woken:
+                    self.waiters.popleft()
+                    self.writer = next_tid
+                    woken.append((next_tid, mode))
+                break
+            self.waiters.popleft()
+            self.readers.add(next_tid)
+            woken.append((next_tid, mode))
+        return woken
+
+
+@dataclass
+class Barrier:
+    """A cyclic barrier: the first wait fixes the party count, the last
+    arrival of each generation releases everyone."""
+
+    address: int
+    parties: int = 0
+    waiters: Deque[int] = field(default_factory=deque)
+
+    def arrive(self, tid: int, parties: int) -> Optional[list]:
+        """Arrive at the barrier; returns the tids to release (the whole
+        generation, caller included, caller last) once full, else None."""
+        if self.parties == 0:
+            self.parties = parties
+        elif parties != self.parties:
+            raise SyncError(
+                f"barrier {self.address:#x} waited with {parties} parties, "
+                f"initialized with {self.parties}"
+            )
+        if len(self.waiters) + 1 >= self.parties:
+            released = list(self.waiters) + [tid]
+            self.waiters.clear()
+            return released
+        self.waiters.append(tid)
+        return None
+
+
+@dataclass
 class CondVar:
     """A condition variable: waiters sleep with their mutex noted, so a
     signal can hand them back to the mutex's acquisition path."""
@@ -96,12 +190,16 @@ class SyncTable:
         self._mutexes: Dict[int, Mutex] = {}
         self._semaphores: Dict[int, Semaphore] = {}
         self._condvars: Dict[int, CondVar] = {}
+        self._rwlocks: Dict[int, RWLock] = {}
+        self._barriers: Dict[int, Barrier] = {}
 
     def _check_free(self, address: int, wanted: str) -> None:
         kinds = {
             "mutex": self._mutexes,
             "semaphore": self._semaphores,
             "condvar": self._condvars,
+            "rwlock": self._rwlocks,
+            "barrier": self._barriers,
         }
         for kind, table in kinds.items():
             if kind != wanted and address in table:
@@ -120,6 +218,14 @@ class SyncTable:
     def condvar(self, address: int) -> CondVar:
         self._check_free(address, "condvar")
         return self._condvars.setdefault(address, CondVar(address))
+
+    def rwlock(self, address: int) -> RWLock:
+        self._check_free(address, "rwlock")
+        return self._rwlocks.setdefault(address, RWLock(address))
+
+    def barrier(self, address: int) -> Barrier:
+        self._check_free(address, "barrier")
+        return self._barriers.setdefault(address, Barrier(address))
 
     def held_anywhere(self) -> bool:
         """True if any mutex is currently held (deadlock diagnostics)."""

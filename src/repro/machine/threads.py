@@ -20,6 +20,8 @@ class BlockReason(enum.Enum):
     MUTEX = "mutex"
     SEMAPHORE = "semaphore"
     CONDVAR = "condvar"
+    RWLOCK = "rwlock"
+    BARRIER = "barrier"
     JOIN = "join"
     IO = "io"
 

@@ -107,8 +107,12 @@ _GOV_HEADER = struct.Struct("<d" + "Q" * 15 + "Bd" + "Q")
 #: One period epoch: start_tsc, period, tier, reason id, overhead.
 _EPOCH = struct.Struct("<QQBBd")
 
+#: Sync kinds are index-encoded on the wire: append-only, never reorder
+#: (older readers reject unknown indices, not shifted meanings).
 _SYNC_KINDS = ("lock", "unlock", "sem_post", "sem_wait",
-               "cond_signal", "cond_wake", "fork", "join")
+               "cond_signal", "cond_wake", "fork", "join",
+               "rwlock_rd", "rwlock_wr", "rwlock_unlock",
+               "barrier_arrive", "barrier_wait")
 _ALLOC_KINDS = ("malloc", "free")
 #: OVF (index 3) appears only in degraded streams; v1 writers never
 #: emitted it, so accepting it on read keeps v1 compatibility intact.

@@ -7,8 +7,10 @@ from .apps import APP_WORKLOADS
 from .common import BENCH, SMALL, Workload, WorkloadScale, pool_program
 from .generator import (
     GeneratorConfig,
+    ServerConfig,
     generate_program,
     generate_racy_program,
+    generate_server_program,
 )
 from .parsec import PARSEC_WORKLOADS
 from .racebugs import (
@@ -27,6 +29,7 @@ __all__ = [
     "APP_WORKLOADS",
     "BENCH",
     "GeneratorConfig",
+    "ServerConfig",
     "MEMORY_INDIRECT",
     "PARSEC_WORKLOADS",
     "PC_RELATIVE",
@@ -38,5 +41,6 @@ __all__ = [
     "WorkloadScale",
     "generate_program",
     "generate_racy_program",
+    "generate_server_program",
     "pool_program",
 ]

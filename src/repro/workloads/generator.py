@@ -206,3 +206,169 @@ def generate_racy_program(
     builder.halt()
 
     return builder.build(), (read_ip, write_ip)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Shape of a generated server workload (seeded request traffic
+    over a connection-pool / reader-writer-lock skeleton)."""
+
+    #: Request-serving threads (read the shared config per request).
+    workers: int = 3
+    #: Config-reloading threads (rewrite the config under the write
+    #: lock).
+    reloaders: int = 1
+    #: Requests each worker serves.
+    requests: int = 6
+    #: Config rewrites each reloader performs.
+    reloads: int = 4
+    #: Connection-pool capacity (semaphore slots; fewer than workers
+    #: forces contention).
+    pool_slots: int = 2
+    #: Words of rwlock-protected shared configuration.
+    config_words: int = 4
+    #: Words of mutex-protected request statistics.
+    stats_words: int = 4
+    #: Filler compute instructions per request.
+    body_length: int = 8
+
+
+def generate_server_program(
+    seed: int, config: Optional[ServerConfig] = None
+) -> Tuple[Program, Tuple[int, int]]:
+    """Generate a deterministic server workload with one known
+    injected race.
+
+    The skeleton is the shape §2 targets in production services:
+    worker threads rendezvous at a startup **barrier**, then serve
+    seeded request traffic — each request takes a connection slot from
+    a **semaphore+mutex pool**, reads the shared configuration under a
+    **reader-writer lock**, and bumps mutex-protected statistics —
+    while reloader threads periodically rewrite the configuration
+    under the write lock.  All of that is properly synchronized; the
+    one bug is injected: a "fast path" store of the request cursor to
+    ``injected_racy`` with no lock, racing main's post-spawn progress
+    read of the same global.
+
+    Returns ``(program, (read_ip, write_ip))`` — the known racy pair,
+    which a detector must report and the confirmation service must be
+    able to make fire.
+    """
+    cfg = config or ServerConfig()
+    rng = random.Random(seed ^ 0xC0FFEE)
+    parties = cfg.workers + cfg.reloaders
+    builder = ProgramBuilder(f"server-{seed}")
+    config_base = builder.global_array(
+        "server_config",
+        [rng.randrange(1 << 16) for _ in range(cfg.config_words)],
+    )
+    stats_base = builder.global_array("server_stats",
+                                      [0] * cfg.stats_words)
+    pool_base = builder.global_array("conn_pool", [0] * cfg.pool_slots)
+    cfg_lock = builder.global_word("cfg_rwlock", 0)
+    stats_lock = builder.global_word("stats_lock", 0)
+    pool_lock = builder.global_word("pool_lock", 0)
+    pool_sem = builder.global_word("pool_sem", 0)
+    start_barrier = builder.global_word("start_barrier", 0)
+    pool_cursor = builder.global_word("pool_cursor", 0)
+    racy_addr = builder.global_word("injected_racy", 0)
+    tids = builder.reserve("tids", parties)
+
+    def filler(body_rng: random.Random, length: int) -> None:
+        for _ in range(length):
+            roll = body_rng.random()
+            target = Reg(body_rng.choice(_GEN_REGS))
+            if roll < 0.4:
+                builder.mov(Imm(body_rng.randrange(1 << 10)), target)
+            else:
+                builder._ins(
+                    body_rng.choice(_ALU_OPS),
+                    Imm(body_rng.randrange(1, 256)), target,
+                )
+
+    # main: provision the pool, spawn the staff, poll progress, join.
+    builder.label("main")
+    for _ in range(cfg.pool_slots):
+        builder.sem_post(Imm(pool_sem))
+    for i in range(cfg.workers):
+        builder.spawn("server_worker", Reg("rax"))
+        builder.store(Reg("rax"), Mem(disp=tids + i * 8))
+    for i in range(cfg.reloaders):
+        builder.spawn("server_reloader", Reg("rax"))
+        builder.store(Reg("rax"),
+                      Mem(disp=tids + (cfg.workers + i) * 8))
+    filler(random.Random(seed * 31 + 4), cfg.body_length)
+    # The injected racy READ: main polls the request cursor without
+    # any lock (pc-relative: always reconstructible).
+    read_ip = len(builder._instructions)
+    builder.load(
+        Mem(disp=racy_addr - read_ip, rip_relative=True), Reg("rdx"),
+        comment="injected racy read",
+    )
+    filler(random.Random(seed * 37 + 5), cfg.body_length)
+    for i in range(parties):
+        builder.load(Mem(disp=tids + i * 8), Reg("r9"))
+        builder.join(Reg("r9"))
+    builder.halt()
+
+    # server_worker: barrier, then the request loop.
+    builder.label("server_worker")
+    builder.barrier_wait(Imm(start_barrier), Imm(parties))
+    builder.mov(Imm(cfg.requests), Reg("rcx"))
+    builder.label("server_request")
+    # Take a connection slot (semaphore bounds concurrency, the mutex
+    # guards the cursor and slot words).
+    builder.sem_wait(Imm(pool_sem))
+    builder.lock(Imm(pool_lock))
+    builder.load(Mem(disp=pool_cursor), Reg("rsi"))
+    builder.inc(Reg("rsi"))
+    builder.store(Reg("rsi"), Mem(disp=pool_cursor))
+    builder.store(
+        Reg("rcx"), Mem(disp=pool_base + rng.randrange(cfg.pool_slots) * 8)
+    )
+    builder.unlock(Imm(pool_lock))
+    # Read the shared configuration under the read lock.
+    builder.rwlock_rd(Imm(cfg_lock))
+    for slot in sorted(rng.sample(range(cfg.config_words),
+                                  max(1, cfg.config_words // 2))):
+        builder.load(Mem(disp=config_base + slot * 8),
+                     Reg(rng.choice(_GEN_REGS)))
+    builder.rwlock_unlock(Imm(cfg_lock))
+    # Bump the request statistics under their mutex.
+    builder.lock(Imm(stats_lock))
+    stats_slot = stats_base + rng.randrange(cfg.stats_words) * 8
+    builder.load(Mem(disp=stats_slot), Reg("rdi"))
+    builder.inc(Reg("rdi"))
+    builder.store(Reg("rdi"), Mem(disp=stats_slot))
+    builder.unlock(Imm(stats_lock))
+    # The injected bug: publish the request cursor on a lock-free
+    # "fast path" — races main's progress read.
+    write_ip = len(builder._instructions)
+    builder.store(
+        Reg("rcx"), Mem(disp=racy_addr - write_ip, rip_relative=True),
+        comment="injected racy write",
+    )
+    filler(random.Random(seed * 41 + 6), cfg.body_length)
+    builder.sem_post(Imm(pool_sem))
+    builder.dec(Reg("rcx"))
+    builder.cmp(Imm(0), Reg("rcx"))
+    builder.jne("server_request")
+    builder.halt()
+
+    # server_reloader: barrier, then rewrite the config under the
+    # write lock.
+    builder.label("server_reloader")
+    builder.barrier_wait(Imm(start_barrier), Imm(parties))
+    builder.mov(Imm(cfg.reloads), Reg("rcx"))
+    builder.label("server_reload")
+    builder.rwlock_wr(Imm(cfg_lock))
+    for slot in range(cfg.config_words):
+        builder.store(Reg("rcx"), Mem(disp=config_base + slot * 8))
+    builder.rwlock_unlock(Imm(cfg_lock))
+    filler(random.Random(seed * 43 + 7), cfg.body_length)
+    builder.dec(Reg("rcx"))
+    builder.cmp(Imm(0), Reg("rcx"))
+    builder.jne("server_reload")
+    builder.halt()
+
+    return builder.build(), (read_ip, write_ip)

@@ -1,0 +1,183 @@
+"""Race confirmation end-to-end: every report gets a replay-backed
+verdict, true races confirm, synchronized pairs never do, and the
+whole pass is deterministic (satellite: same seed + same schedules →
+bit-identical verdicts across runs and across ``--jobs``)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import OfflinePipeline
+from repro.confirm import (
+    ConfirmConfig,
+    ConfirmationReport,
+    RaceVerdict,
+    VERDICT_TIERS,
+    confirm_races,
+)
+from repro.detector.events import Access, AccessKind, RaceReport
+from repro.errors import EXIT_OK, EXIT_UNCONFIRMED
+from repro.isa import assemble
+from repro.tracing import trace_run
+from repro.workloads import (
+    GeneratorConfig,
+    RACE_BUGS,
+    WorkloadScale,
+    generate_racy_program,
+    generate_server_program,
+)
+
+from tests.helpers import CLEAN_COUNTER_ASM
+
+GEN_CONFIG = GeneratorConfig(threads=2, body_length=24, loop_iterations=2)
+
+
+def detect(program, period=2, seed=0):
+    bundle = trace_run(program, period=period, seed=seed)
+    pipeline = OfflinePipeline(program)
+    result = pipeline.analyze(bundle)
+    events, _replay = pipeline.events_for(bundle)
+    return result, events
+
+
+def confirm(program, period=2, seed=0, **cfg):
+    result, events = detect(program, period=period, seed=seed)
+    config = ConfirmConfig(seed=seed, machine_seed=seed, **cfg)
+    report = confirm_races(program, result.races, events, config=config)
+    return result, report
+
+
+class TestConfirmsTrueRaces:
+    def test_generated_racy_program_confirms(self):
+        program, (read_ip, write_ip) = generate_racy_program(7, GEN_CONFIG)
+        result, report = confirm(program, seed=7)
+        assert result.races
+        assert report.conserves
+        pair = tuple(sorted((read_ip, write_ip)))
+        verdict = report.verdict_for(
+            next(r.address for r in result.races if r.pair == pair), pair
+        )
+        assert verdict is not None
+        assert verdict.verdict == "confirmed"
+        assert report.exit_code() == EXIT_OK
+
+    def test_table2_bug_confirms(self):
+        bug = RACE_BUGS["apache-25520"]
+        program = bug.build(WorkloadScale(iterations=8, threads=4))
+        result, report = confirm(program, period=2, seed=3)
+        assert result.races
+        assert report.conserves
+        assert report.confirmed == report.races_reported
+        assert all(v.fired_on is not None and v.fired_on <= 3
+                   for v in report.verdicts)
+
+    def test_server_workload_confirms_injected_race(self):
+        program, (read_ip, write_ip) = generate_server_program(1)
+        result, report = confirm(program, period=7, seed=1)
+        pair = tuple(sorted((read_ip, write_ip)))
+        assert pair in {r.pair for r in result.races}
+        verdict = next(v for v in report.verdicts if v.pair == pair)
+        assert verdict.verdict == "confirmed"
+        assert report.exit_code() == EXIT_OK
+
+
+class TestNeverConfirmsSynchronized:
+    def test_fabricated_locked_pair_is_not_confirmed(self):
+        """Zero false confirms: a hand-forged report naming the two
+        mutex-guarded increment instructions must never reach
+        ``confirmed`` — the planner finds no feasible schedule and the
+        pair targeter cannot break the lock."""
+        program = assemble(CLEAN_COUNTER_ASM)
+        bundle = trace_run(program, period=1, seed=0)
+        pipeline = OfflinePipeline(program)
+        assert not pipeline.analyze(bundle).races
+        events, _replay = pipeline.events_for(bundle)
+        label = program.labels["bump"]
+        total = program.symbols["total"]
+        fake = RaceReport(
+            var=(total, 0),
+            first_tid=0,
+            first_kind=AccessKind.READ,
+            first_ip=label + 1,
+            second=Access(tid=1, var=(total, 0), kind=AccessKind.WRITE,
+                          ip=label + 3, tsc=0.0, provenance="forged"),
+        )
+        report = confirm_races(program, [fake], events,
+                               config=ConfirmConfig(seed=0, machine_seed=0))
+        assert report.conserves
+        verdict = report.verdicts[0]
+        assert verdict.verdict in ("unconfirmed", "inapplicable")
+        assert report.exit_code() == EXIT_UNCONFIRMED
+
+
+class TestPolicy:
+    def test_suppressed_schedules_all_inapplicable_exit_8(self):
+        program, _ = generate_racy_program(7, GEN_CONFIG)
+        result, report = confirm(program, seed=7, suppress_schedules=True)
+        assert result.races
+        assert report.conserves
+        assert report.inapplicable == report.races_reported
+        assert report.replays_total == 0
+        assert report.exit_code() == EXIT_UNCONFIRMED
+
+    def test_no_races_exit_ok(self):
+        program = assemble(CLEAN_COUNTER_ASM)
+        _, report = confirm(program, period=1, seed=0)
+        assert report.races_reported == 0
+        assert report.exit_code() == EXIT_OK
+
+    def test_verdict_tiers_and_labels(self):
+        assert VERDICT_TIERS == ("confirmed", "flaky", "unconfirmed",
+                                 "inapplicable")
+        flaky = RaceVerdict(address=0x10, pair=(1, 2), verdict="flaky",
+                            attempts=5, successes=2, fired_on=4)
+        assert flaky.label == "flaky(2-of-5)"
+        assert flaky.fired
+
+    def test_report_dict_round_trip_fields(self):
+        program, _ = generate_racy_program(7, GEN_CONFIG)
+        _, report = confirm(program, seed=7)
+        blob = report.to_dict()
+        assert blob["conserves"]
+        assert blob["races_reported"] == len(blob["verdicts"])
+        counts = blob["counts"]
+        assert sum(counts.values()) == blob["races_reported"]
+
+
+class TestDeterminism:
+    """Satellite: confirmation is a pure function of (seed, schedules).
+
+    Same seed → bit-identical verdicts and matched-event digests,
+    across repeated runs and across ``--jobs`` values / executors.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_repeat_runs_bit_identical(self, seed):
+        program, _ = generate_racy_program(seed, GEN_CONFIG)
+        _, first = confirm(program, seed=seed)
+        _, second = confirm(program, seed=seed)
+        assert first.to_dict() == second.to_dict()
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=4, deadline=None)
+    def test_jobs_invariance(self, seed):
+        """Fan-out width must not leak into verdicts: serial and
+        2-way threaded confirmation produce identical reports."""
+        program, _ = generate_racy_program(seed, GEN_CONFIG)
+        result, events = detect(program, seed=seed)
+        config = ConfirmConfig(seed=seed, machine_seed=seed)
+        serial = confirm_races(program, result.races, events,
+                               config=config, jobs=1, executor="serial")
+        threaded = confirm_races(program, result.races, events,
+                                 config=config, jobs=2, executor="thread")
+        assert serial.to_dict() == threaded.to_dict()
+
+    def test_digest_stability_pins_event_stream(self):
+        """The digest is over the matched-event stream, so two runs
+        that fired the same way carry the same digest string."""
+        program, _ = generate_racy_program(11, GEN_CONFIG)
+        _, first = confirm(program, seed=11)
+        _, second = confirm(program, seed=11)
+        for a, b in zip(first.verdicts, second.verdicts):
+            assert a.digest == b.digest

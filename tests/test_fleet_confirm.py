@@ -1,0 +1,148 @@
+"""Fleet-side confirmation: verdict tiers flow worker → database →
+triage, the ranking prefers proven races, and the conservation law
+holds — every ranked race carries exactly one verdict."""
+
+import pytest
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.fleet.racedb import RaceDatabase, RaceEntry
+
+
+def entry(key="k", score_count=1, probability=0.5):
+    e = RaceEntry(key=key, signature={}, description="")
+    e.count = score_count
+    e.probability_sum = probability * score_count
+    return e
+
+
+class TestRaceEntryVerdicts:
+    def test_note_verdict_keeps_strongest_tier(self):
+        e = entry()
+        e.note_verdict("unconfirmed", 5)
+        assert e.verdict == "unconfirmed"
+        e.note_verdict("confirmed", 2)
+        assert e.verdict == "confirmed"
+        e.note_verdict("flaky", 4)          # weaker: ignored
+        assert e.verdict == "confirmed"
+
+    def test_note_verdict_keeps_fewest_replays(self):
+        e = entry()
+        e.note_verdict("confirmed", 3)
+        e.note_verdict("confirmed", 1)
+        e.note_verdict("confirmed", 4)
+        assert e.replays == 1
+
+    def test_unknown_or_missing_verdict_ignored(self):
+        e = entry()
+        e.note_verdict(None)
+        e.note_verdict("bogus-tier", 1)
+        assert e.verdict is None
+        assert e.replays is None
+
+    def test_verdict_rank_uniform_without_verdicts(self):
+        a, b = entry("a"), entry("b")
+        assert a.verdict_rank == b.verdict_rank
+        a.note_verdict("inapplicable")
+        assert a.verdict_rank < b.verdict_rank
+
+    def test_to_dict_keys_additive(self):
+        e = entry()
+        assert "verdict" not in e.to_dict()
+        e.note_verdict("flaky", 4)
+        row = e.to_dict()
+        assert row["verdict"] == "flaky"
+        assert row["replays"] == 4
+
+
+class TestDatabaseRanking:
+    def test_confirmed_outranks_higher_scoring_unconfirmed(self, tmp_path):
+        with RaceDatabase(tmp_path / "races.db") as db:
+            db.apply_bundle("b1", races=[
+                {"key": "hot", "workload": "w", "variable": "v",
+                 "context": ["a", "a"], "pair": [1, 2], "desc": "",
+                 "verdict": "unconfirmed", "replays": 5},
+            ], node=0, epoch=0, probability=0.9)
+            db.apply_bundle("b2", races=[
+                {"key": "proven", "workload": "w", "variable": "v",
+                 "context": ["a", "a"], "pair": [3, 4], "desc": "",
+                 "verdict": "confirmed", "replays": 1},
+            ], node=1, epoch=0, probability=0.1)
+            ranked = db.ranked()
+        assert [e.key for e in ranked] == ["proven", "hot"]
+
+    def test_verdict_free_database_keeps_score_order(self, tmp_path):
+        with RaceDatabase(tmp_path / "races.db") as db:
+            db.apply_bundle("b1", races=[
+                {"key": "low", "workload": "w", "variable": "v",
+                 "context": ["a", "a"], "pair": [1, 2], "desc": ""},
+            ], node=0, epoch=0, probability=0.1)
+            db.apply_bundle("b2", races=[
+                {"key": "high", "workload": "w", "variable": "v",
+                 "context": ["a", "a"], "pair": [3, 4], "desc": ""},
+            ], node=1, epoch=0, probability=0.9)
+            ranked = db.ranked()
+        assert [e.key for e in ranked] == ["high", "low"]
+
+    def test_verdicts_survive_log_replay(self, tmp_path):
+        path = tmp_path / "races.db"
+        with RaceDatabase(path) as db:
+            db.apply_bundle("b1", races=[
+                {"key": "k", "workload": "w", "variable": "v",
+                 "context": ["a", "a"], "pair": [1, 2], "desc": "",
+                 "verdict": "confirmed", "replays": 2},
+            ], node=0, epoch=0, probability=0.5)
+        with RaceDatabase(path) as reopened:
+            e = reopened.entries["k"]
+            assert e.verdict == "confirmed"
+            assert e.replays == 2
+
+
+@pytest.fixture(scope="module")
+def confirmed_fleet(tmp_path_factory):
+    work = tmp_path_factory.mktemp("fleet-confirm")
+    config = FleetConfig(nodes=2, epochs=2, iterations=8, threads=4,
+                         seed=3, confirm=True)
+    report = run_fleet(config, db_path=work / "races.db",
+                       spool_dir=work / "spool")
+    return report
+
+
+class TestFleetRun:
+    def test_every_ranked_race_carries_a_verdict(self, confirmed_fleet):
+        report = confirmed_fleet
+        assert report.confirm_enabled
+        assert report.verdicts_conserved
+        assert report.top_races
+        for row in report.top_races:
+            assert row["verdict"] in ("confirmed", "flaky", "unconfirmed",
+                                      "inapplicable")
+            assert row["replays"] >= 1
+
+    def test_true_races_reach_confirmed(self, confirmed_fleet):
+        """The Table 2 corpus workload's races all carry re-execution
+        proof after the fleet's confirming analysis."""
+        report = confirmed_fleet
+        assert report.db_confirmed == len(report.top_races)
+        assert report.db_unconfirmed == 0
+
+    def test_confirm_block_in_report_dict(self, confirmed_fleet):
+        blob = confirmed_fleet.to_dict()
+        confirm = blob["confirm"]
+        assert confirm["enabled"]
+        assert confirm["conserved"]
+        assert confirm["confirmed"] >= 1
+
+    def test_config_key_records_confirmation(self):
+        plain = FleetConfig(seed=3)
+        confirming = FleetConfig(seed=3, confirm=True)
+        assert "confirm" not in plain.key()
+        assert "confirm=True" in confirming.key()
+
+    def test_non_confirming_run_has_no_verdicts(self, tmp_path):
+        config = FleetConfig(nodes=1, epochs=1, iterations=8, threads=4,
+                             seed=3)
+        report = run_fleet(config, db_path=tmp_path / "races.db",
+                           spool_dir=tmp_path / "spool")
+        assert not report.confirm_enabled
+        for row in report.top_races:
+            assert "verdict" not in row

@@ -1,0 +1,194 @@
+"""Reader-writer lock and barrier semantics: sync objects, machine
+execution, and what the detectors see through them."""
+
+import pytest
+
+from repro.analysis import OfflinePipeline
+from repro.isa import assemble
+from repro.machine.sync import Barrier, RWLock, SyncError
+from repro.tracing import trace_run
+
+from tests.helpers import run_machine
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lk = RWLock(0x100)
+        assert lk.acquire_rd(1)
+        assert lk.acquire_rd(2)
+        assert lk.readers == {1, 2}
+
+    def test_writer_excludes_readers(self):
+        lk = RWLock(0x100)
+        assert lk.acquire_wr(1)
+        assert not lk.acquire_rd(2)
+        assert not lk.acquire_wr(3)
+        assert list(lk.waiters) == [(2, "rd"), (3, "wr")]
+
+    def test_readers_exclude_writer(self):
+        lk = RWLock(0x100)
+        lk.acquire_rd(1)
+        assert not lk.acquire_wr(2)
+
+    def test_fifo_fairness_reader_behind_writer_waits(self):
+        """A reader arriving behind a queued writer blocks even though
+        the lock is read-held — writers cannot starve."""
+        lk = RWLock(0x100)
+        lk.acquire_rd(1)
+        assert not lk.acquire_wr(2)
+        assert not lk.acquire_rd(3)
+        assert list(lk.waiters) == [(2, "wr"), (3, "rd")]
+
+    def test_release_hands_to_writer_first(self):
+        lk = RWLock(0x100)
+        lk.acquire_rd(1)
+        lk.acquire_wr(2)
+        lk.acquire_rd(3)
+        assert lk.release(1) == [(2, "wr")]
+        assert lk.writer == 2
+
+    def test_writer_release_wakes_reader_batch(self):
+        lk = RWLock(0x100)
+        lk.acquire_wr(1)
+        lk.acquire_rd(2)
+        lk.acquire_rd(3)
+        lk.acquire_wr(4)
+        assert lk.release(1) == [(2, "rd"), (3, "rd")]
+        assert lk.readers == {2, 3}
+        assert list(lk.waiters) == [(4, "wr")]
+
+    def test_reacquire_rejected(self):
+        lk = RWLock(0x100)
+        lk.acquire_rd(1)
+        with pytest.raises(SyncError):
+            lk.acquire_wr(1)
+
+    def test_release_not_held_rejected(self):
+        lk = RWLock(0x100)
+        with pytest.raises(SyncError):
+            lk.release(1)
+
+
+class TestBarrier:
+    def test_last_arrival_releases_generation(self):
+        bar = Barrier(0x200)
+        assert bar.arrive(1, 3) is None
+        assert bar.arrive(2, 3) is None
+        assert bar.arrive(3, 3) == [1, 2, 3]
+
+    def test_cyclic_reuse(self):
+        bar = Barrier(0x200)
+        bar.arrive(1, 2)
+        assert bar.arrive(2, 2) == [1, 2]
+        assert bar.arrive(2, 2) is None
+        assert bar.arrive(1, 2) == [2, 1]
+
+    def test_party_count_mismatch_rejected(self):
+        bar = Barrier(0x200)
+        bar.arrive(1, 3)
+        with pytest.raises(SyncError):
+            bar.arrive(2, 4)
+
+
+RWLOCK_COUNTER = """
+.global lk 0
+.global counter 0
+.global snapshots 0 0 0 0
+main:
+    spawn writer, %rbx
+    spawn reader, %rcx
+    spawn writer2, %rdx
+    join %rbx
+    join %rcx
+    join %rdx
+    halt
+writer:
+    rwlock_wr $lk
+    mov counter(%rip), %rax
+    add $1, %rax
+    mov %rax, counter(%rip)
+    rwlock_unlock $lk
+    halt
+writer2:
+    rwlock_wr $lk
+    mov counter(%rip), %rax
+    add $1, %rax
+    mov %rax, counter(%rip)
+    rwlock_unlock $lk
+    halt
+reader:
+    rwlock_rd $lk
+    mov counter(%rip), %rax
+    mov %rax, snapshots(%rip)
+    rwlock_unlock $lk
+    halt
+"""
+
+BARRIER_INIT = """
+.global bar 0
+.global shared 0
+.global out 0
+main:
+    spawn peer, %rbx
+    mov $7, %rax
+    mov %rax, shared(%rip)
+    barrier_wait $bar, $2
+    join %rbx
+    halt
+peer:
+    barrier_wait $bar, $2
+    mov shared(%rip), %rax
+    mov %rax, out(%rip)
+    halt
+"""
+
+RD_LOCKED_WRITERS = """
+.global lk 0
+.global shared 0
+main:
+    spawn peer, %rbx
+    rwlock_rd $lk
+    mov $1, %rax
+    mov %rax, shared(%rip)
+    rwlock_unlock $lk
+    join %rbx
+    halt
+peer:
+    rwlock_rd $lk
+    mov $2, %rax
+    mov %rax, shared(%rip)
+    rwlock_unlock $lk
+    halt
+"""
+
+
+class TestMachineIntegration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rwlock_counter_race_free(self, seed):
+        """Two wr-mode writers and one rd-mode reader: both increments
+        land and no schedule yields a race report at full sampling."""
+        program = assemble(RWLOCK_COUNTER)
+        machine, _result = run_machine(program, seed=seed)
+        assert machine.memory.load(program.symbols["counter"]) == 2
+        bundle = trace_run(program, period=1, seed=seed)
+        assert not OfflinePipeline(program).analyze(bundle).races
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_barrier_orders_init_before_use(self, seed):
+        program = assemble(BARRIER_INIT)
+        machine, _result = run_machine(program, seed=seed)
+        assert machine.memory.load(program.symbols["out"]) == 7
+        bundle = trace_run(program, period=1, seed=seed)
+        assert not OfflinePipeline(program).analyze(bundle).races
+
+    def test_rd_mode_does_not_protect_writes(self):
+        """Two writers sharing the lock in *reader* mode race: shared
+        acquisition is mutual exclusion only against writers."""
+        program = assemble(RD_LOCKED_WRITERS)
+        shared = program.symbols["shared"]
+        racy = set()
+        for seed in range(8):
+            bundle = trace_run(program, period=1, seed=seed)
+            result = OfflinePipeline(program).analyze(bundle)
+            racy |= {r.address for r in result.races}
+        assert shared in racy
