@@ -57,6 +57,13 @@ RACEDB_BUNDLES = 300
 #: for noisy CI runners while still catching any real regression.
 MIN_BATCH_SPEEDUP = 1.5
 BATCH_STREAM_EVENTS = 30_000
+#: Clock reconciliation keys the merged stream on a separate
+#: ``key_tscs`` column (uncertainty-clamped merge keys); with the flag
+#: off the column aliases ``tscs`` and the layout is bit-identical to
+#: pre-clock builds.  The corrected-key layout must stay within 5% of
+#: the aliased one on the columnar feed path — same array type, same
+#: bisects, so anything above this is a real keying regression.
+MAX_CLOCK_KEY_OVERHEAD = 0.05
 #: Confirmation-replay tax: a ScheduleController that diverges early
 #: (the worst case — an unconfirmed replay pays the controller hooks
 #: and then free-runs the whole program) must cost <10% wall clock over
@@ -147,6 +154,76 @@ def _batch_gate_seconds(repeats=5):
         assert batched.races == scalar.races, "batched verdicts diverged"
         assert batched.accesses_processed == scalar.accesses_processed
     return len(accesses), best_scalar, best_batched
+
+
+def _clock_key_chunks(chunks):
+    """The locality chunks re-laid-out the way an engaged clock model
+    builds them: ``key_tscs`` a *separate* identity-populated column
+    instead of aliasing ``tscs``.  Every other column (and the warmed
+    ``next_change`` index) is shared, so a timing delta isolates the
+    cost of the second timestamp array."""
+    from array import array
+
+    from repro.detector.batch import EventBatch
+
+    keyed = []
+    for batch, base in chunks:
+        clone = EventBatch(batch.tid)
+        clone.tscs = batch.tscs
+        clone.key_tscs = array("d", batch.tscs)
+        clone.vars = batch.vars
+        clone.kinds = batch.kinds
+        clone.ips = batch.ips
+        clone.steps = batch.steps
+        clone.prov_codes = batch.prov_codes
+        clone.prov_table = batch.prov_table
+        clone.taints = batch.taints
+        clone._nxt = batch._nxt
+        keyed.append((clone, base))
+    return keyed
+
+
+def _clock_key_gate_seconds(repeats=5):
+    """Best-of-N (aliased seconds, separate-key seconds) for one
+    FastTrack pass that enumerates each batch through the merge's
+    ``run_end`` bisection (keyed on ``key_tscs``) and feeds the
+    resulting runs — the splice-merge loop shape of the pipeline, on
+    both key layouts."""
+    from repro.detector.events import EVENT_KIND_SYNC
+
+    _accesses, chunks = locality_stream(events=BATCH_STREAM_EVENTS)
+    warm(chunks)
+    keyed = _clock_key_chunks(chunks)
+    last_bound = (float("inf"), EVENT_KIND_SYNC, -1)
+
+    def one_pass(chunk_list):
+        detector = FastTrack()
+        d_feed = detector.feed_batch
+        t0 = time.perf_counter()
+        for index, (batch, base) in enumerate(chunk_list):
+            n = len(batch)
+            bound = (chunk_list[index + 1][0].key_at(0)
+                     if index + 1 < len(chunk_list) else last_bound)
+            pos = 0
+            while pos < n:
+                end = batch.run_end(pos, bound)
+                if end <= pos:
+                    end = n
+                d_feed(batch, pos, end, base + pos)
+                pos = end
+        return time.perf_counter() - t0, detector
+
+    best_aliased = best_keyed = None
+    for _ in range(repeats):
+        elapsed, plain_det = one_pass(chunks)
+        if best_aliased is None or elapsed < best_aliased:
+            best_aliased = elapsed
+        elapsed, keyed_det = one_pass(keyed)
+        if best_keyed is None or elapsed < best_keyed:
+            best_keyed = elapsed
+        assert keyed_det.races == plain_det.races, \
+            "identity merge keys changed verdicts"
+    return len(_accesses), best_aliased, best_keyed
 
 
 def _controller_seconds(program, repeats=REPEATS):
@@ -240,6 +317,13 @@ def main():
           f"batched {batched_s * 1e3:.1f} ms -> {batch_speedup:.2f}x "
           f"({events / batched_s:,.0f} events/sec)")
 
+    key_events, aliased_s, keyed_s = _clock_key_gate_seconds()
+    clock_key_overhead = keyed_s / aliased_s - 1.0
+    print(f"clock merge keys: aliased {aliased_s * 1e3:.1f} ms, "
+          f"separate key_tscs {keyed_s * 1e3:.1f} ms -> "
+          f"{100 * clock_key_overhead:+.1f}% "
+          f"({key_events / keyed_s:,.0f} events/sec)")
+
     insert, dedup = _racedb_seconds()
     insert_rate = RACEDB_BUNDLES / insert
     dedup_speedup = insert / dedup
@@ -270,6 +354,12 @@ def main():
             f"race DB dedup refusal only {dedup_speedup:.1f}x faster "
             f"than insert (floor {MIN_DEDUP_SPEEDUP}x) — is redelivery "
             f"hitting the disk?")
+    if clock_key_overhead > MAX_CLOCK_KEY_OVERHEAD:
+        failures.append(
+            f"separate clock merge-key column costs "
+            f"{100 * clock_key_overhead:.1f}% on the columnar feed path "
+            f"(budget {100 * MAX_CLOCK_KEY_OVERHEAD:.0f}%) — corrected-"
+            f"key ordering is supposed to ride the same bisects")
     if batch_speedup < MIN_BATCH_SPEEDUP:
         failures.append(
             f"columnar feed_batch only {batch_speedup:.2f}x vs the "

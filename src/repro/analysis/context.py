@@ -56,10 +56,11 @@ construction and the k-way merge is valid.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 import pickle
 import time
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from operator import itemgetter
 from pathlib import Path
@@ -75,6 +76,7 @@ from ..detector.events import (
     SyncOp,
     access_sort_key,
     sync_sort_key,
+    uncertain_merge_tsc,
 )
 from ..errors import CheckpointError, UsageError
 from ..faults import MAX_TSC_JITTER
@@ -136,6 +138,16 @@ class AnalysisContext:
         jit: replay windows through the pre-lowered micro-op executor
             with the shared block effect-summary cache; False falls back
             to the instruction interpreter (bit-identical results).
+        clock: a reconciled :class:`~repro.clock.model.ClockModel` for
+            *bundle* (whose timestamps must already be corrected, see
+            :func:`~repro.clock.repair.apply_clock_correction`).  Event
+            merge keys then carry the model's uncertainty half-widths:
+            each access merges at the late edge of its uncertainty
+            interval, clamped at its thread's next own sync record, so
+            cross-thread pairs inside each other's uncertainty are
+            ordered only by sync-derived happens-before.  ``None`` (or
+            the identity model) leaves ordering bit-identical to
+            pre-clock builds.
     """
 
     def __init__(
@@ -149,6 +161,7 @@ class AnalysisContext:
         round_cache: bool = True,
         jit: bool = True,
         supervisor=None,
+        clock=None,
     ) -> None:
         self.program = program
         self.bundle = bundle
@@ -205,6 +218,12 @@ class AnalysisContext:
         self._access_events: Dict[int, List[Tuple[EventKey, Access]]] = {}
         self._access_batches: Dict[int, EventBatch] = {}
         self._last_poisoned: Optional[FrozenSet[int]] = None
+        #: Reconciled clock model (None = identity = clock path off).
+        self.clock = (clock if clock is not None
+                      and not getattr(clock, "is_identity", True)
+                      else None)
+        self._clock_cores: Optional[Dict[int, int]] = None
+        self._clock_syncs: Dict[int, Tuple[List[int], List[float]]] = {}
 
     # ------------------------------------------------------------------
     # Round-invariant artifacts (lazy, computed exactly once)
@@ -277,8 +296,11 @@ class AnalysisContext:
             paths = self.paths
             begin = time.perf_counter()
             self._aligned = {
-                tid: align_samples(paths[tid],
-                                   self.bundle.samples_of_thread(tid))
+                tid: align_samples(
+                    paths[tid], self.bundle.samples_of_thread(tid),
+                    tolerance=(self._clock_half_width(tid)
+                               if self.clock is not None else 0.0),
+                )
                 for tid in sorted(paths)
             }
             self.reconstruction_seconds += time.perf_counter() - begin
@@ -333,6 +355,99 @@ class AnalysisContext:
             events.sort(key=itemgetter(0))
             self._sync_events = events
         return self._sync_events
+
+    # ------------------------------------------------------------------
+    # Uncertainty-aware merge keys (clock reconciliation)
+    # ------------------------------------------------------------------
+
+    def _clock_half_width(self, tid: int) -> float:
+        if self._clock_cores is None:
+            from ..clock.model import core_of_map
+
+            self._clock_cores = core_of_map(self.bundle)
+        core = self._clock_cores.get(tid, tid % 4)
+        return self.clock.half_width_of(core)
+
+    def _own_sync_points(self, tid: int) -> Tuple[List[int], List[float]]:
+        """This thread's own sync records pinned onto its decoded path,
+        as parallel (step, tsc) lists sorted by step.
+
+        Pinning is greedy ip-matching in ``seq`` order — program order,
+        the one ordering clock damage cannot forge.  The TSC-windowed
+        :func:`~repro.ptdecode.decoder.locate_syncs` is exactly what a
+        damaged record's timestamp defeats (a regressed fork locates
+        nowhere), yet the merge-key clamp needs *that* record most.
+        Records whose ip never reappears on the (possibly truncated)
+        path are skipped: an unpinned record contributes no clamp.
+        """
+        cached = self._clock_syncs.get(tid)
+        if cached is not None:
+            return cached
+        path = self.paths.get(tid)
+        records = sorted(
+            (r for r in self.bundle.sync_records if r.tid == tid),
+            key=lambda r: r.seq,
+        )
+        pairs: List[Tuple[int, float]] = []
+        cursor = 0
+        for record in records:
+            step = path.next_occurrence(record.ip, cursor) \
+                if path is not None else None
+            if step is None:
+                continue
+            pairs.append((step, float(record.tsc)))
+            cursor = step + 1
+        points = ([step for step, _ in pairs], [tsc for _, tsc in pairs])
+        self._clock_syncs[tid] = points
+        return points
+
+    def merge_key_fn(self, tid: int):
+        """A fresh uncertainty merge-key closure ``(step, tsc) ->
+        key_tsc`` for one thread, or None when the clock path is off.
+
+        Keys stay monotone in step order by construction: within one
+        inter-sync segment the clamp window is fixed and the corrected
+        timestamps are nondecreasing, and across a sync boundary the
+        next segment's lower clamp sits strictly past the previous
+        segment's upper clamp (repaired per-thread sync timestamps are
+        strictly increasing).  See
+        :func:`~repro.detector.events.uncertain_merge_tsc` for the
+        ordering contract.
+        """
+        if self.clock is None:
+            return None
+        half_width = self._clock_half_width(tid)
+        steps, tscs = self._own_sync_points(tid)
+
+        def key_tsc(step: int, tsc: float) -> float:
+            pos = bisect_right(steps, step)
+            prev_tsc = tscs[pos - 1] if pos > 0 else None
+            next_tsc = tscs[pos] if pos < len(steps) else None
+            return uncertain_merge_tsc(tsc, half_width, prev_tsc,
+                                       next_tsc)
+
+        return key_tsc
+
+    def clock_overlap_stats(self) -> Tuple[int, int]:
+        """``(overlap_events, total_events)`` of the last replay: how
+        many accesses had their merge key delayed away from the plain
+        ``tsc + half_width`` shift (their uncertainty interval reached
+        the thread's next sync anchor, so their cross-thread order is
+        sync-derived only), vs all accesses considered."""
+        if self.clock is None or not self._threads:
+            return 0, 0
+        overlap = 0
+        total = 0
+        for tid in sorted(self._threads):
+            key_fn = self.merge_key_fn(tid)
+            half_width = self._clock_half_width(tid)
+            tsc_of = self.timelines[tid].tsc_of
+            for access in self._threads[tid].accesses:
+                tsc = tsc_of(access.step_index)
+                total += 1
+                if key_fn(access.step_index, tsc) != tsc + half_width:
+                    overlap += 1
+        return overlap, total
 
     # ------------------------------------------------------------------
     # Per-round replay with selective invalidation
@@ -476,12 +591,15 @@ class AnalysisContext:
             return cached
         timeline = self.timelines[tid]
         generation_of = self.alloc_index.generation
+        key_fn = self.merge_key_fn(tid)
         events: List[Tuple[EventKey, Access]] = []
         for access in self._threads[tid].accesses:
             tsc = timeline.tsc_of(access.step_index)
+            key_tsc = (key_fn(access.step_index, tsc)
+                       if key_fn is not None else tsc)
             events.append(
                 (
-                    access_sort_key(tsc, tid, access.step_index),
+                    access_sort_key(key_tsc, tid, access.step_index),
                     Access(
                         tid=tid,
                         var=(access.address,
@@ -544,6 +662,7 @@ class AnalysisContext:
             self.timelines[tid],
             self.alloc_index.generation,
             cutoff=self._effective_cutoff(),
+            merge_key=self.merge_key_fn(tid),
         )
         self._access_batches[tid] = batch
         return batch
@@ -633,6 +752,10 @@ class AnalysisContext:
             # Jittered sample anchors can understate a true time by up
             # to the jitter bound; widen the distrusted region to match.
             cutoff -= MAX_TSC_JITTER
+        if self.clock is not None:
+            # Corrected timestamps can understate true time by up to
+            # their uncertainty half-width; widen accordingly.
+            cutoff -= int(math.ceil(self.clock.max_half_width))
         return cutoff
 
     @property

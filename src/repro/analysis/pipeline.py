@@ -86,6 +86,11 @@ class DegradationReport:
     tsc_perturbed: int = 0
     log_truncated_at_tsc: Optional[int] = None
     corrupted_sections: Tuple[str, ...] = ()
+    # Declared clock faults (from TraceDefects; see repro.clock.faults).
+    clock_skewed_cores: int = 0
+    clock_drifted_cores: int = 0
+    clock_steps: int = 0
+    clock_regressions: int = 0
     # Declared governor actions (from the bundle's GovernorReport; all
     # zero/False for ungoverned runs).  These are *intentional* losses —
     # backpressure the governor chose and accounted — and they must
@@ -108,6 +113,10 @@ class DegradationReport:
     suppressed_accesses: int = 0
     threads_skipped: Tuple[int, ...] = ()
     incomplete_paths: int = 0
+    #: Candidate timeline anchors rejected for contradicting
+    #: higher-tier evidence — the observable footprint of perturbed
+    #: timestamps (TSC jitter, clock faults) on the consumers.
+    timeline_rejections: int = 0
     #: Figure 11 recovery ratio of this (possibly degraded) analysis —
     #: compare against a pristine run to quantify reconstruction impact.
     recovery_ratio: float = 0.0
@@ -119,9 +128,12 @@ class DegradationReport:
             or self.sync_records_lost or self.alloc_records_lost
             or self.tsc_perturbed or self.corrupted_sections
             or self.log_truncated_at_tsc is not None
+            or self.clock_skewed_cores or self.clock_drifted_cores
+            or self.clock_steps or self.clock_regressions
             or self.gaps_crossed or self.windows_aborted
             or self.samples_unaligned or self.suppressed_accesses
             or self.threads_skipped or self.incomplete_paths
+            or self.timeline_rejections
         )
 
     @property
@@ -143,6 +155,34 @@ class DegradationReport:
         return (self.governor_pt_sheds <= self.gaps_crossed
                 and self.governor_hard_dropped_samples
                 <= self.samples_dropped)
+
+    @property
+    def clock_declared(self) -> bool:
+        """Whether any timestamp fault was declared (bounded jitter or
+        first-class clock faults)."""
+        return bool(
+            self.tsc_perturbed or self.clock_skewed_cores
+            or self.clock_drifted_cores or self.clock_steps
+            or self.clock_regressions
+        )
+
+    @property
+    def tsc_reconciles(self) -> Optional[bool]:
+        """Declared-vs-observed ledger for timestamp damage, mirroring
+        :attr:`governor_reconciles` for the clock axis.
+
+        ``None`` when no timestamp fault was declared and the consumers
+        observed no anchor rejections (the axis never engaged);
+        ``False`` when timelines rejected contradictory anchors with no
+        declared jitter or clock fault to explain them — silently
+        damaged timestamps; ``True`` otherwise (declared faults cover
+        what was observed, including faults too mild to manifest as
+        rejections).
+        """
+        observed = bool(self.timeline_rejections)
+        if not self.clock_declared and not observed:
+            return None
+        return self.clock_declared or not observed
 
 
 @dataclass
@@ -170,6 +210,10 @@ class DetectionResult:
     detectors: Tuple[str, ...] = (DEFAULT_DETECTOR,)
     #: Per-backend findings, keyed by backend name in request order.
     findings: Dict[str, DetectionFindings] = field(default_factory=dict)
+    #: Clock reconciliation summary
+    #: (:class:`~repro.clock.health.ClockHealthReport`); ``None`` when
+    #: the pipeline ran without ``reconcile_clock``.
+    clock: Optional[object] = None
 
     def races_on(self, address: int) -> List[RaceReport]:
         return [r for r in self.races if r.address == address]
@@ -224,6 +268,15 @@ class OfflinePipeline:
         detect_executor: executor for the shard fan-out (default: picks
             ``"process"`` where fork inheritance makes the event plan
             free to share, ``"thread"`` elsewhere).
+        reconcile_clock: run clock reconciliation (:mod:`repro.clock`)
+            before analysis — estimate (or reuse, for v4 containers) a
+            per-core :class:`~repro.clock.model.ClockModel` from the
+            sync log, correct and monotonicity-repair every timestamp,
+            and order events by uncertainty-aware merge keys.  The
+            result then carries a
+            :class:`~repro.clock.health.ClockHealthReport`.  On a
+            pristine trace the model snaps to the exact identity and
+            every verdict is bit-identical to the default path.
     """
 
     def __init__(
@@ -240,6 +293,7 @@ class OfflinePipeline:
         batch: bool = True,
         detect_shards: int = 1,
         detect_executor: Optional[str] = None,
+        reconcile_clock: bool = False,
     ) -> None:
         self.program = program
         self.mode = mode
@@ -256,16 +310,34 @@ class OfflinePipeline:
         self.batch = batch
         self.detect_shards = max(1, detect_shards)
         self.detect_executor = detect_executor
+        self.reconcile_clock = reconcile_clock
 
     # ------------------------------------------------------------------
 
     def context_for(self, bundle: TraceBundle) -> AnalysisContext:
-        """A fresh analysis context for *bundle*."""
-        return AnalysisContext(
+        """A fresh analysis context for *bundle* (clock-reconciled
+        first when the pipeline was built with ``reconcile_clock``)."""
+        clock_model = None
+        clock_repair = None
+        reconcile_seconds = 0.0
+        if self.reconcile_clock:
+            from ..clock.repair import apply_clock_correction
+
+            begin = time.perf_counter()
+            bundle, clock_model, clock_repair = apply_clock_correction(
+                bundle
+            )
+            reconcile_seconds = time.perf_counter() - begin
+        context = AnalysisContext(
             self.program, bundle, mode=self.mode, jobs=self.jobs,
             executor=self.executor, round_cache=self.round_cache,
-            jit=self.jit, supervisor=self.supervisor,
+            jit=self.jit, supervisor=self.supervisor, clock=clock_model,
         )
+        # Estimation/correction cost is reconstruction work (Figure 12).
+        context.reconstruction_seconds += reconcile_seconds
+        context.clock_model = clock_model
+        context.clock_repair = clock_repair
+        return context
 
     def decode(self, bundle: TraceBundle):
         """Decode paths and locate sync/alloc records on them."""
@@ -472,6 +544,18 @@ class OfflinePipeline:
             reconstruction_seconds=context.reconstruction_seconds,
             detection_seconds=detection_seconds,
         )
+        clock_report = None
+        if self.reconcile_clock and context.clock_model is not None:
+            from ..clock.health import build_clock_health
+            from ..clock.repair import RepairStats
+
+            overlap, total = context.clock_overlap_stats()
+            clock_report = build_clock_health(
+                context.clock_model,
+                context.clock_repair or RepairStats(),
+                context.bundle.defects or TraceDefects(),
+                overlap, total,
+            )
         return DetectionResult(
             races=list(primary.races),
             racy_addresses=primary.racy_addresses,
@@ -485,6 +569,7 @@ class OfflinePipeline:
             ledger=context.run_ledger,
             detectors=self.detectors,
             findings=findings,
+            clock=clock_report,
         )
 
     def degradation_report(
@@ -507,6 +592,10 @@ class OfflinePipeline:
             tsc_perturbed=defects.tsc_perturbed,
             log_truncated_at_tsc=defects.log_truncated_at_tsc,
             corrupted_sections=defects.corrupted_sections,
+            clock_skewed_cores=defects.clock_skewed_cores,
+            clock_drifted_cores=defects.clock_drifted_cores,
+            clock_steps=defects.clock_steps,
+            clock_regressions=defects.clock_regressions,
             governor_active=governor is not None,
             governor_epochs=len(governor.epochs) if governor else 0,
             governor_tier_transitions=(
@@ -533,6 +622,9 @@ class OfflinePipeline:
             threads_skipped=context.skipped_threads,
             incomplete_paths=sum(
                 1 for p in paths.values() if not p.complete
+            ),
+            timeline_rejections=sum(
+                t.total_rejections for t in context.timelines.values()
             ),
             recovery_ratio=replay_result.stats.recovery_ratio,
         )

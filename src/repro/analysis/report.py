@@ -103,6 +103,30 @@ def render_degradation(result: DetectionResult) -> List[str]:
         )
     if deg.tsc_perturbed:
         lines.append(f"  tsc perturbed: {deg.tsc_perturbed} samples")
+    if deg.clock_declared or deg.timeline_rejections:
+        if (deg.clock_skewed_cores or deg.clock_drifted_cores
+                or deg.clock_steps or deg.clock_regressions):
+            lines.append(
+                f"  clock faults declared: {deg.clock_skewed_cores} "
+                f"skewed / {deg.clock_drifted_cores} drifting cores, "
+                f"{deg.clock_steps} steps, "
+                f"{deg.clock_regressions} regressions"
+            )
+        if deg.timeline_rejections:
+            lines.append(
+                f"  timeline anchors rejected: {deg.timeline_rejections} "
+                "(contradicted higher-tier evidence)"
+            )
+        reconciles = deg.tsc_reconciles
+        if reconciles is not None:
+            lines.append(
+                "  tsc accounting: "
+                + ("declared clock damage reconciles with observed "
+                   "anchor rejections"
+                   if reconciles else
+                   "OBSERVED TSC DAMAGE WAS NEVER DECLARED — clock "
+                   "faults beyond the declared plan")
+            )
     if deg.samples_unaligned:
         lines.append(f"  samples unaligned: {deg.samples_unaligned}")
     if deg.threads_skipped:
@@ -156,6 +180,60 @@ def render_governor(result: DetectionResult) -> List[str]:
            "DECLARED LOSSES DO NOT RECONCILE — trace may be damaged "
            "beyond what the governor accounted")
     )
+    return lines
+
+
+def render_clock_health(result: DetectionResult) -> List[str]:
+    """Clock reconciliation lines (empty when the clock path is off —
+    reports of unreconciled analyses stay byte-identical)."""
+    clock = result.clock
+    if clock is None:
+        return []
+    model = clock.model
+    if not clock.active:
+        lines = [
+            "clock reconciliation: no evidence of clock damage "
+            "(identity model, timestamps trusted as-is)"
+        ]
+    else:
+        lines = [
+            "clock reconciliation:",
+            f"  evidence: {model.inversions} ordering inversion(s)   "
+            f"default uncertainty half-width "
+            f"±{model.default_half_width:.1f} ticks",
+        ]
+        for fit in model.fits:
+            drift = (fit.scale - 1.0) * 100.0
+            lines.append(
+                f"  core {fit.core}: offset {fit.offset:+.1f} ticks, "
+                f"drift {drift:+.3f}%, half-width "
+                f"±{fit.half_width:.1f} ({fit.anchors} anchors)"
+            )
+        repair = clock.repair
+        if repair.total_moved:
+            lines.append(
+                f"  monotonicity repair: {repair.sync_moved} sync / "
+                f"{repair.sample_moved} sample / "
+                f"{repair.alloc_moved} alloc / "
+                f"{repair.packet_moved} packet records moved "
+                f"(worst {repair.max_displacement} ticks)"
+            )
+        if clock.total_events:
+            lines.append(
+                f"  uncertainty overlap: {clock.overlap_events}/"
+                f"{clock.total_events} accesses "
+                f"({clock.overlap_fraction:.1%}) ordered by "
+                "sync-derived happens-before only"
+            )
+    reconciles = clock.reconciles
+    if reconciles is not None:
+        lines.append(
+            "  accounting: "
+            + ("declared clock faults reconcile with observed damage"
+               if reconciles else
+               "OBSERVED CLOCK DAMAGE WAS NEVER DECLARED — faults "
+               "beyond the declared plan")
+        )
     return lines
 
 
@@ -227,6 +305,7 @@ def render_report(program: Program, result: DetectionResult) -> str:
     header.append(f"distinct races: {len(result.races)}")
     header.extend(render_degradation(result))
     header.extend(render_governor(result))
+    header.extend(render_clock_health(result))
     header.extend(render_ledger(result))
     header.append("")
     body = []
@@ -381,6 +460,21 @@ def to_json(program: Program, result: DetectionResult) -> str:
             "sync_stalls": deg.governor_sync_stalls,
             "reconciles": deg.governor_reconciles,
         }
+    if deg.clock_declared or deg.timeline_rejections:
+        # Present only when clock faults were declared or timestamps
+        # misbehaved, so clean-trace JSON stays byte-identical.
+        payload["clock_defects"] = {
+            "skewed_cores": deg.clock_skewed_cores,
+            "drifted_cores": deg.clock_drifted_cores,
+            "steps": deg.clock_steps,
+            "regressions": deg.clock_regressions,
+            "tsc_perturbed": deg.tsc_perturbed,
+            "timeline_rejections": deg.timeline_rejections,
+            "reconciles": deg.tsc_reconciles,
+        }
+    if result.clock is not None:
+        # Present only when reconciliation ran (--reconcile-clock).
+        payload["clock"] = result.clock.to_dict()
     return json.dumps(payload, indent=2)
 
 
@@ -455,6 +549,14 @@ def render_triage(report: dict, title: str = "") -> str:
         f"shed {bundles.get('shed', 0)}  "
         f"analysis-quarantined {bundles.get('analysis_quarantined', 0)}",
         f"  books {'reconcile' if bundles.get('reconciles') else 'DO NOT RECONCILE'}",
+    ]
+    if bundles.get("clock_reconciled"):
+        lines.append(
+            f"  node clocks reconciled: "
+            f"{bundles['clock_reconciled']} bundles shifted onto the "
+            "fleet timeline"
+        )
+    lines += [
         "",
         "race database:",
         f"  signatures {db.get('signatures', 0)}  "

@@ -33,6 +33,16 @@ class ThreadTimeline:
     #: lets consumers reason per sampling regime — which period was in
     #: force around an access, and how densely each epoch is anchored.
     epochs: Tuple[PeriodEpoch, ...] = ()
+    #: Candidate anchor points rejected for contradicting a
+    #: higher-tier (or already-accepted) point, per tier: (sync/alloc,
+    #: PT branch, PEBS sample).  A healthy trace rejects nothing;
+    #: clock-disturbed timestamps show up here first — the degradation
+    #: report reconciles these counts against declared clock faults.
+    rejections: Tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def total_rejections(self) -> int:
+        return sum(self.rejections)
 
     def __post_init__(self) -> None:
         self._steps = [p[0] for p in self.points]
@@ -134,14 +144,17 @@ def build_timeline(
         tiers[2][item.step_index] = item.sample.tsc
     accepted: List[Tuple[int, int]] = []
     steps: List[int] = []
-    for tier in tiers:
+    rejections = [0, 0, 0]
+    for tier_index, tier in enumerate(tiers):
         for step, tsc in sorted(tier.items()):
             pos = bisect.bisect_left(steps, step)
             if pos < len(steps) and steps[pos] == step:
                 continue  # a higher tier already pinned this step
             if pos > 0 and tsc <= accepted[pos - 1][1]:
+                rejections[tier_index] += 1
                 continue
             if pos < len(accepted) and tsc >= accepted[pos][1]:
+                rejections[tier_index] += 1
                 continue
             accepted.insert(pos, (step, tsc))
             steps.insert(pos, step)
@@ -149,5 +162,5 @@ def build_timeline(
         accepted = [(0, 0)]
     return ThreadTimeline(
         tid=path.tid, points=accepted, total_steps=len(path.steps),
-        epochs=tuple(epochs),
+        epochs=tuple(epochs), rejections=tuple(rejections),
     )

@@ -313,6 +313,35 @@ def _burst_plan_from(args: argparse.Namespace):
     )
 
 
+def _add_clock_args(parser: argparse.ArgumentParser) -> None:
+    """The clock-reconciliation knob shared by the analyzing commands
+    (docs/robustness.md, "Adversarial time")."""
+    parser.add_argument(
+        "--reconcile-clock", action="store_true",
+        help="estimate per-core clock skew/drift from the sync log, "
+             "correct and monotonicity-repair every timestamp, and "
+             "merge events under uncertainty-aware ordering (a "
+             "pristine trace is bit-identical to the default path)",
+    )
+
+
+def _clock_fault_plan_from(args: argparse.Namespace):
+    """A clock-fault FaultPlan when any ``--clock-*`` chaos flag was
+    given, else None."""
+    if not (args.clock_skew or args.clock_drift or args.clock_step
+            or args.clock_regress):
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan(
+        seed=getattr(args, "seed", 0),
+        clock_skew=args.clock_skew,
+        clock_drift=args.clock_drift,
+        clock_step=args.clock_step,
+        clock_regress=args.clock_regress,
+    )
+
+
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="workload/bug name, or - with "
                                         "--source")
@@ -392,7 +421,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                                jit=not args.no_jit,
                                batch=not args.no_batch,
                                supervisor=_supervisor_from(args),
-                               detectors=_detectors_from(args))
+                               detectors=_detectors_from(args),
+                               reconcile_clock=args.reconcile_clock)
     if args.profile:
         import cProfile
 
@@ -450,11 +480,12 @@ def _detect_one(work: tuple):
     """Module-level detect worker (picklable for the process executor):
     one seeded trace + analysis."""
     program, mode, period, driver, seed, governor, load_bursts, \
-        detectors, batch = work
+        detectors, batch, reconcile_clock = work
     bundle = trace_run(program, period=period, driver=driver, seed=seed,
                        governor=governor, load_bursts=load_bursts)
     return OfflinePipeline(program, mode=mode, batch=batch,
-                           detectors=detectors).analyze(bundle)
+                           detectors=detectors,
+                           reconcile_clock=reconcile_clock).analyze(bundle)
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -473,7 +504,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
                                    batch=not args.no_batch,
                                    detect_shards=args.jobs,
                                    supervisor=supervisor,
-                                   detectors=detectors)
+                                   detectors=detectors,
+                                   reconcile_clock=args.reconcile_clock)
         if args.profile:
             import cProfile
 
@@ -513,7 +545,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     work = [
         (program, args.mode, args.period, _DRIVERS[args.driver],
          args.seed + run_index, governor, None, detectors,
-         not args.no_batch)
+         not args.no_batch, args.reconcile_clock)
         for run_index in range(args.runs)
     ]
     if supervisor is not None or args.checkpoint_dir is not None:
@@ -531,6 +563,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
         # stays identical so existing checkpoints still resume.
         if governor is not None:
             key_parts.append(governor)
+        # Likewise reconciled runs: default checkpoints stay resumable.
+        if args.reconcile_clock:
+            key_parts.append("reconcile-clock")
         key = "|".join(str(part) for part in key_parts)
         journal = open_journal(args.checkpoint_dir, "detect", key,
                                args.resume)
@@ -761,6 +796,124 @@ def _cmd_chaos_loadbursts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _clock_duel_one(work: tuple) -> dict:
+    """Module-level clock-duel worker (picklable): one seeded run,
+    analyzed clean for ground truth, then with clock faults injected —
+    once trusting timestamps as-is and once reconciled."""
+    program, mode, period, driver, seed, plan = work
+    bundle = trace_run(program, period=period, driver=driver, seed=seed)
+    truth = {
+        race.address
+        for race in OfflinePipeline(program, mode=mode)
+        .analyze(bundle).races
+    }
+    degraded, _ = plan.apply(bundle)
+    naive = OfflinePipeline(program, mode=mode).analyze(degraded)
+    reconciled = OfflinePipeline(program, mode=mode,
+                                 reconcile_clock=True).analyze(degraded)
+
+    def judge(result) -> dict:
+        addresses = {race.address for race in result.races}
+        return {
+            "detected": bool(addresses & truth),
+            "false_races": sorted(addresses - truth),
+        }
+
+    row = {
+        "seed": seed,
+        "truth": sorted(truth),
+        "naive": judge(naive),
+        "reconciled": judge(reconciled),
+    }
+    clock = reconciled.clock
+    if clock is not None:
+        row["reconciled"]["clock"] = {
+            "active": clock.active,
+            "inversions": clock.model.inversions,
+            "overlap_fraction": clock.overlap_fraction,
+        }
+    return row
+
+
+def _cmd_chaos_clock(args: argparse.Namespace) -> int:
+    """Adversarial-time chaos: naive-TSC vs reconciled analysis of the
+    SAME clock-damaged bundles (docs/robustness.md, "Adversarial
+    time").
+
+    For each seed the program is traced once; the clean analysis fixes
+    the ground-truth racy addresses; the bundle then gets per-core
+    skew/drift/steps/regressions injected and is analyzed twice — once
+    trusting timestamps as-is and once through ``repro.clock``
+    reconciliation.  The JSON summary is the CI contract: reconciled
+    detection must at least match naive, reconciliation must report
+    zero false races, and naive ordering must have fabricated at least
+    one somewhere in the sweep.
+    """
+    from .faults import FaultPlan
+
+    program = _resolve_program(args.program, _scale_from(args), args.source)
+    rows = []
+    for run_index in range(args.runs):
+        seed = args.seed + run_index
+        plan = FaultPlan(seed=seed, clock_skew=args.clock_skew,
+                         clock_drift=args.clock_drift,
+                         clock_step=args.clock_step,
+                         clock_regress=args.clock_regress)
+        rows.append(_clock_duel_one((program, args.mode, args.period,
+                                     _DRIVERS[args.driver], seed, plan)))
+    naive_det = sum(1 for r in rows if r["naive"]["detected"])
+    recon_det = sum(1 for r in rows if r["reconciled"]["detected"])
+    naive_false = sum(len(r["naive"]["false_races"]) for r in rows)
+    recon_false = sum(len(r["reconciled"]["false_races"]) for r in rows)
+    payload = {
+        "mode": "clock",
+        "program": program.name,
+        "period": args.period,
+        "runs": args.runs,
+        "plan": {
+            "skew": args.clock_skew,
+            "drift": args.clock_drift,
+            "step": args.clock_step,
+            "regress": args.clock_regress,
+        },
+        "rows": rows,
+        "summary": {
+            "naive_detections": naive_det,
+            "reconciled_detections": recon_det,
+            "naive_false_races": naive_false,
+            "reconciled_false_races": recon_false,
+            "reconciled_beats_naive": (
+                recon_det >= naive_det and recon_false == 0
+                and naive_false >= 1
+            ),
+        },
+    }
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"clock chaos: {program.name}  period {args.period}  "
+          f"{args.runs} runs  skew={args.clock_skew} "
+          f"drift={args.clock_drift} step={args.clock_step} "
+          f"regress={args.clock_regress}")
+    print(f"{'seed':>6s} {'naive det':>10s} {'naive false':>12s} "
+          f"{'recon det':>10s} {'recon false':>12s}")
+    for row in rows:
+        print(f"{row['seed']:6d} "
+              f"{str(row['naive']['detected']):>10s} "
+              f"{len(row['naive']['false_races']):12d} "
+              f"{str(row['reconciled']['detected']):>10s} "
+              f"{len(row['reconciled']['false_races']):12d}")
+    print(f"detections: reconciled {recon_det}/{args.runs}  "
+          f"naive {naive_det}/{args.runs}")
+    print(f"false races: reconciled {recon_false}  naive {naive_false}")
+    print("reconciliation beats naive timestamps: "
+          + ("yes" if payload["summary"]["reconciled_beats_naive"]
+             else "NO"))
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection sweep: detection probability vs fault intensity.
 
@@ -777,24 +930,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     With ``--load-bursts MULT`` it exercises the *online* layer:
     governed vs fixed-period tracing under seeded event-weight bursts
     (:class:`~repro.faults.LoadBurstPlan`).
+
+    With any ``--clock-*`` intensity it exercises the *time* layer:
+    naive-TSC vs clock-reconciled analysis of identically damaged
+    bundles (:mod:`repro.clock`).
     """
-    from .faults import BUILTIN_PLAN_NAMES, builtin_plans
+    from .faults import (
+        BUILTIN_PLAN_NAMES,
+        CLOCK_PLAN_NAMES,
+        builtin_plans,
+        clock_plans,
+    )
 
     if args.kill_workers or args.hang_workers or args.fail_workers:
         return _cmd_chaos_runtime(args)
     if args.load_bursts:
         return _cmd_chaos_loadbursts(args)
+    if (args.clock_skew or args.clock_drift or args.clock_step
+            or args.clock_regress):
+        return _cmd_chaos_clock(args)
     program = _resolve_program(args.program, _scale_from(args), args.source)
     intensities = [float(x) for x in args.intensities.split(",")]
     plan_names = (
         [p.strip() for p in args.plans.split(",")] if args.plans
         else list(BUILTIN_PLAN_NAMES)
     )
-    unknown = set(plan_names) - set(BUILTIN_PLAN_NAMES)
+    all_plan_names = BUILTIN_PLAN_NAMES + CLOCK_PLAN_NAMES
+    unknown = set(plan_names) - set(all_plan_names)
     if unknown:
         raise SystemExit(
             f"unknown fault plans {sorted(unknown)}; "
-            f"choose from {', '.join(BUILTIN_PLAN_NAMES)}"
+            f"choose from {', '.join(all_plan_names)}"
         )
     bundles = [
         trace_run(program, period=args.period,
@@ -818,8 +984,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for name in plan_names:
             detected = 0
             for index, bundle in enumerate(bundles):
-                plan = builtin_plans(intensity,
-                                     seed=args.seed + index)[name]
+                run_seed = args.seed + index
+                plans = builtin_plans(intensity, seed=run_seed)
+                if name in CLOCK_PLAN_NAMES:
+                    plans = clock_plans(intensity, seed=run_seed)
+                plan = plans[name]
                 result = _chaos_one((program, args.mode, bundle, plan))
                 if result.races:
                     detected += 1
@@ -922,6 +1091,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         policy=args.policy, fleet_budget=args.fleet_budget,
         deep_budget=args.deep_budget, deep_period=args.deep_period,
         idle_period=args.idle_period,
+        node_clock_skew=args.node_clock_skew,
         node_crash_rate=args.node_crash_rate,
         duplicate_rate=args.duplicate_rate,
         corrupt_rate=args.corrupt_rate,
@@ -1057,6 +1227,7 @@ def build_parser() -> argparse.ArgumentParser:
              "columnar batches (bit-identical, slower)",
     )
     _add_detector_args(analyze_parser)
+    _add_clock_args(analyze_parser)
     _add_supervision_args(analyze_parser)
 
     detect_parser = sub.add_parser("detect", help="trace + analyze")
@@ -1090,6 +1261,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_confirm_args(detect_parser)
     _add_detector_args(detect_parser)
+    _add_clock_args(detect_parser)
     _add_governor_args(detect_parser)
     _add_supervision_args(detect_parser)
 
@@ -1210,6 +1382,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="online chaos: compare governed vs fixed-period tracing "
              "under seeded event-weight bursts of this multiplier",
     )
+    chaos_parser.add_argument(
+        "--clock-skew", type=float, default=0.0, metavar="I",
+        help="adversarial time: per-core constant TSC offset intensity "
+             "(any --clock-* flag switches chaos into the naive-vs-"
+             "reconciled clock duel)",
+    )
+    chaos_parser.add_argument(
+        "--clock-drift", type=float, default=0.0, metavar="I",
+        help="adversarial time: per-core linear frequency-drift "
+             "intensity",
+    )
+    chaos_parser.add_argument(
+        "--clock-step", type=float, default=0.0, metavar="I",
+        help="adversarial time: migration-style step-discontinuity "
+             "intensity",
+    )
+    chaos_parser.add_argument(
+        "--clock-regress", type=float, default=0.0, metavar="I",
+        help="adversarial time: per-record non-monotonic TSC "
+             "regression intensity",
+    )
     chaos_parser.add_argument("--jobs", type=int, default=1,
                               help="worker slots for runtime chaos")
     chaos_parser.add_argument("--json", action="store_true",
@@ -1251,6 +1444,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-node budget in a deep slot")
     fleet_parser.add_argument("--deep-period", type=int, default=160)
     fleet_parser.add_argument("--idle-period", type=int, default=50_000)
+    fleet_parser.add_argument(
+        "--node-clock-skew", type=float, default=0.0, metavar="I",
+        help="node chaos: per-node TSC epoch offsets of this intensity "
+             "(ingest reconciles them before cross-node dedup)",
+    )
     fleet_parser.add_argument(
         "--node-crash-rate", type=float, default=0.0, metavar="P",
         help="transport chaos: node dies mid-upload (torn copy + "

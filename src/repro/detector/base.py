@@ -25,6 +25,19 @@ across executors for any other detector):
 * :meth:`sorted_races` / :meth:`sorted_addresses` / :meth:`sorted_pairs`
   — the same findings under a total sort key, independent of stream
   arrival order, for cross-executor/cross-backend comparisons.
+
+Ordering contract under clock uncertainty
+-----------------------------------------
+
+Backends never judge timing themselves: the event stream's *order* is
+the only ordering claim they consume.  When the pipeline reconciles
+clocks (:mod:`repro.clock`), each access merges at the late edge of its
+uncertainty interval clamped into its thread's own sync window
+(:func:`~repro.detector.events.uncertain_merge_tsc`), so cross-thread
+access pairs with overlapping uncertainty arrive unordered-by-time and
+are ordered only by the sync-derived happens-before edges the sync
+stream encodes.  A backend therefore cannot be tricked into a false
+race by a lying TSC — at worst a widened interval hides a true one.
 """
 
 from __future__ import annotations

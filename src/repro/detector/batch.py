@@ -21,7 +21,11 @@ report races, and backends without a batch fast path.
 Ordering: one batch holds one thread's accesses in step order, so its
 keys ``(tsc, EVENT_KIND_ACCESS, tid, step)`` are strictly increasing by
 construction (timelines are strictly monotone in the step index) — the
-same invariant the scalar per-thread streams rely on.  That makes the
+same invariant the scalar per-thread streams rely on.  Under clock
+reconciliation the key timestamps come from a separate ``key_tscs``
+column (uncertainty-shifted, clamped at the thread's next own sync
+record, monotone-nondecreasing); the step tie-break keeps the full keys
+strictly increasing, so the merge invariant is unchanged.  That makes the
 splice merge in :meth:`AnalysisContext.merged_batches` valid:
 :meth:`EventBatch.run_end` finds, by bisection on the tsc column, how
 far this batch's head run extends before the next-smallest head of any
@@ -70,13 +74,19 @@ class EventBatch:
       address computation depended on emulated memory carry one).
     """
 
-    __slots__ = ("tid", "tscs", "vars", "kinds", "ips", "steps",
-                 "prov_codes", "prov_table", "taints", "suppressed",
-                 "_nxt")
+    __slots__ = ("tid", "tscs", "key_tscs", "vars", "kinds", "ips",
+                 "steps", "prov_codes", "prov_table", "taints",
+                 "suppressed", "_nxt")
 
     def __init__(self, tid: int) -> None:
         self.tid = tid
         self.tscs = array("d")
+        #: Merge-key timestamps.  Aliases :attr:`tscs` (the *same* array
+        #: object) unless the batch was built with an uncertainty merge
+        #: key (``merge_key``, see :meth:`build`), in which case the
+        #: total order runs on these while :meth:`access_at` keeps
+        #: reporting the corrected :attr:`tscs`.
+        self.key_tscs = self.tscs
         self.vars: List[Tuple[int, int]] = []
         self.kinds = array("b")
         self.ips = array("q")
@@ -97,6 +107,7 @@ class EventBatch:
         timeline,
         generation_of,
         cutoff: Optional[int] = None,
+        merge_key=None,
     ) -> "EventBatch":
         """Lower one thread's :class:`RecoveredAccess` stream straight
         into columns (no intermediate ``Access`` objects).
@@ -105,9 +116,18 @@ class EventBatch:
         suppressed exactly as the scalar ``_suppress_after`` does — the
         next exact timeline anchor bounds the true time from above — and
         counted in :attr:`suppressed`.
+
+        With *merge_key* (an uncertainty merge-key closure
+        ``(step, tsc) -> key_tsc`` from clock reconciliation), the batch
+        carries a separate :attr:`key_tscs` column the total order runs
+        on; without one, :attr:`key_tscs` aliases :attr:`tscs` and the
+        layout is bit-identical to pre-clock builds.
         """
         batch = cls(tid)
         tscs = batch.tscs
+        key_tscs = None
+        if merge_key is not None:
+            key_tscs = batch.key_tscs = array("d")
         vars_col = batch.vars
         kinds = batch.kinds
         ips = batch.ips
@@ -127,6 +147,8 @@ class EventBatch:
             tsc = tsc_of(step)
             address = access.address
             tscs.append(tsc)
+            if key_tscs is not None:
+                key_tscs.append(merge_key(step, tsc))
             steps.append(step)
             ips.append(access.ip)
             kinds.append(ACCESS_WRITE if access.is_store else ACCESS_READ)
@@ -149,7 +171,7 @@ class EventBatch:
     def key_at(self, i: int) -> EventKey:
         """The total-order key of event *i* (same key the scalar stream
         sorts by)."""
-        return access_sort_key(self.tscs[i], self.tid, self.steps[i])
+        return access_sort_key(self.key_tscs[i], self.tid, self.steps[i])
 
     def access_at(self, i: int) -> Access:
         """Materialize event *i* as a scalar :class:`Access` —
@@ -207,11 +229,11 @@ class EventBatch:
         a sync record).
         """
         bound_tsc = bound[0]
-        hi = bisect_right(self.tscs, bound_tsc, start)
-        if hi == start or self.tscs[hi - 1] < bound_tsc:
+        hi = bisect_right(self.key_tscs, bound_tsc, start)
+        if hi == start or self.key_tscs[hi - 1] < bound_tsc:
             return hi
         # Equal-tsc tail: accesses rank before syncs, and access ties
         # break on tid (bound tid differs from ours by construction).
         if bound[1] == EVENT_KIND_SYNC or self.tid < bound[2]:
             return hi
-        return bisect_left(self.tscs, bound_tsc, start)
+        return bisect_left(self.key_tscs, bound_tsc, start)

@@ -69,6 +69,44 @@ def sync_sort_key(record) -> EventKey:
     return (float(record.tsc), EVENT_KIND_SYNC, 0, record.seq)
 
 
+def uncertain_merge_tsc(tsc: float, half_width: float,
+                        prev_sync_tsc: Optional[float],
+                        next_sync_tsc: Optional[float]) -> float:
+    """Merge-key timestamp of an access under clock uncertainty
+    (:mod:`repro.clock`).
+
+    A corrected timestamp is only trusted to ``± half_width`` ticks, so
+    the access merges at the *late* edge of its uncertainty interval,
+    clamped into the window its thread's *own* surrounding sync records
+    define (``prev_sync_tsc``/``next_sync_tsc``, by program order):
+    program order across the thread's own sync operations is
+    authoritative and must not be crossed in either direction.  The
+    access-before-sync kind rank makes the usable key window
+    ``(prev_sync_tsc, next_sync_tsc]`` — at the upper clamp the access
+    still sorts before its own next sync, and the lower clamp must land
+    strictly past the previous one (clock repair keeps a thread's sync
+    timestamps strictly increasing, so the window is never empty).
+
+    Together with the repaired sync stream merging in global ``seq``
+    order this pins every sync-derived happens-before chain: any true
+    edge ``access -> own release -> (seq order) -> foreign acquire ->
+    access`` survives into the merged order, so skew can cost detection
+    probability but never manufacture a false ordering.  Cross-thread
+    pairs whose uncertainty intervals overlap carry no timing claim and
+    are ordered only by those sync-derived edges.  Only the merge *key*
+    shifts; the access's reported ``tsc`` (and its allocation-generation
+    lookup) stays at the corrected estimate.
+    """
+    value = tsc + half_width
+    if next_sync_tsc is not None and value > next_sync_tsc:
+        value = next_sync_tsc
+    if prev_sync_tsc is not None and value <= prev_sync_tsc:
+        bumped = prev_sync_tsc + 1
+        value = bumped if next_sync_tsc is None \
+            else min(bumped, next_sync_tsc)
+    return value
+
+
 @dataclass(frozen=True)
 class Access:
     """One memory access presented to the detector.

@@ -7,7 +7,12 @@ representation for per-variable read state, epoch-only write state.
 
 The detector is precise with respect to the event stream it is given —
 no false positives under happens-before — and reports every racy access
-pair it observes rather than stopping at the first.
+pair it observes rather than stopping at the first.  Timing enters only
+through the stream's order: under clock reconciliation the pipeline
+merges accesses on uncertainty-clamped keys (see
+:mod:`repro.detector.events`), so skewed timestamps can delay an event
+in the stream but never place it on the wrong side of a sync-derived
+happens-before edge.
 
 Epoch-compact representation
 ----------------------------

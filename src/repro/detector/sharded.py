@@ -19,7 +19,11 @@ verdicts equals the serial verdicts, report for report.  Stream *order*
 is restored by tagging each report with the global index of its second
 access (:attr:`FastTrack.race_indices`) and k-way merging the per-shard
 report lists on it; reports for one event all come from one shard, so
-the merge is total and deterministic.
+the merge is total and deterministic.  The argument is independent of
+how the merged stream was keyed — in particular, uncertainty-clamped
+merge keys under clock reconciliation (:mod:`repro.clock`) reach every
+shard identically, so sharded verdicts stay bit-identical to serial
+with or without a clock model.
 
 Workers and memory
 ------------------

@@ -34,6 +34,11 @@ Fault models:
 * **TSC perturbation** — a fraction of sample timestamps jitter by a few
   ticks (cross-core TSC drift), clamped to preserve each thread's
   per-thread sample order.
+* **Clock faults** — per-core constant skew, linear frequency drift,
+  migration step discontinuities, and non-monotonic regressions, applied
+  to *every* timestamped record through :mod:`repro.clock.faults`.
+  Unlike bounded jitter these are unclamped, structured disturbances the
+  reconciliation pass (:mod:`repro.clock`) must undo.
 * **Byte corruption** — :func:`corrupt_trace_file` flips bytes inside
   one on-disk container section, for exercising salvage loading
   (``read_trace(..., allow_partial=True)``).
@@ -73,6 +78,13 @@ class FaultPlan:
             lost to a simulated crash.
         tsc_jitter: probability that each sample's timestamp is
             perturbed by up to ±``MAX_TSC_JITTER`` ticks.
+        clock_skew: per-core constant TSC offset intensity (ticks scale
+            with :data:`repro.clock.faults.SKEW_OFFSET_SCALE`).
+        clock_drift: per-core linear frequency-drift intensity.
+        clock_step: per-core migration-style step-discontinuity
+            intensity (one seeded jump per core).
+        clock_regress: per-record probability of a non-monotonic
+            timestamp regression.
     """
 
     seed: int = 0
@@ -80,10 +92,15 @@ class FaultPlan:
     pt_gap: float = 0.0
     log_truncation: float = 0.0
     tsc_jitter: float = 0.0
+    clock_skew: float = 0.0
+    clock_drift: float = 0.0
+    clock_step: float = 0.0
+    clock_regress: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("sample_drop", "pt_gap", "log_truncation",
-                     "tsc_jitter"):
+                     "tsc_jitter", "clock_skew", "clock_drift",
+                     "clock_step", "clock_regress"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]: {value}")
@@ -92,7 +109,14 @@ class FaultPlan:
     def intensity(self) -> float:
         """The strongest enabled fault's intensity."""
         return max(self.sample_drop, self.pt_gap, self.log_truncation,
-                   self.tsc_jitter)
+                   self.tsc_jitter, self.clock_skew, self.clock_drift,
+                   self.clock_step, self.clock_regress)
+
+    @property
+    def clock_intensity(self) -> float:
+        """The strongest enabled *clock* fault's intensity."""
+        return max(self.clock_skew, self.clock_drift, self.clock_step,
+                   self.clock_regress)
 
     # ------------------------------------------------------------------
 
@@ -137,6 +161,17 @@ class FaultPlan:
             _sample_index=None,
             _sample_index_key=None,
         )
+        if self.clock_intensity > 0.0:
+            from .clock.faults import inject_clock_faults
+
+            degraded, stats = inject_clock_faults(
+                degraded, self.clock_skew, self.clock_drift,
+                self.clock_step, self.clock_regress, self.seed,
+            )
+            defects.clock_skewed_cores += stats.skewed_cores
+            defects.clock_drifted_cores += stats.drifted_cores
+            defects.clock_steps += stats.steps
+            defects.clock_regressions += stats.regressions
         return degraded, defects
 
     # ------------------------------------------------------------------
@@ -444,6 +479,30 @@ def builtin_plans(intensity: float, seed: int = 0) -> Dict[str, FaultPlan]:
         "combined": FaultPlan(
             seed=seed, sample_drop=intensity, pt_gap=intensity,
             log_truncation=intensity, tsc_jitter=intensity,
+        ),
+    }
+
+
+#: Names of the built-in *clock*-fault plan shapes (kept separate from
+#: :data:`BUILTIN_PLAN_NAMES`: the classic suite exercises data loss,
+#: this one exercises adversarial time).
+CLOCK_PLAN_NAMES = (
+    "clock-skew", "clock-drift", "clock-step", "clock-regress",
+    "clock-combined",
+)
+
+
+def clock_plans(intensity: float, seed: int = 0) -> Dict[str, FaultPlan]:
+    """The clock-fault plan suite at one intensity: each clock pathology
+    in isolation, plus all of them together."""
+    return {
+        "clock-skew": FaultPlan(seed=seed, clock_skew=intensity),
+        "clock-drift": FaultPlan(seed=seed, clock_drift=intensity),
+        "clock-step": FaultPlan(seed=seed, clock_step=intensity),
+        "clock-regress": FaultPlan(seed=seed, clock_regress=intensity),
+        "clock-combined": FaultPlan(
+            seed=seed, clock_skew=intensity, clock_drift=intensity,
+            clock_step=intensity, clock_regress=intensity,
         ),
     }
 

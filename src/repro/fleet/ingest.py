@@ -31,8 +31,15 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import QuarantinedWork, TraceError
 from ..supervise import RunLedger, SupervisorConfig, supervised_map
-from ..tracing import read_trace_bytes
+from ..tracing import read_trace_bytes, trace_to_bytes
 from .queue import BundleSpool, SpoolEntry, decode_envelope
+
+#: Earliest-timestamp threshold above which a bundle is declared to
+#: carry a per-node epoch offset.  A node's own run starts near TSC
+#: zero, so a bundle whose earliest record sits past this floor is off
+#: by (approximately) that much; ingest shifts it back so every node's
+#: records land on one fleet-wide timeline before the cross-node fold.
+CLOCK_OFFSET_FLOOR = 10_000
 
 
 @dataclass
@@ -95,6 +102,8 @@ class IngestStats:
     salvaged: int = 0
     quarantined: int = 0
     parse_retries: int = 0
+    #: Bundles whose per-node epoch offset ingest estimated and removed.
+    clock_reconciled: int = 0
 
     @property
     def reconciles(self) -> bool:
@@ -110,8 +119,33 @@ class IngestStats:
             "salvaged": self.salvaged,
             "quarantined": self.quarantined,
             "parse_retries": self.parse_retries,
+            "clock_reconciled": self.clock_reconciled,
             "reconciles": self.reconciles,
         }
+
+
+def _earliest_tsc(bundle) -> int:
+    """The earliest timestamp anywhere in *bundle* (0 when empty)."""
+    values = [record.tsc for record in bundle.sync_records]
+    values += [sample.tsc for sample in bundle.samples]
+    values += [record.tsc for record in bundle.alloc_records]
+    values += [trace.start_tsc for trace in bundle.pt_traces.values()]
+    return min(values) if values else 0
+
+
+def _normalize_clock(bundle, trace: bytes, stats: IngestStats) -> bytes:
+    """Reconcile a per-node epoch offset: a bundle whose earliest
+    record sits past :data:`CLOCK_OFFSET_FLOOR` is shifted back onto
+    the fleet-wide timeline (earliest record to zero).  The shift is
+    uniform, so within-bundle orderings — and the races they imply —
+    are untouched; only the node's epoch lie is removed."""
+    base = _earliest_tsc(bundle)
+    if base <= CLOCK_OFFSET_FLOOR:
+        return trace
+    from ..clock.faults import shift_bundle_tscs
+
+    stats.clock_reconciled += 1
+    return trace_to_bytes(shift_bundle_tscs(bundle, -int(base)))
 
 
 def _salvage_copies(copies: List[bytes]) -> Tuple[dict, bytes]:
@@ -162,12 +196,14 @@ def ingest(spool: BundleSpool, retries: int = 1,
                     f"fleet bundle: envelope id {meta['bundle_id']!r} "
                     f"does not match spool name {entry.bundle_id!r}"
                 )
-            read_trace_bytes(trace)  # strict: every section CRC checked
+            # Strict: every section CRC checked.
+            parsed = read_trace_bytes(trace)
         except TraceError:
             stats.unreadable_copies += 1
             failed.setdefault(entry.bundle_id, []).append(payload)
             failed_entries.setdefault(entry.bundle_id, []).append(entry)
             continue
+        trace = _normalize_clock(parsed, trace, stats)
         accepted[entry.bundle_id] = AcceptedBundle(meta=meta, trace=trace)
         stats.accepted += 1
 
@@ -205,6 +241,8 @@ def ingest(spool: BundleSpool, retries: int = 1,
                 stats.quarantined += 1
                 continue
             meta, trace = result
+            trace = _normalize_clock(
+                read_trace_bytes(trace, allow_partial=True), trace, stats)
             accepted[bid] = AcceptedBundle(meta=meta, trace=trace,
                                            salvaged=True)
             stats.salvaged += 1

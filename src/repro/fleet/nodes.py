@@ -57,6 +57,26 @@ def run_seed_for(fleet_seed: int, node: int, epoch: int) -> int:
     return int.from_bytes(digest, "big")
 
 
+#: Tick scale of per-node epoch offsets at intensity 1.0.  Well above
+#: :data:`repro.fleet.ingest.CLOCK_OFFSET_FLOOR` so any nonzero
+#: intensity produces offsets the ingester can tell apart from a
+#: bundle's natural start time.
+NODE_CLOCK_OFFSET_SCALE = 200_000
+
+
+def node_clock_offset(fleet_seed: int, node: int,
+                      intensity: float) -> int:
+    """The seeded per-node TSC epoch offset: whole machines disagree
+    on when time zero was, while each stays internally consistent."""
+    if intensity <= 0.0:
+        return 0
+    key = f"node-clock|{fleet_seed}|{node}"
+    digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+    fraction = int.from_bytes(digest, "big") / 0xFFFFFFFF
+    return int(intensity * NODE_CLOCK_OFFSET_SCALE
+               * (0.6 + 0.8 * fraction))
+
+
 @dataclass(frozen=True)
 class NodeEpochSpec:
     """Everything needed to produce one (node, epoch) trace bundle.
@@ -74,6 +94,9 @@ class NodeEpochSpec:
     period: int
     budget: float
     deep: bool
+    #: Per-node TSC epoch offset (node chaos): every timestamp in the
+    #: produced bundle is shifted by this many ticks before upload.
+    clock_offset: int = 0
 
     @property
     def bundle_id(self) -> str:
@@ -97,6 +120,12 @@ class NodeEpochSpec:
             "period": self.period,
             "budget": self.budget,
             "deep": self.deep,
+            # Recorded only when skewed so fault-free envelopes (and
+            # their bundle hashes) stay byte-identical.  Declarative
+            # provenance only — the ingester reconciles from the trace
+            # itself, never from this field.
+            **({"clock_offset": self.clock_offset}
+               if self.clock_offset else {}),
         }
 
 
@@ -129,6 +158,10 @@ def produce_bundle(spec: NodeEpochSpec) -> ProducedBundle:
                                   seed=spec.run_seed)
     bundle = trace_run(program, period=spec.period, seed=spec.run_seed,
                        governor=governor)
+    if spec.clock_offset:
+        from ..clock.faults import shift_bundle_tscs
+
+        bundle = shift_bundle_tscs(bundle, spec.clock_offset)
     from ..analysis.costs import estimate_overhead
     estimate = estimate_overhead(bundle)
     baseline = estimate.baseline_wall_cycles or 1

@@ -33,7 +33,12 @@ from ..supervise import SupervisorConfig, open_journal
 from ..workloads import RACE_BUGS
 from .chaos import DeliveryPlan
 from .ingest import ingest
-from .nodes import NodeEpochSpec, ProducedBundle, produce_bundle
+from .nodes import (
+    NodeEpochSpec,
+    ProducedBundle,
+    node_clock_offset,
+    produce_bundle,
+)
 from .queue import BundleSpool, encode_envelope
 from .racedb import RaceDatabase
 from .scheduler import FleetSchedule
@@ -60,6 +65,11 @@ class FleetConfig:
     deep_budget: float = 0.02
     deep_period: int = 160
     idle_period: int = 50_000
+
+    # Node chaos: per-node TSC epoch offsets of this intensity (whole
+    # machines disagree on time zero; ingest reconciles before the
+    # cross-node fold).
+    node_clock_skew: float = 0.0
 
     # Transport chaos.
     node_crash_rate: float = 0.0
@@ -134,6 +144,10 @@ class FleetConfig:
             "deep_budget": self.deep_budget,
             "deep_period": self.deep_period,
             "idle_period": self.idle_period,
+            # Only recorded when skewed: unskewed configs (and their
+            # checkpoint-journal keys) stay byte-identical.
+            **({"node_clock_skew": self.node_clock_skew}
+               if self.node_clock_skew else {}),
             "node_crash_rate": self.node_crash_rate,
             "duplicate_rate": self.duplicate_rate,
             "corrupt_rate": self.corrupt_rate,
@@ -174,6 +188,8 @@ def fleet_specs(config: FleetConfig) -> List[NodeEpochSpec]:
                 period=assignment.period,
                 budget=assignment.budget,
                 deep=assignment.deep,
+                clock_offset=node_clock_offset(
+                    config.seed, node, config.node_clock_skew),
             ))
     return specs
 
@@ -259,6 +275,7 @@ def run_fleet(
     report.salvaged = stats.salvaged
     report.quarantined = stats.quarantined
     report.parse_retries = stats.parse_retries
+    report.clock_reconciled = stats.clock_reconciled
     report.analyzed = len(outcome.findings)
     report.shed = len(outcome.shed)
     report.analysis_quarantined = len(outcome.quarantined)

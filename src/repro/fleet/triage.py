@@ -46,6 +46,9 @@ class TriageReport:
     shed: int = 0
     analysis_quarantined: int = 0
     parse_retries: int = 0
+    #: Bundles whose per-node TSC epoch offset ingest removed before
+    #: the cross-node fold (docs/robustness.md, "Adversarial time").
+    clock_reconciled: int = 0
 
     # Race database deltas.
     db_signatures: int = 0
@@ -135,6 +138,10 @@ class TriageReport:
                 "shed": self.shed,
                 "analysis_quarantined": self.analysis_quarantined,
                 "parse_retries": self.parse_retries,
+                # Only recorded when some node's epoch was off, so
+                # skew-free triage JSON stays byte-identical.
+                **({"clock_reconciled": self.clock_reconciled}
+                   if self.clock_reconciled else {}),
                 "reconciles": self.reconciles,
             },
             "db": {

@@ -8,7 +8,11 @@ An interpreter for :mod:`repro.isa` programs with:
   different schedule;
 * a global timestamp counter (TSC) that is *invariant* across cores, the
   property recent Intel processors provide (§4.3) and that ProRace relies
-  on to merge per-thread traces offline;
+  on to merge per-thread traces offline — production boxes that break
+  the property (per-core skew, drift, migration steps, non-monotonic
+  reads) are modeled at the *bundle* level by
+  :mod:`repro.clock.faults`, never inside the machine, so the machine
+  stays the ground truth the clock layer is judged against;
 * sequentially consistent shared memory (one instruction retires at a
   time), FIFO mutexes/semaphores, fork/join threads, and a recycling heap;
 * an observer interface through which the PMU simulation and tracers watch

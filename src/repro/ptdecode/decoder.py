@@ -92,6 +92,44 @@ class DecodedPath:
             self._ip_index = index
         return index.get(ip)
 
+    def placement_ambiguous(self, ip: int, tsc: int,
+                            tolerance: float) -> bool:
+        """Could *ip* locate to a different step anywhere in
+        ``[tsc - tolerance, tsc + tolerance]``?
+
+        Clock reconciliation asks this before trusting a sample as a
+        reconstruction seed: a timestamp only known to ± *tolerance*
+        that could pin to several loop iterations would seed replay
+        with the wrong register state and fabricate accesses that
+        never executed.  Also true when the widened interval touches a
+        gap — the sample may belong to undecoded steps.
+        """
+        for gap_lo, gap_hi in self.gap_ranges:
+            if gap_lo < tsc + tolerance and tsc - tolerance < gap_hi:
+                return True
+        lo = self.segment_for_tsc(tsc - tolerance)[0]
+        hi = self.segment_for_tsc(tsc + tolerance)[1]
+        occurrences = self._occurrences(ip) or []
+        left = bisect.bisect_left(occurrences, max(lo, 0))
+        right = bisect.bisect_right(
+            occurrences, min(hi, len(self.steps) - 1)
+        )
+        return right - left > 1
+
+    def next_occurrence(self, ip: int, start: int = 0) -> Optional[int]:
+        """First step index ``>= start`` executing *ip*, located by
+        program order alone — no timestamp windowing.  Clock
+        reconciliation pins a thread's seq-ordered sync records onto
+        the path this way (:meth:`locate`'s TSC window is exactly what
+        a clock-damaged record lies about)."""
+        occurrences = self._occurrences(ip)
+        if not occurrences:
+            return None
+        pos = bisect.bisect_left(occurrences, start)
+        if pos == len(occurrences):
+            return None
+        return occurrences[pos]
+
     def segment_for_tsc(self, tsc: int) -> Tuple[int, int]:
         """Step-index range ``(lo, hi)`` that executed in the anchor
         window containing *tsc* (half-open on the left: steps with index
@@ -463,19 +501,30 @@ class AlignedSample:
 
 
 def align_samples(
-    path: DecodedPath, samples: Sequence[PEBSSample]
+    path: DecodedPath, samples: Sequence[PEBSSample],
+    tolerance: float = 0.0,
 ) -> List[AlignedSample]:
     """Pin each sample of this thread onto the decoded path.
 
     Samples that cannot be located (trace truncation) are skipped — the
     corresponding reconstruction opportunity is simply lost, matching how
     a torn trace degrades gracefully in the real system.
+
+    With a *tolerance* (the clock model's uncertainty half-width under
+    reconciliation), samples whose placement is ambiguous within
+    ±tolerance are skipped too: an uncertain timestamp that could pin
+    to several path positions must cost reconstruction opportunity,
+    never seed replay at the wrong one.
     """
     aligned = []
     for sample in sorted(samples, key=lambda s: s.tsc):
         index = path.locate(sample.ip, sample.tsc)
-        if index is not None:
-            aligned.append(AlignedSample(sample=sample, step_index=index))
+        if index is None:
+            continue
+        if tolerance > 0.0 and path.placement_ambiguous(
+                sample.ip, sample.tsc, tolerance):
+            continue
+        aligned.append(AlignedSample(sample=sample, step_index=index))
     return aligned
 
 

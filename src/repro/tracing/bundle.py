@@ -58,6 +58,23 @@ class TraceDefects:
     tsc_perturbed: int = 0
     #: Container sections dropped by salvage loading.
     corrupted_sections: Tuple[str, ...] = ()
+    #: Cores whose clock was injected with a constant offset
+    #: (:mod:`repro.clock.faults`).
+    clock_skewed_cores: int = 0
+    #: Cores whose clock was injected with linear frequency drift.
+    clock_drifted_cores: int = 0
+    #: Migration-style step discontinuities injected across all cores.
+    clock_steps: int = 0
+    #: Individual non-monotonic timestamp regressions injected.
+    clock_regressions: int = 0
+
+    @property
+    def clock_disturbed(self) -> bool:
+        """Whether any first-class clock fault was declared."""
+        return bool(
+            self.clock_skewed_cores or self.clock_drifted_cores
+            or self.clock_steps or self.clock_regressions
+        )
 
     @property
     def degraded(self) -> bool:
@@ -66,6 +83,7 @@ class TraceDefects:
             or self.sync_records_lost or self.alloc_records_lost
             or self.log_truncated_at_tsc is not None
             or self.tsc_perturbed or self.corrupted_sections
+            or self.clock_disturbed
         )
 
 
@@ -95,6 +113,11 @@ class TraceBundle:
     period_epochs: List[PeriodEpoch] = field(default_factory=list)
     #: Full governor action record (None for ungoverned runs).
     governor: Optional[GovernorReport] = None
+    #: Clock calibration (:class:`~repro.clock.model.ClockModel`) — set
+    #: by reconciliation or loaded from a v4 container's calibration
+    #: section.  ``None`` means the global-TSC trust assumption holds.
+    #: Typed loosely so the tracing layer never imports ``repro.clock``.
+    clock: Optional[object] = None
     #: Lazy per-tid sample index behind :meth:`samples_of_thread` (the
     #: replay fan-out calls it once per thread; a linear rescan per call
     #: made that O(threads × samples)).

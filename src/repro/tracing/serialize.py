@@ -17,7 +17,8 @@ Layout::
     trailer:  u32 crc32 of everything before it
 
 Section kinds: 1 = run metadata, 2 = PEBS samples, 3 = PT stream (one
-per thread), 4 = sync log, 5 = alloc log, 6 = period epochs (v3).
+per thread), 4 = sync log, 5 = alloc log, 6 = period epochs (v3),
+7 = clock calibration (v4).
 
 Version 2 adds a CRC32 per section so damage can be *localized*:
 ``read_trace(..., allow_partial=True)`` salvages every intact section of
@@ -37,6 +38,18 @@ keeps writing v2 — its files stay byte-identical to pre-governor builds
 and remain readable by older readers.  v1 and v2 files stay fully
 readable; a corrupted epoch section salvages away like any other (the
 bundle just loses its period history, never its data).
+
+Version 4 adds the **clock-calibration section**: the reconciliation
+pass's :class:`~repro.clock.model.ClockModel` — sync-inversion count,
+default uncertainty half-width, and one record per per-core affine fit
+(offset, scale, residual half-width, anchor count) — so a corrected
+trace carries its calibration and downstream consumers never re-estimate
+it.  The write version is again chosen per bundle: only a bundle with a
+clock model writes v4; an unreconciled bundle keeps writing v3/v2 and
+stays byte-identical to pre-clock builds.  v1–v3 files stay fully
+readable, and a corrupted clock section salvages away like any other
+(the bundle just loses its calibration; reconciliation re-estimates it
+from the sync log).
 """
 
 from __future__ import annotations
@@ -66,11 +79,12 @@ from ..pmu.records import (
 from .bundle import TraceBundle, TraceDefects
 
 MAGIC = b"PRTR"
-#: Current format version: v3 adds the period-epoch section.  Ungoverned
-#: bundles still *write* v2 (see :func:`write_trace`) so their files are
+#: Current format version: v4 adds the clock-calibration section (v3
+#: the period-epoch section).  Unreconciled ungoverned bundles still
+#: *write* v2 (see :func:`write_trace`) so their files are
 #: byte-identical to pre-governor builds.
-VERSION = 3
-SUPPORTED_VERSIONS = (1, 2, 3)
+VERSION = 4
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 _SEC_META = 1
 _SEC_PEBS = 2
@@ -78,10 +92,12 @@ _SEC_PT = 3
 _SEC_SYNC = 4
 _SEC_ALLOC = 5
 _SEC_EPOCHS = 6
+_SEC_CLOCK = 7
 
 _SECTION_NAMES = {
     _SEC_META: "meta", _SEC_PEBS: "pebs", _SEC_PT: "pt",
     _SEC_SYNC: "sync", _SEC_ALLOC: "alloc", _SEC_EPOCHS: "epochs",
+    _SEC_CLOCK: "clock",
 }
 
 _HEADER = struct.Struct("<4sHHI")
@@ -106,6 +122,11 @@ _META = struct.Struct("<QQQQQIQQB")
 _GOV_HEADER = struct.Struct("<d" + "Q" * 15 + "Bd" + "Q")
 #: One period epoch: start_tsc, period, tier, reason id, overhead.
 _EPOCH = struct.Struct("<QQBBd")
+#: Clock calibration header (v4): fit count, sync-inversion count,
+#: default uncertainty half-width.
+_CLOCK_HEADER = struct.Struct("<IId")
+#: One per-core clock fit: core, offset, scale, half_width, anchors.
+_CLOCK_FIT = struct.Struct("<IdddQ")
 
 #: Sync kinds are index-encoded on the wire: append-only, never reorder
 #: (older readers reject unknown indices, not shifted meanings).
@@ -214,6 +235,16 @@ def _encode_epochs(bundle: TraceBundle) -> bytes:
     return out.getvalue()
 
 
+def _encode_clock(model) -> bytes:
+    out = io.BytesIO()
+    out.write(_CLOCK_HEADER.pack(len(model.fits), model.inversions,
+                                 model.default_half_width))
+    for fit in model.fits:
+        out.write(_CLOCK_FIT.pack(fit.core, fit.offset, fit.scale,
+                                  fit.half_width, fit.anchors))
+    return out.getvalue()
+
+
 def _encode_meta(bundle: TraceBundle) -> bytes:
     run = bundle.run
     driver_id = 1 if bundle.pebs_accounting.driver.name == "prorace" else 0
@@ -234,8 +265,9 @@ def trace_to_bytes(bundle: TraceBundle,
     through the same single code path.
     """
     governed = bool(bundle.period_epochs) or bundle.governor is not None
+    clocked = bundle.clock is not None
     if version is None:
-        version = 3 if governed else 2
+        version = 4 if clocked else 3 if governed else 2
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported write version {version}")
     body = io.BytesIO()
@@ -249,6 +281,8 @@ def trace_to_bytes(bundle: TraceBundle,
         sections.append((_SEC_PT, _encode_pt(bundle.pt_traces[tid])))
     if version >= 3 and governed:
         sections.append((_SEC_EPOCHS, _encode_epochs(bundle)))
+    if version >= 4 and clocked:
+        sections.append((_SEC_CLOCK, _encode_clock(bundle.clock)))
     body.write(_HEADER.pack(MAGIC, version, 0, len(sections)))
     for kind, payload in sections:
         _write_section(body, kind, payload, version=version)
@@ -262,12 +296,13 @@ def write_trace(bundle: TraceBundle, path: Path | str,
 
     The ground-truth oracle (when present) is intentionally *not*
     serialized: a real trace file cannot contain it.  *version* selects
-    the container format; the default picks per bundle — v3 when the
-    bundle carries period epochs or a governor report (they need the
-    epoch section), v2 otherwise, so ungoverned trace files stay
-    byte-identical to pre-governor builds.  Writing a governed bundle
-    as v1/v2 is allowed but drops its epoch section (those formats
-    cannot carry one).
+    the container format; the default picks per bundle — v4 when the
+    bundle carries a clock calibration, v3 when it carries period
+    epochs or a governor report (they need the epoch section), v2
+    otherwise, so unreconciled ungoverned trace files stay
+    byte-identical to pre-governor builds.  Writing a governed or
+    reconciled bundle at a lower version is allowed but drops the
+    sections that version cannot carry.
     """
     blob = trace_to_bytes(bundle, version=version)
     Path(path).write_bytes(blob)
@@ -404,6 +439,35 @@ def _decode_epochs(payload: bytes) -> GovernorReport:
         final_period=final_period, final_tier=final_tier,
         final_overhead=final_overhead, epochs=epochs,
     )
+
+
+def _decode_clock(payload: bytes):
+    from ..clock.model import ClockModel, CoreClockFit
+
+    if len(payload) < _CLOCK_HEADER.size:
+        raise TraceFormatError("truncated clock section header")
+    count, inversions, default_half_width = _CLOCK_HEADER.unpack_from(
+        payload, 0
+    )
+    expected = _CLOCK_HEADER.size + count * _CLOCK_FIT.size
+    if len(payload) != expected:
+        raise TraceFormatError(
+            f"clock section length mismatch: {len(payload)} != {expected}"
+        )
+    fits = []
+    offset = _CLOCK_HEADER.size
+    for _ in range(count):
+        core, fit_offset, scale, half_width, anchors = \
+            _CLOCK_FIT.unpack_from(payload, offset)
+        offset += _CLOCK_FIT.size
+        if scale <= 0.0:
+            raise TraceFormatError(f"bad clock fit scale {scale}")
+        fits.append(CoreClockFit(
+            core=core, offset=fit_offset, scale=scale,
+            half_width=half_width, anchors=anchors,
+        ))
+    return ClockModel(fits=tuple(fits), inversions=inversions,
+                      default_half_width=default_half_width)
 
 
 def _decode_meta(payload: bytes) -> Tuple[RunResult, str]:
@@ -550,6 +614,8 @@ class TraceReader:
             value = _decode_alloc(payload)
         elif kind == _SEC_EPOCHS:
             value = _decode_epochs(payload)
+        elif kind == _SEC_CLOCK:
+            value = _decode_clock(payload)
         else:
             raise TraceFormatError(f"unknown section kind {kind}")
         self._decoded[entry.index] = value
@@ -574,6 +640,7 @@ class TraceReader:
         sync_records: List[SyncRecord] = []
         alloc_records: List[AllocRecord] = []
         governor: Optional[GovernorReport] = None
+        clock = None
         corrupted: List[str] = []
 
         for entry in self.sections:
@@ -611,6 +678,8 @@ class TraceReader:
                 alloc_records = value
             elif kind == _SEC_EPOCHS:
                 governor = value
+            elif kind == _SEC_CLOCK:
+                clock = value
 
         defects: Optional[TraceDefects] = None
         if corrupted:
@@ -651,6 +720,8 @@ class TraceReader:
         if governor is not None:
             bundle.governor = governor
             bundle.period_epochs = list(governor.epochs)
+        if clock is not None:
+            bundle.clock = clock
         return bundle
 
 

@@ -1,0 +1,162 @@
+"""Property tests for the clock-reconciliation laws (Hypothesis).
+
+Three laws the pipeline's correctness argument leans on, stated over
+arbitrary inputs rather than hand-picked examples:
+
+* monotonicity repair is idempotent and insensitive to the order the
+  bundle's (disjoint) streams are repaired in;
+* the sync-stream repair restores exactly the two invariants ordering
+  needs — globally nondecreasing in ``seq`` order, strictly increasing
+  per thread — moving no record backwards;
+* the uncertainty clamp always lands inside the thread's own sync
+  window ``(prev, next]``, whatever the estimate claims;
+* zero injected clock faults leave traces and analysis byte-identical
+  (the snap-to-identity guarantee).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import (
+    estimate_clock_model,
+    apply_clock_correction,
+    inject_clock_faults,
+    repair_monotonic,
+    repair_streams,
+)
+from repro.clock.repair import REPAIR_STREAMS, RepairStats, _repair_sync
+from repro.detector.events import uncertain_merge_tsc
+from repro.pmu.records import SyncRecord
+from repro.tracing import trace_run, trace_to_bytes
+from repro.workloads import RACE_BUGS, SMALL
+
+
+@pytest.fixture(scope="module")
+def disturbed_bundle():
+    program = RACE_BUGS["apache-21287"].build(SMALL)
+    clean = trace_run(program, period=100, seed=3)
+    disturbed, _ = inject_clock_faults(clean, skew=1.0, drift=0.5,
+                                       step=0.5, regress=0.3, seed=3)
+    return disturbed
+
+
+# ----------------------------------------------------------------------
+# repair_monotonic: running-max clamp laws
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+def test_repair_monotonic_laws(values):
+    repaired, moved, worst = repair_monotonic(values)
+    assert len(repaired) == len(values)
+    assert all(a <= b for a, b in zip(repaired, repaired[1:]))
+    # Never runs ahead of the input: each output is some input prefix max.
+    for i, value in enumerate(repaired):
+        assert value == max(values[:i + 1])
+    assert moved == sum(1 for v, r in zip(values, repaired) if v != r)
+    assert worst == max(
+        (r - v for v, r in zip(values, repaired)), default=0)
+    # Idempotent.
+    again, moved_again, _ = repair_monotonic(repaired)
+    assert again == repaired and moved_again == 0
+
+
+# ----------------------------------------------------------------------
+# _repair_sync: the two ordering invariants
+# ----------------------------------------------------------------------
+
+sync_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=0, max_value=3)),
+    max_size=40,
+)
+
+
+@given(sync_streams)
+def test_repair_sync_invariants(raw):
+    records = [
+        SyncRecord(tsc=tsc, seq=seq, tid=tid, ip=0, kind="lock",
+                   target=0x10)
+        for seq, (tsc, tid) in enumerate(raw)
+    ]
+    repaired, changed = _repair_sync(records, RepairStats())
+    tscs = [r.tsc for r in repaired]
+    assert all(a <= b for a, b in zip(tscs, tscs[1:]))
+    for tid in {r.tid for r in repaired}:
+        own = [r.tsc for r in repaired if r.tid == tid]
+        assert all(a < b for a, b in zip(own, own[1:]))
+    # Records only ever move forward, and untouched streams come back
+    # as the same object.
+    assert all(r.tsc >= o.tsc for r, o in zip(repaired, records))
+    if not changed:
+        assert repaired is records
+    # Idempotent.
+    again, changed_again = _repair_sync(repaired, RepairStats())
+    assert not changed_again and again is repaired
+
+
+# ----------------------------------------------------------------------
+# repair_streams: order-insensitive, idempotent
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.permutations(REPAIR_STREAMS))
+def test_repair_streams_order_insensitive(disturbed_bundle, order):
+    # Structural equality, not serialized bytes: a *disturbed* bundle
+    # may carry negative TSCs the unsigned container rightly refuses.
+    canonical, stats = repair_streams(disturbed_bundle)
+    assert stats.total_moved > 0
+    permuted, _ = repair_streams(disturbed_bundle, order=tuple(order))
+    assert permuted.sync_records == canonical.sync_records
+    assert permuted.samples == canonical.samples
+    assert permuted.alloc_records == canonical.alloc_records
+    assert permuted.pt_traces == canonical.pt_traces
+    # Idempotent: a repaired bundle comes back as the same object.
+    again, again_stats = repair_streams(canonical)
+    assert again is canonical
+    assert again_stats.total_moved == 0
+
+
+# ----------------------------------------------------------------------
+# uncertain_merge_tsc: the clamp never leaves (prev, next]
+# ----------------------------------------------------------------------
+
+@given(
+    tsc=st.floats(min_value=0, max_value=1e6),
+    half_width=st.floats(min_value=0, max_value=1e5),
+    prev_gap=st.none() | st.floats(min_value=0, max_value=1e5),
+    next_gap=st.floats(min_value=1.0, max_value=1e5),
+    has_next=st.booleans(),
+)
+def test_uncertain_merge_stays_in_window(tsc, half_width, prev_gap,
+                                         next_gap, has_next):
+    prev_sync = None if prev_gap is None else tsc - prev_gap
+    next_sync = (prev_sync if prev_sync is not None else tsc) + next_gap \
+        if has_next else None
+    value = uncertain_merge_tsc(tsc, half_width, prev_sync, next_sync)
+    if prev_sync is not None:
+        assert value > prev_sync
+    if next_sync is not None:
+        assert value <= next_sync
+    if prev_sync is None and next_sync is None:
+        assert value == tsc + half_width
+
+
+# ----------------------------------------------------------------------
+# Snap-to-identity: zero clock faults leave everything byte-identical
+# ----------------------------------------------------------------------
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_zero_clock_faults_byte_identical(seed):
+    program = RACE_BUGS["pbzip2-0.9.4"].build(SMALL)
+    clean = trace_run(program, period=150, seed=seed)
+    before = trace_to_bytes(clean)
+    model = estimate_clock_model(clean)
+    assert model.is_identity
+    corrected, _model, stats = apply_clock_correction(clean)
+    assert corrected is clean
+    assert stats.total_moved == 0
+    assert trace_to_bytes(corrected) == before

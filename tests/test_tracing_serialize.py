@@ -128,7 +128,7 @@ class TestVersions:
     def test_unsupported_write_version(self, traced, tmp_path):
         _, bundle = traced
         with pytest.raises(ValueError, match="version"):
-            write_trace(bundle, tmp_path / "t.prtr", version=4)
+            write_trace(bundle, tmp_path / "t.prtr", version=5)
 
     def test_v1_has_no_salvage(self, clean_program, tmp_path):
         """allow_partial needs per-section CRCs; a corrupt v1 file is
